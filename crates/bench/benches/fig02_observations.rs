@@ -1,0 +1,4 @@
+//! Bench target regenerating Fig. 2 — fragmentation observations and preliminary co-scaling.
+fn main() {
+    dilu_bench::run_experiment("fig02_observations", "Fig. 2 — fragmentation observations and preliminary co-scaling", dilu_core::experiments::fig02::run);
+}

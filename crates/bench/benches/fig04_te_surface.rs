@@ -1,0 +1,4 @@
+//! Bench target regenerating Fig. 4 — throughput-efficacy surfaces and HGS stars.
+fn main() {
+    dilu_bench::run_experiment("fig04_te_surface", "Fig. 4 — throughput-efficacy surfaces and HGS stars", dilu_core::experiments::fig04::run);
+}

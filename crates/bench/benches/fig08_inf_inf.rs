@@ -1,0 +1,4 @@
+//! Bench target regenerating Fig. 8 — inference-inference collocation.
+fn main() {
+    dilu_bench::run_experiment("fig08_inf_inf", "Fig. 8 — inference-inference collocation", dilu_core::experiments::fig08::run);
+}

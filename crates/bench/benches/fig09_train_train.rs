@@ -1,0 +1,4 @@
+//! Bench target regenerating Fig. 9 — training-training collocation.
+fn main() {
+    dilu_bench::run_experiment("fig09_train_train", "Fig. 9 — training-training collocation", dilu_core::experiments::fig09::run);
+}

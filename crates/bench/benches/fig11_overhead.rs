@@ -1,0 +1,4 @@
+//! Bench target regenerating Fig. 11 — vertical scaling overhead.
+fn main() {
+    dilu_bench::run_experiment("fig11_overhead", "Fig. 11 — vertical scaling overhead", dilu_core::experiments::fig11::run);
+}

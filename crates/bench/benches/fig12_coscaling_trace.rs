@@ -1,0 +1,4 @@
+//! Bench target regenerating Fig. 12 — co-scaling trace analysis.
+fn main() {
+    dilu_bench::run_experiment("fig12_coscaling_trace", "Fig. 12 — co-scaling trace analysis", dilu_core::experiments::fig12::run);
+}

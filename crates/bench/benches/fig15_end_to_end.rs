@@ -1,0 +1,4 @@
+//! Bench target regenerating Fig. 15 — end-to-end scheduling and ablations.
+fn main() {
+    dilu_bench::run_experiment("fig15_end_to_end", "Fig. 15 — end-to-end scheduling and ablations", dilu_core::experiments::fig15::run);
+}

@@ -1,0 +1,4 @@
+//! Bench target regenerating Fig. 18 — oversubscription and MaxTokens sensitivity.
+fn main() {
+    dilu_bench::run_experiment("fig18_sensitivity", "Fig. 18 — oversubscription and MaxTokens sensitivity", dilu_core::experiments::fig18::run);
+}

@@ -1,0 +1,4 @@
+//! Bench target regenerating Table 2 — profiling iteration comparison.
+fn main() {
+    dilu_bench::run_experiment("tab02_profiling", "Table 2 — profiling iteration comparison", dilu_core::experiments::tab02::run);
+}

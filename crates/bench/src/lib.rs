@@ -1,0 +1,25 @@
+//! Benchmark harness support: every bench target in `benches/` regenerates
+//! one table or figure of the paper via `dilu_core::experiments`, printing
+//! an ASCII table and writing JSON under `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+use serde::Serialize;
+
+/// Runs one experiment: prints a banner, the rendered result, and persists
+/// the JSON dump for EXPERIMENTS.md regeneration.
+pub fn run_experiment<T, F>(id: &str, title: &str, run: F)
+where
+    T: Display + Serialize,
+    F: FnOnce() -> T,
+{
+    println!("== {id}: {title} ==");
+    let started = std::time::Instant::now();
+    let result = run();
+    println!("{result}");
+    dilu_core::table::write_json(id, &result);
+    println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+}

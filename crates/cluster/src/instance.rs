@@ -1,0 +1,148 @@
+//! Function instances and their lifecycle.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dilu_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::{FunctionId, GpuAddr};
+
+/// Globally unique identifier of an instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InstanceUid(pub u64);
+
+impl fmt::Display for InstanceUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Lifecycle state of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceState {
+    /// Container deploying / weights loading; ready at the given instant.
+    ColdStarting {
+        /// When the instance becomes able to serve.
+        ready_at: SimTime,
+    },
+    /// Serving.
+    Running,
+    /// No longer routed to; terminates once in-flight work drains.
+    Draining,
+}
+
+impl InstanceState {
+    /// `true` once the instance can execute work.
+    pub fn is_ready(&self) -> bool {
+        matches!(self, InstanceState::Running)
+    }
+}
+
+/// One queued inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Request {
+    pub id: u64,
+    pub arrived: SimTime,
+}
+
+/// A dispatched batch travelling through an instance (possibly staged across
+/// pipeline GPUs).
+#[derive(Debug, Clone)]
+pub(crate) struct InflightBatch {
+    /// Unique id correlating engine completions back to this batch.
+    pub batch_id: u64,
+    pub requests: Vec<Request>,
+    /// Pipeline stage currently executing (0-based). Solo instances have
+    /// exactly one stage.
+    pub stage: usize,
+}
+
+/// A deployed instance (inference replica or training worker).
+#[derive(Debug, Clone)]
+pub(crate) struct Instance {
+    pub uid: InstanceUid,
+    pub func: FunctionId,
+    /// One GPU per pipeline stage; length 1 for solo instances.
+    pub gpus: Vec<GpuAddr>,
+    pub state: InstanceState,
+    /// Queued requests not yet batched (inference only).
+    pub pending: VecDeque<Request>,
+    /// Batches currently executing, at most one per pipeline stage.
+    pub inflight: Vec<InflightBatch>,
+    /// Last instant this instance had any work.
+    pub last_active: SimTime,
+}
+
+impl Instance {
+    /// Load metric used by the least-loaded balancer.
+    pub fn load(&self) -> usize {
+        self.pending.len() + self.inflight.iter().map(|b| b.requests.len()).sum::<usize>()
+    }
+
+    /// Engine-level slot id for pipeline stage `stage` of this instance.
+    ///
+    /// Instances occupy at most 16 stages, so the uid is shifted to keep slot
+    /// ids unique per GPU.
+    pub fn slot_id(&self, stage: usize) -> dilu_gpu::InstanceId {
+        debug_assert!(stage < 16, "at most 16 pipeline stages supported");
+        dilu_gpu::InstanceId(self.uid.0 * 16 + stage as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_ids_are_unique_across_stages_and_instances() {
+        let a = Instance {
+            uid: InstanceUid(1),
+            func: FunctionId(0),
+            gpus: vec![GpuAddr::default(); 4],
+            state: InstanceState::Running,
+            pending: VecDeque::new(),
+            inflight: Vec::new(),
+            last_active: SimTime::ZERO,
+        };
+        let b = Instance { uid: InstanceUid(2), ..a.clone() };
+        let mut ids: Vec<u64> = (0..4)
+            .flat_map(|s| [a.slot_id(s).0, b.slot_id(s).0])
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn state_readiness() {
+        assert!(InstanceState::Running.is_ready());
+        assert!(!InstanceState::ColdStarting { ready_at: SimTime::ZERO }.is_ready());
+        assert!(!InstanceState::Draining.is_ready());
+    }
+
+    #[test]
+    fn load_counts_pending_and_inflight() {
+        let mut inst = Instance {
+            uid: InstanceUid(1),
+            func: FunctionId(0),
+            gpus: vec![GpuAddr::default()],
+            state: InstanceState::Running,
+            pending: VecDeque::new(),
+            inflight: Vec::new(),
+            last_active: SimTime::ZERO,
+        };
+        inst.pending.push_back(Request { id: 1, arrived: SimTime::ZERO });
+        inst.inflight.push(InflightBatch {
+            batch_id: 1,
+            requests: vec![
+                Request { id: 2, arrived: SimTime::ZERO },
+                Request { id: 3, arrived: SimTime::ZERO },
+            ],
+            stage: 0,
+        });
+        assert_eq!(inst.load(), 3);
+    }
+}

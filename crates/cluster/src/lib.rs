@@ -1,0 +1,39 @@
+//! The serving plane of the Dilu reproduction: a cluster of simulated GPU
+//! nodes hosting serverless DL function instances.
+//!
+//! [`ClusterSim`] owns the GPUs (one [`dilu_gpu::GpuEngine`] each), routes
+//! requests from [`dilu_workload`] arrival processes through a gateway +
+//! least-loaded balancer into per-instance dynamic batches, runs training
+//! jobs with barrier-synchronised compute/communication phases (DDP) or
+//! stage/bubble phases (pipeline parallelism), models cold starts, and
+//! records every metric the paper reports.
+//!
+//! Three extension points make it policy-agnostic so Dilu and every baseline
+//! run on the identical substrate:
+//!
+//! * [`Placement`] — which GPUs an instance lands on (Algorithm 1 lives in
+//!   `dilu-scheduler`);
+//! * [`Autoscaler`] — when instances launch/terminate (Dilu's lazy co-scaler
+//!   lives in `dilu-scaler`, eager baselines in `dilu-baselines`);
+//! * [`dilu_gpu::SharePolicy`] — per-quantum SM grants (Dilu's RCKM lives in
+//!   `dilu-rckm`, MPS/TGS/FaST-GS in `dilu-baselines`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instance;
+mod report;
+mod sim;
+mod spec;
+mod traits;
+
+pub use instance::{InstanceState, InstanceUid};
+pub use report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
+pub use sim::{ClusterSim, DeployError, SimConfig};
+pub use spec::{
+    cold_start_duration, ClusterSpec, FunctionId, FunctionKind, FunctionSpec, GpuAddr, Quotas,
+};
+pub use traits::{
+    Autoscaler, ClusterView, FunctionScaleView, GpuView, Placement, PolicyFactory, ResidentInfo,
+    ScaleAction,
+};

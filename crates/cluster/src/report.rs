@@ -1,0 +1,250 @@
+//! Aggregated results of a cluster simulation run.
+
+use std::collections::BTreeMap;
+
+use dilu_metrics::{ColdStartCounter, FragmentationStats, LatencyRecorder};
+use dilu_models::ModelId;
+use dilu_sim::{SimDuration, SimTime};
+
+use crate::FunctionId;
+
+/// Per-second observations for one inference function (Fig. 12 panels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimelinePoint {
+    /// Second index since simulation start.
+    pub sec: u64,
+    /// Requests that arrived during the second.
+    pub arrivals: u64,
+    /// Requests completed during the second.
+    pub completions: u64,
+    /// Completions that violated the SLO during the second.
+    pub violations: u64,
+    /// Ready instances at the end of the second.
+    pub ready_instances: u32,
+}
+
+/// Serving results for one inference function.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Model served.
+    pub model: ModelId,
+    /// Raw per-request latencies.
+    pub latency: LatencyRecorder,
+    /// The SLO the function declared.
+    pub slo: SimDuration,
+    /// Output tokens per request (LLM latency is reported per token).
+    pub output_tokens: u32,
+    /// Requests that arrived.
+    pub arrived: u64,
+    /// Requests that completed.
+    pub completed: u64,
+    /// Cold starts after initial deployment.
+    pub cold_starts: ColdStartCounter,
+    /// Per-second observations.
+    pub timeline: Vec<TimelinePoint>,
+}
+
+impl FunctionReport {
+    /// SLO violation rate in `[0, 1]`.
+    pub fn svr(&self) -> f64 {
+        self.latency.violation_rate(self.slo)
+    }
+
+    /// Median latency; for LLMs, per output token.
+    pub fn p50_display(&self) -> SimDuration {
+        self.latency.p50() / u64::from(self.output_tokens.max(1))
+    }
+
+    /// p95 latency; for LLMs, per output token.
+    pub fn p95_display(&self) -> SimDuration {
+        self.latency.p95() / u64::from(self.output_tokens.max(1))
+    }
+
+    /// Mean completed requests per second over the run.
+    pub fn goodput_rps(&self, horizon: SimDuration) -> f64 {
+        if horizon.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / horizon.as_secs_f64()
+        }
+    }
+}
+
+/// Results for one training function.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Function name.
+    pub name: String,
+    /// Model trained.
+    pub model: ModelId,
+    /// Worker count.
+    pub workers: u32,
+    /// Iterations completed.
+    pub iterations_done: u64,
+    /// Samples (images/tokens) processed across all workers.
+    pub samples_done: u64,
+    /// When the job started computing.
+    pub started: Option<SimTime>,
+    /// When the job hit its iteration target, if it did.
+    pub finished: Option<SimTime>,
+    /// Throughput unit label from the model profile.
+    pub unit: &'static str,
+}
+
+impl TrainingReport {
+    /// Mean training throughput in samples per second of active time.
+    ///
+    /// Uses `now` as the end point for unfinished jobs.
+    pub fn throughput(&self, now: SimTime) -> f64 {
+        let Some(started) = self.started else { return 0.0 };
+        let end = self.finished.unwrap_or(now);
+        let active = end.saturating_since(started).as_secs_f64();
+        if active <= 0.0 {
+            0.0
+        } else {
+            self.samples_done as f64 / active
+        }
+    }
+
+    /// Job completion time, if finished.
+    pub fn jct(&self) -> Option<SimDuration> {
+        match (self.started, self.finished) {
+            (Some(s), Some(f)) => Some(f.saturating_since(s)),
+            _ => None,
+        }
+    }
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterReport {
+    /// End time of the run.
+    pub horizon: SimTime,
+    /// Per-inference-function results.
+    pub inference: BTreeMap<FunctionId, FunctionReport>,
+    /// Per-training-function results.
+    pub training: BTreeMap<FunctionId, TrainingReport>,
+    /// Cluster fragmentation snapshots (1 Hz).
+    pub fragmentation: FragmentationStats,
+    /// Occupied GPUs per second.
+    pub occupied_gpus: Vec<(u64, u32)>,
+    /// Peak occupied GPUs.
+    pub peak_gpus: u32,
+    /// Total GPU time consumed (occupied-GPU-seconds).
+    pub gpu_time: SimDuration,
+    /// Instance-GPU-seconds: Σ over instance lifetimes of GPUs held. This
+    /// is the currency of the paper's saved-GPU-time (SGT) comparison —
+    /// keep-alive strategies hold instance slots long after traffic stops.
+    pub instance_gpu_time: SimDuration,
+    /// Kernel blocks issued per function per second.
+    pub kernel_series: BTreeMap<FunctionId, Vec<(u64, u64)>>,
+    /// Total kernel blocks issued per second across the cluster.
+    pub total_kernel_series: Vec<(u64, u64)>,
+}
+
+impl ClusterReport {
+    /// Mean SVR across all inference functions.
+    pub fn mean_svr(&self) -> f64 {
+        if self.inference.is_empty() {
+            return 0.0;
+        }
+        self.inference.values().map(FunctionReport::svr).sum::<f64>() / self.inference.len() as f64
+    }
+
+    /// Total cold starts across all inference functions.
+    pub fn total_cold_starts(&self) -> u64 {
+        self.inference.values().map(|f| f.cold_starts.count()).sum()
+    }
+
+    /// Aggregate inference goodput (completed RPS) per occupied GPU.
+    ///
+    /// The paper's Fig. 16 "aggregate throughput" normalises serving
+    /// throughput by the resources occupied.
+    pub fn inference_goodput_per_gpu(&self) -> f64 {
+        let mean_gpus = self.mean_occupied_gpus();
+        if mean_gpus <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .inference
+            .values()
+            .map(|f| f.goodput_rps(self.horizon.saturating_since(SimTime::ZERO)))
+            .sum();
+        total / mean_gpus
+    }
+
+    /// Mean occupied GPUs over the run.
+    pub fn mean_occupied_gpus(&self) -> f64 {
+        if self.occupied_gpus.is_empty() {
+            return 0.0;
+        }
+        self.occupied_gpus.iter().map(|&(_, g)| f64::from(g)).sum::<f64>()
+            / self.occupied_gpus.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_throughput_uses_active_time() {
+        let r = TrainingReport {
+            name: "t".into(),
+            model: ModelId::BertBase,
+            workers: 2,
+            iterations_done: 10,
+            samples_done: 1_000,
+            started: Some(SimTime::from_secs(5)),
+            finished: Some(SimTime::from_secs(15)),
+            unit: "tokens/s",
+        };
+        assert!((r.throughput(SimTime::from_secs(100)) - 100.0).abs() < 1e-9);
+        assert_eq!(r.jct(), Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn unfinished_jobs_use_now() {
+        let r = TrainingReport {
+            name: "t".into(),
+            model: ModelId::BertBase,
+            workers: 2,
+            iterations_done: 10,
+            samples_done: 500,
+            started: Some(SimTime::ZERO),
+            finished: None,
+            unit: "tokens/s",
+        };
+        assert!((r.throughput(SimTime::from_secs(10)) - 50.0).abs() < 1e-9);
+        assert_eq!(r.jct(), None);
+    }
+
+    #[test]
+    fn llm_latencies_report_per_token() {
+        let mut latency = LatencyRecorder::new();
+        latency.record(SimDuration::from_millis(3_200));
+        let f = FunctionReport {
+            name: "llama".into(),
+            model: ModelId::Llama2_7b,
+            latency,
+            slo: SimDuration::from_millis(2_048),
+            output_tokens: 32,
+            arrived: 1,
+            completed: 1,
+            cold_starts: ColdStartCounter::new(),
+            timeline: Vec::new(),
+        };
+        assert_eq!(f.p50_display(), SimDuration::from_millis(100));
+        assert_eq!(f.svr(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = ClusterReport::default();
+        assert_eq!(r.mean_svr(), 0.0);
+        assert_eq!(r.total_cold_starts(), 0);
+        assert_eq!(r.inference_goodput_per_gpu(), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Cluster, GPU, and function specifications.
+
+use std::fmt;
+
+use dilu_gpu::{SmRate, GB};
+use dilu_models::ModelId;
+use dilu_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the simulated cluster.
+///
+/// The paper's testbed is 5 nodes × 4 A100-40GB; the large-scale study uses
+/// 1000 × 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of worker nodes.
+    pub nodes: u32,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// Device memory per GPU in bytes.
+    pub gpu_mem_bytes: u64,
+}
+
+impl ClusterSpec {
+    /// The paper's local testbed: 5 nodes × 4 × A100-40GB.
+    pub fn paper_testbed() -> Self {
+        ClusterSpec { nodes: 5, gpus_per_node: 4, gpu_mem_bytes: 40 * GB }
+    }
+
+    /// A single node with `gpus` A100-40GB cards (GPU-level experiments).
+    pub fn single_node(gpus: u32) -> Self {
+        ClusterSpec { nodes: 1, gpus_per_node: gpus, gpu_mem_bytes: 40 * GB }
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// All GPU addresses in deterministic order.
+    pub fn gpu_addrs(&self) -> impl Iterator<Item = GpuAddr> + '_ {
+        let per = self.gpus_per_node;
+        (0..self.nodes).flat_map(move |n| (0..per).map(move |g| GpuAddr { node: n, gpu: g }))
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+/// Address of one GPU in the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GpuAddr {
+    /// Node index.
+    pub node: u32,
+    /// GPU index within the node.
+    pub gpu: u32,
+}
+
+impl fmt::Display for GpuAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}/g{}", self.node, self.gpu)
+    }
+}
+
+/// The paper's `<request, limit>` SM quotas plus the (steady) memory demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quotas {
+    /// Minimum SM rate guaranteeing QoS.
+    pub request: SmRate,
+    /// Cost-effective burst SM rate.
+    pub limit: SmRate,
+    /// Device memory per GPU slice.
+    pub mem_bytes: u64,
+}
+
+impl Quotas {
+    /// Creates quotas; `limit` is clamped up to at least `request`.
+    pub fn new(request: SmRate, limit: SmRate, mem_bytes: u64) -> Self {
+        Quotas { request, limit: limit.max(request), mem_bytes }
+    }
+
+    /// Equal request/limit quotas — the static MPS/Exclusive pattern of
+    /// Table 1.
+    pub fn equal(rate: SmRate, mem_bytes: u64) -> Self {
+        Quotas { request: rate, limit: rate, mem_bytes }
+    }
+}
+
+/// Identifier of a deployed serverless DL function.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FunctionId(pub u32);
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn-{}", self.0)
+    }
+}
+
+/// What a function does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FunctionKind {
+    /// Online inference with a latency SLO and a profiled batch size.
+    Inference {
+        /// Target latency (per request; per-token budget folded in for LLMs).
+        slo: SimDuration,
+        /// Profiled optimal inference batch size (IBS).
+        batch: u32,
+    },
+    /// A training job with a fixed worker count and iteration target.
+    Training {
+        /// Data-parallel or pipeline workers.
+        workers: u32,
+        /// Iterations to completion (JCT is recorded when reached).
+        iterations: u64,
+    },
+}
+
+impl FunctionKind {
+    /// `true` for inference functions.
+    pub fn is_inference(&self) -> bool {
+        matches!(self, FunctionKind::Inference { .. })
+    }
+}
+
+/// A deployable serverless DL function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Unique id.
+    pub id: FunctionId,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// The model it serves or trains.
+    pub model: ModelId,
+    /// Inference or training role.
+    pub kind: FunctionKind,
+    /// Profiled `<request, limit>` + memory quotas per GPU slice.
+    pub quotas: Quotas,
+    /// GPUs per instance (1 for most; >1 pipelines an LLM across fragments).
+    pub gpus_per_instance: u32,
+}
+
+impl FunctionSpec {
+    /// Requests per second one *instance* sustains at its request quota —
+    /// the capacity value Dilu's global scaler compares RPS windows against.
+    ///
+    /// Returns 0 for training functions.
+    pub fn capacity_rps(&self) -> f64 {
+        match self.kind {
+            FunctionKind::Inference { batch, .. } => {
+                let profile = self.model.profile();
+                let t = profile.inference_exec_time(batch, self.quotas.request);
+                if t.is_zero() {
+                    0.0
+                } else {
+                    f64::from(batch) / t.as_secs_f64()
+                }
+            }
+            FunctionKind::Training { .. } => 0.0,
+        }
+    }
+
+    /// The latency SLO, if this is an inference function.
+    pub fn slo(&self) -> Option<SimDuration> {
+        match self.kind {
+            FunctionKind::Inference { slo, .. } => Some(slo),
+            FunctionKind::Training { .. } => None,
+        }
+    }
+}
+
+/// Cold-start delay for deploying one instance of `model`: container setup
+/// plus loading weights at ~1.6 s/GB (the "slow and bulky deployment" the
+/// paper's lazy scaling avoids paying for).
+pub fn cold_start_duration(model: ModelId) -> SimDuration {
+    let profile = model.profile();
+    let gb = profile.param_bytes as f64 / GB as f64;
+    SimDuration::from_secs_f64(2.0 + 1.6 * gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_matches_paper() {
+        let spec = ClusterSpec::paper_testbed();
+        assert_eq!(spec.total_gpus(), 20);
+        assert_eq!(spec.gpu_addrs().count(), 20);
+        assert_eq!(spec.gpu_mem_bytes, 40 * GB);
+    }
+
+    #[test]
+    fn quotas_clamp_limit_to_request() {
+        let q = Quotas::new(SmRate::from_percent(50.0), SmRate::from_percent(30.0), GB);
+        assert_eq!(q.limit, q.request);
+        let eq = Quotas::equal(SmRate::from_percent(40.0), GB);
+        assert_eq!(eq.request, eq.limit);
+    }
+
+    #[test]
+    fn capacity_rps_reflects_batch_and_quota() {
+        let spec = FunctionSpec {
+            id: FunctionId(1),
+            name: "roberta-inf".into(),
+            model: ModelId::RobertaLarge,
+            kind: FunctionKind::Inference { slo: SimDuration::from_millis(100), batch: 4 },
+            quotas: Quotas::new(SmRate::from_percent(50.0), SmRate::from_percent(100.0), 4 * GB),
+            gpus_per_instance: 1,
+        };
+        // bs4 at sat(4)=50%: 26 ms → ~154 rps.
+        let cap = spec.capacity_rps();
+        assert!((cap - 153.8).abs() < 5.0, "capacity {cap}");
+        assert!(spec.slo().is_some());
+    }
+
+    #[test]
+    fn training_functions_have_no_serving_capacity() {
+        let spec = FunctionSpec {
+            id: FunctionId(2),
+            name: "bert-train".into(),
+            model: ModelId::BertBase,
+            kind: FunctionKind::Training { workers: 4, iterations: 100 },
+            quotas: Quotas::equal(SmRate::from_percent(50.0), 6 * GB),
+            gpus_per_instance: 1,
+        };
+        assert_eq!(spec.capacity_rps(), 0.0);
+        assert_eq!(spec.slo(), None);
+    }
+
+    #[test]
+    fn cold_starts_scale_with_model_size() {
+        let small = cold_start_duration(ModelId::ResNet152);
+        let large = cold_start_duration(ModelId::Llama2_7b);
+        assert!(small < SimDuration::from_secs(3));
+        assert!(large > SimDuration::from_secs(15), "LLM cold start {large}");
+    }
+
+    #[test]
+    fn gpu_addr_displays() {
+        assert_eq!(GpuAddr { node: 2, gpu: 3 }.to_string(), "n2/g3");
+    }
+}

@@ -1,0 +1,211 @@
+//! Extension points: placement, autoscaling, and share-policy factories.
+
+use dilu_gpu::{SharePolicy, SmRate, TaskClass};
+use dilu_sim::{SimDuration, SimTime};
+
+use crate::{FunctionId, FunctionKind, FunctionSpec, GpuAddr};
+
+/// One resident instance slice as seen by the placement policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidentInfo {
+    /// The owning function.
+    pub func: FunctionId,
+    /// Inference or training.
+    pub class: TaskClass,
+    /// Its request quota on this GPU.
+    pub request: SmRate,
+    /// Its limit quota on this GPU.
+    pub limit: SmRate,
+    /// Its memory reservation on this GPU.
+    pub mem_bytes: u64,
+}
+
+/// One GPU's allocation state as seen by the placement policy.
+#[derive(Debug, Clone)]
+pub struct GpuView {
+    /// The GPU's address.
+    pub addr: GpuAddr,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Memory already reserved by residents in bytes.
+    pub mem_reserved: u64,
+    /// Residents and their quotas.
+    pub residents: Vec<ResidentInfo>,
+}
+
+impl GpuView {
+    /// Sum of resident request quotas.
+    pub fn sum_requests(&self) -> SmRate {
+        self.residents.iter().map(|r| r.request).sum()
+    }
+
+    /// Sum of resident limit quotas.
+    pub fn sum_limits(&self) -> SmRate {
+        self.residents.iter().map(|r| r.limit).sum()
+    }
+
+    /// Free memory in bytes.
+    pub fn mem_free(&self) -> u64 {
+        self.mem_capacity.saturating_sub(self.mem_reserved)
+    }
+
+    /// `true` if any instance is resident.
+    pub fn occupied(&self) -> bool {
+        !self.residents.is_empty()
+    }
+
+    /// `true` if a function with this id already has a slice here.
+    pub fn hosts_function(&self, func: FunctionId) -> bool {
+        self.residents.iter().any(|r| r.func == func)
+    }
+}
+
+/// The whole cluster's allocation state for placement decisions.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    /// All GPUs in deterministic address order.
+    pub gpus: Vec<GpuView>,
+}
+
+impl ClusterView {
+    /// Number of occupied GPUs.
+    pub fn occupied_count(&self) -> usize {
+        self.gpus.iter().filter(|g| g.occupied()).count()
+    }
+}
+
+/// Chooses the GPUs for a new instance.
+///
+/// Returns `gpus_per_instance` addresses (one per pipeline stage), or `None`
+/// when the instance cannot be placed. Implementations must respect memory
+/// capacity; quota caps (Ω/γ) are policy-specific.
+pub trait Placement {
+    /// Picks GPUs for one new instance of `func`.
+    fn place(&mut self, func: &FunctionSpec, cluster: &ClusterView) -> Option<Vec<GpuAddr>>;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Per-function state handed to the autoscaler every second.
+#[derive(Debug, Clone)]
+pub struct FunctionScaleView {
+    /// The function.
+    pub func: FunctionId,
+    /// Its role.
+    pub kind: FunctionKind,
+    /// Closed per-second request counts, oldest first (up to the window cap).
+    pub rps_window: Vec<u64>,
+    /// Instances able to serve now.
+    pub ready_instances: u32,
+    /// Instances still cold-starting.
+    pub starting_instances: u32,
+    /// Requests waiting at the gateway (no instance yet) plus instance queues.
+    pub backlog: usize,
+    /// One instance's serving capacity at its request quota, in RPS.
+    pub capacity_rps: f64,
+    /// Idle time of the longest-idle ready instance.
+    pub max_idle: SimDuration,
+}
+
+/// An autoscaler decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Launch `count` new instances of the function.
+    ScaleOut {
+        /// Target function.
+        func: FunctionId,
+        /// Instances to add.
+        count: u32,
+    },
+    /// Drain and terminate `count` instances of the function.
+    ScaleIn {
+        /// Target function.
+        func: FunctionId,
+        /// Instances to remove.
+        count: u32,
+    },
+}
+
+/// Decides horizontal scaling each second (the paper's global scaler and the
+/// baselines' reactive/keep-alive policies).
+pub trait Autoscaler {
+    /// Inspects per-function state and returns scaling actions.
+    fn on_tick(&mut self, now: SimTime, functions: &[FunctionScaleView]) -> Vec<ScaleAction>;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Builds one [`SharePolicy`] per GPU.
+///
+/// The cluster instantiates a fresh policy for every GPU so per-GPU state
+/// (token managers, partition tables) never leaks across devices.
+pub trait PolicyFactory {
+    /// Creates the policy for a newly initialised GPU.
+    fn make(&self) -> Box<dyn SharePolicy>;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+impl<F> PolicyFactory for F
+where
+    F: Fn() -> Box<dyn SharePolicy>,
+{
+    fn make(&self) -> Box<dyn SharePolicy> {
+        self()
+    }
+
+    fn name(&self) -> &str {
+        "closure-policy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(requests: &[f64], mem_gb: u64) -> GpuView {
+        GpuView {
+            addr: GpuAddr::default(),
+            mem_capacity: 40 * dilu_gpu::GB,
+            mem_reserved: mem_gb * dilu_gpu::GB,
+            residents: requests
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| ResidentInfo {
+                    func: FunctionId(i as u32),
+                    class: TaskClass::SloSensitive,
+                    request: SmRate::from_percent(r),
+                    limit: SmRate::from_percent(r * 2.0),
+                    mem_bytes: dilu_gpu::GB,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn gpu_view_sums_quotas() {
+        let g = view(&[30.0, 20.0], 8);
+        assert!((g.sum_requests().as_percent() - 50.0).abs() < 1e-9);
+        assert!((g.sum_limits().as_percent() - 100.0).abs() < 1e-9);
+        assert_eq!(g.mem_free(), 32 * dilu_gpu::GB);
+        assert!(g.occupied());
+        assert!(g.hosts_function(FunctionId(0)));
+        assert!(!g.hosts_function(FunctionId(9)));
+    }
+
+    #[test]
+    fn cluster_view_counts_occupied() {
+        let cv = ClusterView { gpus: vec![view(&[10.0], 1), view(&[], 0)] };
+        assert_eq!(cv.occupied_count(), 1);
+    }
+
+    #[test]
+    fn closures_are_policy_factories() {
+        let f = || -> Box<dyn SharePolicy> { Box::new(dilu_gpu::policies::FairSharePolicy) };
+        let p = f.make();
+        assert_eq!(p.name(), "fair-share");
+    }
+}

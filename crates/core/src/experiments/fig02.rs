@@ -1,0 +1,183 @@
+//! Fig. 2: the motivating observations.
+//!
+//! (a)/(b) static allocation strands GPU resources — temporal (idle quota
+//! under low load, keep-alive waste) and spatial (DDP sync and pipeline
+//! bubbles); (c)/(d) the preliminary co-scaling verification: 3 collocated
+//! GPUs vs 4 exclusive GPUs across an RPS sweep.
+
+use dilu_cluster::FunctionId;
+use dilu_models::ModelId;
+use dilu_rckm::RckmConfig;
+use dilu_sim::{SimDuration, SimTime};
+use dilu_workload::{ArrivalProcess, PoissonProcess, RateTrace, TraceKind};
+use serde::{Deserialize, Serialize};
+
+use super::collocation::{gpu, run_case, GpuSystem, Member};
+use crate::funcs;
+use crate::table::Table;
+
+/// Observation rows of panels (a)/(b).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Observation {
+    /// What was observed.
+    pub name: String,
+    /// Allocated share (quota / keep-alive time).
+    pub allocated: f64,
+    /// Actually used share.
+    pub used: f64,
+}
+
+/// One point of the co-scaling sweep (panels (c)/(d)).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load.
+    pub rps: f64,
+    /// Collocated p95 / exclusive p95.
+    pub p95_ratio: f64,
+    /// Collocated inference goodput / exclusive goodput.
+    pub goodput_ratio: f64,
+    /// Collocated training throughput / exclusive.
+    pub train_ratio: f64,
+}
+
+/// The full Fig. 2 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig02 {
+    /// Panels (a)/(b).
+    pub observations: Vec<Observation>,
+    /// Panels (c)/(d): 3-GPU collocation vs 4-GPU exclusive.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// Observation-1: a static 30% quota serving RoBERTa at low load.
+fn static_quota_waste() -> Observation {
+    let profile = ModelId::RobertaLarge.profile();
+    let spec = funcs::inference_function_with(
+        1,
+        ModelId::RobertaLarge,
+        4,
+        dilu_gpu::SmRate::from_percent(30.0),
+        dilu_gpu::SmRate::from_percent(30.0),
+    );
+    let _ = profile;
+    let arrivals = PoissonProcess::new(4.0, 61).generate(SimTime::from_secs(60));
+    let report = run_case(
+        2,
+        vec![Member::solo(spec, arrivals, gpu(0))],
+        GpuSystem::MpsL,
+        60,
+    );
+    // Used SM on the occupied GPU, against the static 30% allocation.
+    let used = (1.0 - report.fragmentation.mean_sm_fragmentation()).max(0.0);
+    Observation { name: "INFless static 30% SM, RoBERTa @4rps".into(), allocated: 0.30, used }
+}
+
+/// Observation-2: GPU idling of synchronised training.
+fn training_idle(model: ModelId, workers: u32) -> Observation {
+    let job = funcs::training_function(1, model, workers, u64::MAX);
+    let gpus: Vec<_> = (0..workers).map(gpu).collect();
+    let report =
+        run_case(workers.max(2), vec![Member::workers(job, &gpus)], GpuSystem::Exclusive, 40);
+    let used = (1.0 - report.fragmentation.mean_sm_fragmentation()).max(0.0);
+    Observation {
+        name: format!("{model} x{workers} training (exclusive)"),
+        allocated: 1.0,
+        used,
+    }
+}
+
+/// Observation-3: keep-alive waste under a sporadic trace — the fraction of
+/// alive seconds with no arrivals.
+fn keep_alive_waste() -> Observation {
+    let trace =
+        RateTrace::synthesize(TraceKind::Sporadic, 4.0, 1.0, SimDuration::from_secs(300), 67);
+    let active_secs = trace.rps().iter().filter(|&&r| r > 0.0).count() as f64;
+    let alive = trace.rps().len() as f64; // a keep-alive instance stays up throughout
+    Observation {
+        name: "keep-alive instance on sporadic trace".into(),
+        allocated: 1.0,
+        used: active_secs / alive,
+    }
+}
+
+/// Panels (c)/(d): the preliminary co-scaling verification.
+fn coscaling_sweep() -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for rps in [32.0, 64.0, 128.0, 256.0, 512.0] {
+        // Exclusive: 3 training GPUs + 1 inference GPU.
+        let train = funcs::training_function(10, ModelId::BertBase, 3, u64::MAX);
+        let inf = funcs::inference_function(1, ModelId::RobertaLarge);
+        let arrivals = PoissonProcess::new(rps, 71).generate(SimTime::from_secs(40));
+        let excl = run_case(
+            4,
+            vec![
+                Member::solo(inf.clone(), arrivals.clone(), gpu(3)),
+                Member::workers(train.clone(), &[gpu(0), gpu(1), gpu(2)]),
+            ],
+            GpuSystem::Exclusive,
+            45,
+        );
+        // Collocation: 3 GPUs, each hosting one trainer and one inference
+        // replica; requests load-balanced across the three replicas.
+        let mut coll_members = vec![Member {
+            spec: inf.clone(),
+            arrivals,
+            pins: vec![vec![gpu(0)], vec![gpu(1)], vec![gpu(2)]],
+        }];
+        coll_members.push(Member::workers(train, &[gpu(0), gpu(1), gpu(2)]));
+        let coll =
+            run_case(3, coll_members, GpuSystem::Dilu(RckmConfig::default()), 45);
+
+        let e_inf = &excl.inference[&FunctionId(1)];
+        let c_inf = &coll.inference[&FunctionId(1)];
+        let e_train = excl.training.values().next().expect("train").throughput(excl.horizon);
+        let c_train = coll.training.values().next().expect("train").throughput(coll.horizon);
+        let e_p95 = e_inf.p95_display().as_millis_f64().max(1e-9);
+        let e_good = e_inf.completed.max(1) as f64;
+        out.push(SweepPoint {
+            rps,
+            p95_ratio: c_inf.p95_display().as_millis_f64() / e_p95,
+            goodput_ratio: c_inf.completed as f64 / e_good,
+            train_ratio: if e_train > 0.0 { c_train / e_train } else { 0.0 },
+        });
+    }
+    out
+}
+
+/// Runs all panels of Fig. 2.
+pub fn run() -> Fig02 {
+    let observations = vec![
+        static_quota_waste(),
+        training_idle(ModelId::Gpt2Large, 4),
+        training_idle(ModelId::Llama2_7b, 4),
+        keep_alive_waste(),
+    ];
+    Fig02 { observations, sweep: coscaling_sweep() }
+}
+
+impl std::fmt::Display for Fig02 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut a = Table::new(["observation", "allocated", "used", "fragment"]);
+        for o in &self.observations {
+            a.row([
+                o.name.clone(),
+                format!("{:.0}%", o.allocated * 100.0),
+                format!("{:.0}%", o.used * 100.0),
+                format!("{:.0}%", (o.allocated - o.used).max(0.0) / o.allocated * 100.0),
+            ]);
+        }
+        let mut b = Table::new(["RPS", "p95 coll/excl", "goodput coll/excl", "train coll/excl"]);
+        for p in &self.sweep {
+            b.row([
+                format!("{:.0}", p.rps),
+                format!("{:.2}", p.p95_ratio),
+                format!("{:.2}", p.goodput_ratio),
+                format!("{:.2}", p.train_ratio),
+            ]);
+        }
+        write!(
+            f,
+            "(a)(b) fragmentation observations\n{a}\n(c)(d) co-scaling on 3 GPUs vs exclusive on 4\n{b}"
+        )
+    }
+}

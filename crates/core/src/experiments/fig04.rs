@@ -1,0 +1,133 @@
+//! Fig. 4: throughput-efficacy surfaces over ⟨IBS, SMR⟩ with the HGS
+//! search path and starred optimum.
+
+use dilu_gpu::SmRate;
+use dilu_models::ModelId;
+use dilu_profiler::{hybrid_growth_search, measure_inference_exec};
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+
+/// One grid point of a model's surface.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SurfacePoint {
+    /// Batch size.
+    pub batch: u32,
+    /// SM rate percentage.
+    pub smr_pct: f64,
+    /// Measured throughput efficacy.
+    pub te: f64,
+    /// Whether the point meets the SLO/2 budget (blue dot vs red cross).
+    pub meets_slo: bool,
+}
+
+/// One model's panel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Panel {
+    /// Model name.
+    pub model: String,
+    /// Full measured grid.
+    pub surface: Vec<SurfacePoint>,
+    /// The starred optimum ⟨IBS, SMR⟩.
+    pub star: (u32, f64),
+    /// TE at the star.
+    pub star_te: f64,
+    /// HGS trials consumed.
+    pub trials: u32,
+}
+
+/// All four panels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig04 {
+    /// Panels (a)–(d).
+    pub panels: Vec<Panel>,
+}
+
+/// Measures the surfaces and runs HGS for models a–d.
+pub fn run() -> Fig04 {
+    let panels = ModelId::FIG4
+        .iter()
+        .map(|&model| {
+            let profile = model.profile();
+            let budget = profile.slo / 2;
+            let mut surface = Vec::new();
+            for batch in [1u32, 2, 4, 8, 16, 32] {
+                for step in 1..=10u32 {
+                    let smr = SmRate::from_fraction(f64::from(step) / 10.0);
+                    let exec = measure_inference_exec(model, batch, smr);
+                    let te = if exec.is_zero() {
+                        0.0
+                    } else {
+                        f64::from(batch) / exec.as_secs_f64() / smr.as_fraction()
+                    };
+                    surface.push(SurfacePoint {
+                        batch,
+                        smr_pct: smr.as_percent(),
+                        te,
+                        meets_slo: exec <= budget,
+                    });
+                }
+            }
+            let hgs = hybrid_growth_search(model);
+            Panel {
+                model: model.to_string(),
+                surface,
+                star: (hgs.batch, hgs.request.as_percent()),
+                star_te: hgs.best_te,
+                trials: hgs.trials,
+            }
+        })
+        .collect();
+    Fig04 { panels }
+}
+
+impl Fig04 {
+    /// Best TE on the measured grid among SLO-feasible points.
+    pub fn grid_optimum(&self, panel: usize) -> f64 {
+        self.panels[panel]
+            .surface
+            .iter()
+            .filter(|p| p.meets_slo)
+            .map(|p| p.te)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for Fig04 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, p) in self.panels.iter().enumerate() {
+            writeln!(
+                f,
+                "{}: star <IBS={}, SMR={:.0}%> TE {:.0} (grid optimum {:.0}) in {} trials",
+                p.model,
+                p.star.0,
+                p.star.1,
+                p.star_te,
+                self.grid_optimum(i),
+                p.trials
+            )?;
+            let mut t = Table::new(["batch\\smr", "20%", "40%", "60%", "80%", "100%"]);
+            for batch in [1u32, 2, 4, 8, 16, 32] {
+                let mut row = vec![batch.to_string()];
+                for pct in [20.0, 40.0, 60.0, 80.0, 100.0] {
+                    let cell = p
+                        .surface
+                        .iter()
+                        .find(|s| s.batch == batch && (s.smr_pct - pct).abs() < 1e-9)
+                        .map(|s| {
+                            if s.meets_slo {
+                                format!("{:.0}", s.te)
+                            } else {
+                                format!("({:.0})", s.te)
+                            }
+                        })
+                        .unwrap_or_default();
+                    row.push(cell);
+                }
+                t.row(row);
+            }
+            writeln!(f, "{t}")?;
+        }
+        writeln!(f, "(parenthesised cells violate the SLO/2 budget)")
+    }
+}

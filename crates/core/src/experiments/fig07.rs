@@ -1,0 +1,144 @@
+//! Fig. 7: training–inference collocation performance.
+//!
+//! Four pairs — ResNet152\@35 rps, RoBERTa-large\@20, GPT2-large\@10 and
+//! LLaMA2-7B\@3 (pipelined over four fragmented GPUs) — each collocated
+//! with a training function, under Exclusive / Dilu / TGS / MPS-l / MPS-r.
+
+use dilu_models::ModelId;
+use dilu_sim::SimTime;
+use dilu_workload::{ArrivalProcess, PoissonProcess};
+use serde::{Deserialize, Serialize};
+
+use super::collocation::{gpu, run_case, GpuSystem, Member};
+use crate::funcs;
+use crate::table::Table;
+
+const HORIZON_SECS: u64 = 60;
+
+/// One (case, system) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Inference model name.
+    pub case: String,
+    /// System label.
+    pub system: String,
+    /// Median inference latency in ms (per token for LLMs).
+    pub p50_ms: f64,
+    /// p95 inference latency in ms (per token for LLMs).
+    pub p95_ms: f64,
+    /// Inference SLO violation rate.
+    pub svr: f64,
+    /// Collocated training throughput in samples/s.
+    pub train_throughput: f64,
+    /// Training throughput normalised to the Exclusive run of the case.
+    pub train_norm: f64,
+    /// GPUs the deployment occupies.
+    pub gpus_used: u32,
+}
+
+/// All Fig. 7 measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig07 {
+    /// One row per (case, system).
+    pub rows: Vec<Row>,
+}
+
+struct Case {
+    infer: ModelId,
+    rps: f64,
+    train: ModelId,
+    /// Pipeline stages for the inference function (collocated systems).
+    stages: u32,
+    train_workers: u32,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case { infer: ModelId::ResNet152, rps: 35.0, train: ModelId::BertBase, stages: 1, train_workers: 1 },
+        Case { infer: ModelId::RobertaLarge, rps: 20.0, train: ModelId::RobertaLarge, stages: 1, train_workers: 1 },
+        Case { infer: ModelId::Gpt2Large, rps: 10.0, train: ModelId::Gpt2Large, stages: 1, train_workers: 1 },
+        Case { infer: ModelId::Llama2_7b, rps: 3.0, train: ModelId::Llama2_7b, stages: 4, train_workers: 4 },
+    ]
+}
+
+fn members_for(case: &Case, system: GpuSystem, arrivals: Vec<SimTime>) -> (u32, Vec<Member>) {
+    let train = funcs::training_function(2, case.train, case.train_workers, u64::MAX);
+    if matches!(system, GpuSystem::Exclusive) {
+        // Inference on its own GPU(s); training workers on their own GPUs.
+        let inf = funcs::inference_function(1, case.infer);
+        let train_gpus: Vec<_> = (0..case.train_workers).map(gpu).collect();
+        let inf_gpu = gpu(case.train_workers);
+        (
+            case.train_workers + 1,
+            vec![Member::solo(inf, arrivals, inf_gpu), Member::workers(train, &train_gpus)],
+        )
+    } else if case.stages > 1 {
+        // LLaMA2: inference stages share the four training-worker GPUs.
+        let gpus: Vec<_> = (0..case.stages).map(gpu).collect();
+        let inf = funcs::llm_inference_function(1, case.infer, case.stages);
+        (
+            case.stages,
+            vec![Member::pipelined(inf, arrivals, gpus.clone()), Member::workers(train, &gpus)],
+        )
+    } else {
+        let inf = funcs::inference_function(1, case.infer);
+        (1, vec![Member::solo(inf, arrivals, gpu(0)), Member::workers(train, &[gpu(0)])])
+    }
+}
+
+/// Runs the full Fig. 7 study.
+pub fn run() -> Fig07 {
+    let mut rows = Vec::new();
+    for case in cases() {
+        let mut exclusive_throughput = 0.0;
+        for system in GpuSystem::fig7_set() {
+            let arrivals =
+                PoissonProcess::new(case.rps, 7).generate(SimTime::from_secs(HORIZON_SECS));
+            let (gpus, members) = members_for(&case, system, arrivals);
+            let report = run_case(gpus.max(2), members, system, HORIZON_SECS + 5);
+            let inf = report.inference.values().next().expect("inference deployed");
+            let train = report.training.values().next().expect("training deployed");
+            let throughput = train.throughput(report.horizon);
+            if matches!(system, GpuSystem::Exclusive) {
+                exclusive_throughput = throughput;
+            }
+            rows.push(Row {
+                case: case.infer.to_string(),
+                system: system.label().to_string(),
+                p50_ms: inf.p50_display().as_millis_f64(),
+                p95_ms: inf.p95_display().as_millis_f64(),
+                svr: inf.svr(),
+                train_throughput: throughput,
+                train_norm: if exclusive_throughput > 0.0 {
+                    throughput / exclusive_throughput
+                } else {
+                    0.0
+                },
+                gpus_used: report.peak_gpus,
+            });
+        }
+    }
+    Fig07 { rows }
+}
+
+impl std::fmt::Display for Fig07 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new([
+            "case", "system", "p50(ms)", "p95(ms)", "SVR", "train(samples/s)", "train/Excl",
+            "GPUs",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.case.clone(),
+                r.system.clone(),
+                format!("{:.1}", r.p50_ms),
+                format!("{:.1}", r.p95_ms),
+                format!("{:.1}%", r.svr * 100.0),
+                format!("{:.0}", r.train_throughput),
+                format!("{:.2}", r.train_norm),
+                r.gpus_used.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}

@@ -1,0 +1,168 @@
+//! Fig. 8: inference–inference collocation under (a) bursty traces and
+//! (b) Poisson arrivals.
+
+use dilu_cluster::FunctionId;
+use dilu_models::ModelId;
+use dilu_rckm::RckmConfig;
+use dilu_sim::{SimDuration, SimTime};
+use dilu_workload::{ArrivalProcess, PoissonProcess, RateTrace, TraceKind, TraceProcess};
+use serde::{Deserialize, Serialize};
+
+use super::collocation::{gpu, run_case, GpuSystem, Member};
+use crate::funcs;
+use crate::table::Table;
+
+const HORIZON_SECS: u64 = 60;
+
+/// One (case, system) measurement of the primary model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Which panel the row belongs to ("bursty" or "poisson").
+    pub panel: String,
+    /// Primary model name.
+    pub case: String,
+    /// System label.
+    pub system: String,
+    /// Median latency in ms (per token for LLMs).
+    pub p50_ms: f64,
+    /// p95 latency in ms (per token for LLMs).
+    pub p95_ms: f64,
+    /// SLO violation rate of the primary model.
+    pub svr: f64,
+}
+
+/// All Fig. 8 measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig08 {
+    /// Rows for both panels.
+    pub rows: Vec<Row>,
+}
+
+fn systems(include_tgs: bool) -> Vec<GpuSystem> {
+    let mut v = vec![
+        GpuSystem::Exclusive,
+        GpuSystem::Dilu(RckmConfig::default()),
+        GpuSystem::MpsL,
+        GpuSystem::MpsR,
+        GpuSystem::FastGs,
+    ];
+    if include_tgs {
+        v.push(GpuSystem::Tgs);
+    }
+    v
+}
+
+fn run_pair(
+    panel: &str,
+    primary: ModelId,
+    stages: u32,
+    arrivals: Vec<SimTime>,
+    companion_rps: f64,
+    include_tgs: bool,
+    rows: &mut Vec<Row>,
+) {
+    for system in systems(include_tgs) {
+        let companion_arrivals =
+            PoissonProcess::new(companion_rps, 11).generate(SimTime::from_secs(HORIZON_SECS));
+        // The companion takes the lower id: under TGS it becomes the
+        // productive job and the measured primary is the opportunistic
+        // victim — the configuration behind the paper's 400x observation.
+        let companion = funcs::inference_function(0, ModelId::BertBase);
+        let (gpus, members) = if matches!(system, GpuSystem::Exclusive) {
+            let inf = funcs::inference_function(1, primary);
+            (
+                2,
+                vec![
+                    Member::solo(inf, arrivals.clone(), gpu(0)),
+                    Member::solo(companion, companion_arrivals, gpu(1)),
+                ],
+            )
+        } else if stages > 1 {
+            let inf = funcs::llm_inference_function(1, primary, stages);
+            let pin: Vec<_> = (0..stages).map(gpu).collect();
+            (
+                stages,
+                vec![
+                    Member::pipelined(inf, arrivals.clone(), pin),
+                    Member::solo(companion, companion_arrivals, gpu(0)),
+                ],
+            )
+        } else {
+            let inf = funcs::inference_function(1, primary);
+            // The companion deploys first so it takes the lower engine id:
+            // TGS treats it as the productive job and the measured primary
+            // becomes the opportunistic victim.
+            (
+                1,
+                vec![
+                    Member::solo(companion, companion_arrivals, gpu(0)),
+                    Member::solo(inf, arrivals.clone(), gpu(0)),
+                ],
+            )
+        };
+        let report = run_case(gpus.max(2), members, system, HORIZON_SECS + 5);
+        let inf = &report.inference[&FunctionId(1)];
+        rows.push(Row {
+            panel: panel.to_string(),
+            case: primary.to_string(),
+            system: system.label().to_string(),
+            p50_ms: inf.p50_display().as_millis_f64(),
+            p95_ms: inf.p95_display().as_millis_f64(),
+            svr: inf.svr(),
+        });
+    }
+}
+
+/// Runs both panels of Fig. 8.
+pub fn run() -> Fig08 {
+    let mut rows = Vec::new();
+    // Panel (a): bursty traces with initial burst scale factors 4, 6, 6, 4.
+    let bursty: [(ModelId, f64, f64, u32); 4] = [
+        (ModelId::ResNet152, 20.0, 4.0, 1),
+        (ModelId::RobertaLarge, 10.0, 6.0, 1),
+        (ModelId::Gpt2Large, 5.0, 6.0, 1),
+        (ModelId::Llama2_7b, 1.0, 4.0, 4),
+    ];
+    for (model, base, scale, stages) in bursty {
+        let trace = RateTrace::synthesize(
+            TraceKind::Bursty,
+            base,
+            scale,
+            SimDuration::from_secs(HORIZON_SECS),
+            23,
+        );
+        let arrivals =
+            TraceProcess::new(trace, 23).generate(SimTime::from_secs(HORIZON_SECS));
+        run_pair("bursty", model, stages, arrivals, 10.0, false, &mut rows);
+    }
+    // Panel (b): Poisson at mean RPS 20, 30, 20, 3 — including TGS, whose
+    // opportunistic victim shows the paper's 400× latency blow-up.
+    let poisson: [(ModelId, f64, u32); 4] = [
+        (ModelId::RobertaLarge, 20.0, 1),
+        (ModelId::BertBase, 30.0, 1),
+        (ModelId::Vgg19, 20.0, 1),
+        (ModelId::Llama2_7b, 3.0, 4),
+    ];
+    for (model, rps, stages) in poisson {
+        let arrivals = PoissonProcess::new(rps, 29).generate(SimTime::from_secs(HORIZON_SECS));
+        run_pair("poisson", model, stages, arrivals, 15.0, true, &mut rows);
+    }
+    Fig08 { rows }
+}
+
+impl std::fmt::Display for Fig08 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["panel", "case", "system", "p50(ms)", "p95(ms)", "SVR"]);
+        for r in &self.rows {
+            t.row([
+                r.panel.clone(),
+                r.case.clone(),
+                r.system.clone(),
+                format!("{:.1}", r.p50_ms),
+                format!("{:.1}", r.p95_ms),
+                format!("{:.1}%", r.svr * 100.0),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 9: training–training collocation — aggregate throughput of two
+//! training jobs sharing one GPU, normalised to their Exclusive runs.
+
+use dilu_models::ModelId;
+use dilu_rckm::RckmConfig;
+use serde::{Deserialize, Serialize};
+
+use super::collocation::{gpu, run_case, GpuSystem, Member};
+use crate::funcs;
+use crate::table::Table;
+
+const HORIZON_SECS: u64 = 45;
+
+/// One (pair, system) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// "modelA + modelB".
+    pub case: String,
+    /// System label.
+    pub system: String,
+    /// First job's throughput / its exclusive throughput.
+    pub norm_a: f64,
+    /// Second job's throughput / its exclusive throughput.
+    pub norm_b: f64,
+    /// Aggregate per-GPU normalised throughput (Exclusive = 1.0/GPU).
+    pub aggregate: f64,
+}
+
+/// All Fig. 9 measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig09 {
+    /// One row per (pair, system).
+    pub rows: Vec<Row>,
+}
+
+fn pairs() -> [(ModelId, ModelId); 4] {
+    [
+        (ModelId::BertBase, ModelId::RobertaLarge),
+        (ModelId::ResNet152, ModelId::Vgg19),
+        (ModelId::Gpt2Large, ModelId::BertBase),
+        (ModelId::RobertaLarge, ModelId::Vgg19),
+    ]
+}
+
+fn throughputs(a: ModelId, b: ModelId, system: GpuSystem) -> (f64, f64) {
+    let ja = funcs::training_function(1, a, 1, u64::MAX);
+    let jb = funcs::training_function(2, b, 1, u64::MAX);
+    let members = if matches!(system, GpuSystem::Exclusive) {
+        vec![Member::workers(ja, &[gpu(0)]), Member::workers(jb, &[gpu(1)])]
+    } else {
+        vec![Member::workers(ja, &[gpu(0)]), Member::workers(jb, &[gpu(0)])]
+    };
+    let report = run_case(2, members, system, HORIZON_SECS);
+    let mut it = report.training.values();
+    let ta = it.next().expect("job a").throughput(report.horizon);
+    let tb = it.next().expect("job b").throughput(report.horizon);
+    (ta, tb)
+}
+
+/// Runs the full Fig. 9 study.
+pub fn run() -> Fig09 {
+    let systems = [
+        GpuSystem::Dilu(RckmConfig::default()),
+        GpuSystem::MpsL,
+        GpuSystem::MpsR,
+        GpuSystem::Tgs,
+    ];
+    let mut rows = Vec::new();
+    for (a, b) in pairs() {
+        let (ex_a, ex_b) = throughputs(a, b, GpuSystem::Exclusive);
+        for system in systems {
+            let (ta, tb) = throughputs(a, b, system);
+            let norm_a = if ex_a > 0.0 { ta / ex_a } else { 0.0 };
+            let norm_b = if ex_b > 0.0 { tb / ex_b } else { 0.0 };
+            rows.push(Row {
+                case: format!("{a} + {b}"),
+                system: system.label().to_string(),
+                norm_a,
+                norm_b,
+                // Exclusive needs 2 GPUs for aggregate 2.0; collocation
+                // packs both jobs onto one, so per-GPU aggregate is the sum.
+                aggregate: norm_a + norm_b,
+            });
+        }
+    }
+    Fig09 { rows }
+}
+
+impl Fig09 {
+    /// Mean aggregate (per-GPU normalised) throughput of one system.
+    pub fn mean_aggregate(&self, system: &str) -> f64 {
+        let v: Vec<f64> =
+            self.rows.iter().filter(|r| r.system == system).map(|r| r.aggregate).collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Fig09 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["pair", "system", "normA", "normB", "aggregate/GPU"]);
+        for r in &self.rows {
+            t.row([
+                r.case.clone(),
+                r.system.clone(),
+                format!("{:.2}", r.norm_a),
+                format!("{:.2}", r.norm_b),
+                format!("{:.2}", r.aggregate),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "mean aggregate: Dilu {:.2}  MPS-l {:.2}  MPS-r {:.2}  TGS {:.2}  (Exclusive = 1.00/GPU)",
+            self.mean_aggregate("Dilu"),
+            self.mean_aggregate("MPS-l"),
+            self.mean_aggregate("MPS-r"),
+            self.mean_aggregate("TGS"),
+        )
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 10: p95 inference latency under Gamma arrivals of growing CV,
+//! collocated with a training instance.
+
+use dilu_cluster::FunctionId;
+use dilu_models::ModelId;
+use dilu_rckm::RckmConfig;
+use dilu_sim::SimTime;
+use dilu_workload::{ArrivalProcess, GammaProcess};
+use serde::{Deserialize, Serialize};
+
+use super::collocation::{gpu, run_case, GpuSystem, Member};
+use crate::funcs;
+use crate::table::Table;
+
+const HORIZON_SECS: u64 = 60;
+
+/// The CV grid of the paper's sweep.
+pub const CVS: [f64; 7] = [0.001, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+
+/// One (case, system, CV) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Inference model name.
+    pub case: String,
+    /// System label.
+    pub system: String,
+    /// Coefficient of variation of the inter-arrival Gamma.
+    pub cv: f64,
+    /// p95 latency in ms.
+    pub p95_ms: f64,
+}
+
+/// All Fig. 10 measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// One row per (case, system, CV).
+    pub rows: Vec<Row>,
+}
+
+/// Runs both panels: RoBERTa-large\@64 rps (+ BERT-base training) and
+/// GPT2-large\@48 rps (+ RoBERTa-large training).
+pub fn run() -> Fig10 {
+    let cases = [
+        (ModelId::RobertaLarge, 64.0, ModelId::BertBase),
+        (ModelId::Gpt2Large, 48.0, ModelId::RobertaLarge),
+    ];
+    let systems = [
+        GpuSystem::Exclusive,
+        GpuSystem::Dilu(RckmConfig::default()),
+        GpuSystem::MpsR,
+        GpuSystem::MpsL,
+    ];
+    let mut rows = Vec::new();
+    for (model, rps, train_model) in cases {
+        for &cv in &CVS {
+            let arrivals =
+                GammaProcess::new(rps, cv, 31).generate(SimTime::from_secs(HORIZON_SECS));
+            for system in systems {
+                let inf = funcs::inference_function(1, model);
+                let train = funcs::training_function(2, train_model, 1, u64::MAX);
+                let members = if matches!(system, GpuSystem::Exclusive) {
+                    vec![
+                        Member::solo(inf, arrivals.clone(), gpu(0)),
+                        Member::workers(train, &[gpu(1)]),
+                    ]
+                } else {
+                    vec![
+                        Member::solo(inf, arrivals.clone(), gpu(0)),
+                        Member::workers(train, &[gpu(0)]),
+                    ]
+                };
+                let report = run_case(2, members, system, HORIZON_SECS + 5);
+                let f = &report.inference[&FunctionId(1)];
+                rows.push(Row {
+                    case: model.to_string(),
+                    system: system.label().to_string(),
+                    cv,
+                    p95_ms: f.p95_display().as_millis_f64(),
+                });
+            }
+        }
+    }
+    Fig10 { rows }
+}
+
+impl Fig10 {
+    /// The p95 of (case, system) at the given CV, if measured.
+    pub fn p95(&self, case: &str, system: &str, cv: f64) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.case == case && r.system == system && (r.cv - cv).abs() < 1e-9)
+            .map(|r| r.p95_ms)
+    }
+}
+
+impl std::fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["case", "system", "CV", "p95(ms)"]);
+        for r in &self.rows {
+            t.row([
+                r.case.clone(),
+                r.system.clone(),
+                format!("{:.3}", r.cv),
+                format!("{:.1}", r.p95_ms),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}

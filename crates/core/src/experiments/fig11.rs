@@ -1,0 +1,111 @@
+//! Fig. 11: vertical-scaling overhead — RCKM management must cost <1%
+//! throughput for solo training and ~0% latency for managed inference.
+
+use dilu_models::ModelId;
+use dilu_rckm::RckmConfig;
+use dilu_sim::SimTime;
+use dilu_workload::{ArrivalProcess, PoissonProcess};
+use serde::{Deserialize, Serialize};
+
+use super::collocation::{gpu, run_case, GpuSystem, Member};
+use crate::funcs;
+use crate::table::Table;
+
+const HORIZON_SECS: u64 = 30;
+
+/// Fig. 11(a): one row per training model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainRow {
+    /// Model name.
+    pub model: String,
+    /// Throughput with RCKM / throughput without.
+    pub normalized_throughput: f64,
+}
+
+/// Fig. 11(b): one row per managed-instance count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferRow {
+    /// Collocated instances on the GPU.
+    pub instances: u32,
+    /// Mean latency with RCKM / mean latency without.
+    pub normalized_latency: f64,
+}
+
+/// Both panels of Fig. 11.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Panel (a).
+    pub training: Vec<TrainRow>,
+    /// Panel (b).
+    pub inference: Vec<InferRow>,
+}
+
+fn solo_training_throughput(model: ModelId, system: GpuSystem) -> f64 {
+    let job = funcs::training_function(1, model, 1, u64::MAX);
+    let report = run_case(2, vec![Member::workers(job, &[gpu(0)])], system, HORIZON_SECS);
+    report.training.values().next().expect("job deployed").throughput(report.horizon)
+}
+
+fn inference_mean_latency(n: u32, system: GpuSystem) -> f64 {
+    let mut members = Vec::new();
+    for i in 0..n {
+        let spec = funcs::inference_function(i, ModelId::BertBase);
+        let arrivals =
+            PoissonProcess::new(5.0, 41 + u64::from(i)).generate(SimTime::from_secs(HORIZON_SECS));
+        members.push(Member::solo(spec, arrivals, gpu(0)));
+    }
+    let report = run_case(2, members, system, HORIZON_SECS + 2);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for f in report.inference.values() {
+        total += f.latency.mean().as_millis_f64() * f.latency.len() as f64;
+        count += f.latency.len();
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Runs both panels.
+pub fn run() -> Fig11 {
+    let dilu = GpuSystem::Dilu(RckmConfig::default());
+    let training = [ModelId::BertBase, ModelId::RobertaLarge, ModelId::Gpt2Large, ModelId::Llama2_7b]
+        .into_iter()
+        .map(|m| {
+            let with = solo_training_throughput(m, dilu);
+            let without = solo_training_throughput(m, GpuSystem::Exclusive);
+            TrainRow {
+                model: m.to_string(),
+                normalized_throughput: if without > 0.0 { with / without } else { 0.0 },
+            }
+        })
+        .collect();
+    let inference = [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|n| {
+            let with = inference_mean_latency(n, dilu);
+            let without = inference_mean_latency(n, GpuSystem::Exclusive);
+            InferRow {
+                instances: n,
+                normalized_latency: if without > 0.0 { with / without } else { 0.0 },
+            }
+        })
+        .collect();
+    Fig11 { training, inference }
+}
+
+impl std::fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut a = Table::new(["training model", "throughput w/ Dilu ÷ w/o"]);
+        for r in &self.training {
+            a.row([r.model.clone(), format!("{:.3}", r.normalized_throughput)]);
+        }
+        let mut b = Table::new(["# collocated instances", "latency w/ Dilu ÷ w/o"]);
+        for r in &self.inference {
+            b.row([r.instances.to_string(), format!("{:.3}", r.normalized_latency)]);
+        }
+        write!(f, "(a) training overhead\n{a}\n(b) inference overhead\n{b}")
+    }
+}

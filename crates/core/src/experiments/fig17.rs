@@ -1,0 +1,73 @@
+//! Fig. 17: GPU provisioning efficiency at 1000-node scale.
+
+use serde::{Deserialize, Serialize};
+
+use crate::macrosim::{run_macro, MacroConfig, MacroResult, MacroSystem};
+use crate::table::Table;
+
+/// The three-system large-scale comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig17 {
+    /// One result per system.
+    pub results: Vec<MacroResult>,
+}
+
+/// Runs the 1000-node, 3200-instance study for all three systems.
+pub fn run() -> Fig17 {
+    run_with(&MacroConfig::default())
+}
+
+/// Runs the study with an explicit configuration (tests use smaller ones).
+pub fn run_with(config: &MacroConfig) -> Fig17 {
+    Fig17 {
+        results: MacroSystem::ALL.iter().map(|&s| run_macro(s, config, 1.5)).collect(),
+    }
+}
+
+impl Fig17 {
+    /// Result of one system by label.
+    pub fn result(&self, label: &str) -> Option<&MacroResult> {
+        self.results.iter().find(|r| r.system == label)
+    }
+
+    /// Dilu's GPU-cost reduction versus `label` (paper: 30% vs Exclusive,
+    /// 23% vs INFless+-l).
+    pub fn cost_reduction_vs(&self, label: &str) -> f64 {
+        let (Some(dilu), Some(other)) = (self.result("Dilu"), self.result(label)) else {
+            return 0.0;
+        };
+        1.0 - dilu.gpu_seconds / other.gpu_seconds.max(1e-9)
+    }
+}
+
+impl std::fmt::Display for Fig17 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new([
+            "system",
+            "mean GPUs",
+            "peak GPUs",
+            "SM frag",
+            "mem frag",
+            "GPU-hours",
+            "unplaced",
+        ]);
+        for r in &self.results {
+            t.row([
+                r.system.clone(),
+                format!("{:.0}", r.mean_occupied),
+                r.peak_occupied.to_string(),
+                format!("{:.1}%", r.sm_fragmentation * 100.0),
+                format!("{:.1}%", r.mem_fragmentation * 100.0),
+                format!("{:.1}", r.gpu_seconds / 3600.0),
+                r.unplaced.to_string(),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "Dilu cost reduction: {:.0}% vs Exclusive, {:.0}% vs INFless+-l",
+            self.cost_reduction_vs("Exclusive") * 100.0,
+            self.cost_reduction_vs("INFless+-l") * 100.0,
+        )
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig. 18: sensitivity to (a) the oversubscription coefficient γ and
+//! (b) the RCKM MaxTokens budget.
+
+use dilu_cluster::FunctionId;
+use dilu_models::ModelId;
+use dilu_rckm::RckmConfig;
+use dilu_sim::SimTime;
+use dilu_workload::{ArrivalProcess, PoissonProcess};
+use serde::{Deserialize, Serialize};
+
+use super::collocation::{gpu, run_case, GpuSystem, Member};
+use crate::funcs;
+use crate::macrosim::{run_macro, MacroConfig, MacroSystem};
+use crate::table::Table;
+
+/// One γ sweep point (panel (a), at 3200-instance scale).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GammaPoint {
+    /// Oversubscription coefficient (Σlimit cap per GPU).
+    pub gamma: f64,
+    /// Mean occupied GPUs.
+    pub mean_gpus: f64,
+    /// Mean SM fragmentation.
+    pub sm_fragmentation: f64,
+}
+
+/// One MaxTokens sweep point (panel (b)).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenPoint {
+    /// MaxTokens scale (1.0 = one whole GPU per cycle).
+    pub max_tokens: f64,
+    /// Collocated inference p95 in ms.
+    pub inference_p95_ms: f64,
+    /// Inference SVR.
+    pub inference_svr: f64,
+    /// Collocated training throughput in samples/s.
+    pub train_throughput: f64,
+}
+
+/// Both sensitivity panels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig18 {
+    /// Panel (a).
+    pub gamma: Vec<GammaPoint>,
+    /// Panel (b).
+    pub tokens: Vec<TokenPoint>,
+}
+
+/// The γ grid of panel (a).
+pub const GAMMAS: [f64; 5] = [1.0, 1.25, 1.5, 2.0, 2.5];
+
+/// The MaxTokens grid of panel (b).
+pub const MAX_TOKENS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Runs both panels at paper scale.
+pub fn run() -> Fig18 {
+    run_with(&MacroConfig::default())
+}
+
+/// Runs with an explicit macro-simulation scale (tests shrink it).
+pub fn run_with(config: &MacroConfig) -> Fig18 {
+    let gamma = GAMMAS
+        .iter()
+        .map(|&g| {
+            let r = run_macro(MacroSystem::Dilu, config, g);
+            GammaPoint {
+                gamma: g,
+                mean_gpus: r.mean_occupied,
+                sm_fragmentation: r.sm_fragmentation,
+            }
+        })
+        .collect();
+    let tokens = MAX_TOKENS
+        .iter()
+        .map(|&mt| {
+            let arrivals = PoissonProcess::new(20.0, 111).generate(SimTime::from_secs(45));
+            let inf = funcs::inference_function(1, ModelId::RobertaLarge);
+            let train = funcs::training_function(2, ModelId::BertBase, 1, u64::MAX);
+            let members = vec![
+                Member::solo(inf, arrivals, gpu(0)),
+                Member::workers(train, &[gpu(0)]),
+            ];
+            let system =
+                GpuSystem::Dilu(RckmConfig { max_tokens: mt, ..RckmConfig::default() });
+            let report = run_case(2, members, system, 50);
+            let f = &report.inference[&FunctionId(1)];
+            let t = report.training.values().next().expect("training deployed");
+            TokenPoint {
+                max_tokens: mt,
+                inference_p95_ms: f.p95_display().as_millis_f64(),
+                inference_svr: f.svr(),
+                train_throughput: t.throughput(report.horizon),
+            }
+        })
+        .collect();
+    Fig18 { gamma, tokens }
+}
+
+impl std::fmt::Display for Fig18 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut a = Table::new(["gamma", "mean GPUs", "SM frag"]);
+        for p in &self.gamma {
+            a.row([
+                format!("{:.2}", p.gamma),
+                format!("{:.0}", p.mean_gpus),
+                format!("{:.1}%", p.sm_fragmentation * 100.0),
+            ]);
+        }
+        let mut b = Table::new(["MaxTokens", "inf p95(ms)", "inf SVR", "train samples/s"]);
+        for p in &self.tokens {
+            b.row([
+                format!("{:.2}", p.max_tokens),
+                format!("{:.1}", p.inference_p95_ms),
+                format!("{:.1}%", p.inference_svr * 100.0),
+                format!("{:.0}", p.train_throughput),
+            ]);
+        }
+        write!(f, "(a) oversubscription coefficient\n{a}\n(b) MaxTokens\n{b}")
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation (§2 observations and §5), each exposing `run()` returning a
+//! serialisable result and implementing `Display` for the bench output.
+//!
+//! All experiments are deterministic given their built-in seeds. Durations
+//! are scaled down from the paper's wall-clock hours to simulated minutes —
+//! the *shape* of each result (orderings, ratios, crossovers) is the
+//! reproduction target, recorded in `EXPERIMENTS.md`.
+
+pub mod collocation;
+pub mod fig02;
+pub mod fig04;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig15;
+pub mod fig17;
+pub mod fig18;
+pub mod tab02;
+pub mod tab03;

@@ -1,0 +1,64 @@
+//! Table 2: profiling-iteration comparison for models (a)–(d).
+
+use dilu_models::ModelId;
+use dilu_profiler::{gpulet_profile, hybrid_growth_search, infless_profile, traversal_profile};
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+
+/// Trials per (method, model).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tab02 {
+    /// Model names a–d.
+    pub models: Vec<String>,
+    /// `(method, trials per model)` in paper row order.
+    pub rows: Vec<(String, Vec<u32>)>,
+}
+
+/// Runs all four profilers over models a–d.
+pub fn run() -> Tab02 {
+    let models = ModelId::FIG4;
+    let traversal: Vec<u32> = models.iter().map(|&m| traversal_profile(m).trials).collect();
+    let infless: Vec<u32> = models.iter().map(|&m| infless_profile(m).trials).collect();
+    let gpulet: Vec<u32> = models.iter().map(|&m| gpulet_profile(m).trials).collect();
+    let dilu: Vec<u32> = models.iter().map(|&m| hybrid_growth_search(m).trials).collect();
+    Tab02 {
+        models: models.iter().map(ToString::to_string).collect(),
+        rows: vec![
+            ("Traversal".into(), traversal),
+            ("INFless".into(), infless),
+            ("GPUlet".into(), gpulet),
+            ("Dilu".into(), dilu),
+        ],
+    }
+}
+
+impl std::fmt::Display for Tab02 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut headers = vec!["method".to_string()];
+        headers.extend(self.models.clone());
+        let mut t = Table::new(headers);
+        for (method, trials) in &self.rows {
+            let mut row = vec![method.clone()];
+            row.extend(trials.iter().map(ToString::to_string));
+            t.row(row);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilu_row_is_the_cheapest() {
+        let t = run();
+        let dilu = &t.rows[3].1;
+        for (method, trials) in &t.rows[..3] {
+            for (d, other) in dilu.iter().zip(trials) {
+                assert!(d < other, "Dilu {d} !< {method} {other}");
+            }
+        }
+    }
+}

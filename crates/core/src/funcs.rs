@@ -1,0 +1,140 @@
+//! Function-spec builders wired to the profiler's `<request, limit>` quotas.
+//!
+//! The control plane profiles each model once (results are memoised per
+//! process) and the builders here turn those quotas into deployable
+//! [`FunctionSpec`]s, exactly as Dilu's gateway would after step ❶/❷ of the
+//! paper's workflow.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use dilu_cluster::{FunctionId, FunctionKind, FunctionSpec, Quotas};
+use dilu_gpu::SmRate;
+use dilu_models::ModelId;
+use dilu_profiler::{hybrid_growth_search, profile_training, InferenceProfile, TrainingQuotas};
+
+fn inference_cache() -> &'static Mutex<HashMap<ModelId, InferenceProfile>> {
+    static CACHE: OnceLock<Mutex<HashMap<ModelId, InferenceProfile>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn training_cache() -> &'static Mutex<HashMap<ModelId, TrainingQuotas>> {
+    static CACHE: OnceLock<Mutex<HashMap<ModelId, TrainingQuotas>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The memoised Hybrid-Growth-Search profile of `model`.
+pub fn profiled_inference(model: ModelId) -> InferenceProfile {
+    let mut cache = inference_cache().lock().expect("profiler cache poisoned");
+    cache.entry(model).or_insert_with(|| hybrid_growth_search(model)).clone()
+}
+
+/// The memoised binary-search training quotas of `model`.
+pub fn profiled_training(model: ModelId) -> TrainingQuotas {
+    let mut cache = training_cache().lock().expect("profiler cache poisoned");
+    *cache.entry(model).or_insert_with(|| profile_training(model))
+}
+
+/// Builds an inference function from the profiled optimum of `model`.
+pub fn inference_function(id: u32, model: ModelId) -> FunctionSpec {
+    let p = profiled_inference(model);
+    let profile = model.profile();
+    FunctionSpec {
+        id: FunctionId(id),
+        name: format!("{}-inf", profile.name),
+        model,
+        kind: FunctionKind::Inference { slo: profile.slo, batch: p.batch },
+        quotas: Quotas::new(p.request, p.limit, profile.infer_mem_bytes),
+        gpus_per_instance: 1,
+    }
+}
+
+/// Builds an inference function with explicit quotas (for sweeps).
+pub fn inference_function_with(
+    id: u32,
+    model: ModelId,
+    batch: u32,
+    request: SmRate,
+    limit: SmRate,
+) -> FunctionSpec {
+    let profile = model.profile();
+    FunctionSpec {
+        id: FunctionId(id),
+        name: format!("{}-inf", profile.name),
+        model,
+        kind: FunctionKind::Inference { slo: profile.slo, batch },
+        quotas: Quotas::new(request, limit, profile.infer_mem_bytes),
+        gpus_per_instance: 1,
+    }
+}
+
+/// Builds an LLM inference function pipelined over `stages` GPU fragments
+/// (the paper deploys LLaMA2-7B on four fragmented GPUs).
+pub fn llm_inference_function(id: u32, model: ModelId, stages: u32) -> FunctionSpec {
+    assert!(stages >= 1, "need at least one stage");
+    let p = profiled_inference(model);
+    let profile = model.profile();
+    FunctionSpec {
+        id: FunctionId(id),
+        name: format!("{}-inf", profile.name),
+        model,
+        kind: FunctionKind::Inference { slo: profile.slo, batch: p.batch },
+        quotas: Quotas::new(
+            // Per-stage slice: each fragment carries 1/stages of the load.
+            p.request.scale(1.0 / f64::from(stages)).max(SmRate::from_percent(10.0)),
+            p.limit.scale(1.0 / f64::from(stages)).max(SmRate::from_percent(20.0)),
+            profile.infer_mem_bytes / u64::from(stages) + dilu_gpu::GB / 2,
+        ),
+        gpus_per_instance: stages,
+    }
+}
+
+/// Builds a training function with profiled `<request, limit>` quotas.
+pub fn training_function(id: u32, model: ModelId, workers: u32, iterations: u64) -> FunctionSpec {
+    let q = profiled_training(model);
+    let profile = model.profile();
+    FunctionSpec {
+        id: FunctionId(id),
+        name: format!("{}-train", profile.name),
+        model,
+        kind: FunctionKind::Training { workers, iterations },
+        quotas: Quotas::new(q.request.smr, q.limit.smr, profile.training.mem_bytes),
+        gpus_per_instance: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_functions_carry_profiled_quotas() {
+        let f = inference_function(1, ModelId::RobertaLarge);
+        let p = profiled_inference(ModelId::RobertaLarge);
+        assert_eq!(f.quotas.request, p.request);
+        assert_eq!(f.quotas.limit, p.limit);
+        assert!(f.capacity_rps() > 0.0);
+    }
+
+    #[test]
+    fn training_functions_have_request_below_limit() {
+        let f = training_function(2, ModelId::BertBase, 4, 100);
+        assert!(f.quotas.request <= f.quotas.limit);
+        assert_eq!(f.gpus_per_instance, 1);
+    }
+
+    #[test]
+    fn llm_functions_split_memory_across_stages() {
+        let solo = inference_function(3, ModelId::Llama2_7b);
+        let staged = llm_inference_function(4, ModelId::Llama2_7b, 4);
+        assert_eq!(staged.gpus_per_instance, 4);
+        assert!(staged.quotas.mem_bytes < solo.quotas.mem_bytes / 2);
+    }
+
+    #[test]
+    fn profiles_are_memoised() {
+        let a = profiled_inference(ModelId::BertBase);
+        let b = profiled_inference(ModelId::BertBase);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! The Dilu system: composing the control plane (profiler + scheduler),
+//! scaling plane (global lazy scaler + per-GPU RCKM), and serving plane
+//! (cluster simulator) into runnable systems — Dilu, its ablations, and
+//! every baseline of the paper's evaluation — plus the experiment harness
+//! that regenerates each table and figure.
+//!
+//! # Examples
+//!
+//! Build a full Dilu cluster and serve a bursty inference function:
+//!
+//! ```
+//! use dilu_core::{SystemKind, build_sim, funcs};
+//! use dilu_cluster::ClusterSpec;
+//! use dilu_models::ModelId;
+//! use dilu_sim::SimTime;
+//! use dilu_workload::{ArrivalProcess, PoissonProcess};
+//!
+//! let mut sim = build_sim(SystemKind::Dilu, ClusterSpec::single_node(2));
+//! let spec = funcs::inference_function(1, ModelId::BertBase);
+//! let arrivals = PoissonProcess::new(30.0, 7).generate(SimTime::from_secs(10));
+//! sim.deploy_inference(spec, 1, arrivals)?;
+//! sim.run_until(SimTime::from_secs(12));
+//! let report = sim.into_report();
+//! assert!(report.inference.values().next().unwrap().completed > 0);
+//! # Ok::<(), dilu_cluster::DeployError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod factories;
+pub mod funcs;
+pub mod macrosim;
+mod system;
+pub mod table;
+
+pub mod experiments;
+
+pub use factories::{
+    FairFactory, FastGsFactory, MpsFactory, NullAutoscaler, PinnedPlacement, RckmFactory,
+    TgsFactory,
+};
+pub use system::{build_sim, build_sim_with, SystemKind, SystemOverrides};

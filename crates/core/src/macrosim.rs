@@ -1,0 +1,403 @@
+//! The large-scale placement simulator behind §5.5 (Fig. 17, Fig. 18(a)).
+//!
+//! The paper's 1000-node study concerns *scheduling* — fragmentation and
+//! GPU occupancy under thousands of instances — not kernel behaviour, so
+//! this simulator works at placement grain: instances arrive, are placed by
+//! the same [`Placement`] policies the serving plane uses, live for a
+//! while, and depart. No GPU engine is stepped.
+
+use std::collections::BTreeMap;
+
+use dilu_cluster::{
+    ClusterView, FunctionId, FunctionKind, FunctionSpec, GpuAddr, GpuView, Placement, Quotas,
+    ResidentInfo,
+};
+use dilu_gpu::{SmRate, TaskClass, GB};
+use dilu_models::ModelId;
+use dilu_scheduler::{DiluScheduler, ExclusivePlacement, SchedulerConfig};
+use dilu_sim::rng::{component_rng, sample_exponential};
+use dilu_sim::{EventQueue, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::funcs::{profiled_inference, profiled_training};
+
+/// Scale and workload mix of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacroConfig {
+    /// Nodes in the cluster (paper: 1000).
+    pub nodes: u32,
+    /// GPUs per node (paper: 4).
+    pub gpus_per_node: u32,
+    /// Instances generated (paper: 3200), mixed 2:2:6
+    /// training : LLM inference : non-LLM inference.
+    pub instances: u32,
+    /// Window over which instances arrive.
+    pub arrival_span: SimDuration,
+    /// Mean instance lifetime (exponential).
+    pub mean_lifetime: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MacroConfig {
+    fn default() -> Self {
+        MacroConfig {
+            nodes: 1000,
+            gpus_per_node: 4,
+            instances: 3200,
+            arrival_span: SimDuration::from_secs(1_200),
+            mean_lifetime: SimDuration::from_secs(900),
+            seed: 42,
+        }
+    }
+}
+
+/// The systems compared at scale (Fig. 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MacroSystem {
+    /// Whole-GPU allocation.
+    Exclusive,
+    /// MPS static partitions at the limit quota, best-fit packed.
+    InflessPlusL,
+    /// Dilu's resourcing-complementary packing of unequal quotas.
+    Dilu,
+}
+
+impl MacroSystem {
+    /// All systems in Fig. 17 order.
+    pub const ALL: [MacroSystem; 3] =
+        [MacroSystem::Exclusive, MacroSystem::InflessPlusL, MacroSystem::Dilu];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MacroSystem::Exclusive => "Exclusive",
+            MacroSystem::InflessPlusL => "INFless+-l",
+            MacroSystem::Dilu => "Dilu",
+        }
+    }
+}
+
+/// Outcome of one large-scale run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MacroResult {
+    /// System label.
+    pub system: String,
+    /// Mean occupied GPUs over the run.
+    pub mean_occupied: f64,
+    /// Peak occupied GPUs.
+    pub peak_occupied: u32,
+    /// Mean SM fragmentation on occupied GPUs.
+    pub sm_fragmentation: f64,
+    /// Mean memory fragmentation on occupied GPUs.
+    pub mem_fragmentation: f64,
+    /// Occupied-GPU count sampled every 10 s: `(second, gpus)`.
+    pub occupied_series: Vec<(u64, u32)>,
+    /// Instances that could not be placed (cluster exhausted).
+    pub unplaced: u32,
+    /// GPU-seconds consumed.
+    pub gpu_seconds: f64,
+}
+
+#[derive(Debug, Clone)]
+struct MacroInstance {
+    spec: FunctionSpec,
+    /// The SM rate the workload actually needs (its request quota).
+    need_sm: f64,
+    need_mem: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct GpuState {
+    mem_reserved: u64,
+    residents: Vec<(u32, ResidentInfo, f64, u64)>, // (instance, info, need_sm, need_mem)
+}
+
+enum Event {
+    Arrive(u32),
+    Depart(u32),
+    Sample,
+}
+
+/// Generates the 2:2:6 instance mix with profiled quotas.
+fn generate_instances(config: &MacroConfig, system: MacroSystem) -> Vec<MacroInstance> {
+    let mut rng = component_rng(config.seed, "macro-mix");
+    let training_models =
+        [ModelId::BertBase, ModelId::ResNet152, ModelId::RobertaLarge, ModelId::Gpt2Large];
+    let llm_models = [ModelId::Llama2_7b, ModelId::ChatGlm3_6b];
+    let inf_models = [
+        ModelId::ResNet152,
+        ModelId::Vgg19,
+        ModelId::BertBase,
+        ModelId::RobertaLarge,
+        ModelId::Gpt2Large,
+    ];
+    (0..config.instances)
+        .map(|i| {
+            let roll = i % 10;
+            let (model, kind, stages) = if roll < 2 {
+                let m = training_models[rng.gen_range(0..training_models.len())];
+                (m, FunctionKind::Training { workers: 1, iterations: u64::MAX }, 1)
+            } else if roll < 4 {
+                let m = llm_models[rng.gen_range(0..llm_models.len())];
+                // Distributed LLM deployment over GPU fragments is part of
+                // Dilu's resource-complementarity (the paper's -RC ablation
+                // removes exactly this); baselines deploy LLMs whole.
+                let stages = if system == MacroSystem::Dilu { 4 } else { 1 };
+                (m, FunctionKind::Inference { slo: m.profile().slo, batch: 2 }, stages)
+            } else {
+                let m = inf_models[rng.gen_range(0..inf_models.len())];
+                (m, FunctionKind::Inference { slo: m.profile().slo, batch: 4 }, 1)
+            };
+            let profile = model.profile();
+            let (request, limit, mem, need_sm) = match kind {
+                FunctionKind::Training { .. } => {
+                    let q = profiled_training(model);
+                    (q.request.smr, q.limit.smr, profile.training.mem_bytes, q.request.smr)
+                }
+                FunctionKind::Inference { .. } => {
+                    let p = profiled_inference(model);
+                    let mem = if stages > 1 {
+                        profile.infer_mem_bytes / u64::from(stages) + GB / 2
+                    } else {
+                        profile.infer_mem_bytes
+                    };
+                    let div = f64::from(stages);
+                    (p.request.scale(1.0 / div), p.limit.scale(1.0 / div), mem, p.request.scale(1.0 / div))
+                }
+            };
+            let quotas = match system {
+                MacroSystem::Exclusive => Quotas::equal(SmRate::FULL, mem),
+                MacroSystem::InflessPlusL => Quotas::equal(limit, mem),
+                MacroSystem::Dilu => Quotas::new(request, limit, mem),
+            };
+            MacroInstance {
+                spec: FunctionSpec {
+                    id: FunctionId(i),
+                    name: format!("{}-{i}", profile.name),
+                    model,
+                    kind,
+                    quotas,
+                    gpus_per_instance: stages,
+                },
+                need_sm: need_sm.as_fraction(),
+                need_mem: mem,
+            }
+        })
+        .collect()
+}
+
+fn placement_for(system: MacroSystem, gamma: f64) -> Box<dyn Placement> {
+    match system {
+        MacroSystem::Exclusive => Box::new(ExclusivePlacement::new()),
+        MacroSystem::InflessPlusL => Box::new(DiluScheduler::new(SchedulerConfig {
+            workload_affinity: false,
+            // Static MPS: the limit *is* the allocation, so Σlimit ≤ 1.
+            omega: 1.0,
+            gamma: 1.0,
+            ..SchedulerConfig::default()
+        })),
+        MacroSystem::Dilu => {
+            Box::new(DiluScheduler::new(SchedulerConfig { gamma, ..SchedulerConfig::default() }))
+        }
+    }
+}
+
+/// Runs the large-scale placement study for one system.
+///
+/// `gamma` is Dilu's oversubscription coefficient (Fig. 18(a) sweeps it;
+/// use `1.5` for the paper's default).
+pub fn run_macro(system: MacroSystem, config: &MacroConfig, gamma: f64) -> MacroResult {
+    let instances = generate_instances(config, system);
+    let mut placement = placement_for(system, gamma);
+    let mut rng = component_rng(config.seed, "macro-times");
+    let gpu_mem = 40 * GB;
+    let addrs: Vec<GpuAddr> = (0..config.nodes)
+        .flat_map(|n| (0..config.gpus_per_node).map(move |g| GpuAddr { node: n, gpu: g }))
+        .collect();
+    let mut gpus: BTreeMap<GpuAddr, GpuState> =
+        addrs.iter().map(|&a| (a, GpuState::default())).collect();
+    let mut assignments: BTreeMap<u32, Vec<GpuAddr>> = BTreeMap::new();
+
+    let mut events = EventQueue::new();
+    let horizon = SimTime::ZERO + config.arrival_span + config.mean_lifetime * 2;
+    for inst in &instances {
+        let at = SimTime::from_secs_f64(
+            rng.gen_range(0.0..config.arrival_span.as_secs_f64().max(1.0)),
+        );
+        events.push(at, Event::Arrive(inst.spec.id.0));
+    }
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        events.push(t, Event::Sample);
+        t += SimDuration::from_secs(10);
+    }
+
+    let mut unplaced = 0u32;
+    let mut samples: Vec<(u64, u32, f64, f64)> = Vec::new();
+    let mut gpu_seconds = 0.0;
+    let mut last_sample = SimTime::ZERO;
+    let mut occupied_now = 0u32;
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Arrive(id) => {
+                let inst = &instances[id as usize];
+                let view = ClusterView {
+                    gpus: gpus
+                        .iter()
+                        .map(|(&addr, st)| GpuView {
+                            addr,
+                            mem_capacity: gpu_mem,
+                            mem_reserved: st.mem_reserved,
+                            residents: st.residents.iter().map(|r| r.1).collect(),
+                        })
+                        .collect(),
+                };
+                match placement.place(&inst.spec, &view) {
+                    Some(chosen) => {
+                        let class = if inst.spec.kind.is_inference() {
+                            TaskClass::SloSensitive
+                        } else {
+                            TaskClass::BestEffort
+                        };
+                        for addr in &chosen {
+                            let st = gpus.get_mut(addr).expect("valid GPU");
+                            st.mem_reserved += inst.spec.quotas.mem_bytes;
+                            st.residents.push((
+                                id,
+                                ResidentInfo {
+                                    func: inst.spec.id,
+                                    class,
+                                    request: inst.spec.quotas.request,
+                                    limit: inst.spec.quotas.limit,
+                                    mem_bytes: inst.spec.quotas.mem_bytes,
+                                },
+                                // need_sm is already a per-stage quantity.
+                                inst.need_sm,
+                                inst.need_mem,
+                            ));
+                        }
+                        assignments.insert(id, chosen);
+                        let life = sample_exponential(
+                            &mut rng,
+                            1.0 / config.mean_lifetime.as_secs_f64(),
+                        );
+                        events.push(now + SimDuration::from_secs_f64(life), Event::Depart(id));
+                    }
+                    None => unplaced += 1,
+                }
+            }
+            Event::Depart(id) => {
+                if let Some(chosen) = assignments.remove(&id) {
+                    for addr in chosen {
+                        let st = gpus.get_mut(&addr).expect("valid GPU");
+                        let inst = &instances[id as usize];
+                        st.mem_reserved -= inst.spec.quotas.mem_bytes;
+                        st.residents.retain(|(rid, ..)| *rid != id);
+                    }
+                }
+            }
+            Event::Sample => {
+                gpu_seconds +=
+                    f64::from(occupied_now) * now.saturating_since(last_sample).as_secs_f64();
+                last_sample = now;
+                let mut occupied = 0u32;
+                let mut sm_frag = 0.0;
+                let mut mem_frag = 0.0;
+                for st in gpus.values() {
+                    if st.residents.is_empty() {
+                        continue;
+                    }
+                    occupied += 1;
+                    let used_sm: f64 = st.residents.iter().map(|r| r.2).sum();
+                    sm_frag += 1.0 - used_sm.min(1.0);
+                    let used_mem: u64 = st.residents.iter().map(|r| r.1.mem_bytes).sum();
+                    mem_frag += 1.0 - (used_mem.min(gpu_mem) as f64 / gpu_mem as f64);
+                }
+                occupied_now = occupied;
+                let (s, m) = if occupied > 0 {
+                    (sm_frag / f64::from(occupied), mem_frag / f64::from(occupied))
+                } else {
+                    (0.0, 0.0)
+                };
+                samples.push((now.as_secs(), occupied, s, m));
+            }
+        }
+    }
+
+    let busy: Vec<&(u64, u32, f64, f64)> = samples.iter().filter(|s| s.1 > 0).collect();
+    let n = busy.len().max(1) as f64;
+    MacroResult {
+        system: system.label().to_string(),
+        mean_occupied: busy.iter().map(|s| f64::from(s.1)).sum::<f64>() / n,
+        peak_occupied: samples.iter().map(|s| s.1).max().unwrap_or(0),
+        sm_fragmentation: busy.iter().map(|s| s.2).sum::<f64>() / n,
+        mem_fragmentation: busy.iter().map(|s| s.3).sum::<f64>() / n,
+        occupied_series: samples.iter().map(|s| (s.0, s.1)).collect(),
+        unplaced,
+        gpu_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MacroConfig {
+        MacroConfig {
+            nodes: 40,
+            gpus_per_node: 4,
+            instances: 120,
+            arrival_span: SimDuration::from_secs(200),
+            mean_lifetime: SimDuration::from_secs(150),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn dilu_occupies_fewer_gpus_than_exclusive() {
+        let cfg = small();
+        let excl = run_macro(MacroSystem::Exclusive, &cfg, 1.5);
+        let dilu = run_macro(MacroSystem::Dilu, &cfg, 1.5);
+        assert_eq!(excl.unplaced, 0);
+        assert_eq!(dilu.unplaced, 0);
+        assert!(
+            dilu.mean_occupied < excl.mean_occupied * 0.9,
+            "dilu {} vs exclusive {}",
+            dilu.mean_occupied,
+            excl.mean_occupied
+        );
+        assert!(
+            dilu.gpu_seconds < excl.gpu_seconds * 0.9,
+            "dilu cost {} vs exclusive {}",
+            dilu.gpu_seconds,
+            excl.gpu_seconds
+        );
+    }
+
+    #[test]
+    fn fragmentation_ordering_matches_fig17() {
+        let cfg = small();
+        let excl = run_macro(MacroSystem::Exclusive, &cfg, 1.5);
+        let infl = run_macro(MacroSystem::InflessPlusL, &cfg, 1.5);
+        let dilu = run_macro(MacroSystem::Dilu, &cfg, 1.5);
+        // Dilu keeps the least fragmentation in both dimensions; memory
+        // fragmentation also orders Exclusive worst (whole cards per
+        // instance). The Exclusive-vs-INFless SM ordering needs paper scale
+        // to separate cleanly, so it is asserted only in EXPERIMENTS.md.
+        assert!(dilu.sm_fragmentation < infl.sm_fragmentation);
+        assert!(dilu.sm_fragmentation < excl.sm_fragmentation);
+        assert!(dilu.mem_fragmentation <= infl.mem_fragmentation + 1e-9);
+        assert!(infl.mem_fragmentation < excl.mem_fragmentation);
+    }
+
+    #[test]
+    fn higher_gamma_does_not_increase_occupancy() {
+        let cfg = small();
+        let tight = run_macro(MacroSystem::Dilu, &cfg, 1.0);
+        let loose = run_macro(MacroSystem::Dilu, &cfg, 2.0);
+        assert!(loose.mean_occupied <= tight.mean_occupied + 1e-9);
+    }
+}

@@ -1,0 +1,191 @@
+//! System compositions: Dilu, its ablations, and the cluster-level
+//! baselines of §5.1.
+
+use dilu_baselines::{KeepAliveScaler, QuotaSource, ReactiveScaler};
+use dilu_cluster::{ClusterSim, ClusterSpec, SimConfig};
+use dilu_rckm::RckmConfig;
+use dilu_scaler::{LazyScaler, ScalerConfig};
+use dilu_scheduler::{DiluScheduler, ExclusivePlacement, SchedulerConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::factories::{FairFactory, FastGsFactory, MpsFactory, RckmFactory};
+
+/// Every runnable system of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// The full system: Algorithm 1 scheduling, lazy scaling, RCKM tokens.
+    Dilu,
+    /// Ablation −RC: first-fit packing, no multi-GPU LLM deployment.
+    DiluNoRc,
+    /// Ablation −WA: no workload-affinity preference.
+    DiluNoWa,
+    /// Ablation −VS: Dilu scheduling/scaling over static MPS-l grants.
+    DiluNoVs,
+    /// Whole-GPU allocation with keep-alive scaling (Kubernetes-style).
+    Exclusive,
+    /// INFless+ with MPS partitions at the `limit` quota.
+    InflessPlusL,
+    /// INFless+ with MPS partitions at the `request` quota.
+    InflessPlusR,
+    /// FaST-GS+ — eager scaling over FaST-GS spatio-temporal sharing.
+    FastGsPlus,
+}
+
+impl SystemKind {
+    /// The systems compared in the end-to-end study (Fig. 15).
+    pub const END_TO_END: [SystemKind; 7] = [
+        SystemKind::Exclusive,
+        SystemKind::InflessPlusL,
+        SystemKind::InflessPlusR,
+        SystemKind::Dilu,
+        SystemKind::DiluNoRc,
+        SystemKind::DiluNoWa,
+        SystemKind::DiluNoVs,
+    ];
+
+    /// The paper's label for the system.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Dilu => "Dilu",
+            SystemKind::DiluNoRc => "-RC",
+            SystemKind::DiluNoWa => "-WA",
+            SystemKind::DiluNoVs => "-VS",
+            SystemKind::Exclusive => "Exclusive",
+            SystemKind::InflessPlusL => "INFless+-l",
+            SystemKind::InflessPlusR => "INFless+-r",
+            SystemKind::FastGsPlus => "FaST-GS+",
+        }
+    }
+
+    /// `true` if this system deploys LLM inference across multiple GPUs.
+    ///
+    /// Distributed LLM deployment over GPU fragments belongs to Dilu's
+    /// resource complementarity — the −RC ablation removes exactly it, and
+    /// the baselines deploy LLMs whole.
+    pub fn distributes_llms(self) -> bool {
+        matches!(self, SystemKind::Dilu | SystemKind::DiluNoWa | SystemKind::DiluNoVs)
+    }
+}
+
+/// Knob overrides for sensitivity studies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemOverrides {
+    /// Overrides the RCKM configuration (Fig. 18(b) MaxTokens sweep).
+    pub rckm: Option<RckmConfig>,
+    /// Overrides the scheduler configuration (Fig. 18(a) γ sweep).
+    pub scheduler: Option<SchedulerConfig>,
+    /// Overrides the lazy-scaler configuration.
+    pub scaler: Option<ScalerConfig>,
+    /// Overrides the serving-plane configuration.
+    pub sim: Option<SimConfig>,
+}
+
+/// Builds a ready-to-use cluster simulator for `kind` with default knobs.
+pub fn build_sim(kind: SystemKind, spec: ClusterSpec) -> ClusterSim {
+    build_sim_with(kind, spec, SystemOverrides::default())
+}
+
+/// Builds a cluster simulator for `kind` with explicit overrides.
+pub fn build_sim_with(kind: SystemKind, spec: ClusterSpec, ov: SystemOverrides) -> ClusterSim {
+    let sim_config = ov.sim.unwrap_or_default();
+    let rckm = ov.rckm.unwrap_or_default();
+    let dilu_sched = ov.scheduler.unwrap_or_default();
+    let scaler = ov.scaler.unwrap_or_default();
+    // INFless-style packers: complementarity scoring without Dilu's
+    // affinity pass.
+    let packing = SchedulerConfig { workload_affinity: false, ..dilu_sched };
+    match kind {
+        SystemKind::Dilu => ClusterSim::new(
+            spec,
+            sim_config,
+            Box::new(DiluScheduler::new(dilu_sched)),
+            Box::new(LazyScaler::new(scaler)),
+            &RckmFactory(rckm),
+        ),
+        SystemKind::DiluNoRc => ClusterSim::new(
+            spec,
+            sim_config,
+            Box::new(DiluScheduler::new(SchedulerConfig {
+                resource_complementary: false,
+                ..dilu_sched
+            })),
+            Box::new(LazyScaler::new(scaler)),
+            &RckmFactory(rckm),
+        ),
+        SystemKind::DiluNoWa => ClusterSim::new(
+            spec,
+            sim_config,
+            Box::new(DiluScheduler::new(SchedulerConfig {
+                workload_affinity: false,
+                ..dilu_sched
+            })),
+            Box::new(LazyScaler::new(scaler)),
+            &RckmFactory(rckm),
+        ),
+        SystemKind::DiluNoVs => ClusterSim::new(
+            spec,
+            sim_config,
+            Box::new(DiluScheduler::new(dilu_sched)),
+            Box::new(LazyScaler::new(scaler)),
+            &MpsFactory(QuotaSource::Limit),
+        ),
+        SystemKind::Exclusive => ClusterSim::new(
+            spec,
+            sim_config,
+            Box::new(ExclusivePlacement::new()),
+            Box::new(KeepAliveScaler::default()),
+            &FairFactory,
+        ),
+        SystemKind::InflessPlusL => ClusterSim::new(
+            spec,
+            sim_config,
+            Box::new(DiluScheduler::new(packing)),
+            Box::new(KeepAliveScaler::default()),
+            &MpsFactory(QuotaSource::Limit),
+        ),
+        SystemKind::InflessPlusR => ClusterSim::new(
+            spec,
+            sim_config,
+            Box::new(DiluScheduler::new(packing)),
+            Box::new(KeepAliveScaler::default()),
+            &MpsFactory(QuotaSource::Request),
+        ),
+        SystemKind::FastGsPlus => ClusterSim::new(
+            spec,
+            sim_config,
+            Box::new(DiluScheduler::new(packing)),
+            Box::new(ReactiveScaler::new()),
+            &FastGsFactory,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SystemKind::Dilu.label(), "Dilu");
+        assert_eq!(SystemKind::InflessPlusL.label(), "INFless+-l");
+        assert_eq!(SystemKind::DiluNoVs.label(), "-VS");
+    }
+
+    #[test]
+    fn llm_distribution_matches_rc_semantics() {
+        assert!(SystemKind::Dilu.distributes_llms());
+        assert!(SystemKind::DiluNoVs.distributes_llms());
+        assert!(!SystemKind::DiluNoRc.distributes_llms());
+        assert!(!SystemKind::Exclusive.distributes_llms());
+        assert!(!SystemKind::InflessPlusL.distributes_llms());
+    }
+
+    #[test]
+    fn every_system_builds() {
+        for kind in SystemKind::END_TO_END {
+            let sim = build_sim(kind, ClusterSpec::single_node(2));
+            assert_eq!(sim.spec().total_gpus(), 2);
+        }
+        build_sim(SystemKind::FastGsPlus, ClusterSpec::single_node(1));
+    }
+}

@@ -1,0 +1,94 @@
+//! The SM-rate → progress-rate model.
+//!
+//! A DL kernel stream saturates at a model/batch-specific SM rate `sat`:
+//! above it extra SMs buy nothing (the paper's "marginal effect" — e.g. a
+//! 2% boost doubling RoBERTa-large's SMR from 50% to 100%). Below the knee,
+//! returns diminish smoothly (`rate = (eff/sat)^0.8`): each extra SM helps,
+//! but less than the previous one. This is what makes the paper's
+//! throughput-efficacy metric TE = throughput/SMR *decrease* with SMR, so
+//! the Hybrid Growth Search stars sit at the lowest SLO-feasible SM rate
+//! (Fig. 4) and leave headroom between `request` and saturation that
+//! Dilu's fast scale-up exploits during bursts.
+
+/// Concavity exponent of the sub-saturation region.
+pub(crate) const SUB_SAT_EXPONENT: f64 = 0.8;
+
+/// Progress-rate factor in `[0, 1]` for an effective SM rate `eff` against a
+/// saturation rate `sat` (both as fractions of the GPU).
+///
+/// * `eff >= sat` → `1.0` (saturated; extra SMs are wasted);
+/// * `eff < sat` → `(eff/sat)^0.8`: concave, diminishing returns.
+///
+/// Returns `0.0` when `eff` is zero or `sat` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dilu_gpu::rate_factor;
+///
+/// assert_eq!(rate_factor(0.8, 0.5), 1.0); // saturated
+/// let half = rate_factor(0.25, 0.5);
+/// assert!(half > 0.5 && half < 1.0); // concave below the knee
+/// assert_eq!(rate_factor(0.0, 0.5), 0.0);
+/// ```
+pub fn rate_factor(eff: f64, sat: f64) -> f64 {
+    if eff <= 0.0 || sat <= 0.0 {
+        return 0.0;
+    }
+    let x = (eff / sat).min(1.0);
+    x.powf(SUB_SAT_EXPONENT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_one() {
+        assert_eq!(rate_factor(0.5, 0.5), 1.0);
+        assert_eq!(rate_factor(1.0, 0.3), 1.0);
+    }
+
+    #[test]
+    fn monotonically_increasing_below_sat() {
+        let mut last = 0.0;
+        for i in 1..=10 {
+            let eff = i as f64 * 0.05;
+            let r = rate_factor(eff, 0.5);
+            assert!(r > last, "rate factor must increase: {r} vs {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn below_sat_has_diminishing_returns() {
+        // Concavity: equal SM increments yield shrinking rate gains.
+        let r1 = rate_factor(0.125, 0.5);
+        let r2 = rate_factor(0.25, 0.5);
+        let r3 = rate_factor(0.375, 0.5);
+        let r4 = rate_factor(0.5, 0.5);
+        assert!(r2 - r1 > r3 - r2, "marginal gain must shrink");
+        assert!(r3 - r2 > r4 - r3, "marginal gain must keep shrinking");
+        assert!(r2 > 0.5, "concave curve exceeds proportional share");
+    }
+
+    #[test]
+    fn throughput_efficacy_decreases_with_smr() {
+        // TE = rate / eff strictly decreases below and above the knee, so
+        // the cost-efficient operating point is the lowest feasible SMR.
+        let sat = 0.4;
+        let te = |eff: f64| rate_factor(eff, sat) / eff;
+        let mut last = f64::INFINITY;
+        for eff in [0.1, 0.2, 0.3, 0.4, 0.6, 1.0] {
+            let t = te(eff);
+            assert!(t < last, "TE must decrease with SMR: {t} vs {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn zero_inputs_give_zero() {
+        assert_eq!(rate_factor(0.0, 0.5), 0.0);
+        assert_eq!(rate_factor(0.5, 0.0), 0.0);
+    }
+}

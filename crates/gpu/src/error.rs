@@ -1,0 +1,50 @@
+//! GPU engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::InstanceId;
+
+/// Errors returned by [`GpuEngine`](crate::GpuEngine) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Admission would exceed device memory.
+    OutOfMemory {
+        /// Bytes the instance asked for.
+        requested: u64,
+        /// Bytes still free on the device.
+        available: u64,
+    },
+    /// An instance with this id is already resident.
+    DuplicateInstance(InstanceId),
+    /// No resident instance has this id.
+    UnknownInstance(InstanceId),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory { requested, available } => {
+                write!(f, "device memory exhausted: requested {requested} bytes, {available} free")
+            }
+            GpuError::DuplicateInstance(id) => write!(f, "instance {id} already resident"),
+            GpuError::UnknownInstance(id) => write!(f, "instance {id} not resident"),
+        }
+    }
+}
+
+impl Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpuError>();
+        let e = GpuError::OutOfMemory { requested: 10, available: 5 };
+        assert!(format!("{e}").contains("exhausted"));
+        assert!(format!("{}", GpuError::UnknownInstance(InstanceId(3))).contains("inst-3"));
+    }
+}

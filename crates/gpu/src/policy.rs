@@ -1,0 +1,110 @@
+//! The share-policy abstraction: who gets how much SM each quantum.
+
+use dilu_sim::{SimDuration, SimTime};
+
+use crate::{InstanceId, SmRate, TaskClass};
+
+/// A read-only view of one resident instance, handed to policies each
+/// quantum.
+///
+/// This mirrors what the paper's RCKM server learns from its interception
+/// library clients: quotas, task type, pending kernel queues, recent launch
+/// rates, and kernel-launch-cycle inflation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceView {
+    /// The instance this view describes.
+    pub id: InstanceId,
+    /// SLO-sensitive inference or best-effort training.
+    pub class: TaskClass,
+    /// Profiled minimum quota (the paper's `request`).
+    pub request: SmRate,
+    /// Profiled burst quota (the paper's `limit`).
+    pub limit: SmRate,
+    /// Current SM demand: the head item's saturation rate, or zero when the
+    /// head is idle/absent.
+    pub demand: SmRate,
+    /// Items waiting in the slot queue (including the active one).
+    pub queue_len: usize,
+    /// Kernel blocks issued by this instance during the previous quantum.
+    pub blocks_last_quantum: u64,
+    /// Relative KLC inflation ΔT = (T_cur − T_min)/T_min of the most recent
+    /// completed or in-flight compute item; `0.0` when uncontended.
+    pub klc_inflation: f64,
+    /// Quanta since this instance last issued a kernel block.
+    pub idle_quanta: u32,
+}
+
+/// An SM-rate grant for one instance for the coming quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grant {
+    /// Grantee.
+    pub id: InstanceId,
+    /// Granted SM rate (will be clamped to demand and physical capacity by
+    /// the engine).
+    pub smr: SmRate,
+}
+
+/// Decides per-quantum SM grants for all instances resident on one GPU.
+///
+/// Implementations include Dilu's RCKM token manager (Algorithm 2), static
+/// MPS partitions, TGS opportunistic sharing, and FaST-GS spatio-temporal
+/// sharing. The trait is object-safe so engines can hold `Box<dyn
+/// SharePolicy>`.
+pub trait SharePolicy {
+    /// Computes grants for the quantum starting at `now`.
+    ///
+    /// Instances absent from the returned vector receive a zero grant.
+    /// Grants above an instance's demand are clamped by the engine; the sum
+    /// of grants may oversubscribe the GPU, in which case the engine shares
+    /// physical capacity proportionally to the clamped grants.
+    fn allocate(
+        &mut self,
+        now: SimTime,
+        quantum: SimDuration,
+        views: &[InstanceView],
+    ) -> Vec<Grant>;
+
+    /// A short human-readable policy name for reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct GrantAll;
+
+    impl SharePolicy for GrantAll {
+        fn allocate(
+            &mut self,
+            _now: SimTime,
+            _quantum: SimDuration,
+            views: &[InstanceView],
+        ) -> Vec<Grant> {
+            views.iter().map(|v| Grant { id: v.id, smr: SmRate::FULL }).collect()
+        }
+
+        fn name(&self) -> &str {
+            "grant-all"
+        }
+    }
+
+    #[test]
+    fn policies_are_object_safe() {
+        let mut boxed: Box<dyn SharePolicy> = Box::new(GrantAll);
+        let views = [InstanceView {
+            id: InstanceId(1),
+            class: TaskClass::SloSensitive,
+            request: SmRate::from_percent(20.0),
+            limit: SmRate::from_percent(40.0),
+            demand: SmRate::from_percent(30.0),
+            queue_len: 1,
+            blocks_last_quantum: 10,
+            klc_inflation: 0.0,
+            idle_quanta: 0,
+        }];
+        let grants = boxed.allocate(SimTime::ZERO, SimDuration::from_millis(5), &views);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(boxed.name(), "grant-all");
+    }
+}

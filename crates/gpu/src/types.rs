@@ -1,0 +1,202 @@
+//! Core identifier and quantity newtypes for the GPU model.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// One mebibyte, in bytes.
+pub const MB: u64 = 1 << 20;
+
+/// One gibibyte, in bytes.
+pub const GB: u64 = 1 << 30;
+
+/// An opaque identifier for an instance resident on a GPU.
+///
+/// Cluster-level code allocates these; the engine only requires uniqueness
+/// per GPU.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst-{}", self.0)
+    }
+}
+
+/// A GPU streaming-multiprocessor rate as a fraction of one whole GPU.
+///
+/// `1.0` is the full card (the paper's 100% SM rate). Values are clamped to
+/// be non-negative on construction; rates above `1.0` are permitted for
+/// *sums* (oversubscription) but a single grant is clamped by the engine.
+///
+/// # Examples
+///
+/// ```
+/// use dilu_gpu::SmRate;
+///
+/// let r = SmRate::from_percent(30.0);
+/// assert_eq!(r.as_percent(), 30.0);
+/// assert_eq!((r + r).as_fraction(), 0.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SmRate(f64);
+
+impl SmRate {
+    /// Zero SM rate.
+    pub const ZERO: SmRate = SmRate(0.0);
+
+    /// The full GPU.
+    pub const FULL: SmRate = SmRate(1.0);
+
+    /// Creates a rate from a fraction of the GPU (`1.0` = whole card).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative or not finite.
+    pub fn from_fraction(f: f64) -> Self {
+        assert!(f.is_finite() && f >= 0.0, "invalid SM fraction {f}");
+        SmRate(f)
+    }
+
+    /// Creates a rate from a percentage (`100.0` = whole card).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is negative or not finite.
+    pub fn from_percent(p: f64) -> Self {
+        Self::from_fraction(p / 100.0)
+    }
+
+    /// This rate as a fraction of the GPU.
+    pub fn as_fraction(self) -> f64 {
+        self.0
+    }
+
+    /// This rate as a percentage of the GPU.
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The smaller of two rates.
+    pub fn min(self, other: SmRate) -> SmRate {
+        SmRate(self.0.min(other.0))
+    }
+
+    /// The larger of two rates.
+    pub fn max(self, other: SmRate) -> SmRate {
+        SmRate(self.0.max(other.0))
+    }
+
+    /// Scales this rate by `factor` (clamped non-negative).
+    pub fn scale(self, factor: f64) -> SmRate {
+        SmRate((self.0 * factor).max(0.0))
+    }
+
+    /// `true` if the rate is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Add for SmRate {
+    type Output = SmRate;
+
+    fn add(self, rhs: SmRate) -> SmRate {
+        SmRate(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SmRate {
+    fn add_assign(&mut self, rhs: SmRate) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SmRate {
+    type Output = SmRate;
+
+    fn sub(self, rhs: SmRate) -> SmRate {
+        SmRate((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl std::iter::Sum for SmRate {
+    fn sum<I: Iterator<Item = SmRate>>(iter: I) -> SmRate {
+        iter.fold(SmRate::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SmRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%SM", self.as_percent())
+    }
+}
+
+/// The scheduling class of a task, as seen by share policies.
+///
+/// The paper distinguishes SLO-sensitive inference functions from training
+/// functions whose QoS is throughput (Algorithm 2 branches on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskClass {
+    /// Latency-SLO-bound inference.
+    SloSensitive,
+    /// Throughput-oriented training (or other batch) work.
+    BestEffort,
+}
+
+impl TaskClass {
+    /// `true` for SLO-sensitive inference tasks.
+    pub fn is_slo_sensitive(self) -> bool {
+        matches!(self, TaskClass::SloSensitive)
+    }
+}
+
+impl fmt::Display for TaskClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskClass::SloSensitive => write!(f, "slo-sensitive"),
+            TaskClass::BestEffort => write!(f, "best-effort"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_and_fraction_agree() {
+        assert_eq!(SmRate::from_percent(50.0), SmRate::from_fraction(0.5));
+        assert_eq!(SmRate::FULL.as_percent(), 100.0);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let a = SmRate::from_percent(20.0);
+        let b = SmRate::from_percent(50.0);
+        assert_eq!(a - b, SmRate::ZERO);
+        assert_eq!(b - a, SmRate::from_percent(30.0));
+    }
+
+    #[test]
+    fn sums_may_oversubscribe() {
+        let total: SmRate = [60.0, 70.0].iter().map(|&p| SmRate::from_percent(p)).sum();
+        assert!((total.as_percent() - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SM fraction")]
+    fn negative_rate_rejected() {
+        SmRate::from_fraction(-0.1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SmRate::from_percent(32.5)), "32.5%SM");
+        assert_eq!(format!("{}", InstanceId(9)), "inst-9");
+        assert_eq!(format!("{}", TaskClass::SloSensitive), "slo-sensitive");
+    }
+}

@@ -1,0 +1,107 @@
+//! Work items executed by instance slots.
+
+use dilu_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::SmRate;
+
+/// What a work item does while it occupies the head of a slot's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkKind {
+    /// A kernel-launching phase: one inference batch execution or one
+    /// training forward+backward step.
+    Compute {
+        /// Duration when granted at least `sat` SM rate.
+        t_min: SimDuration,
+        /// SM rate at which the kernel stream saturates.
+        sat: SmRate,
+        /// Kernel blocks issued over the phase (the RCKM token currency).
+        kernel_blocks: u64,
+    },
+    /// A non-SM phase: NCCL gradient synchronisation, pipeline bubble,
+    /// pre/post-processing. Elapses in wall time regardless of grants.
+    Idle {
+        /// Wall-clock duration of the phase.
+        duration: SimDuration,
+    },
+}
+
+/// A unit of work queued on an instance slot.
+///
+/// The `tag` is an opaque caller-provided correlation id reported back in
+/// [`Completion`](crate::Completion).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// What the item does.
+    pub kind: WorkKind,
+    /// Caller correlation id echoed on completion.
+    pub tag: u64,
+}
+
+impl WorkItem {
+    /// Creates a compute phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_min` is zero or `sat` is zero.
+    pub fn compute(t_min: SimDuration, sat: SmRate, kernel_blocks: u64, tag: u64) -> Self {
+        assert!(!t_min.is_zero(), "compute phase needs a positive duration");
+        assert!(!sat.is_zero(), "compute phase needs a positive saturation rate");
+        WorkItem { kind: WorkKind::Compute { t_min, sat, kernel_blocks }, tag }
+    }
+
+    /// Creates an idle (communication/bubble) phase.
+    pub fn idle(duration: SimDuration, tag: u64) -> Self {
+        WorkItem { kind: WorkKind::Idle { duration }, tag }
+    }
+
+    /// The SM demand of this item: `sat` for compute, zero for idle.
+    pub fn demand(&self) -> SmRate {
+        match self.kind {
+            WorkKind::Compute { sat, .. } => sat,
+            WorkKind::Idle { .. } => SmRate::ZERO,
+        }
+    }
+
+    /// The duration of this item under ideal provisioning.
+    pub fn ideal_duration(&self) -> SimDuration {
+        match self.kind {
+            WorkKind::Compute { t_min, .. } => t_min,
+            WorkKind::Idle { duration } => duration,
+        }
+    }
+
+    /// Kernel blocks this item will issue in total.
+    pub fn kernel_blocks(&self) -> u64 {
+        match self.kind {
+            WorkKind::Compute { kernel_blocks, .. } => kernel_blocks,
+            WorkKind::Idle { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_demand_is_saturation() {
+        let w = WorkItem::compute(SimDuration::from_millis(10), SmRate::from_percent(40.0), 100, 1);
+        assert_eq!(w.demand(), SmRate::from_percent(40.0));
+        assert_eq!(w.ideal_duration(), SimDuration::from_millis(10));
+        assert_eq!(w.kernel_blocks(), 100);
+    }
+
+    #[test]
+    fn idle_demands_nothing() {
+        let w = WorkItem::idle(SimDuration::from_millis(3), 2);
+        assert_eq!(w.demand(), SmRate::ZERO);
+        assert_eq!(w.kernel_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_compute_rejected() {
+        WorkItem::compute(SimDuration::ZERO, SmRate::FULL, 1, 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Event counters: cold starts, per-second request rates, GPU time.
+
+use dilu_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Counts cold starts and their cumulative startup delay.
+///
+/// The paper reports cold start counts (CSC) per trace; the cumulative delay
+/// feeds the saved-GPU-time comparison.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ColdStartCounter {
+    count: u64,
+    total_delay: SimDuration,
+}
+
+impl ColdStartCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one cold start that took `delay` before serving.
+    pub fn record(&mut self, delay: SimDuration) {
+        self.count += 1;
+        self.total_delay += delay;
+    }
+
+    /// Number of cold starts observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all cold start delays.
+    pub fn total_delay(&self) -> SimDuration {
+        self.total_delay
+    }
+}
+
+/// A sliding window of per-second request counts.
+///
+/// Dilu's global scaler (§3.4.2) keeps a 40 s window of RPS values and scales
+/// out when at least φ_out of them exceed deployed capacity.
+///
+/// # Examples
+///
+/// ```
+/// use dilu_metrics::RateWindow;
+/// use dilu_sim::SimTime;
+///
+/// let mut w = RateWindow::new(3);
+/// w.observe(SimTime::from_millis(500));
+/// w.observe(SimTime::from_millis(800));
+/// w.observe(SimTime::from_secs(1));
+/// w.roll_to(SimTime::from_secs(2));
+/// assert_eq!(w.samples(), [2, 1]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateWindow {
+    capacity: usize,
+    /// Closed per-second counts, oldest first.
+    closed: Vec<u64>,
+    current_second: u64,
+    current_count: u64,
+}
+
+impl RateWindow {
+    /// Creates a window holding up to `capacity` closed one-second buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        RateWindow { capacity, closed: Vec::new(), current_second: 0, current_count: 0 }
+    }
+
+    /// Records one request arriving at `now`.
+    pub fn observe(&mut self, now: SimTime) {
+        self.roll_to(now);
+        self.current_count += 1;
+    }
+
+    /// Advances the window to `now`, closing any completed seconds (recorded
+    /// as zero if no requests arrived in them).
+    pub fn roll_to(&mut self, now: SimTime) {
+        let sec = now.as_secs();
+        while self.current_second < sec {
+            let count = self.current_count;
+            self.push_closed(count);
+            self.current_count = 0;
+            self.current_second += 1;
+        }
+    }
+
+    fn push_closed(&mut self, count: u64) {
+        if self.closed.len() == self.capacity {
+            self.closed.remove(0);
+        }
+        self.closed.push(count);
+    }
+
+    /// The closed per-second samples, oldest first.
+    pub fn samples(&self) -> &[u64] {
+        &self.closed
+    }
+
+    /// How many closed samples exceed `threshold`.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.closed.iter().filter(|&&c| c as f64 > threshold).count()
+    }
+
+    /// How many closed samples are strictly below `threshold`.
+    pub fn count_below(&self, threshold: f64) -> usize {
+        self.closed.iter().filter(|&&c| (c as f64) < threshold).count()
+    }
+
+    /// `true` once the window holds `capacity` closed samples.
+    pub fn is_full(&self) -> bool {
+        self.closed.len() == self.capacity
+    }
+
+    /// Mean of the closed samples, or zero when none have closed.
+    pub fn mean(&self) -> f64 {
+        if self.closed.is_empty() {
+            0.0
+        } else {
+            self.closed.iter().sum::<u64>() as f64 / self.closed.len() as f64
+        }
+    }
+}
+
+/// Integrates occupied-GPU count over time (GPU-seconds).
+///
+/// Feeds the paper's saved GPU time (SGT) and the Fig. 17 occupancy curves.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GpuTimeMeter {
+    last_update: SimTime,
+    current_occupied: u32,
+    gpu_time: SimDuration,
+    peak_occupied: u32,
+}
+
+impl GpuTimeMeter {
+    /// Creates a meter starting at time zero with no GPUs occupied.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Updates the occupied-GPU count effective from `now` on.
+    ///
+    /// Time between the previous update and `now` is charged at the previous
+    /// count.
+    pub fn set_occupied(&mut self, now: SimTime, occupied: u32) {
+        self.accumulate(now);
+        self.current_occupied = occupied;
+        self.peak_occupied = self.peak_occupied.max(occupied);
+    }
+
+    fn accumulate(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.last_update);
+        self.gpu_time += elapsed.mul_f64(f64::from(self.current_occupied));
+        self.last_update = now;
+    }
+
+    /// Total GPU time accumulated up to `now`.
+    pub fn gpu_time_until(&mut self, now: SimTime) -> SimDuration {
+        self.accumulate(now);
+        self.gpu_time
+    }
+
+    /// Highest occupied-GPU count seen so far.
+    pub fn peak_occupied(&self) -> u32 {
+        self.peak_occupied
+    }
+
+    /// The currently charged GPU count.
+    pub fn current_occupied(&self) -> u32 {
+        self.current_occupied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_counter_accumulates() {
+        let mut c = ColdStartCounter::new();
+        c.record(SimDuration::from_secs(2));
+        c.record(SimDuration::from_secs(3));
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.total_delay(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn rate_window_buckets_by_second() {
+        let mut w = RateWindow::new(10);
+        for ms in [100, 200, 900, 1100, 2500] {
+            w.observe(SimTime::from_millis(ms));
+        }
+        w.roll_to(SimTime::from_secs(3));
+        assert_eq!(w.samples(), [3, 1, 1]);
+    }
+
+    #[test]
+    fn rate_window_records_idle_seconds_as_zero() {
+        let mut w = RateWindow::new(10);
+        w.observe(SimTime::from_millis(100));
+        w.roll_to(SimTime::from_secs(4));
+        assert_eq!(w.samples(), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rate_window_evicts_oldest() {
+        let mut w = RateWindow::new(2);
+        w.observe(SimTime::from_millis(100)); // second 0: 1
+        w.roll_to(SimTime::from_secs(3)); // closes seconds 0,1,2
+        assert_eq!(w.samples(), [0, 0]);
+        assert!(w.is_full());
+    }
+
+    #[test]
+    fn rate_window_threshold_counts() {
+        let mut w = RateWindow::new(5);
+        for s in 0..5u64 {
+            for _ in 0..s {
+                w.observe(SimTime::from_millis(s * 1000 + 1));
+            }
+        }
+        w.roll_to(SimTime::from_secs(5));
+        // Closed counts: [0, 1, 2, 3, 4].
+        assert_eq!(w.count_above(2.0), 2);
+        assert_eq!(w.count_below(2.0), 2);
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_time_meter_integrates_piecewise() {
+        let mut m = GpuTimeMeter::new();
+        m.set_occupied(SimTime::ZERO, 4);
+        m.set_occupied(SimTime::from_secs(10), 2);
+        let total = m.gpu_time_until(SimTime::from_secs(15));
+        assert_eq!(total, SimDuration::from_secs(4 * 10 + 2 * 5));
+        assert_eq!(m.peak_occupied(), 4);
+    }
+}

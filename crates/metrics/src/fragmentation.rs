@@ -1,0 +1,206 @@
+//! GPU fragmentation accounting.
+//!
+//! The paper defines fragments as allocated-but-unusable GPU resources on
+//! occupied GPUs: SM rate that is reserved (or stranded) but not consumed,
+//! and memory left stranded on cards whose remainder cannot host another
+//! function. Fig. 2(b) and Fig. 17 report both dimensions.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU's capacity/usage at a sampling instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuUsageSample {
+    /// Total SM rate of the card (100 = whole GPU).
+    pub sm_capacity: f64,
+    /// SM rate actually consumed by resident work this sample.
+    pub sm_used: f64,
+    /// Total device memory in bytes.
+    pub mem_capacity: u64,
+    /// Device memory held by resident instances in bytes.
+    pub mem_used: u64,
+    /// `true` if at least one instance is resident.
+    pub occupied: bool,
+}
+
+/// Aggregated fragmentation over a set of GPUs at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FragmentationSnapshot {
+    /// Fraction of SM capacity on *occupied* GPUs left unused, in `[0, 1]`.
+    pub sm_fragmentation: f64,
+    /// Fraction of memory on *occupied* GPUs left unused, in `[0, 1]`.
+    pub mem_fragmentation: f64,
+    /// Number of occupied GPUs.
+    pub occupied_gpus: u32,
+    /// Number of GPUs observed in total.
+    pub total_gpus: u32,
+}
+
+impl FragmentationSnapshot {
+    /// Computes a snapshot from per-GPU samples.
+    ///
+    /// Unoccupied GPUs count toward `total_gpus` but contribute no
+    /// fragmentation: a fully idle card is spare capacity, not a fragment.
+    pub fn from_samples<'a, I>(samples: I) -> Self
+    where
+        I: IntoIterator<Item = &'a GpuUsageSample>,
+    {
+        let mut sm_cap = 0.0;
+        let mut sm_used = 0.0;
+        let mut mem_cap = 0u64;
+        let mut mem_used = 0u64;
+        let mut occupied = 0u32;
+        let mut total = 0u32;
+        for s in samples {
+            total += 1;
+            if s.occupied {
+                occupied += 1;
+                sm_cap += s.sm_capacity;
+                sm_used += s.sm_used.min(s.sm_capacity);
+                mem_cap += s.mem_capacity;
+                mem_used += s.mem_used.min(s.mem_capacity);
+            }
+        }
+        let sm_fragmentation = if sm_cap > 0.0 { 1.0 - sm_used / sm_cap } else { 0.0 };
+        let mem_fragmentation =
+            if mem_cap > 0 { 1.0 - mem_used as f64 / mem_cap as f64 } else { 0.0 };
+        FragmentationSnapshot {
+            sm_fragmentation,
+            mem_fragmentation,
+            occupied_gpus: occupied,
+            total_gpus: total,
+        }
+    }
+}
+
+/// Time-averaged fragmentation statistics over a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FragmentationStats {
+    snapshots: Vec<FragmentationSnapshot>,
+}
+
+impl FragmentationStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sampled snapshot.
+    pub fn push(&mut self, snapshot: FragmentationSnapshot) {
+        self.snapshots.push(snapshot);
+    }
+
+    /// Number of snapshots taken.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` if no snapshots were taken.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Mean SM fragmentation across snapshots, or zero when empty.
+    pub fn mean_sm_fragmentation(&self) -> f64 {
+        self.mean(|s| s.sm_fragmentation)
+    }
+
+    /// Mean memory fragmentation across snapshots, or zero when empty.
+    pub fn mean_mem_fragmentation(&self) -> f64 {
+        self.mean(|s| s.mem_fragmentation)
+    }
+
+    /// Mean occupied-GPU count across snapshots, or zero when empty.
+    pub fn mean_occupied_gpus(&self) -> f64 {
+        self.mean(|s| f64::from(s.occupied_gpus))
+    }
+
+    /// The per-snapshot series, oldest first.
+    pub fn snapshots(&self) -> &[FragmentationSnapshot] {
+        &self.snapshots
+    }
+
+    fn mean(&self, f: impl Fn(&FragmentationSnapshot) -> f64) -> f64 {
+        if self.snapshots.is_empty() {
+            return 0.0;
+        }
+        self.snapshots.iter().map(f).sum::<f64>() / self.snapshots.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    fn sample(sm_used: f64, mem_used: u64, occupied: bool) -> GpuUsageSample {
+        GpuUsageSample {
+            sm_capacity: 100.0,
+            sm_used,
+            mem_capacity: 40 * GB,
+            mem_used,
+            occupied,
+        }
+    }
+
+    #[test]
+    fn idle_gpus_do_not_fragment() {
+        let gpus = [sample(0.0, 0, false), sample(0.0, 0, false)];
+        let snap = FragmentationSnapshot::from_samples(&gpus);
+        assert_eq!(snap.occupied_gpus, 0);
+        assert_eq!(snap.total_gpus, 2);
+        assert_eq!(snap.sm_fragmentation, 0.0);
+        assert_eq!(snap.mem_fragmentation, 0.0);
+    }
+
+    #[test]
+    fn exclusive_underuse_shows_as_fragmentation() {
+        // One occupied GPU using 30% SM and 10 GB of 40 GB: 70% SM frag.
+        let gpus = [sample(30.0, 10 * GB, true), sample(0.0, 0, false)];
+        let snap = FragmentationSnapshot::from_samples(&gpus);
+        assert!((snap.sm_fragmentation - 0.70).abs() < 1e-9);
+        assert!((snap.mem_fragmentation - 0.75).abs() < 1e-9);
+        assert_eq!(snap.occupied_gpus, 1);
+    }
+
+    #[test]
+    fn usage_is_clamped_to_capacity() {
+        let over = GpuUsageSample {
+            sm_capacity: 100.0,
+            sm_used: 120.0,
+            mem_capacity: GB,
+            mem_used: 2 * GB,
+            occupied: true,
+        };
+        let snap = FragmentationSnapshot::from_samples([&over]);
+        assert_eq!(snap.sm_fragmentation, 0.0);
+        assert_eq!(snap.mem_fragmentation, 0.0);
+    }
+
+    #[test]
+    fn stats_average_over_snapshots() {
+        let mut stats = FragmentationStats::new();
+        stats.push(FragmentationSnapshot {
+            sm_fragmentation: 0.2,
+            mem_fragmentation: 0.4,
+            occupied_gpus: 2,
+            total_gpus: 4,
+        });
+        stats.push(FragmentationSnapshot {
+            sm_fragmentation: 0.4,
+            mem_fragmentation: 0.2,
+            occupied_gpus: 4,
+            total_gpus: 4,
+        });
+        assert!((stats.mean_sm_fragmentation() - 0.3).abs() < 1e-12);
+        assert!((stats.mean_mem_fragmentation() - 0.3).abs() < 1e-12);
+        assert!((stats.mean_occupied_gpus() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = FragmentationStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mean_sm_fragmentation(), 0.0);
+    }
+}

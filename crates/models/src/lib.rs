@@ -1,0 +1,35 @@
+//! The DL model zoo used by the Dilu paper's evaluation (§5.1).
+//!
+//! The paper serves seven models — ResNet152, VGG19, BERT-base,
+//! RoBERTa-large, GPT2-large, LLaMA2-7B and ChatGLM3-6B — on real A100s.
+//! Here each model is an **analytic profile**: memory footprints, a batching
+//! curve (`t_min(b) = t_fixed + t_per·b`), an SM saturation point that grows
+//! with batch size, kernel-block intensity, and a training profile
+//! (compute + communication phases for DDP, stage + bubble for
+//! pipeline-parallel LLMs).
+//!
+//! The profiles are calibrated so the *shapes* the paper relies on hold:
+//! convex ⟨IBS, SMR, TE⟩ surfaces (Fig. 4), ≥40% idle for GPT2-large DDP
+//! (Fig. 2), ~25 ms RoBERTa-large kernel launch cycles, and parameter sizes
+//! spanning 0.2–12.6 GB.
+//!
+//! # Examples
+//!
+//! ```
+//! use dilu_models::ModelId;
+//!
+//! let roberta = ModelId::RobertaLarge.profile();
+//! // Doubling SMR beyond saturation buys almost nothing (marginal effect).
+//! let t_half = roberta.inference_exec_time(4, dilu_gpu::SmRate::from_percent(50.0));
+//! let t_full = roberta.inference_exec_time(4, dilu_gpu::SmRate::from_percent(100.0));
+//! assert!(t_full >= t_half.mul_f64(0.95));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod profile;
+mod zoo;
+
+pub use profile::{ModelProfile, ParallelKind, TrainingProfile};
+pub use zoo::ModelId;

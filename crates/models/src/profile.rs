@@ -1,0 +1,287 @@
+//! Analytic per-model performance profiles.
+
+use dilu_gpu::{rate_factor, SmRate, WorkItem};
+use dilu_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Kernel blocks issued per millisecond of saturated execution.
+///
+/// Calibrated so a busy GPU issues ~2×10⁴ blocks/s, matching the magnitude
+/// of the paper's Fig. 14 kernel-count traces.
+pub const BLOCKS_PER_SAT_MS: f64 = 20.0;
+
+/// How a model's training job is parallelised across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelKind {
+    /// PyTorch DDP data parallelism: every worker computes a full iteration
+    /// then synchronises gradients (an SM-idle communication phase).
+    DataParallel,
+    /// DeepSpeed pipeline parallelism: each worker hosts one stage and idles
+    /// during pipeline bubbles.
+    Pipeline,
+}
+
+/// A model's training-side profile (per worker).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingProfile {
+    /// Parallelism pattern used by the paper for this model.
+    pub parallelism: ParallelKind,
+    /// Compute-phase duration per iteration at saturation.
+    pub t_compute: SimDuration,
+    /// SM rate at which the training kernel stream saturates.
+    pub sat: SmRate,
+    /// SM-idle phase per iteration (gradient sync or pipeline bubble).
+    pub t_idle: SimDuration,
+    /// Device memory per worker (params + grads + optimizer + activations).
+    pub mem_bytes: u64,
+    /// Samples (images/sequences) processed per iteration per worker.
+    pub samples_per_iter: u32,
+    /// Unit for throughput reporting ("images/s", "tokens/s").
+    pub unit: &'static str,
+}
+
+impl TrainingProfile {
+    /// Fraction of wall time a solo worker's SMs sit idle (the paper's
+    /// Observation-2 GPU idling).
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.t_compute + self.t_idle;
+        self.t_idle.ratio(total)
+    }
+
+    /// Analytic iteration time at effective SM rate `smr` (no co-runners).
+    pub fn iter_time(&self, smr: SmRate) -> SimDuration {
+        let rate = rate_factor(smr.as_fraction(), self.sat.as_fraction());
+        if rate <= 0.0 {
+            return SimDuration::from_secs(u64::MAX / 2_000_000);
+        }
+        self.t_compute.mul_f64(1.0 / rate) + self.t_idle
+    }
+
+    /// Analytic throughput (samples per second) at effective SM rate `smr`.
+    pub fn throughput(&self, smr: SmRate) -> f64 {
+        let t = self.iter_time(smr).as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            f64::from(self.samples_per_iter) / t
+        }
+    }
+
+    /// Kernel blocks issued per compute iteration.
+    pub fn kernel_blocks(&self) -> u64 {
+        (self.t_compute.as_millis_f64() * BLOCKS_PER_SAT_MS).round() as u64
+    }
+
+    /// Builds the compute-phase work item for one iteration.
+    pub fn compute_item(&self, tag: u64) -> WorkItem {
+        WorkItem::compute(self.t_compute, self.sat, self.kernel_blocks(), tag)
+    }
+
+    /// Builds the SM-idle (communication/bubble) work item for one iteration.
+    pub fn idle_item(&self, tag: u64) -> WorkItem {
+        WorkItem::idle(self.t_idle, tag)
+    }
+}
+
+/// The complete analytic profile of one DL model.
+///
+/// Construct via [`ModelId::profile`](crate::ModelId::profile); fields are
+/// public because the profile is passive calibration data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Human-readable name as used in the paper's figures.
+    pub name: &'static str,
+    /// Parameter memory in bytes (the paper quotes 0.2–12.6 GB).
+    pub param_bytes: u64,
+    /// Device memory held by a deployed inference instance.
+    pub infer_mem_bytes: u64,
+    /// Fixed per-batch execution cost at saturation.
+    pub infer_t_fixed: SimDuration,
+    /// Marginal per-sample execution cost at saturation.
+    pub infer_t_per_sample: SimDuration,
+    /// Saturation SM rate at batch size 1.
+    pub infer_sat_base: SmRate,
+    /// Additional saturation SM rate per doubling of batch size.
+    pub infer_sat_per_doubling: SmRate,
+    /// Latency SLO. For LLMs this is the per-request budget derived from the
+    /// paper's time-per-output-token objective.
+    pub slo: SimDuration,
+    /// Output tokens per request (1 for non-generative models); LLM latency
+    /// is reported as time-per-output-token = latency / this.
+    pub output_tokens: u32,
+    /// `true` for the LLM family (LLaMA2-7B, ChatGLM3-6B).
+    pub is_llm: bool,
+    /// Training-side profile.
+    pub training: TrainingProfile,
+}
+
+impl ModelProfile {
+    /// Ideal (saturated) execution time for one batch of `batch` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn inference_t_min(&self, batch: u32) -> SimDuration {
+        assert!(batch > 0, "batch size must be positive");
+        self.infer_t_fixed + self.infer_t_per_sample * u64::from(batch)
+    }
+
+    /// SM rate at which a batch of `batch` saturates the card.
+    pub fn inference_sat(&self, batch: u32) -> SmRate {
+        assert!(batch > 0, "batch size must be positive");
+        let doublings = (f64::from(batch)).log2();
+        let sat = self.infer_sat_base.as_fraction()
+            + self.infer_sat_per_doubling.as_fraction() * doublings;
+        SmRate::from_fraction(sat.min(1.0))
+    }
+
+    /// Kernel blocks issued by one batch execution.
+    pub fn inference_blocks(&self, batch: u32) -> u64 {
+        (self.inference_t_min(batch).as_millis_f64() * BLOCKS_PER_SAT_MS).round() as u64
+    }
+
+    /// Analytic execution time of one batch at effective SM rate `smr`.
+    pub fn inference_exec_time(&self, batch: u32, smr: SmRate) -> SimDuration {
+        let sat = self.inference_sat(batch);
+        let rate = rate_factor(smr.as_fraction(), sat.as_fraction());
+        if rate <= 0.0 {
+            return SimDuration::from_secs(u64::MAX / 2_000_000);
+        }
+        self.inference_t_min(batch).mul_f64(1.0 / rate)
+    }
+
+    /// Analytic throughput efficacy TE = throughput / SMR (requests per
+    /// second per whole-GPU unit), the objective of the paper's Hybrid
+    /// Growth Search.
+    pub fn throughput_efficacy(&self, batch: u32, smr: SmRate) -> f64 {
+        let t = self.inference_exec_time(batch, smr).as_secs_f64();
+        if t <= 0.0 || smr.is_zero() {
+            return 0.0;
+        }
+        f64::from(batch) / t / smr.as_fraction()
+    }
+
+    /// Builds the work item executing one inference batch.
+    pub fn inference_item(&self, batch: u32, tag: u64) -> WorkItem {
+        WorkItem::compute(
+            self.inference_t_min(batch),
+            self.inference_sat(batch),
+            self.inference_blocks(batch),
+            tag,
+        )
+    }
+
+    /// The largest batch whose saturated execution stays within the paper's
+    /// `SLO/2` execution budget (the INFless rule Dilu adopts), or `None` if
+    /// even batch 1 misses it.
+    pub fn max_batch_within_slo(&self, max_batch: u32) -> Option<u32> {
+        let budget = self.slo / 2;
+        (1..=max_batch).rev().find(|&b| self.inference_t_min(b) <= budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelId;
+
+    #[test]
+    fn batching_is_sublinear_per_request() {
+        let m = ModelId::RobertaLarge.profile();
+        let t1 = m.inference_t_min(1).as_secs_f64();
+        let t8 = m.inference_t_min(8).as_secs_f64();
+        assert!(t8 < 8.0 * t1, "batching must amortise fixed cost");
+        assert!(t8 > t1, "bigger batches take longer in absolute terms");
+    }
+
+    #[test]
+    fn saturation_grows_with_batch_and_caps_at_full() {
+        let m = ModelId::Gpt2Large.profile();
+        assert!(m.inference_sat(8) > m.inference_sat(1));
+        assert!(m.inference_sat(1 << 14).as_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn exec_time_monotone_in_smr() {
+        let m = ModelId::ResNet152.profile();
+        let mut last = SimDuration::from_secs(1_000_000);
+        for pct in [10.0, 20.0, 40.0, 60.0, 80.0, 100.0] {
+            let t = m.inference_exec_time(4, SmRate::from_percent(pct));
+            assert!(t <= last, "exec time must not increase with SMR");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn te_decreases_with_smr() {
+        // TE = throughput per SM unit falls as the SM rate grows (the
+        // marginal effect of Fig. 4), so HGS stars sit at the lowest
+        // SLO-feasible SM rate.
+        let m = ModelId::RobertaLarge.profile();
+        let mut last = f64::INFINITY;
+        for pct in [10.0, 30.0, 50.0, 70.0, 100.0] {
+            let te = m.throughput_efficacy(4, SmRate::from_percent(pct));
+            assert!(te < last, "TE must decrease with SMR: {te} vs {last}");
+            last = te;
+        }
+    }
+
+    #[test]
+    fn roberta_klc_is_about_25ms() {
+        // §3.4.1: RoBERTa-large inference KLC ≈ 25 ms per iteration.
+        let m = ModelId::RobertaLarge.profile();
+        let t = m.inference_t_min(4).as_millis_f64();
+        assert!((20.0..32.0).contains(&t), "RoBERTa bs4 t_min {t}ms");
+    }
+
+    #[test]
+    fn gpt2_ddp_idles_at_least_40_percent() {
+        // Observation-2: 4-worker GPT2-large DDP idles >40% of the time.
+        let m = ModelId::Gpt2Large.profile();
+        assert!(m.training.idle_fraction() >= 0.40);
+    }
+
+    #[test]
+    fn llama_pipeline_idles_about_20_percent() {
+        let m = ModelId::Llama2_7b.profile();
+        assert_eq!(m.training.parallelism, ParallelKind::Pipeline);
+        let idle = m.training.idle_fraction();
+        assert!((0.15..0.25).contains(&idle), "idle fraction {idle}");
+    }
+
+    #[test]
+    fn training_throughput_saturates() {
+        let m = ModelId::BertBase.profile();
+        let half = m.training.throughput(SmRate::from_percent(50.0));
+        let full = m.training.throughput(SmRate::from_percent(100.0));
+        assert!(full >= half);
+        let sat = m.training.sat;
+        let at_sat = m.training.throughput(sat);
+        assert!((full - at_sat).abs() / full < 1e-9, "no gain beyond saturation");
+    }
+
+    #[test]
+    fn max_batch_respects_slo_budget() {
+        let m = ModelId::ResNet152.profile();
+        let b = m.max_batch_within_slo(64).unwrap();
+        assert!(m.inference_t_min(b) <= m.slo / 2);
+        if b < 64 {
+            assert!(m.inference_t_min(b + 1) > m.slo / 2);
+        }
+    }
+
+    #[test]
+    fn work_items_carry_profile_quantities() {
+        let m = ModelId::Vgg19.profile();
+        let item = m.inference_item(2, 42);
+        assert_eq!(item.tag, 42);
+        assert_eq!(item.ideal_duration(), m.inference_t_min(2));
+        assert_eq!(item.kernel_blocks(), m.inference_blocks(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        ModelId::BertBase.profile().inference_t_min(0);
+    }
+}

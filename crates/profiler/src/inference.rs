@@ -1,0 +1,180 @@
+//! The Hybrid Growth Search over ⟨IBS, SMR⟩ (paper §3.2, Fig. 4).
+
+use dilu_gpu::SmRate;
+use dilu_models::ModelId;
+use dilu_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::measure::measure_inference_exec;
+
+/// SMR growth step: the paper's "10 units".
+const SMR_STEP: f64 = 0.10;
+
+/// One pre-running trial on the search path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HgsTrial {
+    /// Batch size tried.
+    pub batch: u32,
+    /// SM rate tried.
+    pub smr: SmRate,
+    /// Measured execution time.
+    pub exec: SimDuration,
+    /// Throughput efficacy `batch / (exec · smr)` in req/s per GPU.
+    pub te: f64,
+    /// Whether the trial met the `SLO/2` execution budget.
+    pub meets_slo: bool,
+}
+
+/// The profiled configuration of an inference function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceProfile {
+    /// Optimal inference batch size (IBS).
+    pub batch: u32,
+    /// The `request` quota: the TE-optimal SM rate.
+    pub request: SmRate,
+    /// The `limit` quota: empirically 2× request (capped at the whole GPU).
+    pub limit: SmRate,
+    /// Pre-running trials consumed.
+    pub trials: u32,
+    /// TE at the optimum.
+    pub best_te: f64,
+    /// The full search path, for Fig. 4-style plots.
+    pub path: Vec<HgsTrial>,
+}
+
+fn trial(model: ModelId, batch: u32, smr: f64, budget: SimDuration) -> HgsTrial {
+    let smr = SmRate::from_fraction(smr.clamp(0.01, 1.0));
+    let exec = measure_inference_exec(model, batch, smr);
+    let te = if exec.is_zero() {
+        0.0
+    } else {
+        f64::from(batch) / exec.as_secs_f64() / smr.as_fraction()
+    };
+    HgsTrial { batch, smr, exec, te, meets_slo: exec <= budget }
+}
+
+/// Runs the Hybrid Growth Search for `model`: batch size doubles while the
+/// SM rate grows linearly, following the convex TE surface until the SLO
+/// blocks or TE drops. Returns the starred configuration of Fig. 4.
+pub fn hybrid_growth_search(model: ModelId) -> InferenceProfile {
+    let profile = model.profile();
+    // t_exec budget = SLO/2, accounting for batching/queueing overheads
+    // (the INFless rule the paper adopts).
+    let budget = profile.slo / 2;
+    let mut path = Vec::new();
+
+    // Phase 1: grow SMR at batch 1 until the SLO budget is met.
+    let mut smr = SMR_STEP;
+    let mut current = loop {
+        let t = trial(model, 1, smr, budget);
+        path.push(t);
+        if t.meets_slo {
+            break t;
+        }
+        smr += SMR_STEP;
+        if smr > 1.0 + 1e-9 {
+            // Even the whole GPU misses the budget at batch 1; serve the
+            // least-bad configuration.
+            let best = *path
+                .iter()
+                .min_by(|a, b| a.exec.cmp(&b.exec))
+                .expect("at least one trial ran");
+            return finish(best, path);
+        }
+    };
+
+    // Phase 2: walk the diagonal — double IBS, step SMR linearly.
+    loop {
+        let next_batch = current.batch * 2;
+        let next_smr = (current.smr.as_fraction() + SMR_STEP).min(1.0);
+        let t = trial(model, next_batch, next_smr, budget);
+        path.push(t);
+        let candidate = if t.meets_slo {
+            t
+        } else if next_smr < 1.0 {
+            // Blocked path: one pruning probe at the full GPU tells us
+            // whether any SM rate can save this batch size.
+            let probe = trial(model, next_batch, 1.0, budget);
+            path.push(probe);
+            if !probe.meets_slo {
+                break;
+            }
+            probe
+        } else {
+            break;
+        };
+        if candidate.te <= current.te {
+            // Past the peak of the convex surface.
+            break;
+        }
+        current = candidate;
+    }
+    finish(current, path)
+}
+
+fn finish(best: HgsTrial, path: Vec<HgsTrial>) -> InferenceProfile {
+    InferenceProfile {
+        batch: best.batch,
+        request: best.smr,
+        limit: best.smr.scale(2.0).min(SmRate::FULL),
+        trials: path.len() as u32,
+        best_te: best.te,
+        path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_meets_slo_budget() {
+        for model in ModelId::FIG4 {
+            let p = hybrid_growth_search(model);
+            let budget = model.profile().slo / 2;
+            let exec = measure_inference_exec(model, p.batch, p.request);
+            assert!(
+                exec <= budget.mul_f64(1.02),
+                "{model}: exec {exec} over budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn trials_stay_single_digit() {
+        // Table 2: Dilu profiles models a–d in 6–9 trials.
+        for model in ModelId::FIG4 {
+            let p = hybrid_growth_search(model);
+            assert!(
+                (3..=12).contains(&p.trials),
+                "{model}: {} trials outside the expected band",
+                p.trials
+            );
+        }
+    }
+
+    #[test]
+    fn limit_is_twice_request_capped() {
+        let p = hybrid_growth_search(ModelId::RobertaLarge);
+        let expected = p.request.scale(2.0).min(SmRate::FULL);
+        assert_eq!(p.limit, expected);
+    }
+
+    #[test]
+    fn batching_is_exploited() {
+        // The TE objective must push past batch 1 for throughput-friendly
+        // models.
+        let p = hybrid_growth_search(ModelId::ResNet152);
+        assert!(p.batch >= 4, "ResNet152 IBS {}", p.batch);
+    }
+
+    #[test]
+    fn path_contains_blocked_and_accepted_trials() {
+        let p = hybrid_growth_search(ModelId::RobertaLarge);
+        assert!(p.path.iter().any(|t| t.meets_slo));
+        assert_eq!(p.path.len() as u32, p.trials);
+        // TE along accepted prefix is non-decreasing (convex surface walk).
+        let best = p.path.iter().map(|t| t.te).fold(0.0, f64::max);
+        assert!((best - p.best_te).abs() < 1e-6 || p.best_te <= best);
+    }
+}

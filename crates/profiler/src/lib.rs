@@ -1,0 +1,34 @@
+//! Dilu's multi-factor profiler (paper §3.2) plus the baseline profiling
+//! strategies of Table 2.
+//!
+//! The profiler determines each DL function's `<request, limit>` SM quotas
+//! and (for inference) the optimal batch size, by *pre-running* trials on a
+//! private simulated GPU:
+//!
+//! * **Training**: binary search over the SM rate until measured throughput
+//!   reaches `p · T₁ ± 2%` of the exclusive throughput `T₁` — `p = 0.8`
+//!   yields the `request` quota, `p = 1.0` the `limit`.
+//! * **Inference**: the *Hybrid Growth Search* walks the convex
+//!   ⟨IBS, SMR, TE⟩ surface — batch size doubles while the SM rate grows
+//!   linearly (10-point steps) — maximising throughput efficacy
+//!   `TE = IBS / (t_exec · SMR)` subject to `t_exec ≤ SLO/2`.
+//! * **Baselines**: exhaustive traversal (60 trials), GPUlet-style
+//!   per-batch binary search (16), and INFless-style operator-decomposition
+//!   prediction (20–40, model-dependent).
+//!
+//! Every trial actually executes work on a [`dilu_gpu::GpuEngine`] under a
+//! static partition — the profiler only observes measured durations, never
+//! the analytic model underneath.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod inference;
+mod measure;
+mod training;
+
+pub use baselines::{gpulet_profile, infless_profile, traversal_profile, BaselineProfile};
+pub use inference::{hybrid_growth_search, HgsTrial, InferenceProfile};
+pub use measure::{measure_inference_exec, measure_training_throughput};
+pub use training::{profile_training, profile_training_quota, TrainingQuotaResult, TrainingQuotas};

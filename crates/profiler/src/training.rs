@@ -1,0 +1,114 @@
+//! Binary-search profiling of training SM quotas.
+
+use dilu_gpu::SmRate;
+use serde::{Deserialize, Serialize};
+
+use crate::measure::measure_training_throughput;
+use dilu_models::ModelId;
+
+/// Iterations executed per profiling trial.
+const TRIAL_ITERS: u64 = 10;
+
+/// Maximum binary-search trials before settling for the conservative bound.
+const MAX_TRIALS: u32 = 10;
+
+/// Result of one quota search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingQuotaResult {
+    /// The SM rate found.
+    pub smr: SmRate,
+    /// Pre-running trials consumed (including the exclusive baseline run).
+    pub trials: u32,
+    /// Throughput measured at `smr`, in samples/s.
+    pub throughput: f64,
+}
+
+/// The `<request, limit>` pair for a training function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingQuotas {
+    /// Quota guaranteeing 80% of exclusive throughput.
+    pub request: TrainingQuotaResult,
+    /// Quota reaching (near-)exclusive throughput.
+    pub limit: TrainingQuotaResult,
+}
+
+/// Binary-searches the SM rate at which `model`'s training throughput is
+/// `p · T₁ ± tolerance`, where `T₁` is the exclusive (100% SMR) throughput
+/// (paper §3.2, *Training Profiling*).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]` or `tolerance` is not positive.
+pub fn profile_training_quota(model: ModelId, p: f64, tolerance: f64) -> TrainingQuotaResult {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1], got {p}");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut trials = 1;
+    let t1 = measure_training_throughput(model, SmRate::FULL, TRIAL_ITERS);
+    let target = p * t1;
+    let (mut low, mut high) = (0.0_f64, 1.0_f64);
+    let mut best = TrainingQuotaResult { smr: SmRate::FULL, trials, throughput: t1 };
+    while trials < MAX_TRIALS {
+        let mid = 0.5 * (low + high);
+        trials += 1;
+        let ti = measure_training_throughput(model, SmRate::from_fraction(mid), TRIAL_ITERS);
+        if (ti - target).abs() <= tolerance * target {
+            return TrainingQuotaResult { smr: SmRate::from_fraction(mid), trials, throughput: ti };
+        }
+        if ti < target {
+            low = mid;
+        } else {
+            high = mid;
+            best = TrainingQuotaResult { smr: SmRate::from_fraction(mid), trials, throughput: ti };
+        }
+    }
+    // Fall back to the tightest upper bound that met the target.
+    TrainingQuotaResult { trials, ..best }
+}
+
+/// Profiles both quotas: `request` at `p = 0.8`, `limit` at `p = 1.0`, each
+/// within the paper's ±2% tolerance.
+pub fn profile_training(model: ModelId) -> TrainingQuotas {
+    TrainingQuotas {
+        request: profile_training_quota(model, 0.8, 0.02),
+        limit: profile_training_quota(model, 1.0, 0.02),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_quota_hits_80_percent_throughput() {
+        let model = ModelId::BertBase;
+        let t1 = measure_training_throughput(model, SmRate::FULL, TRIAL_ITERS);
+        let r = profile_training_quota(model, 0.8, 0.02);
+        let ratio = r.throughput / t1;
+        assert!((0.75..=0.86).contains(&ratio), "ratio {ratio}");
+        assert!(r.smr < SmRate::from_percent(60.0), "request {}", r.smr);
+        assert!(r.trials <= MAX_TRIALS);
+    }
+
+    #[test]
+    fn limit_quota_reaches_saturation() {
+        let model = ModelId::BertBase;
+        let r = profile_training_quota(model, 1.0, 0.02);
+        let sat = model.profile().training.sat;
+        // The limit lands at (or just above) the saturation knee.
+        assert!(r.smr >= sat.scale(0.9), "limit {} vs sat {sat}", r.smr);
+        assert!(r.smr <= sat.scale(1.5), "limit {} far beyond sat {sat}", r.smr);
+    }
+
+    #[test]
+    fn request_is_below_limit() {
+        let q = profile_training(ModelId::ResNet152);
+        assert!(q.request.smr <= q.limit.smr);
+        assert!(q.request.trials + q.limit.trials <= 2 * MAX_TRIALS);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn invalid_p_rejected() {
+        profile_training_quota(ModelId::BertBase, 0.0, 0.02);
+    }
+}

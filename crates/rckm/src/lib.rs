@@ -1,0 +1,35 @@
+//! The Real-time CUDA Kernel Manager (RCKM): Dilu's introspective vertical
+//! scaling (paper §3.4.1, Algorithm 2).
+//!
+//! The paper's RCKM is a per-node server that issues *tokens* (kernel-block
+//! budgets) to each collocated instance every 5 ms, reacting to kernel
+//! launch cycle (KLC) inflation of SLO-sensitive instances:
+//!
+//! * KLC inflation ΔT above `eta_violation` ⇒ **EMERGENCY**: the suffering
+//!   inference instance is fast-scaled-up to its `limit` quota while
+//!   collocated best-effort instances are scaled down proportionally to ΔT;
+//! * an instance that launched no kernels over the rate window is scaled
+//!   down to its `request` quota;
+//! * when every *other* instance is idle, grants ramp up multiplicatively
+//!   (`eta_increase`) — reusing dynamic fragments;
+//! * otherwise the GPU sits in stable **CONTENTION** at `request` quotas.
+//!
+//! [`RckmPolicy`] implements [`dilu_gpu::SharePolicy`], so it drops into the
+//! same engine as the MPS/TGS/FaST-GS baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use dilu_rckm::{RckmConfig, RckmPolicy};
+//! use dilu_gpu::SharePolicy;
+//!
+//! let policy = RckmPolicy::new(RckmConfig::default());
+//! assert_eq!(policy.name(), "dilu-rckm");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod policy;
+
+pub use policy::{RckmConfig, RckmPolicy, ScaleState};

@@ -1,0 +1,391 @@
+//! Algorithm 2: fast scale-up/down token control.
+
+use std::collections::{HashMap, VecDeque};
+
+use dilu_gpu::{Grant, InstanceId, InstanceView, SharePolicy, SmRate};
+use dilu_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the token manager (paper defaults in parentheses).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RckmConfig {
+    /// Scale factor on quota-derived token budgets; `1.0` means `MaxTokens`
+    /// equals one whole GPU per cycle (Fig. 18(b) sweeps this).
+    pub max_tokens: f64,
+    /// KLC-inflation threshold ΔT triggering the protective EMERGENCY path.
+    pub eta_violation: f64,
+    /// Multiplicative grant growth while recovering/expanding.
+    pub eta_increase: f64,
+    /// Kernel-rate window length in token cycles (≈ 5 ms each).
+    pub rate_window: usize,
+    /// Pending batches at an SLO-sensitive instance treated as a burst
+    /// (the KLC of an iteration grows with the requests batched into it, so
+    /// a deep queue is the same bursty-workload signal Algorithm 2 reads
+    /// from ΔT).
+    pub queue_pressure: usize,
+}
+
+impl Default for RckmConfig {
+    fn default() -> Self {
+        RckmConfig {
+            max_tokens: 1.0,
+            eta_violation: 0.5,
+            eta_increase: 1.3,
+            rate_window: 10,
+            queue_pressure: 3,
+        }
+    }
+}
+
+/// Algorithm 2's per-instance scaling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleState {
+    /// No collocated instances: free to use the limit quota.
+    None,
+    /// Protective fast scale-up of a suffering SLO-sensitive instance (and
+    /// fast scale-down of its co-runners).
+    Emergency,
+    /// Ramping grants back up after an emergency or into idle fragments.
+    Recovery,
+    /// Stable contention: everyone holds its request quota.
+    Contention,
+}
+
+#[derive(Debug, Clone)]
+struct InstanceCtl {
+    state: ScaleState,
+    /// Last issued grant as an SM fraction.
+    r_last: f64,
+    /// Kernel blocks issued per recent cycle, newest last.
+    window: VecDeque<u64>,
+}
+
+impl InstanceCtl {
+    fn new(rate_window: usize) -> Self {
+        InstanceCtl {
+            state: ScaleState::Contention,
+            r_last: 0.0,
+            window: VecDeque::with_capacity(rate_window),
+        }
+    }
+
+    fn push_rate(&mut self, blocks: u64, cap: usize) {
+        if self.window.len() == cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(blocks);
+    }
+
+    fn window_sum(&self) -> u64 {
+        self.window.iter().sum()
+    }
+}
+
+/// Dilu's token-issuing share policy (one per GPU).
+///
+/// See the [crate docs](crate) for the control law and an example.
+#[derive(Debug, Clone)]
+pub struct RckmPolicy {
+    config: RckmConfig,
+    ctl: HashMap<InstanceId, InstanceCtl>,
+    /// The SLO-sensitive instance currently holding the EMERGENCY state,
+    /// with its last observed ΔT. Only this instance may reset it (§3.4.1).
+    emergency: Option<(InstanceId, f64)>,
+}
+
+impl RckmPolicy {
+    /// Creates a token manager with the given tunables.
+    pub fn new(config: RckmConfig) -> Self {
+        RckmPolicy { config, ctl: HashMap::new(), emergency: None }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &RckmConfig {
+        &self.config
+    }
+
+    /// The instance currently holding the emergency, if any.
+    pub fn emergency_holder(&self) -> Option<InstanceId> {
+        self.emergency.map(|(id, _)| id)
+    }
+
+    /// The scaling state of `id`, if tracked.
+    pub fn state_of(&self, id: InstanceId) -> Option<ScaleState> {
+        self.ctl.get(&id).map(|c| c.state)
+    }
+
+    /// The burst/contention pressure of an instance: relative KLC inflation,
+    /// amplified by queue depth (more requests per iteration ⇒ longer KLC).
+    fn pressure(&self, v: &InstanceView) -> f64 {
+        let queue = if v.class.is_slo_sensitive() && v.queue_len >= self.config.queue_pressure {
+            v.queue_len as f64 / self.config.queue_pressure as f64
+        } else {
+            0.0
+        };
+        v.klc_inflation.max(queue)
+    }
+
+    fn refresh_emergency(&mut self, views: &[InstanceView]) {
+        // Only the holder may reset/modify the EMERGENCY state; it clears
+        // when the holder's pressure subsides or the holder departs.
+        if let Some((holder, _)) = self.emergency {
+            match views.iter().find(|v| v.id == holder) {
+                Some(v) if self.pressure(v) > self.config.eta_violation => {
+                    self.emergency = Some((holder, self.pressure(v)));
+                }
+                _ => self.emergency = None,
+            }
+        }
+        if self.emergency.is_none() {
+            // Adopt the most pressured SLO-sensitive instance, if any
+            // crosses the threshold.
+            let candidate = views
+                .iter()
+                .filter(|v| v.class.is_slo_sensitive())
+                .map(|v| (v.id, self.pressure(v)))
+                .filter(|&(_, p)| p > self.config.eta_violation)
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some((id, p)) = candidate {
+                self.emergency = Some((id, p));
+            }
+        }
+    }
+}
+
+impl SharePolicy for RckmPolicy {
+    fn allocate(
+        &mut self,
+        _now: SimTime,
+        _quantum: SimDuration,
+        views: &[InstanceView],
+    ) -> Vec<Grant> {
+        let cfg = self.config;
+        // Drop state for departed instances.
+        self.ctl.retain(|id, _| views.iter().any(|v| v.id == *id));
+        for v in views {
+            self.ctl
+                .entry(v.id)
+                .or_insert_with(|| InstanceCtl::new(cfg.rate_window))
+                .push_rate(v.blocks_last_quantum, cfg.rate_window);
+        }
+        self.refresh_emergency(views);
+        let emergency = self.emergency;
+
+        // Activity of SLO-sensitive co-runners, for best-effort ramping.
+        let slo_active: bool = views.iter().any(|v| {
+            v.class.is_slo_sensitive()
+                && self.ctl.get(&v.id).is_some_and(|c| c.window_sum() > 0)
+        });
+
+        let mut grants = Vec::with_capacity(views.len());
+        for v in views {
+            let others_idle = views
+                .iter()
+                .filter(|o| o.id != v.id)
+                .all(|o| self.ctl.get(&o.id).is_none_or(|c| c.window_sum() == 0));
+            let alone = views.len() == 1;
+            let ctl = self.ctl.get_mut(&v.id).expect("ctl inserted above");
+            let request = cfg.max_tokens * v.request.as_fraction();
+            let limit = cfg.max_tokens * v.limit.as_fraction();
+
+            let (state, issue) = if v.class.is_slo_sensitive() {
+                if emergency.is_some_and(|(id, _)| id == v.id) {
+                    // Protective fast scale-up (Algorithm 2 line 14-15).
+                    (ScaleState::Emergency, limit)
+                } else if ctl.window_sum() == 0 {
+                    // Idle inference: release SMs down to request (line 16-17).
+                    (ScaleState::Recovery, request)
+                } else if others_idle {
+                    // Everything else idle: expand into the fragments
+                    // (line 18-19), up to the whole card.
+                    (
+                        ScaleState::Recovery,
+                        (ctl.r_last.max(request) * cfg.eta_increase).min(cfg.max_tokens),
+                    )
+                } else {
+                    // Stable contention (line 20-21).
+                    (ScaleState::Contention, request)
+                }
+            } else if alone {
+                // No collocation: the limit quota (line 24-25).
+                (ScaleState::None, limit)
+            } else if let Some((_, delta_t)) = emergency {
+                // Fast scale-down proportional to the holder's inflation
+                // (line 26-27).
+                (ScaleState::Emergency, request.min(ctl.r_last.max(request)) / (1.0 + delta_t))
+            } else if !slo_active {
+                // SLO-sensitive co-runners idle: ramp toward limit
+                // (line 28-29).
+                (ScaleState::Recovery, (ctl.r_last.max(request) * cfg.eta_increase).min(limit))
+            } else {
+                // Contention: hold at request (line 30-31, floored at the
+                // request quota to avoid starvation).
+                (ScaleState::Contention, request)
+            };
+
+            ctl.state = state;
+            ctl.r_last = issue;
+            grants.push(Grant { id: v.id, smr: SmRate::from_fraction(issue.max(0.0)) });
+        }
+        grants
+    }
+
+    fn name(&self) -> &str {
+        "dilu-rckm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dilu_gpu::TaskClass;
+
+    fn view(
+        id: u64,
+        class: TaskClass,
+        request: f64,
+        limit: f64,
+        blocks: u64,
+        inflation: f64,
+    ) -> InstanceView {
+        InstanceView {
+            id: InstanceId(id),
+            class,
+            request: SmRate::from_percent(request),
+            limit: SmRate::from_percent(limit),
+            demand: SmRate::from_percent(limit),
+            queue_len: 1,
+            blocks_last_quantum: blocks,
+            klc_inflation: inflation,
+            idle_quanta: if blocks == 0 { 10 } else { 0 },
+        }
+    }
+
+    fn grant_of(grants: &[Grant], id: u64) -> f64 {
+        grants.iter().find(|g| g.id == InstanceId(id)).unwrap().smr.as_fraction()
+    }
+
+    fn tick(policy: &mut RckmPolicy, views: &[InstanceView]) -> Vec<Grant> {
+        policy.allocate(SimTime::ZERO, SimDuration::from_millis(5), views)
+    }
+
+    #[test]
+    fn solo_best_effort_gets_limit() {
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        let g = tick(&mut p, &[view(1, TaskClass::BestEffort, 40.0, 80.0, 100, 0.0)]);
+        assert!((grant_of(&g, 1) - 0.80).abs() < 1e-9);
+        assert_eq!(p.state_of(InstanceId(1)), Some(ScaleState::None));
+    }
+
+    #[test]
+    fn contention_holds_requests() {
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        let views = [
+            view(1, TaskClass::SloSensitive, 30.0, 60.0, 50, 0.1),
+            view(2, TaskClass::BestEffort, 50.0, 80.0, 80, 0.0),
+        ];
+        let g = tick(&mut p, &views);
+        assert!((grant_of(&g, 1) - 0.30).abs() < 1e-9);
+        assert!((grant_of(&g, 2) - 0.50).abs() < 1e-9);
+        assert_eq!(p.state_of(InstanceId(2)), Some(ScaleState::Contention));
+    }
+
+    #[test]
+    fn emergency_scales_inference_up_and_training_down() {
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        let views = [
+            view(1, TaskClass::SloSensitive, 30.0, 60.0, 50, 1.0), // ΔT = 1.0 > η
+            view(2, TaskClass::BestEffort, 50.0, 80.0, 80, 0.0),
+        ];
+        let g = tick(&mut p, &views);
+        assert!((grant_of(&g, 1) - 0.60).abs() < 1e-9, "holder gets limit");
+        // Training pushed to request/(1+ΔT) = 0.25.
+        assert!((grant_of(&g, 2) - 0.25).abs() < 1e-9);
+        assert_eq!(p.emergency_holder(), Some(InstanceId(1)));
+    }
+
+    #[test]
+    fn emergency_clears_when_inflation_subsides() {
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        let hot = [
+            view(1, TaskClass::SloSensitive, 30.0, 60.0, 50, 1.0),
+            view(2, TaskClass::BestEffort, 50.0, 80.0, 80, 0.0),
+        ];
+        tick(&mut p, &hot);
+        assert!(p.emergency_holder().is_some());
+        let cooled = [
+            view(1, TaskClass::SloSensitive, 30.0, 60.0, 50, 0.1),
+            view(2, TaskClass::BestEffort, 50.0, 80.0, 80, 0.0),
+        ];
+        tick(&mut p, &cooled);
+        assert_eq!(p.emergency_holder(), None);
+    }
+
+    #[test]
+    fn idle_inference_releases_sm_to_training() {
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        let views = [
+            view(1, TaskClass::SloSensitive, 30.0, 60.0, 0, 0.0), // idle
+            view(2, TaskClass::BestEffort, 50.0, 80.0, 80, 0.0),
+        ];
+        // Fill the inference window with idleness.
+        let mut g = Vec::new();
+        for _ in 0..12 {
+            g = tick(&mut p, &views);
+        }
+        assert!((grant_of(&g, 1) - 0.30).abs() < 1e-9, "idle inference at request");
+        // Training ramped toward its limit.
+        assert!(grant_of(&g, 2) > 0.60, "training grant {}", grant_of(&g, 2));
+        assert!(grant_of(&g, 2) <= 0.80 + 1e-9);
+    }
+
+    #[test]
+    fn inference_expands_when_training_idle() {
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        let views = [
+            view(1, TaskClass::SloSensitive, 30.0, 60.0, 60, 0.0),
+            view(2, TaskClass::BestEffort, 50.0, 80.0, 0, 0.0), // idle
+        ];
+        let mut g = Vec::new();
+        for _ in 0..12 {
+            g = tick(&mut p, &views);
+        }
+        // Grows multiplicatively past its limit, up to the whole card.
+        assert!(grant_of(&g, 1) > 0.60, "inference grant {}", grant_of(&g, 1));
+    }
+
+    #[test]
+    fn conservative_max_tokens_caps_grants() {
+        let mut p = RckmPolicy::new(RckmConfig { max_tokens: 0.5, ..RckmConfig::default() });
+        let g = tick(&mut p, &[view(1, TaskClass::BestEffort, 40.0, 80.0, 100, 0.0)]);
+        assert!((grant_of(&g, 1) - 0.40).abs() < 1e-9, "limit × MaxTokens");
+    }
+
+    #[test]
+    fn departed_instances_are_pruned() {
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        tick(
+            &mut p,
+            &[
+                view(1, TaskClass::SloSensitive, 30.0, 60.0, 50, 0.0),
+                view(2, TaskClass::BestEffort, 50.0, 80.0, 80, 0.0),
+            ],
+        );
+        assert!(p.state_of(InstanceId(2)).is_some());
+        tick(&mut p, &[view(1, TaskClass::SloSensitive, 30.0, 60.0, 50, 0.0)]);
+        assert_eq!(p.state_of(InstanceId(2)), None);
+    }
+
+    #[test]
+    fn grants_never_exceed_whole_gpu_per_instance() {
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        let views = [
+            view(1, TaskClass::SloSensitive, 90.0, 180.0, 60, 0.0),
+            view(2, TaskClass::BestEffort, 90.0, 180.0, 0, 0.0),
+        ];
+        for _ in 0..50 {
+            let g = tick(&mut p, &views);
+            assert!(grant_of(&g, 1) <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Dilu's lazy horizontal scaler (paper §3.4.2).
+//!
+//! Classic serverless scalers react instantly to load changes and pay the
+//! cold-start price for every few-second burst. Dilu instead lets the fast
+//! *vertical* scaler (RCKM) absorb short bursts and only scales out when a
+//! 40-second sliding window shows a *sustained* overload:
+//!
+//! * **scale out** when at least φ_out (20) per-second RPS samples exceed
+//!   the serving throughput of the deployed instances;
+//! * **scale in** when more than φ_in (30) samples fall below the capacity
+//!   of one fewer instance — avoiding termination/restart churn.
+//!
+//! [`LazyScaler`] implements [`dilu_cluster::Autoscaler`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lazy;
+
+pub use lazy::{LazyScaler, ScalerConfig};

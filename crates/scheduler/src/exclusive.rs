@@ -1,0 +1,98 @@
+//! The whole-GPU-per-instance baseline placement.
+
+use dilu_cluster::{ClusterView, FunctionSpec, GpuAddr, Placement};
+
+/// Exclusive pass-through allocation: every instance gets idle GPUs of its
+/// own, as in [7, 18, 22] of the paper (Table 1's left column).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExclusivePlacement;
+
+impl ExclusivePlacement {
+    /// Creates the exclusive placement policy.
+    pub fn new() -> Self {
+        ExclusivePlacement
+    }
+}
+
+impl Placement for ExclusivePlacement {
+    fn place(&mut self, func: &FunctionSpec, cluster: &ClusterView) -> Option<Vec<GpuAddr>> {
+        let mut chosen = Vec::with_capacity(func.gpus_per_instance as usize);
+        for gpu in &cluster.gpus {
+            if !gpu.occupied()
+                && gpu.mem_free() >= func.quotas.mem_bytes
+                && !chosen.contains(&gpu.addr)
+            {
+                chosen.push(gpu.addr);
+                if chosen.len() as u32 == func.gpus_per_instance {
+                    return Some(chosen);
+                }
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &str {
+        "exclusive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dilu_cluster::{FunctionId, FunctionKind, GpuView, Quotas, ResidentInfo};
+    use dilu_gpu::{SmRate, TaskClass, GB};
+    use dilu_models::ModelId;
+    use dilu_sim::SimDuration;
+
+    fn spec(gpus: u32) -> FunctionSpec {
+        FunctionSpec {
+            id: FunctionId(7),
+            name: "f".into(),
+            model: ModelId::BertBase,
+            kind: FunctionKind::Inference { slo: SimDuration::from_millis(50), batch: 4 },
+            quotas: Quotas::equal(SmRate::FULL, 2 * GB),
+            gpus_per_instance: gpus,
+        }
+    }
+
+    fn idle_gpu(idx: u32) -> GpuView {
+        GpuView {
+            addr: GpuAddr { node: 0, gpu: idx },
+            mem_capacity: 40 * GB,
+            mem_reserved: 0,
+            residents: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn refuses_occupied_gpus() {
+        let mut busy = idle_gpu(0);
+        busy.residents.push(ResidentInfo {
+            func: FunctionId(1),
+            class: TaskClass::BestEffort,
+            request: SmRate::FULL,
+            limit: SmRate::FULL,
+            mem_bytes: GB,
+        });
+        busy.mem_reserved = GB;
+        let cluster = ClusterView { gpus: vec![busy, idle_gpu(1)] };
+        let mut p = ExclusivePlacement::new();
+        let placed = p.place(&spec(1), &cluster).unwrap();
+        assert_eq!(placed, vec![GpuAddr { node: 0, gpu: 1 }]);
+    }
+
+    #[test]
+    fn takes_multiple_idle_gpus() {
+        let cluster = ClusterView { gpus: vec![idle_gpu(0), idle_gpu(1), idle_gpu(2)] };
+        let mut p = ExclusivePlacement::new();
+        let placed = p.place(&spec(2), &cluster).unwrap();
+        assert_eq!(placed.len(), 2);
+    }
+
+    #[test]
+    fn fails_without_enough_idle_gpus() {
+        let cluster = ClusterView { gpus: vec![idle_gpu(0)] };
+        let mut p = ExclusivePlacement::new();
+        assert!(p.place(&spec(2), &cluster).is_none());
+    }
+}

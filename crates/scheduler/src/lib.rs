@@ -1,0 +1,26 @@
+//! Dilu's resourcing-complementary scheduler (paper §3.3, Algorithm 1).
+//!
+//! Placement of new instances follows three principles:
+//!
+//! 1. **Workload affinity first** (Fig. 5): prefer GPUs hosting functions
+//!    this function is already collocated with elsewhere, so instances of
+//!    the same function see similar contention and the barrel effect on
+//!    synchronized training is reduced.
+//! 2. **Defragmentation through resource complementarity**: among feasible
+//!    GPUs pick the one minimising the weighted leftover-fragment score
+//!    `α·(1 − ΣSMreq/SM) + β·(1 − mem/M)`; multi-GPU LLM instances instead
+//!    use a memory-based *worst-fit* to minimise pipeline stages.
+//! 3. **Bounded oversubscription**: per-GPU caps Ω on Σ`request` and γ on
+//!    Σ`limit` keep collocation interference in check (Fig. 18(a)).
+//!
+//! [`DiluScheduler`] implements [`dilu_cluster::Placement`];
+//! [`ExclusivePlacement`] is the whole-GPU baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dilu;
+mod exclusive;
+
+pub use dilu::{DiluScheduler, SchedulerConfig};
+pub use exclusive::ExclusivePlacement;

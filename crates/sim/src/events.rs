@@ -1,0 +1,168 @@
+//! A stable-ordered future event list.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A min-ordered queue of `(SimTime, T)` events.
+///
+/// Events scheduled for the same instant pop in insertion order, which keeps
+/// simulations deterministic regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use dilu_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(3), 'b');
+/// q.push(SimTime::from_millis(3), 'c');
+/// q.push(SimTime::from_millis(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    event: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse to pop the earliest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, event: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> Extend<(SimTime, T)> for EventQueue<T> {
+    fn extend<I: IntoIterator<Item = (SimTime, T)>>(&mut self, iter: I) {
+        for (at, event) in iter {
+            self.push(at, event);
+        }
+    }
+}
+
+impl<T> FromIterator<(SimTime, T)> for EventQueue<T> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, T)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), 3);
+        q.push(SimTime::from_millis(10), 1);
+        q.push(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_millis(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), "later");
+        assert_eq!(q.pop_due(SimTime::from_millis(9)), None);
+        assert_eq!(q.pop_due(SimTime::from_millis(10)), Some((SimTime::from_millis(10), "later")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let q: EventQueue<u8> =
+            (0u8..5).map(|i| (SimTime::from_millis(u64::from(i)), i)).collect();
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,208 @@
+//! Stationary arrival processes: Poisson, Gamma(CV), replay.
+
+use dilu_sim::rng::{component_rng, sample_exponential, sample_gamma, SimRng};
+use dilu_sim::SimTime;
+
+/// Generates request arrival instants up to a horizon.
+///
+/// Implementations are stateful so repeated calls continue the same stream;
+/// most callers generate once for the full experiment horizon.
+pub trait ArrivalProcess {
+    /// All arrivals in `[0, horizon)`, sorted ascending.
+    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime>;
+
+    /// The long-run mean request rate in requests per second.
+    fn mean_rate(&self) -> f64;
+}
+
+/// A homogeneous Poisson process (exponential inter-arrivals).
+///
+/// Used by the paper for steady inference workloads (after BATCH/DistServe).
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate_rps: f64,
+    rng: SimRng,
+}
+
+impl PoissonProcess {
+    /// Creates a Poisson process with `rate_rps` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not strictly positive and finite.
+    pub fn new(rate_rps: f64, seed: u64) -> Self {
+        assert!(rate_rps.is_finite() && rate_rps > 0.0, "rate must be positive");
+        PoissonProcess { rate_rps, rng: component_rng(seed, "poisson-arrivals") }
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let horizon_s = horizon.as_secs_f64();
+        loop {
+            t += sample_exponential(&mut self.rng, self.rate_rps);
+            if t >= horizon_s {
+                break;
+            }
+            out.push(SimTime::from_secs_f64(t));
+        }
+        out
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate_rps
+    }
+}
+
+/// A renewal process with Gamma-distributed inter-arrivals of a chosen
+/// coefficient of variation.
+///
+/// CV = 1 recovers Poisson; larger CVs produce the bursty arrivals of the
+/// paper's Fig. 10 sweep (after FastServe).
+#[derive(Debug, Clone)]
+pub struct GammaProcess {
+    rate_rps: f64,
+    cv: f64,
+    rng: SimRng,
+}
+
+impl GammaProcess {
+    /// Creates a Gamma process with mean `rate_rps` and coefficient of
+    /// variation `cv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` or `cv` is not strictly positive and finite.
+    pub fn new(rate_rps: f64, cv: f64, seed: u64) -> Self {
+        assert!(rate_rps.is_finite() && rate_rps > 0.0, "rate must be positive");
+        assert!(cv.is_finite() && cv > 0.0, "cv must be positive");
+        GammaProcess { rate_rps, cv, rng: component_rng(seed, "gamma-arrivals") }
+    }
+
+    /// The configured coefficient of variation.
+    pub fn cv(&self) -> f64 {
+        self.cv
+    }
+}
+
+impl ArrivalProcess for GammaProcess {
+    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
+        // Inter-arrival Gamma(shape=1/cv², scale=cv²/rate) has mean 1/rate
+        // and coefficient of variation cv.
+        let shape = 1.0 / (self.cv * self.cv);
+        let scale = self.cv * self.cv / self.rate_rps;
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let horizon_s = horizon.as_secs_f64();
+        loop {
+            t += sample_gamma(&mut self.rng, shape, scale);
+            if t >= horizon_s {
+                break;
+            }
+            out.push(SimTime::from_secs_f64(t));
+        }
+        out
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate_rps
+    }
+}
+
+/// Replays an explicit list of arrival instants.
+#[derive(Debug, Clone)]
+pub struct ReplayProcess {
+    arrivals: Vec<SimTime>,
+}
+
+impl ReplayProcess {
+    /// Creates a replay process; arrivals are sorted on construction.
+    pub fn new<I: IntoIterator<Item = SimTime>>(arrivals: I) -> Self {
+        let mut arrivals: Vec<SimTime> = arrivals.into_iter().collect();
+        arrivals.sort_unstable();
+        ReplayProcess { arrivals }
+    }
+}
+
+impl ArrivalProcess for ReplayProcess {
+    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
+        self.arrivals.iter().copied().filter(|&t| t < horizon).collect()
+    }
+
+    fn mean_rate(&self) -> f64 {
+        match (self.arrivals.first(), self.arrivals.last()) {
+            (Some(&first), Some(&last)) if last > first => {
+                self.arrivals.len() as f64 / (last - first).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv_of_interarrivals(arrivals: &[SimTime]) -> f64 {
+        let gaps: Vec<f64> = arrivals
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        var.sqrt() / mean
+    }
+
+    #[test]
+    fn poisson_hits_mean_rate() {
+        let mut p = PoissonProcess::new(50.0, 1);
+        let arrivals = p.generate(SimTime::from_secs(100));
+        let rate = arrivals.len() as f64 / 100.0;
+        assert!((rate - 50.0).abs() < 3.0, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_sorted_and_seeded() {
+        let a = PoissonProcess::new(10.0, 7).generate(SimTime::from_secs(10));
+        let b = PoissonProcess::new(10.0, 7).generate(SimTime::from_secs(10));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn gamma_cv_one_looks_poisson() {
+        let mut g = GammaProcess::new(40.0, 1.0, 3);
+        let arrivals = g.generate(SimTime::from_secs(200));
+        let cv = cv_of_interarrivals(&arrivals);
+        assert!((cv - 1.0).abs() < 0.1, "cv {cv}");
+    }
+
+    #[test]
+    fn gamma_high_cv_is_bursty() {
+        let mut g = GammaProcess::new(40.0, 4.0, 5);
+        let arrivals = g.generate(SimTime::from_secs(400));
+        let cv = cv_of_interarrivals(&arrivals);
+        assert!(cv > 2.5, "cv {cv} should reflect burstiness");
+        let rate = arrivals.len() as f64 / 400.0;
+        assert!((rate - 40.0).abs() < 8.0, "rate {rate}");
+    }
+
+    #[test]
+    fn replay_filters_by_horizon() {
+        let mut r = ReplayProcess::new([
+            SimTime::from_secs(5),
+            SimTime::from_secs(1),
+            SimTime::from_secs(9),
+        ]);
+        let got = r.generate(SimTime::from_secs(6));
+        assert_eq!(got, vec![SimTime::from_secs(1), SimTime::from_secs(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        PoissonProcess::new(0.0, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Request arrival-process generators for the Dilu reproduction.
+//!
+//! The paper evaluates under Poisson arrivals, Gamma arrivals with varying
+//! coefficient of variation (CV, after FastServe), and three trace shapes
+//! from Azure Functions' production characterization — *Bursty*, *Periodic*
+//! and *Sporadic* (after INFless / FaaSwap). Real traces are not available
+//! offline, so [`RateTrace`] synthesises the same shapes as piecewise
+//! request-rate functions sampled by a non-homogeneous Poisson process.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use dilu_workload::{ArrivalProcess, PoissonProcess};
+//! use dilu_sim::SimTime;
+//!
+//! let mut p = PoissonProcess::new(20.0, 42);
+//! let arrivals = p.generate(SimTime::from_secs(10));
+//! let rate = arrivals.len() as f64 / 10.0;
+//! assert!((rate - 20.0).abs() < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod traces;
+
+pub use arrival::{ArrivalProcess, GammaProcess, PoissonProcess, ReplayProcess};
+pub use traces::{RateTrace, TraceKind, TraceProcess};

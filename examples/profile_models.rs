@@ -1,0 +1,46 @@
+//! Multi-factor profiling of the full model zoo: runs the Hybrid Growth
+//! Search and the training binary search for every model and prints the
+//! resourcing metadata Dilu's scheduler consumes.
+//!
+//! ```sh
+//! cargo run --release --example profile_models
+//! ```
+
+use dilu::models::ModelId;
+use dilu::profiler::{hybrid_growth_search, profile_training};
+
+fn main() {
+    println!("inference profiling (Hybrid Growth Search, SLO/2 exec budget):\n");
+    println!(
+        "{:<14} {:>4} {:>10} {:>8} {:>8} {:>7}",
+        "model", "IBS", "request", "limit", "TE", "trials"
+    );
+    for model in ModelId::ALL {
+        let p = hybrid_growth_search(model);
+        println!(
+            "{:<14} {:>4} {:>10} {:>8} {:>8.0} {:>7}",
+            model.to_string(),
+            p.batch,
+            p.request.to_string(),
+            p.limit.to_string(),
+            p.best_te,
+            p.trials
+        );
+    }
+    println!("\ntraining profiling (binary search, request = 80% of exclusive, limit = 100%):\n");
+    println!(
+        "{:<14} {:>10} {:>8} {:>9} {:>14}",
+        "model", "request", "limit", "trials", "thr@request"
+    );
+    for model in ModelId::ALL {
+        let q = profile_training(model);
+        println!(
+            "{:<14} {:>10} {:>8} {:>9} {:>11.0}/s",
+            model.to_string(),
+            q.request.smr.to_string(),
+            q.limit.smr.to_string(),
+            q.request.trials + q.limit.trials,
+            q.request.throughput
+        );
+    }
+}

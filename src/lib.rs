@@ -1,0 +1,58 @@
+//! # Dilu — GPU resourcing-on-demand for serverless DL serving
+//!
+//! A from-scratch Rust reproduction of *"Dilu: Enabling GPU
+//! Resourcing-on-Demand for Serverless DL Serving via Introspective
+//! Elasticity"* (ASPLOS '25), running on a deterministic simulated GPU
+//! cluster substrate instead of real A100s/CUDA/MPS.
+//!
+//! The crates compose as the paper's three planes:
+//!
+//! * **control plane** — [`profiler`] (`<request, limit>` quota search),
+//!   [`scheduler`] (Algorithm 1 resourcing-complementary placement);
+//! * **scaling plane** — [`scaler`] (lazy scaling-out/in) and [`rckm`]
+//!   (Algorithm 2 token-based fast scaling-up/down);
+//! * **serving plane** — [`cluster`] (instances, batching, training jobs,
+//!   cold starts) over [`gpu`] (quantum-stepped SM contention engine) and
+//!   [`models`] (the evaluated DL model zoo) fed by [`workload`] arrival
+//!   generators, measured by [`metrics`].
+//!
+//! [`baselines`] implements Exclusive/MPS/TGS/FaST-GS/INFless+ on the same
+//! substrate; [`core`] wires complete systems and hosts the experiment
+//! harness regenerating every table and figure (see `crates/bench`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dilu::core::{build_sim, funcs, SystemKind};
+//! use dilu::cluster::ClusterSpec;
+//! use dilu::models::ModelId;
+//! use dilu::sim::SimTime;
+//! use dilu::workload::{ArrivalProcess, PoissonProcess};
+//!
+//! // A two-GPU node running the full Dilu stack.
+//! let mut sim = build_sim(SystemKind::Dilu, ClusterSpec::single_node(2));
+//! let function = funcs::inference_function(1, ModelId::RobertaLarge);
+//! let arrivals = PoissonProcess::new(25.0, 7).generate(SimTime::from_secs(20));
+//! sim.deploy_inference(function, 1, arrivals)?;
+//! sim.run_until(SimTime::from_secs(25));
+//! let report = sim.into_report();
+//! let f = report.inference.values().next().unwrap();
+//! assert!(f.svr() < 0.05, "Dilu keeps the SLO under steady load");
+//! # Ok::<(), dilu::cluster::DeployError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dilu_baselines as baselines;
+pub use dilu_cluster as cluster;
+pub use dilu_core as core;
+pub use dilu_gpu as gpu;
+pub use dilu_metrics as metrics;
+pub use dilu_models as models;
+pub use dilu_profiler as profiler;
+pub use dilu_rckm as rckm;
+pub use dilu_scaler as scaler;
+pub use dilu_scheduler as scheduler;
+pub use dilu_sim as sim;
+pub use dilu_workload as workload;

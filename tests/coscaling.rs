@@ -1,0 +1,99 @@
+//! Integration tests for the co-scaling (§5.3) and scheduling (§5.4/5.5)
+//! claims, at reduced scale for debug-build speed.
+
+use dilu::cluster::ClusterSpec;
+use dilu::core::macrosim::{run_macro, MacroConfig, MacroSystem};
+use dilu::core::{build_sim, funcs, SystemKind};
+use dilu::models::ModelId;
+use dilu::sim::{SimDuration, SimTime};
+use dilu::workload::{ArrivalProcess, RateTrace, TraceKind, TraceProcess};
+
+const HORIZON: u64 = 240;
+
+fn bursty_run(kind: SystemKind) -> (u64, f64) {
+    let trace = RateTrace::synthesize(
+        TraceKind::Bursty,
+        20.0,
+        5.0,
+        SimDuration::from_secs(HORIZON),
+        13,
+    );
+    let arrivals = TraceProcess::new(trace, 13).generate(SimTime::from_secs(HORIZON));
+    let mut sim = build_sim(kind, ClusterSpec::single_node(6));
+    sim.deploy_inference(funcs::inference_function(1, ModelId::RobertaLarge), 1, arrivals)
+        .expect("room at t=0");
+    sim.run_until(SimTime::from_secs(HORIZON + 10));
+    let report = sim.into_report();
+    let f = report.inference.values().next().unwrap();
+    (f.cold_starts.count(), f.svr())
+}
+
+#[test]
+fn lazy_coscaling_reduces_cold_starts() {
+    // Table 3: Dilu's lazy scale-out has the fewest cold starts on bursty
+    // traces because RCKM absorbs the short bursts vertically.
+    let (dilu_csc, dilu_svr) = bursty_run(SystemKind::Dilu);
+    let (eager_csc, _) = bursty_run(SystemKind::FastGsPlus);
+    assert!(
+        dilu_csc <= eager_csc,
+        "Dilu {dilu_csc} cold starts vs FaST-GS+ {eager_csc}"
+    );
+    assert!(dilu_svr < 0.25, "Dilu SVR under bursty trace: {dilu_svr}");
+}
+
+#[test]
+fn dilu_serves_bursts_with_low_violations() {
+    let (_, svr) = bursty_run(SystemKind::Dilu);
+    let (_, eager_svr) = bursty_run(SystemKind::FastGsPlus);
+    assert!(
+        svr <= eager_svr + 0.02,
+        "Dilu SVR {svr} vs FaST-GS+ {eager_svr}"
+    );
+}
+
+#[test]
+fn large_scale_cost_ordering_holds() {
+    // Fig. 17 at reduced scale: Dilu < INFless+-l ≤ Exclusive in GPU cost.
+    let cfg = MacroConfig {
+        nodes: 60,
+        gpus_per_node: 4,
+        instances: 200,
+        arrival_span: SimDuration::from_secs(300),
+        mean_lifetime: SimDuration::from_secs(200),
+        seed: 21,
+    };
+    let excl = run_macro(MacroSystem::Exclusive, &cfg, 1.5);
+    let infl = run_macro(MacroSystem::InflessPlusL, &cfg, 1.5);
+    let dilu = run_macro(MacroSystem::Dilu, &cfg, 1.5);
+    assert!(dilu.gpu_seconds < infl.gpu_seconds);
+    assert!(infl.gpu_seconds <= excl.gpu_seconds * 1.02);
+    assert!(
+        dilu.gpu_seconds < excl.gpu_seconds * 0.9,
+        "Dilu cost {} vs Exclusive {}",
+        dilu.gpu_seconds,
+        excl.gpu_seconds
+    );
+}
+
+#[test]
+fn oversubscription_has_diminishing_returns() {
+    // Fig. 18(a): occupancy shrinks as γ grows, with little gain past 1.5.
+    let cfg = MacroConfig {
+        nodes: 60,
+        gpus_per_node: 4,
+        instances: 200,
+        arrival_span: SimDuration::from_secs(300),
+        mean_lifetime: SimDuration::from_secs(200),
+        seed: 23,
+    };
+    let g10 = run_macro(MacroSystem::Dilu, &cfg, 1.0).mean_occupied;
+    let g15 = run_macro(MacroSystem::Dilu, &cfg, 1.5).mean_occupied;
+    let g25 = run_macro(MacroSystem::Dilu, &cfg, 2.5).mean_occupied;
+    assert!(g15 <= g10 + 1e-9, "γ=1.5 ({g15}) must not exceed γ=1.0 ({g10})");
+    let first_gain = g10 - g15;
+    let second_gain = g15 - g25;
+    assert!(
+        second_gain <= first_gain.max(0.5),
+        "returns must diminish: {first_gain} then {second_gain}"
+    );
+}

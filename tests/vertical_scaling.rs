@@ -1,0 +1,122 @@
+//! Cross-crate integration tests for the paper's vertical-scaling claims
+//! (§5.2), at reduced scale so they run in debug builds.
+
+use dilu::cluster::FunctionId;
+use dilu::core::experiments::collocation::{gpu, run_case, GpuSystem, Member};
+use dilu::core::funcs;
+use dilu::models::ModelId;
+use dilu::rckm::RckmConfig;
+use dilu::sim::SimTime;
+use dilu::workload::{ArrivalProcess, GammaProcess, PoissonProcess};
+
+const HORIZON: u64 = 30;
+
+fn dilu() -> GpuSystem {
+    GpuSystem::Dilu(RckmConfig::default())
+}
+
+fn pair_case(system: GpuSystem, rps: f64, seed: u64) -> (f64, f64, f64) {
+    let arrivals = PoissonProcess::new(rps, seed).generate(SimTime::from_secs(HORIZON));
+    let inf = funcs::inference_function(1, ModelId::RobertaLarge);
+    let train = funcs::training_function(2, ModelId::BertBase, 1, u64::MAX);
+    let members = if matches!(system, GpuSystem::Exclusive) {
+        vec![Member::solo(inf, arrivals, gpu(0)), Member::workers(train, &[gpu(1)])]
+    } else {
+        vec![Member::solo(inf, arrivals, gpu(0)), Member::workers(train, &[gpu(0)])]
+    };
+    let report = run_case(2, members, system, HORIZON + 5);
+    let f = &report.inference[&FunctionId(1)];
+    let t = report.training.values().next().unwrap().throughput(report.horizon);
+    (f.p95_display().as_millis_f64(), f.svr(), t)
+}
+
+#[test]
+fn dilu_preserves_qos_while_collocating() {
+    // Fig. 7: Dilu's p95 stays within a modest factor of Exclusive while
+    // halving the GPUs.
+    let (excl_p95, excl_svr, _) = pair_case(GpuSystem::Exclusive, 20.0, 3);
+    let (dilu_p95, dilu_svr, dilu_train) = pair_case(dilu(), 20.0, 3);
+    assert!(
+        dilu_p95 <= excl_p95 * 2.0,
+        "Dilu p95 {dilu_p95}ms vs exclusive {excl_p95}ms"
+    );
+    assert!(dilu_svr <= excl_svr + 0.05, "Dilu SVR {dilu_svr}");
+    assert!(dilu_train > 0.0, "collocated training must progress");
+}
+
+#[test]
+fn tgs_nearly_stops_collocated_training() {
+    // Fig. 7(b): TGS prioritises the inference instance and starves the
+    // collocated training function.
+    let (_, _, dilu_train) = pair_case(dilu(), 20.0, 5);
+    let (_, _, tgs_train) = pair_case(GpuSystem::Tgs, 20.0, 5);
+    assert!(
+        tgs_train < dilu_train * 0.35,
+        "TGS training {tgs_train} vs Dilu {dilu_train}"
+    );
+}
+
+#[test]
+fn dilu_beats_static_mps_under_bursts() {
+    // Fig. 10: at high CV, static MPS partitions blow up the p95 while
+    // Dilu's fast scale-up keeps it close to Exclusive.
+    let cv = 5.0;
+    let run = |system: GpuSystem| {
+        let arrivals = GammaProcess::new(64.0, cv, 17).generate(SimTime::from_secs(HORIZON));
+        let inf = funcs::inference_function(1, ModelId::RobertaLarge);
+        let train = funcs::training_function(2, ModelId::BertBase, 1, u64::MAX);
+        let members = if matches!(system, GpuSystem::Exclusive) {
+            vec![Member::solo(inf, arrivals, gpu(0)), Member::workers(train, &[gpu(1)])]
+        } else {
+            vec![Member::solo(inf, arrivals, gpu(0)), Member::workers(train, &[gpu(0)])]
+        };
+        let report = run_case(2, members, system, HORIZON + 5);
+        report.inference[&FunctionId(1)].p95_display().as_millis_f64()
+    };
+    let dilu_p95 = run(dilu());
+    let mps_r_p95 = run(GpuSystem::MpsR);
+    assert!(
+        mps_r_p95 > dilu_p95 * 1.3,
+        "MPS-r p95 {mps_r_p95}ms should exceed Dilu {dilu_p95}ms under CV={cv}"
+    );
+}
+
+#[test]
+fn rckm_overhead_is_negligible_for_solo_training() {
+    // Fig. 11(a): managing a solo training function costs <1% throughput.
+    let job = |system: GpuSystem| {
+        let train = funcs::training_function(1, ModelId::BertBase, 1, u64::MAX);
+        let report = run_case(2, vec![Member::workers(train, &[gpu(0)])], system, HORIZON);
+        report.training.values().next().unwrap().throughput(report.horizon)
+    };
+    let with = job(dilu());
+    let without = job(GpuSystem::Exclusive);
+    let ratio = with / without;
+    assert!(ratio > 0.99, "vertical scaling overhead too high: {ratio}");
+}
+
+#[test]
+fn dilu_training_throughput_beats_static_partitions() {
+    // Fig. 9: collocated training pairs under Dilu outperform MPS-l/MPS-r
+    // because idle communication phases are lent out dynamically.
+    let pair = |system: GpuSystem| {
+        let a = funcs::training_function(1, ModelId::BertBase, 1, u64::MAX);
+        let b = funcs::training_function(2, ModelId::RobertaLarge, 1, u64::MAX);
+        let members =
+            vec![Member::workers(a, &[gpu(0)]), Member::workers(b, &[gpu(0)])];
+        let report = run_case(2, members, system, HORIZON);
+        report
+            .training
+            .values()
+            .map(|t| t.throughput(report.horizon))
+            .collect::<Vec<_>>()
+    };
+    let d = pair(dilu());
+    let r = pair(GpuSystem::MpsR);
+    let dilu_sum: f64 = d.iter().sum();
+    let mps_sum: f64 = r.iter().sum();
+    assert!(
+        dilu_sum >= mps_sum * 0.99,
+        "Dilu aggregate {dilu_sum} vs MPS-r {mps_sum}"
+    );
+}
