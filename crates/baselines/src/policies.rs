@@ -119,8 +119,7 @@ impl SharePolicy for TgsPolicy {
             .or_else(|| views.iter().map(|v| v.id).min());
         let productive = |v: &InstanceView| productive_id == Some(v.id);
         // "Recently active" = launched kernels within the last few quanta.
-        let productive_active =
-            views.iter().any(|v| productive(v) && v.idle_quanta < 4);
+        let productive_active = views.iter().any(|v| productive(v) && v.idle_quanta < 4);
         views
             .iter()
             .map(|v| {
@@ -177,11 +176,8 @@ impl SharePolicy for FastGsPolicy {
         _quantum: SimDuration,
         views: &[InstanceView],
     ) -> Vec<Grant> {
-        let idle_pool: f64 = views
-            .iter()
-            .filter(|v| v.idle_quanta >= 4)
-            .map(|v| v.limit.as_fraction())
-            .sum();
+        let idle_pool: f64 =
+            views.iter().filter(|v| v.idle_quanta >= 4).map(|v| v.limit.as_fraction()).sum();
         let active: Vec<&InstanceView> = views.iter().filter(|v| v.idle_quanta < 4).collect();
         let share = if active.is_empty() { 0.0 } else { idle_pool / active.len() as f64 };
         views
@@ -234,8 +230,10 @@ mod tests {
 
     #[test]
     fn mps_grants_are_static_even_when_idle() {
-        let views =
-            [view(1, TaskClass::SloSensitive, 30.0, 60.0, 100), view(2, TaskClass::BestEffort, 40.0, 80.0, 0)];
+        let views = [
+            view(1, TaskClass::SloSensitive, 30.0, 60.0, 100),
+            view(2, TaskClass::BestEffort, 40.0, 80.0, 0),
+        ];
         let mut l = MpsPolicy::new(QuotaSource::Limit);
         let g = tick(&mut l, &views);
         assert_eq!(grant_of(&g, 1), 0.60);

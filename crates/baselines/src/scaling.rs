@@ -129,12 +129,11 @@ impl Autoscaler for KeepAliveScaler {
             if wanted > capacity {
                 let count = ((wanted - capacity) / f.capacity_rps.max(1e-9)).ceil().max(1.0) as u32;
                 actions.push(ScaleAction::ScaleOut { func: f.func, count });
-            } else if f.ready_instances > 1
-                && f.max_idle >= self.keep_alive
-                && wanted < f.capacity_rps * f64::from(f.ready_instances - 1)
+            } else if f.max_idle >= self.keep_alive
+                && ((f.ready_instances > 1
+                    && wanted < f.capacity_rps * f64::from(f.ready_instances - 1))
+                    || (f.ready_instances == 1 && mean == 0.0))
             {
-                actions.push(ScaleAction::ScaleIn { func: f.func, count: 1 });
-            } else if f.ready_instances == 1 && f.max_idle >= self.keep_alive && mean == 0.0 {
                 actions.push(ScaleAction::ScaleIn { func: f.func, count: 1 });
             }
         }

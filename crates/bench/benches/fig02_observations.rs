@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 2 — fragmentation observations and preliminary co-scaling.
+//! Bench target regenerating Fig. 2 — fragmentation observations and preliminary co-scaling via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig02_observations", "Fig. 2 — fragmentation observations and preliminary co-scaling", dilu_core::experiments::fig02::run);
+    dilu_bench::run_registered("fig02");
 }

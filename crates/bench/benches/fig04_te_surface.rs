@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 4 — throughput-efficacy surfaces and HGS stars.
+//! Bench target regenerating Fig. 4 — throughput-efficacy surfaces and HGS stars via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig04_te_surface", "Fig. 4 — throughput-efficacy surfaces and HGS stars", dilu_core::experiments::fig04::run);
+    dilu_bench::run_registered("fig04");
 }

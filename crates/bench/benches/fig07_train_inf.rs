@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 7 — training-inference collocation.
+//! Bench target regenerating Fig. 7 — training-inference collocation via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig07_train_inf", "Fig. 7 — training-inference collocation", dilu_core::experiments::fig07::run);
+    dilu_bench::run_registered("fig07");
 }

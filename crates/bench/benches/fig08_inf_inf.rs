@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 8 — inference-inference collocation.
+//! Bench target regenerating Fig. 8 — inference-inference collocation via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig08_inf_inf", "Fig. 8 — inference-inference collocation", dilu_core::experiments::fig08::run);
+    dilu_bench::run_registered("fig08");
 }

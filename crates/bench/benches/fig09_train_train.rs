@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 9 — training-training collocation.
+//! Bench target regenerating Fig. 9 — training-training collocation via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig09_train_train", "Fig. 9 — training-training collocation", dilu_core::experiments::fig09::run);
+    dilu_bench::run_registered("fig09");
 }

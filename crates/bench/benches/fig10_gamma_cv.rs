@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 10 — p95 latency vs Gamma CV.
+//! Bench target regenerating Fig. 10 — p95 latency vs Gamma CV via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig10_gamma_cv", "Fig. 10 — p95 latency vs Gamma CV", dilu_core::experiments::fig10::run);
+    dilu_bench::run_registered("fig10");
 }

@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 11 — vertical scaling overhead.
+//! Bench target regenerating Fig. 11 — vertical scaling overhead via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig11_overhead", "Fig. 11 — vertical scaling overhead", dilu_core::experiments::fig11::run);
+    dilu_bench::run_registered("fig11");
 }

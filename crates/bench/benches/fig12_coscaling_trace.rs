@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 12 — co-scaling trace analysis.
+//! Bench target regenerating Fig. 12 — co-scaling trace analysis via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig12_coscaling_trace", "Fig. 12 — co-scaling trace analysis", dilu_core::experiments::fig12::run);
+    dilu_bench::run_registered("fig12");
 }

@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 13 — kernel issuing traces.
+//! Bench target regenerating Fig. 13 — kernel issuing traces via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig13_kernel_ratio", "Fig. 13 — kernel issuing traces", dilu_core::experiments::fig13::run);
+    dilu_bench::run_registered("fig13");
 }

@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 14 — total kernel counts.
+//! Bench target regenerating Fig. 14 — total kernel counts via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig14_kernel_counts", "Fig. 14 — total kernel counts", dilu_core::experiments::fig13::run_fig14);
+    dilu_bench::run_registered("fig14");
 }

@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 15 — end-to-end scheduling and ablations.
+//! Bench target regenerating Fig. 15 — end-to-end scheduling and ablations via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig15_end_to_end", "Fig. 15 — end-to-end scheduling and ablations", dilu_core::experiments::fig15::run);
+    dilu_bench::run_registered("fig15");
 }

@@ -1,23 +1,4 @@
-//! Bench target regenerating Fig. 16 — aggregate throughput per GPU.
-//!
-//! Runs the same end-to-end scenario as Fig. 15 and reports the
-//! per-occupied-GPU inference goodput and training throughput, normalised
-//! to Exclusive (the paper's aggregate-throughput definition).
-use dilu_core::experiments::fig15;
-use dilu_core::table::Table;
-
+//! Bench target regenerating Fig. 16 — aggregate throughput per GPU via the experiment registry.
 fn main() {
-    println!("== fig16_aggregate: Fig. 16 — aggregate throughput ==");
-    let result = fig15::run();
-    let excl = result.row("Exclusive").expect("exclusive row").clone();
-    let mut t = Table::new(["system", "inference x Exclusive", "training x Exclusive"]);
-    for r in &result.rows {
-        t.row([
-            r.system.clone(),
-            format!("{:.2}", r.inf_goodput_per_gpu / excl.inf_goodput_per_gpu.max(1e-9)),
-            format!("{:.2}", r.train_throughput_per_gpu / excl.train_throughput_per_gpu.max(1e-9)),
-        ]);
-    }
-    println!("{t}");
-    dilu_core::table::write_json("fig16_aggregate", &result);
+    dilu_bench::run_registered("fig16");
 }

@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 17 — 1000-node provisioning efficiency.
+//! Bench target regenerating Fig. 17 — 1000-node provisioning efficiency via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig17_large_scale", "Fig. 17 — 1000-node provisioning efficiency", dilu_core::experiments::fig17::run);
+    dilu_bench::run_registered("fig17");
 }

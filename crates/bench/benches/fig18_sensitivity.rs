@@ -1,4 +1,4 @@
-//! Bench target regenerating Fig. 18 — oversubscription and MaxTokens sensitivity.
+//! Bench target regenerating Fig. 18 — oversubscription and MaxTokens sensitivity via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("fig18_sensitivity", "Fig. 18 — oversubscription and MaxTokens sensitivity", dilu_core::experiments::fig18::run);
+    dilu_bench::run_registered("fig18");
 }

@@ -1,4 +1,4 @@
-//! Bench target regenerating Table 2 — profiling iteration comparison.
+//! Bench target regenerating Table 2 — profiling iteration comparison via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("tab02_profiling", "Table 2 — profiling iteration comparison", dilu_core::experiments::tab02::run);
+    dilu_bench::run_registered("tab02");
 }

@@ -1,4 +1,4 @@
-//! Bench target regenerating Table 3 — horizontal scaling (CSC/SVR/SGT).
+//! Bench target regenerating Table 3 — horizontal scaling (CSC/SVR/SGT) via the experiment registry.
 fn main() {
-    dilu_bench::run_experiment("tab03_coscaling", "Table 3 — horizontal scaling (CSC/SVR/SGT)", dilu_core::experiments::tab03::run);
+    dilu_bench::run_registered("tab03");
 }

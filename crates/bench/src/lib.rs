@@ -1,25 +1,33 @@
 //! Benchmark harness support: every bench target in `benches/` regenerates
-//! one table or figure of the paper via `dilu_core::experiments`, printing
-//! an ASCII table and writing JSON under `target/experiments/`.
+//! one table or figure of the paper via the
+//! [`dilu_core::experiments`] registry, printing an ASCII table and
+//! writing JSON under `target/experiments/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt::Display;
+use dilu_core::experiments::{self, ExperimentCtx};
 
-use serde::Serialize;
-
-/// Runs one experiment: prints a banner, the rendered result, and persists
-/// the JSON dump for EXPERIMENTS.md regeneration.
-pub fn run_experiment<T, F>(id: &str, title: &str, run: F)
-where
-    T: Display + Serialize,
-    F: FnOnce() -> T,
-{
-    println!("== {id}: {title} ==");
+/// Runs the registered experiment `name`: prints a banner, the rendered
+/// result, and persists the JSON dump for EXPERIMENTS.md regeneration.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the registry — bench targets are
+/// compile-time fixed, so an unknown name is a programming error.
+pub fn run_registered(name: &str) {
+    let experiment = experiments::find(name).unwrap_or_else(|| {
+        panic!(
+            "experiment `{name}` is not registered (known: {})",
+            experiments::all().iter().map(|e| e.name()).collect::<Vec<_>>().join(", ")
+        )
+    });
+    println!("== {}: {} ==", experiment.name(), experiment.title());
     let started = std::time::Instant::now();
-    let result = run();
-    println!("{result}");
-    dilu_core::table::write_json(id, &result);
-    println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+    let output = experiment.run(&ExperimentCtx::with_default_json_dir());
+    println!("{}", output.rendered);
+    if let Some(path) = &output.json_path {
+        println!("[json: {}]", path.display());
+    }
+    println!("[{name} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
 }

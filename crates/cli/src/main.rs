@@ -1,0 +1,270 @@
+//! `dilu` — the single front door of the Dilu reproduction.
+//!
+//! ```text
+//! dilu run <scenario.toml|.json> [--json <out.json>]   simulate a config file
+//! dilu experiment <name>... | all                      regenerate paper figures
+//! dilu list                                            components, presets, models
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dilu_core::experiments::{self, ExperimentCtx};
+use dilu_core::table::Table;
+use dilu_core::{Registry, ScenarioConfig, SystemKind};
+use dilu_models::ModelId;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "dilu — GPU resourcing-on-demand for serverless DL serving (reproduction)\n\
+     \n\
+     USAGE:\n\
+     \x20 dilu run <scenario.toml|.json> [--json <out.json>]\n\
+     \x20     Build the scenario described by the config file and simulate it.\n\
+     \x20 dilu experiment <name>... | all\n\
+     \x20     Regenerate registered paper experiments (JSON under target/experiments/).\n\
+     \x20 dilu list\n\
+     \x20     Show registered experiments, components, presets, and models.\n\
+     \x20 dilu help\n\
+     \x20     This message.\n"
+        .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// dilu run
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut scenario_path: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = it.next().ok_or("--json needs a path")?;
+                json_out = Some(PathBuf::from(path));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `dilu run`"));
+            }
+            path => {
+                if scenario_path.replace(PathBuf::from(path)).is_some() {
+                    return Err("`dilu run` takes exactly one scenario file".into());
+                }
+            }
+        }
+    }
+    let path =
+        scenario_path.ok_or_else(|| format!("`dilu run` needs a scenario file\n\n{}", usage()))?;
+    run_scenario(&path, json_out.as_deref())
+}
+
+fn run_scenario(path: &Path, json_out: Option<&Path>) -> Result<(), String> {
+    let config = ScenarioConfig::load(path).map_err(|e| e.to_string())?;
+    let name = config.name.clone().unwrap_or_else(|| {
+        path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
+    });
+    let registry = Registry::with_defaults();
+    let scenario =
+        config.into_builder(&registry).and_then(|b| b.build()).map_err(|e| e.to_string())?;
+
+    println!("== scenario: {name} ==");
+    println!(
+        "cluster: {} GPUs | placement: {} | autoscaler: {} | share policy: {}",
+        scenario.sim().spec().total_gpus(),
+        scenario.sim().placement_name(),
+        scenario.sim().autoscaler_name(),
+        scenario.sim().share_policy_name(),
+    );
+    let horizon = scenario.horizon();
+    println!("horizon: {horizon} (+drain)\n");
+
+    let started = std::time::Instant::now();
+    let report = scenario.run().map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+
+    if !report.inference.is_empty() {
+        let mut t = Table::new([
+            "function",
+            "model",
+            "arrived",
+            "completed",
+            "SVR",
+            "p50",
+            "p95",
+            "cold starts",
+        ]);
+        for f in report.inference.values() {
+            t.row([
+                f.name.clone(),
+                f.model.to_string(),
+                f.arrived.to_string(),
+                f.completed.to_string(),
+                format!("{:.2}%", f.svr() * 100.0),
+                f.p50_display().to_string(),
+                f.p95_display().to_string(),
+                f.cold_starts.count().to_string(),
+            ]);
+        }
+        println!("{t}");
+    }
+    if !report.training.is_empty() {
+        let mut t = Table::new(["job", "model", "workers", "iterations", "JCT", "throughput"]);
+        for j in report.training.values() {
+            t.row([
+                j.name.clone(),
+                j.model.to_string(),
+                j.workers.to_string(),
+                j.iterations_done.to_string(),
+                j.jct().map(|d| d.to_string()).unwrap_or_else(|| "unfinished".into()),
+                format!("{:.1} {}", j.throughput(report.horizon), j.unit),
+            ]);
+        }
+        println!("{t}");
+    }
+    println!(
+        "peak GPUs: {} | mean occupied: {:.1} | GPU time: {} | mean SVR: {:.2}%",
+        report.peak_gpus,
+        report.mean_occupied_gpus(),
+        report.gpu_time,
+        report.mean_svr() * 100.0,
+    );
+    println!("[simulated in {:.1}s]", elapsed.as_secs_f64());
+
+    if let Some(out) = json_out {
+        let summary = report_summary(&report);
+        dilu_core::table::write_json_at(out, &summary);
+        println!("[json: {}]", out.display());
+    }
+    Ok(())
+}
+
+/// A JSON-friendly digest of a [`dilu_cluster::ClusterReport`].
+fn report_summary(report: &dilu_cluster::ClusterReport) -> serde::Value {
+    use serde::Value;
+    let inference: Vec<Value> = report
+        .inference
+        .values()
+        .map(|f| {
+            Value::Map(vec![
+                (Value::Str("name".into()), Value::Str(f.name.clone())),
+                (Value::Str("model".into()), Value::Str(f.model.name().into())),
+                (Value::Str("arrived".into()), Value::UInt(f.arrived)),
+                (Value::Str("completed".into()), Value::UInt(f.completed)),
+                (Value::Str("svr".into()), Value::Float(f.svr())),
+                (Value::Str("p95_us".into()), Value::UInt(f.p95_display().as_micros())),
+                (Value::Str("cold_starts".into()), Value::UInt(f.cold_starts.count())),
+            ])
+        })
+        .collect();
+    let training: Vec<Value> = report
+        .training
+        .values()
+        .map(|j| {
+            Value::Map(vec![
+                (Value::Str("name".into()), Value::Str(j.name.clone())),
+                (Value::Str("model".into()), Value::Str(j.model.name().into())),
+                (Value::Str("iterations_done".into()), Value::UInt(j.iterations_done)),
+                (
+                    Value::Str("jct_us".into()),
+                    j.jct().map_or(Value::Unit, |d| Value::UInt(d.as_micros())),
+                ),
+                (Value::Str("throughput".into()), Value::Float(j.throughput(report.horizon))),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        (Value::Str("peak_gpus".into()), Value::UInt(u64::from(report.peak_gpus))),
+        (Value::Str("mean_svr".into()), Value::Float(report.mean_svr())),
+        (Value::Str("mean_occupied_gpus".into()), Value::Float(report.mean_occupied_gpus())),
+        (Value::Str("inference".into()), Value::Seq(inference)),
+        (Value::Str("training".into()), Value::Seq(training)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// dilu experiment
+// ---------------------------------------------------------------------------
+
+fn cmd_experiment(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err(format!(
+            "`dilu experiment` needs at least one name (or `all`); known: {}",
+            experiment_names().join(", ")
+        ));
+    }
+    let names: Vec<&str> = if args.len() == 1 && args[0] == "all" {
+        experiments::all().iter().map(|e| e.name()).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    // Resolve everything before running anything, so typos fail fast.
+    let mut todo = Vec::new();
+    for name in names {
+        let experiment = experiments::find(name).ok_or_else(|| {
+            format!("unknown experiment `{name}` (known: {})", experiment_names().join(", "))
+        })?;
+        todo.push(experiment);
+    }
+    let ctx = ExperimentCtx::with_default_json_dir();
+    for experiment in todo {
+        println!("== {}: {} ==", experiment.name(), experiment.title());
+        let started = std::time::Instant::now();
+        let output = experiment.run(&ctx);
+        println!("{}", output.rendered);
+        if let Some(path) = &output.json_path {
+            println!("[json: {}]", path.display());
+        }
+        println!("[{} completed in {:.1}s]\n", experiment.name(), started.elapsed().as_secs_f64());
+    }
+    Ok(())
+}
+
+fn experiment_names() -> Vec<&'static str> {
+    experiments::all().iter().map(|e| e.name()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// dilu list
+// ---------------------------------------------------------------------------
+
+fn cmd_list() -> Result<(), String> {
+    let registry = Registry::with_defaults();
+    println!("presets (SystemKind):");
+    for kind in SystemKind::ALL {
+        println!("  {:12} {}", kind.name(), kind.label());
+    }
+    println!("\nplacements:        {}", registry.placement_names().join(", "));
+    println!("autoscalers:       {}", registry.autoscaler_names().join(", "));
+    println!("share policies:    {}", registry.share_policy_names().join(", "));
+    println!("arrival processes: {}", dilu_workload::PROCESS_NAMES.join(", "));
+    println!(
+        "models:            {}",
+        ModelId::ALL.iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+    );
+    println!("\nexperiments:");
+    for e in experiments::all() {
+        println!("  {:8} {}", e.name(), e.title());
+    }
+    Ok(())
+}

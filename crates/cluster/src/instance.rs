@@ -108,9 +108,7 @@ mod tests {
             last_active: SimTime::ZERO,
         };
         let b = Instance { uid: InstanceUid(2), ..a.clone() };
-        let mut ids: Vec<u64> = (0..4)
-            .flat_map(|s| [a.slot_id(s).0, b.slot_id(s).0])
-            .collect();
+        let mut ids: Vec<u64> = (0..4).flat_map(|s| [a.slot_id(s).0, b.slot_id(s).0]).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 8);

@@ -34,6 +34,6 @@ pub use spec::{
     cold_start_duration, ClusterSpec, FunctionId, FunctionKind, FunctionSpec, GpuAddr, Quotas,
 };
 pub use traits::{
-    Autoscaler, ClusterView, FunctionScaleView, GpuView, Placement, PolicyFactory, ResidentInfo,
-    ScaleAction,
+    named, Autoscaler, ClusterView, FunctionScaleView, GpuView, NamedPolicyFactory, Placement,
+    PolicyFactory, ResidentInfo, ScaleAction,
 };

@@ -98,7 +98,9 @@ impl TrainingReport {
     ///
     /// Uses `now` as the end point for unfinished jobs.
     pub fn throughput(&self, now: SimTime) -> f64 {
-        let Some(started) = self.started else { return 0.0 };
+        let Some(started) = self.started else {
+            return 0.0;
+        };
         let end = self.finished.unwrap_or(now);
         let active = end.saturating_since(started).as_secs_f64();
         if active <= 0.0 {

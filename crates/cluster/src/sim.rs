@@ -55,6 +55,22 @@ pub enum DeployError {
     PlacementFailed(FunctionId),
     /// A function with this id is already deployed.
     DuplicateFunction(FunctionId),
+    /// The function spec itself is invalid (zero batch, zero workers, ...).
+    InvalidSpec {
+        /// The offending function.
+        func: FunctionId,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// The spec asks for more GPUs per instance than the cluster has.
+    ClusterTooSmall {
+        /// The offending function.
+        func: FunctionId,
+        /// GPUs one instance needs.
+        needed: u32,
+        /// GPUs the cluster has in total.
+        available: u32,
+    },
 }
 
 impl std::fmt::Display for DeployError {
@@ -62,6 +78,12 @@ impl std::fmt::Display for DeployError {
         match self {
             DeployError::PlacementFailed(id) => write!(f, "no feasible placement for {id}"),
             DeployError::DuplicateFunction(id) => write!(f, "function {id} already deployed"),
+            DeployError::InvalidSpec { func, reason } => {
+                write!(f, "invalid spec for {func}: {reason}")
+            }
+            DeployError::ClusterTooSmall { func, needed, available } => {
+                write!(f, "{func} needs {needed} GPUs per instance but the cluster has {available}")
+            }
         }
     }
 }
@@ -123,6 +145,7 @@ struct FuncState {
 pub struct ClusterSim {
     spec: ClusterSpec,
     config: SimConfig,
+    share_policy_name: String,
     now: SimTime,
     gpus: BTreeMap<GpuAddr, GpuSlot>,
     funcs: BTreeMap<FunctionId, FuncState>,
@@ -146,6 +169,20 @@ pub struct ClusterSim {
     peak_gpus: u32,
     last_sampled_sec: Option<u64>,
     pending_training: Vec<(SimTime, FunctionSpec)>,
+}
+
+impl std::fmt::Debug for ClusterSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("spec", &self.spec)
+            .field("now", &self.now)
+            .field("placement", &self.placement.name())
+            .field("autoscaler", &self.autoscaler.name())
+            .field("share_policy", &self.share_policy_name)
+            .field("functions", &self.funcs.len())
+            .field("instances", &self.instances.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ClusterSim {
@@ -174,6 +211,7 @@ impl ClusterSim {
         ClusterSim {
             spec,
             config,
+            share_policy_name: policy_factory.name().to_owned(),
             now: SimTime::ZERO,
             gpus,
             funcs: BTreeMap::new(),
@@ -210,6 +248,26 @@ impl ClusterSim {
         &self.spec
     }
 
+    /// The serving-plane configuration in effect.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Report name of the placement policy.
+    pub fn placement_name(&self) -> &str {
+        self.placement.name()
+    }
+
+    /// Report name of the autoscaler.
+    pub fn autoscaler_name(&self) -> &str {
+        self.autoscaler.name()
+    }
+
+    /// Report name of the per-GPU share-policy factory.
+    pub fn share_policy_name(&self) -> &str {
+        &self.share_policy_name
+    }
+
     /// Deploys an inference function with `initial` pre-warmed instances and
     /// a pre-generated arrival stream.
     ///
@@ -228,6 +286,7 @@ impl ClusterSim {
             return Err(DeployError::DuplicateFunction(spec.id));
         }
         debug_assert!(spec.kind.is_inference(), "use deploy_training for training functions");
+        self.validate_spec(&spec)?;
         let id = spec.id;
         self.funcs.insert(id, new_func_state(spec, arrivals));
         for _ in 0..initial {
@@ -250,6 +309,7 @@ impl ClusterSim {
         let FunctionKind::Training { workers, iterations } = spec.kind else {
             panic!("use deploy_inference for inference functions");
         };
+        self.validate_spec(&spec)?;
         let id = spec.id;
         self.funcs.insert(id, new_func_state(spec, Vec::new()));
         let mut uids = Vec::new();
@@ -287,17 +347,27 @@ impl ClusterSim {
     /// Schedules a training function to be submitted at `at` (paper §5.4
     /// submits jobs at different times). Placement happens at submission;
     /// if the cluster is full then, the submission is retried each second.
-    pub fn schedule_training(&mut self, spec: FunctionSpec, at: SimTime) {
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::InvalidSpec`] / [`DeployError::ClusterTooSmall`] for
+    /// structurally impossible specs — validated eagerly, since a spec
+    /// failing at submission time would otherwise be retried (and dropped)
+    /// silently.
+    pub fn schedule_training(
+        &mut self,
+        spec: FunctionSpec,
+        at: SimTime,
+    ) -> Result<(), DeployError> {
         debug_assert!(!spec.kind.is_inference(), "only training can be scheduled late");
+        self.validate_spec(&spec)?;
         self.pending_training.push((at, spec));
+        Ok(())
     }
 
     /// Number of ready (serving) instances of a function.
     pub fn ready_instances(&self, func: FunctionId) -> u32 {
-        self.instances
-            .values()
-            .filter(|i| i.func == func && i.state.is_ready())
-            .count() as u32
+        self.instances.values().filter(|i| i.func == func && i.state.is_ready()).count() as u32
     }
 
     /// Number of currently occupied GPUs.
@@ -372,6 +442,44 @@ impl ClusterSim {
     // Internals
     // ------------------------------------------------------------------
 
+    /// Rejects structurally impossible specs with a typed error instead of
+    /// letting them fail as an opaque placement failure (or panic) later.
+    fn validate_spec(&self, spec: &FunctionSpec) -> Result<(), DeployError> {
+        let func = spec.id;
+        if spec.gpus_per_instance == 0 {
+            return Err(DeployError::InvalidSpec { func, reason: "gpus_per_instance is zero" });
+        }
+        if spec.quotas.mem_bytes == 0 {
+            return Err(DeployError::InvalidSpec { func, reason: "memory reservation is zero" });
+        }
+        if spec.quotas.mem_bytes > self.spec.gpu_mem_bytes {
+            return Err(DeployError::InvalidSpec {
+                func,
+                reason: "memory reservation exceeds one GPU",
+            });
+        }
+        match spec.kind {
+            FunctionKind::Inference { batch: 0, .. } => {
+                return Err(DeployError::InvalidSpec { func, reason: "batch size is zero" });
+            }
+            FunctionKind::Training { workers: 0, .. } => {
+                return Err(DeployError::InvalidSpec { func, reason: "worker count is zero" });
+            }
+            FunctionKind::Training { iterations: 0, .. } => {
+                return Err(DeployError::InvalidSpec { func, reason: "iteration target is zero" });
+            }
+            _ => {}
+        }
+        if spec.gpus_per_instance > self.spec.total_gpus() {
+            return Err(DeployError::ClusterTooSmall {
+                func,
+                needed: spec.gpus_per_instance,
+                available: self.spec.total_gpus(),
+            });
+        }
+        Ok(())
+    }
+
     fn step_quantum(&mut self) {
         self.submit_due_training();
         self.promote_ready_instances();
@@ -439,7 +547,9 @@ impl ClusterSim {
     }
 
     fn maybe_start_job(&mut self, func: FunctionId) {
-        let Some(job) = self.jobs.get_mut(&func) else { return };
+        let Some(job) = self.jobs.get_mut(&func) else {
+            return;
+        };
         if job.phase != JobPhase::WaitingForWorkers {
             return;
         }
@@ -459,8 +569,16 @@ impl ClusterSim {
         }
     }
 
-    fn push_train_item(&mut self, func: FunctionId, uid: InstanceUid, worker: usize, compute: bool) {
-        let Some(f) = self.funcs.get(&func) else { return };
+    fn push_train_item(
+        &mut self,
+        func: FunctionId,
+        uid: InstanceUid,
+        worker: usize,
+        compute: bool,
+    ) {
+        let Some(f) = self.funcs.get(&func) else {
+            return;
+        };
         let training = f.spec.model.profile().training;
         let tag = self.next_tag;
         self.next_tag += 1;
@@ -511,7 +629,9 @@ impl ClusterSim {
             .or_else(|| {
                 self.instances
                     .values()
-                    .filter(|i| i.func == func && matches!(i.state, InstanceState::ColdStarting { .. }))
+                    .filter(|i| {
+                        i.func == func && matches!(i.state, InstanceState::ColdStarting { .. })
+                    })
                     .min_by_key(|i| (i.load(), i.uid))
             })
             .map(|i| i.uid);
@@ -535,8 +655,12 @@ impl ClusterSim {
             if !inst.state.is_ready() && !matches!(inst.state, InstanceState::Draining) {
                 continue;
             }
-            let Some(f) = self.funcs.get(&inst.func) else { continue };
-            let FunctionKind::Inference { slo, batch } = f.spec.kind else { continue };
+            let Some(f) = self.funcs.get(&inst.func) else {
+                continue;
+            };
+            let FunctionKind::Inference { slo, batch } = f.spec.kind else {
+                continue;
+            };
             // Keep a short pipeline of batches queued on the engine slot so
             // the share policy sees backlog pressure (the RCKM reads queue
             // depth / KLC growth as its burst signal).
@@ -547,8 +671,8 @@ impl ClusterSim {
             if inst.pending.is_empty() {
                 continue;
             }
-            let timeout = (slo.mul_f64(self.config.batch_timeout_frac))
-                .min(self.config.batch_timeout_cap);
+            let timeout =
+                (slo.mul_f64(self.config.batch_timeout_frac)).min(self.config.batch_timeout_cap);
             let oldest = inst.pending.front().expect("non-empty").arrived;
             let full = inst.pending.len() >= batch as usize;
             let expired = now.saturating_since(oldest) >= timeout;
@@ -570,8 +694,12 @@ impl ClusterSim {
 
     /// Queues the work item for `stage` of a batch on the right GPU.
     fn push_stage_item(&mut self, uid: InstanceUid, batch_id: u64, stage: usize, batch: u32) {
-        let Some(inst) = self.instances.get_mut(&uid) else { return };
-        let Some(f) = self.funcs.get(&inst.func) else { return };
+        let Some(inst) = self.instances.get_mut(&uid) else {
+            return;
+        };
+        let Some(f) = self.funcs.get(&inst.func) else {
+            return;
+        };
         let profile = f.spec.model.profile();
         let stages = inst.gpus.len() as u32;
         let t_total = profile.inference_t_min(batch);
@@ -626,7 +754,9 @@ impl ClusterSim {
     }
 
     fn handle_completion(&mut self, c: dilu_gpu::Completion) {
-        let Some(payload) = self.tags.remove(&c.tag) else { return };
+        let Some(payload) = self.tags.remove(&c.tag) else {
+            return;
+        };
         match payload {
             WorkPayload::InferStage { uid, batch_id } => {
                 self.advance_inference_batch(uid, batch_id, c.at);
@@ -641,7 +771,9 @@ impl ClusterSim {
     }
 
     fn advance_inference_batch(&mut self, uid: InstanceUid, batch_id: u64, at: SimTime) {
-        let Some(inst) = self.instances.get_mut(&uid) else { return };
+        let Some(inst) = self.instances.get_mut(&uid) else {
+            return;
+        };
         let stages = inst.gpus.len();
         let Some(pos) = inst.inflight.iter().position(|b| b.batch_id == batch_id) else {
             return;
@@ -671,7 +803,9 @@ impl ClusterSim {
     }
 
     fn advance_training(&mut self, func: FunctionId, worker: usize, was_compute: bool) {
-        let Some(job) = self.jobs.get_mut(&func) else { return };
+        let Some(job) = self.jobs.get_mut(&func) else {
+            return;
+        };
         job.remaining.remove(&worker);
         if !job.remaining.is_empty() {
             return;
@@ -730,7 +864,9 @@ impl ClusterSim {
     }
 
     fn terminate_instance(&mut self, uid: InstanceUid) {
-        let Some(inst) = self.instances.remove(&uid) else { return };
+        let Some(inst) = self.instances.remove(&uid) else {
+            return;
+        };
         // Requeue any stranded requests at the gateway.
         if let Some(f) = self.funcs.get_mut(&inst.func) {
             for req in inst.pending.iter() {
@@ -763,7 +899,9 @@ impl ClusterSim {
             })
             .collect();
         for inst in self.instances.values() {
-            let Some(f) = self.funcs.get(&inst.func) else { continue };
+            let Some(f) = self.funcs.get(&inst.func) else {
+                continue;
+            };
             let class = if f.spec.kind.is_inference() {
                 TaskClass::SloSensitive
             } else {
@@ -793,11 +931,8 @@ impl ClusterSim {
         debug_assert_eq!(gpus.len() as u32, spec.gpus_per_instance);
         let uid = InstanceUid(self.next_uid);
         self.next_uid += 1;
-        let class = if spec.kind.is_inference() {
-            TaskClass::SloSensitive
-        } else {
-            TaskClass::BestEffort
-        };
+        let class =
+            if spec.kind.is_inference() { TaskClass::SloSensitive } else { TaskClass::BestEffort };
         let state = if prewarmed {
             InstanceState::Running
         } else {
@@ -901,7 +1036,14 @@ impl ClusterSim {
                             .instances
                             .values()
                             .filter(|i| i.func == func && i.state.is_ready())
-                            .min_by_key(|i| (std::cmp::Reverse(now.saturating_since(i.last_active).as_micros()), i.uid))
+                            .min_by_key(|i| {
+                                (
+                                    std::cmp::Reverse(
+                                        now.saturating_since(i.last_active).as_micros(),
+                                    ),
+                                    i.uid,
+                                )
+                            })
                             .map(|i| i.uid);
                         if let Some(uid) = victim {
                             if let Some(inst) = self.instances.get_mut(&uid) {
@@ -961,10 +1103,8 @@ impl ClusterSim {
             .map(|&id| {
                 (
                     id,
-                    self.instances
-                        .values()
-                        .filter(|i| i.func == id && i.state.is_ready())
-                        .count() as u32,
+                    self.instances.values().filter(|i| i.func == id && i.state.is_ready()).count()
+                        as u32,
                 )
             })
             .collect();
@@ -1019,9 +1159,7 @@ mod tests {
         fn place(&mut self, func: &FunctionSpec, cluster: &ClusterView) -> Option<Vec<GpuAddr>> {
             let mut chosen = Vec::new();
             for gpu in &cluster.gpus {
-                if gpu.mem_free() >= func.quotas.mem_bytes
-                    && !chosen.contains(&gpu.addr)
-                {
+                if gpu.mem_free() >= func.quotas.mem_bytes && !chosen.contains(&gpu.addr) {
                     chosen.push(gpu.addr);
                     if chosen.len() as u32 == func.gpus_per_instance {
                         return Some(chosen);
@@ -1069,8 +1207,10 @@ mod tests {
         }
     }
 
-    fn fair_factory() -> Box<dyn dilu_gpu::SharePolicy> {
-        Box::new(FairSharePolicy)
+    fn fair_factory() -> impl PolicyFactory {
+        // `named` over a bare closure: the factory reports "fair-share"
+        // instead of the blanket impl's "closure-policy".
+        crate::named("fair-share", || Box::new(FairSharePolicy))
     }
 
     fn inference_spec(id: u32, model: ModelId, batch: u32) -> FunctionSpec {
@@ -1093,7 +1233,7 @@ mod tests {
             SimConfig::default(),
             Box::new(FirstFit),
             Box::new(NullScaler),
-            &(fair_factory as fn() -> Box<dyn dilu_gpu::SharePolicy>),
+            &fair_factory(),
         );
         let spec = inference_spec(1, ModelId::RobertaLarge, 4);
         let arrivals = PoissonProcess::new(20.0, 7).generate(SimTime::from_secs(20));
@@ -1116,7 +1256,7 @@ mod tests {
             SimConfig::default(),
             Box::new(FirstFit),
             Box::new(NullScaler),
-            &(fair_factory as fn() -> Box<dyn dilu_gpu::SharePolicy>),
+            &fair_factory(),
         );
         let model = ModelId::BertBase;
         let spec = FunctionSpec {
@@ -1124,7 +1264,10 @@ mod tests {
             name: "bert-train".into(),
             model,
             kind: FunctionKind::Training { workers: 2, iterations: 20 },
-            quotas: crate::Quotas::equal(SmRate::from_percent(60.0), model.profile().training.mem_bytes),
+            quotas: crate::Quotas::equal(
+                SmRate::from_percent(60.0),
+                model.profile().training.mem_bytes,
+            ),
             gpus_per_instance: 1,
         };
         sim.deploy_training(spec).unwrap();
@@ -1156,7 +1299,7 @@ mod tests {
             SimConfig::default(),
             Box::new(FirstFit),
             Box::new(OneShotScaler { fired: false, func }),
-            &(fair_factory as fn() -> Box<dyn dilu_gpu::SharePolicy>),
+            &fair_factory(),
         );
         // No initial instances: everything backlogs until the scaler fires.
         let arrivals = PoissonProcess::new(5.0, 3).generate(SimTime::from_secs(10));
@@ -1179,7 +1322,7 @@ mod tests {
             SimConfig::default(),
             Box::new(FirstFit),
             Box::new(NullScaler),
-            &(fair_factory as fn() -> Box<dyn dilu_gpu::SharePolicy>),
+            &fair_factory(),
         );
         let spec = FunctionSpec {
             id: FunctionId(1),
@@ -1212,7 +1355,7 @@ mod tests {
             SimConfig::default(),
             Box::new(FirstFit),
             Box::new(NullScaler),
-            &(fair_factory as fn() -> Box<dyn dilu_gpu::SharePolicy>),
+            &fair_factory(),
         );
         let spec = inference_spec(1, ModelId::BertBase, 4);
         sim.deploy_inference(spec.clone(), 0, Vec::new()).unwrap();
@@ -1227,7 +1370,7 @@ mod tests {
             SimConfig::default(),
             Box::new(FirstFit),
             Box::new(NullScaler),
-            &(fair_factory as fn() -> Box<dyn dilu_gpu::SharePolicy>),
+            &fair_factory(),
         );
         let spec = inference_spec(1, ModelId::BertBase, 4);
         let arrivals = PoissonProcess::new(10.0, 1).generate(SimTime::from_secs(5));

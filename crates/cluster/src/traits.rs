@@ -157,8 +157,50 @@ where
         self()
     }
 
+    /// Bare closures cannot carry a useful name; wrap them with [`named`]
+    /// so reports and scenario listings identify the policy.
     fn name(&self) -> &str {
         "closure-policy"
+    }
+}
+
+/// A [`PolicyFactory`] built from a closure plus an explicit report name.
+///
+/// Prefer this over passing a bare closure (whose factory name is the
+/// uninformative `"closure-policy"`).
+pub struct NamedPolicyFactory<F> {
+    name: String,
+    make: F,
+}
+
+/// Wraps `make` into a factory reporting `name`.
+///
+/// # Examples
+///
+/// ```
+/// use dilu_cluster::{named, PolicyFactory};
+///
+/// let f = named("fair", || Box::new(dilu_gpu::policies::FairSharePolicy));
+/// assert_eq!(f.name(), "fair");
+/// assert_eq!(f.make().name(), "fair-share");
+/// ```
+pub fn named<F>(name: impl Into<String>, make: F) -> NamedPolicyFactory<F>
+where
+    F: Fn() -> Box<dyn SharePolicy>,
+{
+    NamedPolicyFactory { name: name.into(), make }
+}
+
+impl<F> PolicyFactory for NamedPolicyFactory<F>
+where
+    F: Fn() -> Box<dyn SharePolicy>,
+{
+    fn make(&self) -> Box<dyn SharePolicy> {
+        (self.make)()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 

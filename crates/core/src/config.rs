@@ -1,0 +1,523 @@
+//! Serde-backed scenario configuration: the TOML/JSON front door onto
+//! [`ScenarioBuilder`].
+//!
+//! ```toml
+//! name = "dilu-vs-burst"
+//!
+//! [cluster]
+//! nodes = 1
+//! gpus_per_node = 4
+//!
+//! [system]
+//! preset = "dilu"              # or compose placement/autoscaler/share_policy
+//!
+//! [run]
+//! horizon_secs = 30
+//! seed = 7
+//!
+//! [[functions]]
+//! model = "bert-base"
+//! arrivals = { process = "poisson", rate = 25.0 }
+//! ```
+//!
+//! Component tables resolve through a [`Registry`], so registered external
+//! policies are addressable from config files too:
+//!
+//! ```toml
+//! [system.placement]
+//! name = "dilu"
+//! gamma = 5.0                  # any extra key is a component parameter
+//! ```
+
+use dilu_cluster::ClusterSpec;
+use dilu_models::ModelId;
+use dilu_sim::{SimDuration, SimTime};
+use dilu_workload::ArrivalSpec;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::registry::{Params, Registry};
+use crate::{funcs, ScenarioBuilder, ScenarioError, SystemKind};
+
+/// Cluster shape section (`[cluster]`). Every field defaults to the
+/// paper's testbed (5 × 4 × A100-40GB).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSection {
+    /// Worker nodes.
+    pub nodes: Option<u32>,
+    /// GPUs per node.
+    pub gpus_per_node: Option<u32>,
+    /// Device memory per GPU in GiB.
+    pub gpu_mem_gb: Option<u64>,
+}
+
+impl ClusterSection {
+    fn to_spec(&self) -> ClusterSpec {
+        let d = ClusterSpec::paper_testbed();
+        ClusterSpec {
+            nodes: self.nodes.unwrap_or(d.nodes),
+            gpus_per_node: self.gpus_per_node.unwrap_or(d.gpus_per_node),
+            gpu_mem_bytes: self.gpu_mem_gb.map(|gb| gb * dilu_gpu::GB).unwrap_or(d.gpu_mem_bytes),
+        }
+    }
+}
+
+/// One composable component (`[system.placement]` etc.): a registry `name`
+/// plus arbitrary parameter keys passed through to its constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSection {
+    /// Registry name of the component.
+    pub name: String,
+    /// Every other key of the table, as constructor parameters.
+    pub params: Params,
+}
+
+impl ComponentSection {
+    /// A component reference with no parameters.
+    pub fn named(name: impl Into<String>) -> Self {
+        ComponentSection { name: name.into(), params: Params::empty() }
+    }
+}
+
+impl Serialize for ComponentSection {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![(Value::Str("name".into()), Value::Str(self.name.clone()))];
+        entries
+            .extend(self.params.entries().iter().map(|(k, v)| (Value::Str(k.clone()), v.clone())));
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for ComponentSection {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_map().ok_or_else(|| DeError::expected("table", "component"))?;
+        let mut name = None;
+        let mut params = Vec::new();
+        for (k, val) in entries {
+            let key = k.as_str().ok_or_else(|| DeError::expected("string key", "component"))?;
+            if key == "name" {
+                name = Some(
+                    val.as_str()
+                        .ok_or_else(|| DeError::expected("string", "component name"))?
+                        .to_owned(),
+                );
+            } else {
+                params.push((key.to_owned(), val.clone()));
+            }
+        }
+        Ok(ComponentSection {
+            name: name.ok_or_else(|| DeError::missing_field("name", "component"))?,
+            params: Params::from_entries(params),
+        })
+    }
+}
+
+/// System composition section (`[system]`): a preset, individual
+/// components, or a preset with individual overrides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSection {
+    /// A [`SystemKind`] preset name (`"dilu"`, `"exclusive"`, ...).
+    pub preset: Option<String>,
+    /// Placement override.
+    pub placement: Option<ComponentSection>,
+    /// Autoscaler override.
+    pub autoscaler: Option<ComponentSection>,
+    /// Share-policy override.
+    pub share_policy: Option<ComponentSection>,
+}
+
+/// Run parameters section (`[run]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSection {
+    /// Traffic horizon in seconds (default 60).
+    pub horizon_secs: Option<u64>,
+    /// Drain tail in seconds (default 5).
+    pub drain_secs: Option<u64>,
+    /// Root seed (default 7).
+    pub seed: Option<u64>,
+}
+
+/// One function (`[[functions]]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSection {
+    /// Display name; defaults to `<model>-<role>`.
+    pub name: Option<String>,
+    /// Model name resolved via [`ModelId::from_name`].
+    pub model: String,
+    /// `"inference"` (default) or `"training"`.
+    pub role: Option<String>,
+    /// Inference batch size override (default: profiled optimum).
+    pub batch: Option<u32>,
+    /// Inference SLO override in milliseconds.
+    pub slo_ms: Option<u64>,
+    /// SM `request` quota override in percent.
+    pub request_pct: Option<f64>,
+    /// SM `limit` quota override in percent.
+    pub limit_pct: Option<f64>,
+    /// Per-GPU memory override in GiB (fractional allowed).
+    pub mem_gb: Option<f64>,
+    /// GPUs per instance (LLM pipeline stages).
+    pub gpus_per_instance: Option<u32>,
+    /// Pre-warmed instances for inference (default 1).
+    pub initial: Option<u32>,
+    /// Training worker count (default 2).
+    pub workers: Option<u32>,
+    /// Training iteration target (default 50).
+    pub iterations: Option<u64>,
+    /// Training submission time in seconds (default 0).
+    pub start_sec: Option<u64>,
+    /// Arrival process for inference functions.
+    pub arrivals: Option<ArrivalSpec>,
+}
+
+/// A whole scenario file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Scenario name (for reports).
+    pub name: Option<String>,
+    /// Cluster shape; defaults to the paper testbed.
+    pub cluster: Option<ClusterSection>,
+    /// System composition.
+    pub system: SystemSection,
+    /// Run parameters.
+    pub run: Option<RunSection>,
+    /// The deployed functions.
+    pub functions: Vec<FunctionSection>,
+}
+
+impl ScenarioConfig {
+    /// Parses a TOML scenario. Unknown keys anywhere in the file are
+    /// rejected (the loud-typo contract; component tables accept arbitrary
+    /// parameter keys by design).
+    pub fn from_toml_str(text: &str) -> Result<Self, ScenarioError> {
+        let value = toml::parse_value(text).map_err(|e| ScenarioError::Config(e.to_string()))?;
+        Self::from_checked_value(&value)
+    }
+
+    /// Parses a JSON scenario with the same unknown-key rejection as
+    /// [`from_toml_str`](Self::from_toml_str).
+    pub fn from_json_str(text: &str) -> Result<Self, ScenarioError> {
+        let value =
+            serde_json::parse_value(text).map_err(|e| ScenarioError::Config(e.to_string()))?;
+        Self::from_checked_value(&value)
+    }
+
+    fn from_checked_value(value: &Value) -> Result<Self, ScenarioError> {
+        reject_unknown_keys(value)?;
+        Deserialize::from_value(value).map_err(|e| ScenarioError::Config(e.to_string()))
+    }
+
+    /// Loads a scenario file, dispatching on the `.toml`/`.json` extension
+    /// (anything else is tried as TOML).
+    pub fn load(path: &std::path::Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Config(format!("cannot read {}: {e}", path.display())))?;
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => Self::from_json_str(&text),
+            _ => Self::from_toml_str(&text),
+        }
+        .map_err(|e| {
+            // Re-wrap with the path, without stacking the "invalid scenario
+            // config" prefix twice.
+            let inner = match e {
+                ScenarioError::Config(msg) => msg,
+                other => other.to_string(),
+            };
+            ScenarioError::Config(format!("{}: {inner}", path.display()))
+        })
+    }
+
+    /// Maps the config onto a [`ScenarioBuilder`], resolving component
+    /// names through `registry`.
+    pub fn into_builder(self, registry: &Registry) -> Result<ScenarioBuilder, ScenarioError> {
+        let run =
+            self.run.unwrap_or(RunSection { horizon_secs: None, drain_secs: None, seed: None });
+        let horizon = SimDuration::from_secs(run.horizon_secs.unwrap_or(60));
+        let seed = run.seed.unwrap_or(7);
+
+        let mut builder = match &self.system.preset {
+            Some(preset) => SystemKind::from_name(preset)
+                .ok_or_else(|| ScenarioError::Unknown {
+                    kind: "preset",
+                    name: preset.clone(),
+                    known: SystemKind::names().iter().map(|&s| s.to_owned()).collect(),
+                })?
+                .builder(),
+            None => ScenarioBuilder::new(),
+        };
+        builder = builder
+            .cluster(self.cluster.as_ref().map(ClusterSection::to_spec).unwrap_or_default())
+            .horizon(horizon)
+            .drain(SimDuration::from_secs(run.drain_secs.unwrap_or(5)))
+            .seed(seed);
+
+        if let Some(p) = &self.system.placement {
+            builder = builder.placement_boxed(registry.placement(&p.name, &p.params)?);
+        }
+        if let Some(a) = &self.system.autoscaler {
+            builder = builder.autoscaler_boxed(registry.autoscaler(&a.name, &a.params)?);
+        }
+        if let Some(s) = &self.system.share_policy {
+            builder = builder.share_policy_boxed(registry.share_policy(&s.name, &s.params)?);
+        }
+
+        for (index, f) in self.functions.iter().enumerate() {
+            let id = index as u32 + 1;
+            let model = ModelId::from_name(&f.model).ok_or_else(|| ScenarioError::Unknown {
+                kind: "model",
+                name: f.model.clone(),
+                known: ModelId::ALL.iter().map(|m| m.name().to_owned()).collect(),
+            })?;
+            let role = f.role.as_deref().unwrap_or("inference");
+            reject_role_mismatched_keys(id, role, f)?;
+            match role {
+                "inference" => {
+                    // Pipelined (multi-GPU) functions go through the
+                    // canonical LLM builder so per-stage SM/memory scaling
+                    // matches the experiment harness exactly.
+                    let mut spec = match f.gpus_per_instance {
+                        Some(stages) if stages > 1 => {
+                            funcs::llm_inference_function(id, model, stages)
+                        }
+                        _ => funcs::inference_function(id, model),
+                    };
+                    if f.gpus_per_instance == Some(0) {
+                        // Pass the invalid value through so the serving
+                        // plane rejects it with a typed InvalidSpec instead
+                        // of silently correcting it to one GPU.
+                        spec.gpus_per_instance = 0;
+                    }
+                    if let Some(batch) = f.batch {
+                        if let dilu_cluster::FunctionKind::Inference { slo, .. } = spec.kind {
+                            spec.kind = dilu_cluster::FunctionKind::Inference { slo, batch };
+                        }
+                    }
+                    if let Some(slo_ms) = f.slo_ms {
+                        if let dilu_cluster::FunctionKind::Inference { batch, .. } = spec.kind {
+                            spec.kind = dilu_cluster::FunctionKind::Inference {
+                                slo: SimDuration::from_millis(slo_ms),
+                                batch,
+                            };
+                        }
+                    }
+                    if let Some(pct) = f.request_pct {
+                        spec.quotas.request = dilu_gpu::SmRate::from_percent(pct);
+                    }
+                    if let Some(pct) = f.limit_pct {
+                        spec.quotas.limit = dilu_gpu::SmRate::from_percent(pct);
+                    }
+                    if let Some(gb) = f.mem_gb {
+                        spec.quotas.mem_bytes = (gb * dilu_gpu::GB as f64) as u64;
+                    }
+                    if let Some(name) = &f.name {
+                        spec.name = name.clone();
+                    }
+                    let arrivals = f.arrivals.clone().ok_or_else(|| {
+                        ScenarioError::Config(format!(
+                            "function {id} ({}) is inference but has no `arrivals`",
+                            f.model
+                        ))
+                    })?;
+                    builder = builder
+                        .function(spec)
+                        .initial_instances(f.initial.unwrap_or(1))
+                        .arrivals_spec(arrivals);
+                }
+                "training" => {
+                    let workers = f.workers.unwrap_or(2);
+                    let iterations = f.iterations.unwrap_or(50);
+                    let mut spec = funcs::training_function(id, model, workers, iterations);
+                    if let Some(name) = &f.name {
+                        spec.name = name.clone();
+                    }
+                    builder = builder
+                        .function(spec)
+                        .starts_at(SimTime::from_secs(f.start_sec.unwrap_or(0)));
+                }
+                other => {
+                    return Err(ScenarioError::Config(format!(
+                        "function {id}: unknown role `{other}` (inference | training)"
+                    )));
+                }
+            }
+        }
+        Ok(builder)
+    }
+}
+
+/// Key schema of every fixed-shape section; `[system.placement]` etc. are
+/// exempt (their extra keys *are* the component parameters).
+fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
+    fn check(section: &str, v: &Value, known: &[&str]) -> Result<(), ScenarioError> {
+        let Some(entries) = v.as_map() else { return Ok(()) };
+        for (k, _) in entries {
+            let key = k.as_str().unwrap_or("<non-string>");
+            if !known.contains(&key) {
+                return Err(ScenarioError::Config(format!(
+                    "unknown key `{key}` in {section} (known: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+    check("the scenario root", root, &["name", "cluster", "system", "run", "functions"])?;
+    if let Some(cluster) = root.get("cluster") {
+        check("[cluster]", cluster, &["nodes", "gpus_per_node", "gpu_mem_gb"])?;
+    }
+    if let Some(run) = root.get("run") {
+        check("[run]", run, &["horizon_secs", "drain_secs", "seed"])?;
+    }
+    if let Some(system) = root.get("system") {
+        check("[system]", system, &["preset", "placement", "autoscaler", "share_policy"])?;
+    }
+    if let Some(Value::Seq(functions)) = root.get("functions") {
+        for f in functions {
+            check(
+                "[[functions]]",
+                f,
+                &[
+                    "name",
+                    "model",
+                    "role",
+                    "batch",
+                    "slo_ms",
+                    "request_pct",
+                    "limit_pct",
+                    "mem_gb",
+                    "gpus_per_instance",
+                    "initial",
+                    "workers",
+                    "iterations",
+                    "start_sec",
+                    "arrivals",
+                ],
+            )?;
+            if let Some(arrivals) = f.get("arrivals") {
+                check(
+                    "arrivals",
+                    arrivals,
+                    &["process", "rate", "cv", "shape", "scale", "times", "seed"],
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rejects function keys that belong to the other role, so a
+/// misconfigured function fails loudly instead of silently dropping the
+/// keys (mirrors the registry's unknown-parameter protection).
+fn reject_role_mismatched_keys(
+    id: u32,
+    role: &str,
+    f: &FunctionSection,
+) -> Result<(), ScenarioError> {
+    let offending: Vec<&str> = match role {
+        "inference" => [
+            ("workers", f.workers.is_some()),
+            ("iterations", f.iterations.is_some()),
+            ("start_sec", f.start_sec.is_some()),
+        ]
+        .into_iter()
+        .filter_map(|(k, set)| set.then_some(k))
+        .collect(),
+        "training" => [
+            ("batch", f.batch.is_some()),
+            ("slo_ms", f.slo_ms.is_some()),
+            ("request_pct", f.request_pct.is_some()),
+            ("limit_pct", f.limit_pct.is_some()),
+            ("mem_gb", f.mem_gb.is_some()),
+            ("gpus_per_instance", f.gpus_per_instance.is_some()),
+            ("initial", f.initial.is_some()),
+            ("arrivals", f.arrivals.is_some()),
+        ]
+        .into_iter()
+        .filter_map(|(k, set)| set.then_some(k))
+        .collect(),
+        _ => Vec::new(),
+    };
+    if offending.is_empty() {
+        Ok(())
+    } else {
+        Err(ScenarioError::Config(format!(
+            "function {id}: `{}` does not apply to role `{role}`",
+            offending.join("`, `")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+name = "demo"
+
+[cluster]
+nodes = 1
+gpus_per_node = 2
+
+[system]
+preset = "dilu"
+
+[run]
+horizon_secs = 8
+seed = 3
+
+[[functions]]
+model = "bert-base"
+arrivals = { process = "poisson", rate = 20.0 }
+"#;
+
+    #[test]
+    fn toml_config_builds_and_runs() {
+        let config = ScenarioConfig::from_toml_str(DEMO).unwrap();
+        assert_eq!(config.name.as_deref(), Some("demo"));
+        let registry = Registry::with_defaults();
+        let scenario = config.into_builder(&registry).unwrap().build().unwrap();
+        assert_eq!(scenario.sim().placement_name(), "dilu-scheduler");
+        assert_eq!(scenario.sim().share_policy_name(), "dilu-rckm");
+        let report = scenario.run().unwrap();
+        assert!(report.inference.values().next().unwrap().completed > 0);
+    }
+
+    #[test]
+    fn component_tables_override_presets() {
+        let text = r#"
+[system]
+preset = "dilu"
+
+[system.share_policy]
+name = "mps-l"
+
+[[functions]]
+model = "vgg19"
+arrivals = { process = "poisson", rate = 5.0 }
+"#;
+        let config = ScenarioConfig::from_toml_str(text).unwrap();
+        let registry = Registry::with_defaults();
+        let scenario = config.into_builder(&registry).unwrap().build().unwrap();
+        assert_eq!(scenario.sim().share_policy_name(), "mps-l");
+        assert_eq!(scenario.sim().placement_name(), "dilu-scheduler");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_config() {
+        let config = ScenarioConfig::from_toml_str(DEMO).unwrap();
+        let json = serde_json::to_string_pretty(&config).unwrap();
+        let back = ScenarioConfig::from_json_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let bad_model = DEMO.replace("bert-base", "bert-gigantic");
+        let config = ScenarioConfig::from_toml_str(&bad_model).unwrap();
+        let registry = Registry::with_defaults();
+        let err = match config.into_builder(&registry) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("unknown model must fail"),
+        };
+        assert!(err.contains("bert-gigantic") && err.contains("bert-base"), "{err}");
+    }
+}

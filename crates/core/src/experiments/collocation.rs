@@ -101,7 +101,12 @@ impl Member {
 /// # Panics
 ///
 /// Panics if any member fails to deploy (pins must be feasible).
-pub fn run_case(gpus: u32, members: Vec<Member>, system: GpuSystem, horizon_secs: u64) -> ClusterReport {
+pub fn run_case(
+    gpus: u32,
+    members: Vec<Member>,
+    system: GpuSystem,
+    horizon_secs: u64,
+) -> ClusterReport {
     let mut placement = PinnedPlacement::new();
     for m in &members {
         for pin in &m.pins {
@@ -148,23 +153,13 @@ mod tests {
             let inf = funcs::inference_function(1, ModelId::RobertaLarge);
             let train = funcs::training_function(2, ModelId::BertBase, 1, u64::MAX);
             let members = if matches!(system, GpuSystem::Exclusive) {
-                vec![
-                    Member::solo(inf, arrivals.clone(), gpu(0)),
-                    Member::workers(train, &[gpu(1)]),
-                ]
+                vec![Member::solo(inf, arrivals.clone(), gpu(0)), Member::workers(train, &[gpu(1)])]
             } else {
-                vec![
-                    Member::solo(inf, arrivals.clone(), gpu(0)),
-                    Member::workers(train, &[gpu(0)]),
-                ]
+                vec![Member::solo(inf, arrivals.clone(), gpu(0)), Member::workers(train, &[gpu(0)])]
             };
             let report = run_case(2, members, system, 15);
             let f = report.inference.values().next().unwrap();
-            assert!(
-                f.completed > 0,
-                "{}: no requests served",
-                system.label()
-            );
+            assert!(f.completed > 0, "{}: no requests served", system.label());
         }
     }
 }

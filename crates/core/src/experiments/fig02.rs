@@ -61,12 +61,7 @@ fn static_quota_waste() -> Observation {
     );
     let _ = profile;
     let arrivals = PoissonProcess::new(4.0, 61).generate(SimTime::from_secs(60));
-    let report = run_case(
-        2,
-        vec![Member::solo(spec, arrivals, gpu(0))],
-        GpuSystem::MpsL,
-        60,
-    );
+    let report = run_case(2, vec![Member::solo(spec, arrivals, gpu(0))], GpuSystem::MpsL, 60);
     // Used SM on the occupied GPU, against the static 30% allocation.
     let used = (1.0 - report.fragmentation.mean_sm_fragmentation()).max(0.0);
     Observation { name: "INFless static 30% SM, RoBERTa @4rps".into(), allocated: 0.30, used }
@@ -79,11 +74,7 @@ fn training_idle(model: ModelId, workers: u32) -> Observation {
     let report =
         run_case(workers.max(2), vec![Member::workers(job, &gpus)], GpuSystem::Exclusive, 40);
     let used = (1.0 - report.fragmentation.mean_sm_fragmentation()).max(0.0);
-    Observation {
-        name: format!("{model} x{workers} training (exclusive)"),
-        allocated: 1.0,
-        used,
-    }
+    Observation { name: format!("{model} x{workers} training (exclusive)"), allocated: 1.0, used }
 }
 
 /// Observation-3: keep-alive waste under a sporadic trace — the fraction of
@@ -125,8 +116,7 @@ fn coscaling_sweep() -> Vec<SweepPoint> {
             pins: vec![vec![gpu(0)], vec![gpu(1)], vec![gpu(2)]],
         }];
         coll_members.push(Member::workers(train, &[gpu(0), gpu(1), gpu(2)]));
-        let coll =
-            run_case(3, coll_members, GpuSystem::Dilu(RckmConfig::default()), 45);
+        let coll = run_case(3, coll_members, GpuSystem::Dilu(RckmConfig::default()), 45);
 
         let e_inf = &excl.inference[&FunctionId(1)];
         let c_inf = &coll.inference[&FunctionId(1)];

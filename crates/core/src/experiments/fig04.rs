@@ -84,12 +84,7 @@ pub fn run() -> Fig04 {
 impl Fig04 {
     /// Best TE on the measured grid among SLO-feasible points.
     pub fn grid_optimum(&self, panel: usize) -> f64 {
-        self.panels[panel]
-            .surface
-            .iter()
-            .filter(|p| p.meets_slo)
-            .map(|p| p.te)
-            .fold(0.0, f64::max)
+        self.panels[panel].surface.iter().filter(|p| p.meets_slo).map(|p| p.te).fold(0.0, f64::max)
     }
 }
 

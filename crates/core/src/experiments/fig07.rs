@@ -54,10 +54,34 @@ struct Case {
 
 fn cases() -> Vec<Case> {
     vec![
-        Case { infer: ModelId::ResNet152, rps: 35.0, train: ModelId::BertBase, stages: 1, train_workers: 1 },
-        Case { infer: ModelId::RobertaLarge, rps: 20.0, train: ModelId::RobertaLarge, stages: 1, train_workers: 1 },
-        Case { infer: ModelId::Gpt2Large, rps: 10.0, train: ModelId::Gpt2Large, stages: 1, train_workers: 1 },
-        Case { infer: ModelId::Llama2_7b, rps: 3.0, train: ModelId::Llama2_7b, stages: 4, train_workers: 4 },
+        Case {
+            infer: ModelId::ResNet152,
+            rps: 35.0,
+            train: ModelId::BertBase,
+            stages: 1,
+            train_workers: 1,
+        },
+        Case {
+            infer: ModelId::RobertaLarge,
+            rps: 20.0,
+            train: ModelId::RobertaLarge,
+            stages: 1,
+            train_workers: 1,
+        },
+        Case {
+            infer: ModelId::Gpt2Large,
+            rps: 10.0,
+            train: ModelId::Gpt2Large,
+            stages: 1,
+            train_workers: 1,
+        },
+        Case {
+            infer: ModelId::Llama2_7b,
+            rps: 3.0,
+            train: ModelId::Llama2_7b,
+            stages: 4,
+            train_workers: 4,
+        },
     ]
 }
 
@@ -124,7 +148,13 @@ pub fn run() -> Fig07 {
 impl std::fmt::Display for Fig07 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut t = Table::new([
-            "case", "system", "p50(ms)", "p95(ms)", "SVR", "train(samples/s)", "train/Excl",
+            "case",
+            "system",
+            "p50(ms)",
+            "p95(ms)",
+            "SVR",
+            "train(samples/s)",
+            "train/Excl",
             "GPUs",
         ]);
         for r in &self.rows {

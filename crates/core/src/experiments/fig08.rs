@@ -131,8 +131,7 @@ pub fn run() -> Fig08 {
             SimDuration::from_secs(HORIZON_SECS),
             23,
         );
-        let arrivals =
-            TraceProcess::new(trace, 23).generate(SimTime::from_secs(HORIZON_SECS));
+        let arrivals = TraceProcess::new(trace, 23).generate(SimTime::from_secs(HORIZON_SECS));
         run_pair("bursty", model, stages, arrivals, 10.0, false, &mut rows);
     }
     // Panel (b): Poisson at mean RPS 20, 30, 20, 3 — including TGS, whose

@@ -59,12 +59,8 @@ fn throughputs(a: ModelId, b: ModelId, system: GpuSystem) -> (f64, f64) {
 
 /// Runs the full Fig. 9 study.
 pub fn run() -> Fig09 {
-    let systems = [
-        GpuSystem::Dilu(RckmConfig::default()),
-        GpuSystem::MpsL,
-        GpuSystem::MpsR,
-        GpuSystem::Tgs,
-    ];
+    let systems =
+        [GpuSystem::Dilu(RckmConfig::default()), GpuSystem::MpsL, GpuSystem::MpsR, GpuSystem::Tgs];
     let mut rows = Vec::new();
     for (a, b) in pairs() {
         let (ex_a, ex_b) = throughputs(a, b, GpuSystem::Exclusive);

@@ -71,17 +71,18 @@ fn inference_mean_latency(n: u32, system: GpuSystem) -> f64 {
 /// Runs both panels.
 pub fn run() -> Fig11 {
     let dilu = GpuSystem::Dilu(RckmConfig::default());
-    let training = [ModelId::BertBase, ModelId::RobertaLarge, ModelId::Gpt2Large, ModelId::Llama2_7b]
-        .into_iter()
-        .map(|m| {
-            let with = solo_training_throughput(m, dilu);
-            let without = solo_training_throughput(m, GpuSystem::Exclusive);
-            TrainRow {
-                model: m.to_string(),
-                normalized_throughput: if without > 0.0 { with / without } else { 0.0 },
-            }
-        })
-        .collect();
+    let training =
+        [ModelId::BertBase, ModelId::RobertaLarge, ModelId::Gpt2Large, ModelId::Llama2_7b]
+            .into_iter()
+            .map(|m| {
+                let with = solo_training_throughput(m, dilu);
+                let without = solo_training_throughput(m, GpuSystem::Exclusive);
+                TrainRow {
+                    model: m.to_string(),
+                    normalized_throughput: if without > 0.0 { with / without } else { 0.0 },
+                }
+            })
+            .collect();
     let inference = [1u32, 2, 4, 8]
         .into_iter()
         .map(|n| {

@@ -45,8 +45,7 @@ pub fn run() -> Fig12 {
         SimDuration::from_secs(HORIZON_SECS),
         81,
     );
-    let arrivals =
-        TraceProcess::new(trace, 81).generate(SimTime::from_secs(HORIZON_SECS));
+    let arrivals = TraceProcess::new(trace, 81).generate(SimTime::from_secs(HORIZON_SECS));
     let mut sim = build_sim(SystemKind::Dilu, dilu_cluster::ClusterSpec::single_node(8));
     let spec = funcs::inference_function(1, ModelId::RobertaLarge);
     sim.deploy_inference(spec, 1, arrivals).expect("deploys on an empty cluster");
@@ -63,11 +62,7 @@ pub fn run() -> Fig12 {
             sec: p.sec,
             rps: p.arrivals,
             instances: p.ready_instances,
-            svr: if p.completions == 0 {
-                0.0
-            } else {
-                p.violations as f64 / p.completions as f64
-            },
+            svr: if p.completions == 0 { 0.0 } else { p.violations as f64 / p.completions as f64 },
         })
         .collect();
     Fig12 { points, total_svr: f.svr(), cold_starts: f.cold_starts.count() }
@@ -85,11 +80,6 @@ impl std::fmt::Display for Fig12 {
             ]);
         }
         writeln!(f, "{t}")?;
-        writeln!(
-            f,
-            "overall SVR {:.2}%  cold starts {}",
-            self.total_svr * 100.0,
-            self.cold_starts
-        )
+        writeln!(f, "overall SVR {:.2}%  cold starts {}", self.total_svr * 100.0, self.cold_starts)
     }
 }

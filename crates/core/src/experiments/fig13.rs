@@ -129,13 +129,12 @@ pub fn run_fig14() -> Fig14 {
     totals.push(("Exclusive-inf".to_string(), inf_series.iter().map(|&(_, b)| b).sum()));
     series.push(("Exclusive-inf".to_string(), inf_series));
     for system in [GpuSystem::MpsR, GpuSystem::Dilu(RckmConfig::default())] {
-        let report = run_collocated(
-            ModelId::RobertaLarge,
-            ModelId::BertBase,
-            case1_arrivals(),
-            system,
-        );
-        totals.push((system.label().to_string(), report.total_kernel_series.iter().map(|&(_, b)| b).sum()));
+        let report =
+            run_collocated(ModelId::RobertaLarge, ModelId::BertBase, case1_arrivals(), system);
+        totals.push((
+            system.label().to_string(),
+            report.total_kernel_series.iter().map(|&(_, b)| b).sum(),
+        ));
         series.push((system.label().to_string(), report.total_kernel_series.clone()));
     }
     Fig14 { totals, series }
@@ -144,10 +143,13 @@ pub fn run_fig14() -> Fig14 {
 impl Fig13 {
     /// Mean inference-kernel ratio of `system` within a case.
     pub fn mean_ratio(&self, case_idx: usize, system: &str) -> f64 {
-        let Some(case) = self.cases.get(case_idx) else { return 0.0 };
-        let Some(s) = case.series.iter().find(|s| s.system == system) else { return 0.0 };
-        let active: Vec<f64> =
-            s.points.iter().map(|&(_, r)| r).filter(|&r| r > 0.0).collect();
+        let Some(case) = self.cases.get(case_idx) else {
+            return 0.0;
+        };
+        let Some(s) = case.series.iter().find(|s| s.system == system) else {
+            return 0.0;
+        };
+        let active: Vec<f64> = s.points.iter().map(|&(_, r)| r).filter(|&r| r > 0.0).collect();
         if active.is_empty() {
             0.0
         } else {

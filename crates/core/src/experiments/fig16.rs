@@ -1,0 +1,65 @@
+//! Fig. 16 — aggregate throughput per GPU, normalised to Exclusive.
+//!
+//! Derived from the Fig. 15 end-to-end run: per-occupied-GPU inference
+//! goodput and training throughput of every system, divided by
+//! Exclusive's (the paper's aggregate-throughput definition).
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::fig15;
+use crate::table::Table;
+
+/// One system's normalised aggregate throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// System label.
+    pub system: String,
+    /// Inference goodput per GPU over Exclusive's.
+    pub inference_x_exclusive: f64,
+    /// Training throughput per GPU over Exclusive's.
+    pub training_x_exclusive: f64,
+}
+
+/// The full normalised comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16 {
+    /// One row per system, END_TO_END order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs (or reuses this process's memoised) Fig. 15 scenario and
+/// normalises to Exclusive.
+pub fn run() -> Fig16 {
+    from_fig15(fig15::run_cached())
+}
+
+/// Normalises an existing Fig. 15 result.
+pub fn from_fig15(result: &fig15::Fig15) -> Fig16 {
+    let excl = result.row("Exclusive").expect("Fig. 15 includes Exclusive").clone();
+    Fig16 {
+        rows: result
+            .rows
+            .iter()
+            .map(|r| Row {
+                system: r.system.clone(),
+                inference_x_exclusive: r.inf_goodput_per_gpu / excl.inf_goodput_per_gpu.max(1e-9),
+                training_x_exclusive: r.train_throughput_per_gpu
+                    / excl.train_throughput_per_gpu.max(1e-9),
+            })
+            .collect(),
+    }
+}
+
+impl std::fmt::Display for Fig16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["system", "inference x Exclusive", "training x Exclusive"]);
+        for r in &self.rows {
+            t.row([
+                r.system.clone(),
+                format!("{:.2}", r.inference_x_exclusive),
+                format!("{:.2}", r.training_x_exclusive),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}

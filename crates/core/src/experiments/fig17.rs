@@ -19,9 +19,7 @@ pub fn run() -> Fig17 {
 
 /// Runs the study with an explicit configuration (tests use smaller ones).
 pub fn run_with(config: &MacroConfig) -> Fig17 {
-    Fig17 {
-        results: MacroSystem::ALL.iter().map(|&s| run_macro(s, config, 1.5)).collect(),
-    }
+    Fig17 { results: MacroSystem::ALL.iter().map(|&s| run_macro(s, config, 1.5)).collect() }
 }
 
 impl Fig17 {

@@ -76,12 +76,9 @@ pub fn run_with(config: &MacroConfig) -> Fig18 {
             let arrivals = PoissonProcess::new(20.0, 111).generate(SimTime::from_secs(45));
             let inf = funcs::inference_function(1, ModelId::RobertaLarge);
             let train = funcs::training_function(2, ModelId::BertBase, 1, u64::MAX);
-            let members = vec![
-                Member::solo(inf, arrivals, gpu(0)),
-                Member::workers(train, &[gpu(0)]),
-            ];
-            let system =
-                GpuSystem::Dilu(RckmConfig { max_tokens: mt, ..RckmConfig::default() });
+            let members =
+                vec![Member::solo(inf, arrivals, gpu(0)), Member::workers(train, &[gpu(0)])];
+            let system = GpuSystem::Dilu(RckmConfig { max_tokens: mt, ..RckmConfig::default() });
             let report = run_case(2, members, system, 50);
             let f = &report.inference[&FunctionId(1)];
             let t = report.training.values().next().expect("training deployed");

@@ -6,6 +6,22 @@
 //! are scaled down from the paper's wall-clock hours to simulated minutes —
 //! the *shape* of each result (orderings, ratios, crossovers) is the
 //! reproduction target, recorded in `EXPERIMENTS.md`.
+//!
+//! # The [`Experiment`] registry
+//!
+//! Every figure/table is also registered behind the [`Experiment`] trait,
+//! giving the bench targets and `dilu-cli` one uniform entry point:
+//!
+//! ```
+//! use dilu_core::experiments;
+//!
+//! assert!(experiments::find("fig15").is_some());
+//! assert_eq!(experiments::all().len(), 16);
+//! ```
+
+use std::path::PathBuf;
+
+use serde::Serialize;
 
 pub mod collocation;
 pub mod fig02;
@@ -18,7 +34,144 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig15;
+pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod tab02;
 pub mod tab03;
+
+/// Context handed to [`Experiment::run`].
+///
+/// When `json_dir` is set, the runner persists the result as
+/// `<json_dir>/<name>.json` (reported in
+/// [`ExperimentOutput::json_path`]).
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentCtx {
+    /// Where to write the JSON dump, if anywhere.
+    pub json_dir: Option<PathBuf>,
+}
+
+impl ExperimentCtx {
+    /// A context writing JSON under the workspace's `target/experiments/`
+    /// (the bench harness convention).
+    pub fn with_default_json_dir() -> Self {
+        ExperimentCtx { json_dir: Some(crate::table::experiments_dir()) }
+    }
+}
+
+/// What one experiment run produced.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// The rendered ASCII table(s), ready to print.
+    pub rendered: String,
+    /// The result as a dynamic value (what the JSON dump contains).
+    pub json: serde::Value,
+    /// Where the JSON dump was written, when the context asked for one.
+    pub json_path: Option<PathBuf>,
+}
+
+/// A registered table/figure of the paper, runnable by name.
+pub trait Experiment: Sync {
+    /// Stable registry name (`"fig15"`, `"tab02"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Human title as printed by the harness banner.
+    fn title(&self) -> &'static str;
+
+    /// Regenerates the result.
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentOutput;
+}
+
+struct FnExperiment {
+    name: &'static str,
+    title: &'static str,
+    runner: fn() -> (String, serde::Value),
+}
+
+impl Experiment for FnExperiment {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentOutput {
+        let (rendered, json) = (self.runner)();
+        let json_path = ctx.json_dir.as_ref().map(|dir| {
+            let path = dir.join(format!("{}.json", self.name));
+            crate::table::write_json_at(&path, &json);
+            path
+        });
+        ExperimentOutput { rendered, json, json_path }
+    }
+}
+
+fn capture<T: std::fmt::Display + Serialize>(result: T) -> (String, serde::Value) {
+    (result.to_string(), serde_json::to_value(&result))
+}
+
+macro_rules! experiments {
+    ($($name:literal, $title:literal, $run:expr;)*) => {
+        static REGISTRY: &[FnExperiment] = &[
+            $(FnExperiment { name: $name, title: $title, runner: || capture($run) },)*
+        ];
+    };
+}
+
+experiments! {
+    "fig02", "Fig. 2 — fragmentation observations and preliminary co-scaling", fig02::run();
+    "fig04", "Fig. 4 — the <IBS, SMR, TE> trade-off surface", fig04::run();
+    "fig07", "Fig. 7 — training/inference collocation", fig07::run();
+    "fig08", "Fig. 8 — inference/inference collocation", fig08::run();
+    "fig09", "Fig. 9 — training/training collocation", fig09::run();
+    "fig10", "Fig. 10 — burstiness sensitivity (Gamma CV sweep)", fig10::run();
+    "fig11", "Fig. 11 — vertical-scaling overhead", fig11::run();
+    "fig12", "Fig. 12 — co-scaling on a bursty trace", fig12::run();
+    "fig13", "Fig. 13 — kernel-launch ratio under contention", fig13::run();
+    "fig14", "Fig. 14 — total kernel counts", fig13::run_fig14();
+    "fig15", "Fig. 15 — end-to-end scheduling and ablations", fig15::run_cached().clone();
+    "fig16", "Fig. 16 — aggregate throughput per GPU", fig16::run();
+    "fig17", "Fig. 17 — large-scale simulation", fig17::run();
+    "fig18", "Fig. 18 — sensitivity to gamma and MaxTokens", fig18::run();
+    "tab02", "Table 2 — profiled quotas of the model zoo", tab02::run();
+    "tab03", "Table 3 — co-scaling under Azure trace shapes", tab03::run();
+}
+
+/// Every registered experiment, in figure/table order.
+pub fn all() -> &'static [&'static dyn Experiment] {
+    static DYN: std::sync::OnceLock<Vec<&'static dyn Experiment>> = std::sync::OnceLock::new();
+    DYN.get_or_init(|| REGISTRY.iter().map(|e| e as &dyn Experiment).collect())
+}
+
+/// Looks an experiment up by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    all().iter().copied().find(|e| e.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = all().iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 16);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16, "duplicate experiment names");
+        assert!(find("fig15").is_some());
+        assert!(find("tab02").is_some());
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn a_cheap_experiment_runs_through_the_trait() {
+        // tab02 only runs the profiler — cheap enough for a unit test.
+        let out = find("tab02").unwrap().run(&ExperimentCtx::default());
+        assert!(out.rendered.contains("ResNet152"), "{}", out.rendered);
+        assert!(out.json_path.is_none());
+        assert!(matches!(out.json, serde::Value::Map(_)));
+    }
+}

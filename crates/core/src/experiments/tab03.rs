@@ -44,13 +44,8 @@ fn run_one(kind: SystemKind, trace_kind: TraceKind) -> (u64, f64, f64) {
         TraceKind::Periodic => (25.0, 2.5),
         TraceKind::Sporadic => (10.0, 1.0),
     };
-    let trace = RateTrace::synthesize(
-        trace_kind,
-        base,
-        scale,
-        SimDuration::from_secs(HORIZON_SECS),
-        91,
-    );
+    let trace =
+        RateTrace::synthesize(trace_kind, base, scale, SimDuration::from_secs(HORIZON_SECS), 91);
     let arrivals = TraceProcess::new(trace, 91).generate(SimTime::from_secs(HORIZON_SECS));
     let mut sim = build_sim(kind, dilu_cluster::ClusterSpec::single_node(8));
     sim.deploy_inference(funcs::inference_function(1, ModelId::RobertaLarge), 1, arrivals)
@@ -67,8 +62,7 @@ fn run_one(kind: SystemKind, trace_kind: TraceKind) -> (u64, f64, f64) {
 
 /// Runs the full Table 3 matrix.
 pub fn run() -> Tab03 {
-    let systems =
-        [SystemKind::FastGsPlus, SystemKind::InflessPlusL, SystemKind::Dilu];
+    let systems = [SystemKind::FastGsPlus, SystemKind::InflessPlusL, SystemKind::Dilu];
     let mut rows = Vec::new();
     for trace_kind in TraceKind::ALL {
         let results: Vec<(SystemKind, u64, f64, f64)> = systems

@@ -86,6 +86,36 @@ impl PolicyFactory for FairFactory {
     }
 }
 
+/// A share-policy factory from a closure plus a report name.
+///
+/// This is the ergonomic way to plug a custom per-GPU policy into
+/// [`ScenarioBuilder::share_policy`](crate::ScenarioBuilder::share_policy)
+/// without defining a factory struct. A bare closure also works (there is
+/// a blanket `PolicyFactory` impl) but reports the uninformative name
+/// `"closure-policy"`; this wrapper, via [`dilu_cluster::named`], keeps
+/// scenario listings and reports meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use dilu_cluster::PolicyFactory;
+/// use dilu_core::custom_share_policy;
+/// use dilu_gpu::policies::FairSharePolicy;
+///
+/// let factory = custom_share_policy("my-fair", || Box::new(FairSharePolicy));
+/// assert_eq!(factory.name(), "my-fair");
+/// assert_eq!(factory.make().name(), "fair-share");
+/// ```
+pub fn custom_share_policy<F>(
+    name: impl Into<String>,
+    make: F,
+) -> dilu_cluster::NamedPolicyFactory<F>
+where
+    F: Fn() -> Box<dyn SharePolicy>,
+{
+    dilu_cluster::named(name, make)
+}
+
 /// A placement that hands out pre-determined GPU lists per function —
 /// used by the GPU-level collocation experiments (Figs. 7–11, 13–14) where
 /// the paper pins instances to specific cards.
@@ -174,6 +204,13 @@ mod tests {
         assert_eq!(p.place(&spec(1), &cv), Some(vec![b]));
         // Unknown function: no placement.
         assert_eq!(p.place(&spec(2), &cv), None);
+    }
+
+    #[test]
+    fn custom_share_policies_are_named() {
+        let f = custom_share_policy("tgs-tuned", || Box::new(dilu_baselines::TgsPolicy::new()));
+        assert_eq!(f.name(), "tgs-tuned");
+        assert_eq!(f.make().name(), "tgs");
     }
 
     #[test]

@@ -6,38 +6,79 @@
 //!
 //! # Examples
 //!
-//! Build a full Dilu cluster and serve a bursty inference function:
+//! Serve a bursty inference function on the full Dilu stack via a
+//! [`SystemKind`] preset builder:
 //!
 //! ```
-//! use dilu_core::{SystemKind, build_sim, funcs};
+//! use dilu_core::{funcs, SystemKind};
 //! use dilu_cluster::ClusterSpec;
 //! use dilu_models::ModelId;
-//! use dilu_sim::SimTime;
-//! use dilu_workload::{ArrivalProcess, PoissonProcess};
+//! use dilu_sim::SimDuration;
+//! use dilu_workload::PoissonProcess;
 //!
-//! let mut sim = build_sim(SystemKind::Dilu, ClusterSpec::single_node(2));
-//! let spec = funcs::inference_function(1, ModelId::BertBase);
-//! let arrivals = PoissonProcess::new(30.0, 7).generate(SimTime::from_secs(10));
-//! sim.deploy_inference(spec, 1, arrivals)?;
-//! sim.run_until(SimTime::from_secs(12));
-//! let report = sim.into_report();
+//! let report = SystemKind::Dilu
+//!     .builder()
+//!     .cluster(ClusterSpec::single_node(2))
+//!     .horizon(SimDuration::from_secs(10))
+//!     .function(funcs::inference_function(1, ModelId::BertBase))
+//!     .arrivals(PoissonProcess::new(30.0, 7))
+//!     .build()?
+//!     .run()?;
 //! assert!(report.inference.values().next().unwrap().completed > 0);
-//! # Ok::<(), dilu_cluster::DeployError>(())
+//! # Ok::<(), dilu_core::ScenarioError>(())
 //! ```
+//!
+//! Or compose a system no preset describes — any
+//! [`Placement`](dilu_cluster::Placement) /
+//! [`Autoscaler`](dilu_cluster::Autoscaler) /
+//! [`PolicyFactory`](dilu_cluster::PolicyFactory) mix goes:
+//!
+//! ```
+//! use dilu_core::{funcs, MpsFactory, Scenario};
+//! use dilu_baselines::{KeepAliveScaler, QuotaSource};
+//! use dilu_cluster::ClusterSpec;
+//! use dilu_models::ModelId;
+//! use dilu_scheduler::{DiluScheduler, SchedulerConfig};
+//! use dilu_sim::SimDuration;
+//!
+//! let scenario = Scenario::builder()
+//!     .cluster(ClusterSpec::single_node(2))
+//!     .placement(DiluScheduler::new(SchedulerConfig { gamma: 2.0, ..Default::default() }))
+//!     .autoscaler(KeepAliveScaler::default())
+//!     .share_policy(MpsFactory(QuotaSource::Request))
+//!     .horizon(SimDuration::from_secs(5))
+//!     .function(funcs::inference_function(1, ModelId::Vgg19))
+//!     .arrival_times(Vec::new())
+//!     .build()?;
+//! assert_eq!(scenario.sim().share_policy_name(), "mps-r");
+//! # Ok::<(), dilu_core::ScenarioError>(())
+//! ```
+//!
+//! The same compositions load from TOML/JSON via [`ScenarioConfig`] +
+//! [`Registry`], and `build_sim`/[`build_sim_with`] keep the original
+//! closed API working on top of the presets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
 mod factories;
 pub mod funcs;
 pub mod macrosim;
+pub mod registry;
+mod scenario;
 mod system;
 pub mod table;
 
 pub mod experiments;
 
-pub use factories::{
-    FairFactory, FastGsFactory, MpsFactory, NullAutoscaler, PinnedPlacement, RckmFactory,
-    TgsFactory,
+pub use config::{
+    ClusterSection, ComponentSection, FunctionSection, RunSection, ScenarioConfig, SystemSection,
 };
+pub use factories::{
+    custom_share_policy, FairFactory, FastGsFactory, MpsFactory, NullAutoscaler, PinnedPlacement,
+    RckmFactory, TgsFactory,
+};
+pub use registry::{Params, Registry};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};
 pub use system::{build_sim, build_sim_with, SystemKind, SystemOverrides};

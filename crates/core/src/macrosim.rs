@@ -164,7 +164,12 @@ fn generate_instances(config: &MacroConfig, system: MacroSystem) -> Vec<MacroIns
                         profile.infer_mem_bytes
                     };
                     let div = f64::from(stages);
-                    (p.request.scale(1.0 / div), p.limit.scale(1.0 / div), mem, p.request.scale(1.0 / div))
+                    (
+                        p.request.scale(1.0 / div),
+                        p.limit.scale(1.0 / div),
+                        mem,
+                        p.request.scale(1.0 / div),
+                    )
                 }
             };
             let quotas = match system {
@@ -223,9 +228,8 @@ pub fn run_macro(system: MacroSystem, config: &MacroConfig, gamma: f64) -> Macro
     let mut events = EventQueue::new();
     let horizon = SimTime::ZERO + config.arrival_span + config.mean_lifetime * 2;
     for inst in &instances {
-        let at = SimTime::from_secs_f64(
-            rng.gen_range(0.0..config.arrival_span.as_secs_f64().max(1.0)),
-        );
+        let at =
+            SimTime::from_secs_f64(rng.gen_range(0.0..config.arrival_span.as_secs_f64().max(1.0)));
         events.push(at, Event::Arrive(inst.spec.id.0));
     }
     let mut t = SimTime::ZERO;
@@ -280,10 +284,8 @@ pub fn run_macro(system: MacroSystem, config: &MacroConfig, gamma: f64) -> Macro
                             ));
                         }
                         assignments.insert(id, chosen);
-                        let life = sample_exponential(
-                            &mut rng,
-                            1.0 / config.mean_lifetime.as_secs_f64(),
-                        );
+                        let life =
+                            sample_exponential(&mut rng, 1.0 / config.mean_lifetime.as_secs_f64());
                         events.push(now + SimDuration::from_secs_f64(life), Event::Depart(id));
                     }
                     None => unplaced += 1,

@@ -1,5 +1,11 @@
-//! System compositions: Dilu, its ablations, and the cluster-level
-//! baselines of §5.1.
+//! System presets: Dilu, its ablations, and the cluster-level baselines of
+//! §5.1, expressed as pre-populated [`ScenarioBuilder`]s.
+//!
+//! [`SystemKind`] is no longer the closed front door of composition — any
+//! mix of placement/autoscaler/share policy goes through
+//! [`ScenarioBuilder`] directly. Each variant here is a *preset*: a
+//! builder with the paper's composition filled in, every knob still
+//! swappable before `build()`.
 
 use dilu_baselines::{KeepAliveScaler, QuotaSource, ReactiveScaler};
 use dilu_cluster::{ClusterSim, ClusterSpec, SimConfig};
@@ -9,8 +15,9 @@ use dilu_scheduler::{DiluScheduler, ExclusivePlacement, SchedulerConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::factories::{FairFactory, FastGsFactory, MpsFactory, RckmFactory};
+use crate::ScenarioBuilder;
 
-/// Every runnable system of the evaluation.
+/// Every preset system of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SystemKind {
     /// The full system: Algorithm 1 scheduling, lazy scaling, RCKM tokens.
@@ -43,6 +50,18 @@ impl SystemKind {
         SystemKind::DiluNoVs,
     ];
 
+    /// Every preset.
+    pub const ALL: [SystemKind; 8] = [
+        SystemKind::Dilu,
+        SystemKind::DiluNoRc,
+        SystemKind::DiluNoWa,
+        SystemKind::DiluNoVs,
+        SystemKind::Exclusive,
+        SystemKind::InflessPlusL,
+        SystemKind::InflessPlusR,
+        SystemKind::FastGsPlus,
+    ];
+
     /// The paper's label for the system.
     pub fn label(self) -> &'static str {
         match self {
@@ -57,6 +76,33 @@ impl SystemKind {
         }
     }
 
+    /// The stable kebab-case preset name used by scenario configs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Dilu => "dilu",
+            SystemKind::DiluNoRc => "dilu-no-rc",
+            SystemKind::DiluNoWa => "dilu-no-wa",
+            SystemKind::DiluNoVs => "dilu-no-vs",
+            SystemKind::Exclusive => "exclusive",
+            SystemKind::InflessPlusL => "infless-l",
+            SystemKind::InflessPlusR => "infless-r",
+            SystemKind::FastGsPlus => "fast-gs",
+        }
+    }
+
+    /// All preset names, in [`SystemKind::ALL`] order.
+    pub fn names() -> [&'static str; 8] {
+        SystemKind::ALL.map(SystemKind::name)
+    }
+
+    /// Looks a preset up by its config name ([`name`](Self::name)) or the
+    /// paper label ([`label`](Self::label)), case-insensitively.
+    pub fn from_name(name: &str) -> Option<SystemKind> {
+        SystemKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name) || k.label().eq_ignore_ascii_case(name))
+    }
+
     /// `true` if this system deploys LLM inference across multiple GPUs.
     ///
     /// Distributed LLM deployment over GPU fragments belongs to Dilu's
@@ -64,6 +110,66 @@ impl SystemKind {
     /// the baselines deploy LLMs whole.
     pub fn distributes_llms(self) -> bool {
         matches!(self, SystemKind::Dilu | SystemKind::DiluNoWa | SystemKind::DiluNoVs)
+    }
+
+    /// A [`ScenarioBuilder`] pre-populated with this system's composition
+    /// and default knobs. Every component can still be swapped before
+    /// `build()`.
+    pub fn builder(self) -> ScenarioBuilder {
+        self.builder_with(SystemOverrides::default())
+    }
+
+    /// [`builder`](Self::builder) with explicit knob overrides
+    /// (sensitivity studies).
+    pub fn builder_with(self, ov: SystemOverrides) -> ScenarioBuilder {
+        let sim_config = ov.sim.unwrap_or_default();
+        let rckm = ov.rckm.unwrap_or_default();
+        let dilu_sched = ov.scheduler.unwrap_or_default();
+        let scaler = ov.scaler.unwrap_or_default();
+        // INFless-style packers: complementarity scoring without Dilu's
+        // affinity pass.
+        let packing = SchedulerConfig { workload_affinity: false, ..dilu_sched };
+        let builder = ScenarioBuilder::new().sim_config(sim_config);
+        match self {
+            SystemKind::Dilu => builder
+                .placement(DiluScheduler::new(dilu_sched))
+                .autoscaler(LazyScaler::new(scaler))
+                .share_policy(RckmFactory(rckm)),
+            SystemKind::DiluNoRc => builder
+                .placement(DiluScheduler::new(SchedulerConfig {
+                    resource_complementary: false,
+                    ..dilu_sched
+                }))
+                .autoscaler(LazyScaler::new(scaler))
+                .share_policy(RckmFactory(rckm)),
+            SystemKind::DiluNoWa => builder
+                .placement(DiluScheduler::new(SchedulerConfig {
+                    workload_affinity: false,
+                    ..dilu_sched
+                }))
+                .autoscaler(LazyScaler::new(scaler))
+                .share_policy(RckmFactory(rckm)),
+            SystemKind::DiluNoVs => builder
+                .placement(DiluScheduler::new(dilu_sched))
+                .autoscaler(LazyScaler::new(scaler))
+                .share_policy(MpsFactory(QuotaSource::Limit)),
+            SystemKind::Exclusive => builder
+                .placement(ExclusivePlacement::new())
+                .autoscaler(KeepAliveScaler::default())
+                .share_policy(FairFactory),
+            SystemKind::InflessPlusL => builder
+                .placement(DiluScheduler::new(packing))
+                .autoscaler(KeepAliveScaler::default())
+                .share_policy(MpsFactory(QuotaSource::Limit)),
+            SystemKind::InflessPlusR => builder
+                .placement(DiluScheduler::new(packing))
+                .autoscaler(KeepAliveScaler::default())
+                .share_policy(MpsFactory(QuotaSource::Request)),
+            SystemKind::FastGsPlus => builder
+                .placement(DiluScheduler::new(packing))
+                .autoscaler(ReactiveScaler::new())
+                .share_policy(FastGsFactory),
+        }
     }
 }
 
@@ -86,78 +192,11 @@ pub fn build_sim(kind: SystemKind, spec: ClusterSpec) -> ClusterSim {
 }
 
 /// Builds a cluster simulator for `kind` with explicit overrides.
+///
+/// Equivalent to `kind.builder_with(ov).cluster(spec).build_sim()` — the
+/// presets populate every component, so this cannot fail.
 pub fn build_sim_with(kind: SystemKind, spec: ClusterSpec, ov: SystemOverrides) -> ClusterSim {
-    let sim_config = ov.sim.unwrap_or_default();
-    let rckm = ov.rckm.unwrap_or_default();
-    let dilu_sched = ov.scheduler.unwrap_or_default();
-    let scaler = ov.scaler.unwrap_or_default();
-    // INFless-style packers: complementarity scoring without Dilu's
-    // affinity pass.
-    let packing = SchedulerConfig { workload_affinity: false, ..dilu_sched };
-    match kind {
-        SystemKind::Dilu => ClusterSim::new(
-            spec,
-            sim_config,
-            Box::new(DiluScheduler::new(dilu_sched)),
-            Box::new(LazyScaler::new(scaler)),
-            &RckmFactory(rckm),
-        ),
-        SystemKind::DiluNoRc => ClusterSim::new(
-            spec,
-            sim_config,
-            Box::new(DiluScheduler::new(SchedulerConfig {
-                resource_complementary: false,
-                ..dilu_sched
-            })),
-            Box::new(LazyScaler::new(scaler)),
-            &RckmFactory(rckm),
-        ),
-        SystemKind::DiluNoWa => ClusterSim::new(
-            spec,
-            sim_config,
-            Box::new(DiluScheduler::new(SchedulerConfig {
-                workload_affinity: false,
-                ..dilu_sched
-            })),
-            Box::new(LazyScaler::new(scaler)),
-            &RckmFactory(rckm),
-        ),
-        SystemKind::DiluNoVs => ClusterSim::new(
-            spec,
-            sim_config,
-            Box::new(DiluScheduler::new(dilu_sched)),
-            Box::new(LazyScaler::new(scaler)),
-            &MpsFactory(QuotaSource::Limit),
-        ),
-        SystemKind::Exclusive => ClusterSim::new(
-            spec,
-            sim_config,
-            Box::new(ExclusivePlacement::new()),
-            Box::new(KeepAliveScaler::default()),
-            &FairFactory,
-        ),
-        SystemKind::InflessPlusL => ClusterSim::new(
-            spec,
-            sim_config,
-            Box::new(DiluScheduler::new(packing)),
-            Box::new(KeepAliveScaler::default()),
-            &MpsFactory(QuotaSource::Limit),
-        ),
-        SystemKind::InflessPlusR => ClusterSim::new(
-            spec,
-            sim_config,
-            Box::new(DiluScheduler::new(packing)),
-            Box::new(KeepAliveScaler::default()),
-            &MpsFactory(QuotaSource::Request),
-        ),
-        SystemKind::FastGsPlus => ClusterSim::new(
-            spec,
-            sim_config,
-            Box::new(DiluScheduler::new(packing)),
-            Box::new(ReactiveScaler::new()),
-            &FastGsFactory,
-        ),
-    }
+    kind.builder_with(ov).cluster(spec).build_sim().expect("presets populate every component")
 }
 
 #[cfg(test)]
@@ -169,6 +208,16 @@ mod tests {
         assert_eq!(SystemKind::Dilu.label(), "Dilu");
         assert_eq!(SystemKind::InflessPlusL.label(), "INFless+-l");
         assert_eq!(SystemKind::DiluNoVs.label(), "-VS");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in SystemKind::ALL {
+            assert_eq!(SystemKind::from_name(kind.name()), Some(kind));
+            assert_eq!(SystemKind::from_name(kind.label()), Some(kind));
+        }
+        assert_eq!(SystemKind::from_name("DILU"), Some(SystemKind::Dilu));
+        assert_eq!(SystemKind::from_name("nope"), None);
     }
 
     #[test]
@@ -187,5 +236,16 @@ mod tests {
             assert_eq!(sim.spec().total_gpus(), 2);
         }
         build_sim(SystemKind::FastGsPlus, ClusterSpec::single_node(1));
+    }
+
+    #[test]
+    fn presets_expose_component_names() {
+        let sim = build_sim(SystemKind::Dilu, ClusterSpec::single_node(1));
+        assert_eq!(sim.placement_name(), "dilu-scheduler");
+        assert_eq!(sim.autoscaler_name(), "dilu-lazy-scaler");
+        assert_eq!(sim.share_policy_name(), "dilu-rckm");
+        let excl = build_sim(SystemKind::Exclusive, ClusterSpec::single_node(1));
+        assert_eq!(excl.placement_name(), "exclusive");
+        assert_eq!(excl.share_policy_name(), "fair-share");
     }
 }

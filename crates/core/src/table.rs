@@ -56,10 +56,7 @@ impl Table {
 
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let cols = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -86,12 +83,10 @@ impl std::fmt::Display for Table {
     }
 }
 
-/// Writes an experiment result as JSON under the workspace's
-/// `target/experiments/<name>.json` so EXPERIMENTS.md rows are regenerable.
-/// Failures are reported, not fatal.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    // Bench binaries run with the package as cwd; walk up to the workspace
-    // root (the directory holding Cargo.lock) so dumps share one location.
+/// The shared JSON dump directory: `target/experiments/` under the
+/// workspace root (found by walking up to the directory holding
+/// `Cargo.lock`; bench binaries run with the package as cwd).
+pub fn experiments_dir() -> PathBuf {
     let mut root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     while !root.join("Cargo.lock").exists() {
         if !root.pop() {
@@ -99,19 +94,32 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
             break;
         }
     }
-    let dir = root.join("target/experiments");
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
+    root.join("target/experiments")
+}
+
+/// Writes an experiment result as JSON under the workspace's
+/// `target/experiments/<name>.json` so EXPERIMENTS.md rows are regenerable.
+/// Failures are reported, not fatal.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    write_json_at(&experiments_dir().join(format!("{name}.json")), value);
+}
+
+/// Writes `value` as pretty JSON to `path`, creating parent directories.
+/// Failures are reported, not fatal.
+pub fn write_json_at<T: Serialize + ?Sized>(path: &std::path::Path, value: &T) {
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
     }
-    let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
+            if let Err(e) = std::fs::write(path, json) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
             }
         }
-        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+        Err(e) => eprintln!("warning: cannot serialise {}: {e}", path.display()),
     }
 }
 

@@ -284,7 +284,8 @@ impl GpuEngine {
         let quantum = self.quantum;
         for (&id, slot) in self.slots.iter_mut() {
             let eff = effective.iter().find(|(gid, _)| *gid == id).map(|&(_, e)| e).unwrap_or(0.0);
-            let (used, blocks) = advance_slot(id, slot, now, quantum, eff, &mut outcome.completions);
+            let (used, blocks) =
+                advance_slot(id, slot, now, quantum, eff, &mut outcome.completions);
             slot.blocks_last_quantum = blocks;
             slot.blocks_total += blocks;
             self.blocks_total += blocks;
@@ -531,12 +532,7 @@ mod tests {
             gpu.admit(InstanceId(i), slot(TaskClass::BestEffort, 50.0, 100.0)).unwrap();
             gpu.push_work(
                 InstanceId(i),
-                WorkItem::compute(
-                    SimDuration::from_millis(40),
-                    SmRate::from_percent(80.0),
-                    800,
-                    i,
-                ),
+                WorkItem::compute(SimDuration::from_millis(40), SmRate::from_percent(80.0), 800, i),
             )
             .unwrap();
         }

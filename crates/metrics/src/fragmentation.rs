@@ -134,13 +134,7 @@ mod tests {
     const GB: u64 = 1 << 30;
 
     fn sample(sm_used: f64, mem_used: u64, occupied: bool) -> GpuUsageSample {
-        GpuUsageSample {
-            sm_capacity: 100.0,
-            sm_used,
-            mem_capacity: 40 * GB,
-            mem_used,
-            occupied,
-        }
+        GpuUsageSample { sm_capacity: 100.0, sm_used, mem_capacity: 40 * GB, mem_used, occupied }
     }
 
     #[test]

@@ -37,6 +37,30 @@ impl ModelId {
     pub const FIG4: [ModelId; 4] =
         [ModelId::ResNet152, ModelId::RobertaLarge, ModelId::Gpt2Large, ModelId::Llama2_7b];
 
+    /// The stable kebab-case identifier used by scenario configs and
+    /// registries (`ModelId::from_name` accepts it back).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::ResNet152 => "resnet152",
+            ModelId::Vgg19 => "vgg19",
+            ModelId::BertBase => "bert-base",
+            ModelId::RobertaLarge => "roberta-large",
+            ModelId::Gpt2Large => "gpt2-large",
+            ModelId::Llama2_7b => "llama2-7b",
+            ModelId::ChatGlm3_6b => "chatglm3-6b",
+        }
+    }
+
+    /// Looks a model up by name, accepting both the kebab-case identifier
+    /// (`"bert-base"`) and the paper's display name (`"BERT-base"`),
+    /// case-insensitively.
+    pub fn from_name(name: &str) -> Option<ModelId> {
+        let wanted = name.to_ascii_lowercase();
+        ModelId::ALL
+            .into_iter()
+            .find(|m| m.name() == wanted || m.profile().name.to_ascii_lowercase() == wanted)
+    }
+
     /// This model's calibrated analytic profile.
     pub fn profile(self) -> ModelProfile {
         match self {
@@ -207,6 +231,16 @@ impl fmt::Display for ModelId {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in ModelId::ALL {
+            assert_eq!(ModelId::from_name(m.name()), Some(m));
+            assert_eq!(ModelId::from_name(m.profile().name), Some(m));
+        }
+        assert_eq!(ModelId::from_name("Bert-Base"), Some(ModelId::BertBase));
+        assert_eq!(ModelId::from_name("no-such-model"), None);
+    }
 
     #[test]
     fn parameter_sizes_span_paper_range() {

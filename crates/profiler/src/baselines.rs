@@ -43,17 +43,13 @@ pub fn traversal_profile(model: ModelId) -> BaselineProfile {
             let smr = SmRate::from_fraction(f64::from(step) / 10.0);
             trials += 1;
             let (te, ok) = te_of(model, batch, smr);
-            if ok && best.map_or(true, |b| te > b.te) {
+            if ok && best.is_none_or(|b| te > b.te) {
                 best = Some(BaselineProfile { batch, smr, trials: 0, te });
             }
         }
     }
-    let mut out = best.unwrap_or(BaselineProfile {
-        batch: 1,
-        smr: SmRate::FULL,
-        trials: 0,
-        te: 0.0,
-    });
+    let mut out =
+        best.unwrap_or(BaselineProfile { batch: 1, smr: SmRate::FULL, trials: 0, te: 0.0 });
     out.trials = trials;
     out
 }
@@ -78,18 +74,14 @@ pub fn gpulet_profile(model: ModelId) -> BaselineProfile {
             }
         }
         if let Some((smr, te)) = found {
-            if best.map_or(true, |b| te > b.te) {
+            if best.is_none_or(|b| te > b.te) {
                 best =
                     Some(BaselineProfile { batch, smr: SmRate::from_fraction(smr), trials: 0, te });
             }
         }
     }
-    let mut out = best.unwrap_or(BaselineProfile {
-        batch: 1,
-        smr: SmRate::FULL,
-        trials: 0,
-        te: 0.0,
-    });
+    let mut out =
+        best.unwrap_or(BaselineProfile { batch: 1, smr: SmRate::FULL, trials: 0, te: 0.0 });
     out.trials = trials;
     out
 }

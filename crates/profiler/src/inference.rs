@@ -75,10 +75,8 @@ pub fn hybrid_growth_search(model: ModelId) -> InferenceProfile {
         if smr > 1.0 + 1e-9 {
             // Even the whole GPU misses the budget at batch 1; serve the
             // least-bad configuration.
-            let best = *path
-                .iter()
-                .min_by(|a, b| a.exec.cmp(&b.exec))
-                .expect("at least one trial ran");
+            let best =
+                *path.iter().min_by(|a, b| a.exec.cmp(&b.exec)).expect("at least one trial ran");
             return finish(best, path);
         }
     };
@@ -133,10 +131,7 @@ mod tests {
             let p = hybrid_growth_search(model);
             let budget = model.profile().slo / 2;
             let exec = measure_inference_exec(model, p.batch, p.request);
-            assert!(
-                exec <= budget.mul_f64(1.02),
-                "{model}: exec {exec} over budget {budget}"
-            );
+            assert!(exec <= budget.mul_f64(1.02), "{model}: exec {exec} over budget {budget}");
         }
     }
 

@@ -14,11 +14,8 @@ fn profiling_gpu(model: ModelId, class: TaskClass, smr: SmRate) -> GpuEngine {
         TaskClass::SloSensitive => profile.infer_mem_bytes,
         TaskClass::BestEffort => profile.training.mem_bytes,
     };
-    gpu.admit(
-        PROFILING_INSTANCE,
-        SlotConfig { class, request: smr, limit: smr, mem_bytes: mem },
-    )
-    .expect("profiling GPU is empty");
+    gpu.admit(PROFILING_INSTANCE, SlotConfig { class, request: smr, limit: smr, mem_bytes: mem })
+        .expect("profiling GPU is empty");
     gpu
 }
 
@@ -72,8 +69,7 @@ pub fn measure_training_throughput(model: ModelId, smr: SmRate, iters: u64) -> f
     let training = model.profile().training;
     let mut gpu = profiling_gpu(model, TaskClass::BestEffort, smr);
     for i in 0..iters {
-        gpu.push_work(PROFILING_INSTANCE, training.compute_item(i * 2))
-            .expect("instance admitted");
+        gpu.push_work(PROFILING_INSTANCE, training.compute_item(i * 2)).expect("instance admitted");
         gpu.push_work(PROFILING_INSTANCE, training.idle_item(i * 2 + 1))
             .expect("instance admitted");
     }

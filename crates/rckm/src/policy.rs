@@ -173,8 +173,7 @@ impl SharePolicy for RckmPolicy {
 
         // Activity of SLO-sensitive co-runners, for best-effort ramping.
         let slo_active: bool = views.iter().any(|v| {
-            v.class.is_slo_sensitive()
-                && self.ctl.get(&v.id).is_some_and(|c| c.window_sum() > 0)
+            v.class.is_slo_sensitive() && self.ctl.get(&v.id).is_some_and(|c| c.window_sum() > 0)
         });
 
         let mut grants = Vec::with_capacity(views.len());

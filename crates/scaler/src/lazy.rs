@@ -74,8 +74,7 @@ impl LazyScaler {
         if above >= self.config.phi_out {
             // Size the step so the window mean would fit (still lazy: one
             // decision per tick, no eager burst-chasing).
-            let mean =
-                window.iter().sum::<u64>() as f64 / window.len().max(1) as f64;
+            let mean = window.iter().sum::<u64>() as f64 / window.len().max(1) as f64;
             let deficit = (mean - capacity_now).max(0.0);
             let count = (deficit / f.capacity_rps.max(1e-9)).ceil().max(1.0) as u32;
             return Some(ScaleAction::ScaleOut { func: f.func, count });

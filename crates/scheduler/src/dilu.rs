@@ -238,9 +238,8 @@ mod tests {
 
     #[test]
     fn omega_cap_rejects_oversubscribed_requests() {
-        let cluster = ClusterView {
-            gpus: vec![gpu(0, 0, vec![(1, 80.0, 100.0, 10)]), gpu(0, 1, vec![])],
-        };
+        let cluster =
+            ClusterView { gpus: vec![gpu(0, 0, vec![(1, 80.0, 100.0, 10)]), gpu(0, 1, vec![])] };
         let mut s = DiluScheduler::new(SchedulerConfig::default());
         // 80 + 30 > Ω=100? 110 > 100 → must go to the idle GPU.
         let placed = s.place(&func(2, 30.0, 40.0, 4, 1), &cluster).unwrap();
@@ -249,9 +248,8 @@ mod tests {
 
     #[test]
     fn gamma_cap_limits_sum_of_limits() {
-        let cluster = ClusterView {
-            gpus: vec![gpu(0, 0, vec![(1, 40.0, 100.0, 10)]), gpu(0, 1, vec![])],
-        };
+        let cluster =
+            ClusterView { gpus: vec![gpu(0, 0, vec![(1, 40.0, 100.0, 10)]), gpu(0, 1, vec![])] };
         let mut s = DiluScheduler::new(SchedulerConfig::default());
         // Σlimit would be 100 + 60 = 160 > γ=150 → next GPU.
         let placed = s.place(&func(2, 30.0, 60.0, 4, 1), &cluster).unwrap();
@@ -314,9 +312,8 @@ mod tests {
 
     #[test]
     fn opens_new_gpu_only_when_needed() {
-        let cluster = ClusterView {
-            gpus: vec![gpu(0, 0, vec![(1, 90.0, 100.0, 35)]), gpu(0, 1, vec![])],
-        };
+        let cluster =
+            ClusterView { gpus: vec![gpu(0, 0, vec![(1, 90.0, 100.0, 35)]), gpu(0, 1, vec![])] };
         let mut s = DiluScheduler::new(SchedulerConfig::default());
         let placed = s.place(&func(2, 30.0, 50.0, 8, 1), &cluster).unwrap();
         assert_eq!(placed, vec![GpuAddr { node: 0, gpu: 1 }]);

@@ -160,8 +160,7 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let q: EventQueue<u8> =
-            (0u8..5).map(|i| (SimTime::from_millis(u64::from(i)), i)).collect();
+        let q: EventQueue<u8> = (0u8..5).map(|i| (SimTime::from_millis(u64::from(i)), i)).collect();
         assert_eq!(q.len(), 5);
         assert_eq!(q.peek_time(), Some(SimTime::ZERO));
     }

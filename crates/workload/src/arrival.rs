@@ -146,10 +146,7 @@ mod tests {
     use super::*;
 
     fn cv_of_interarrivals(arrivals: &[SimTime]) -> f64 {
-        let gaps: Vec<f64> = arrivals
-            .windows(2)
-            .map(|w| (w[1] - w[0]).as_secs_f64())
-            .collect();
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         var.sqrt() / mean

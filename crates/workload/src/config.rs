@@ -1,0 +1,225 @@
+//! Serde-backed arrival-process configuration.
+//!
+//! [`ArrivalSpec`] is the declarative form of every arrival process this
+//! crate offers, deserializable from scenario config files:
+//!
+//! ```toml
+//! arrivals = { process = "poisson", rate = 25.0 }
+//! arrivals = { process = "gamma", rate = 40.0, cv = 4.0, seed = 3 }
+//! arrivals = { process = "trace", shape = "bursty", rate = 10.0, scale = 5.0 }
+//! arrivals = { process = "replay", times = [0.5, 1.0, 2.5] }
+//! ```
+//!
+//! [`ArrivalSpec::build`] turns the spec into a boxed [`ArrivalProcess`].
+
+use dilu_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    ArrivalProcess, GammaProcess, PoissonProcess, RateTrace, ReplayProcess, TraceKind, TraceProcess,
+};
+
+/// The process names [`ArrivalSpec`] understands.
+pub const PROCESS_NAMES: [&str; 4] = ["poisson", "gamma", "trace", "replay"];
+
+/// A declarative description of an arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSpec {
+    /// Process family: `poisson`, `gamma`, `trace`, or `replay`.
+    pub process: String,
+    /// Mean request rate in RPS (`poisson`, `gamma`) or the trace's base
+    /// rate (`trace`).
+    pub rate: Option<f64>,
+    /// Coefficient of variation of inter-arrival gaps (`gamma`).
+    pub cv: Option<f64>,
+    /// Trace shape: `bursty`, `periodic`, or `sporadic` (`trace`).
+    pub shape: Option<String>,
+    /// Burst amplitude multiplier over the base rate (`trace`).
+    pub scale: Option<f64>,
+    /// Explicit arrival instants in seconds (`replay`).
+    pub times: Option<Vec<f64>>,
+    /// RNG seed; falls back to the scenario seed when absent.
+    pub seed: Option<u64>,
+}
+
+/// An invalid [`ArrivalSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSpecError(String);
+
+impl std::fmt::Display for ArrivalSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid arrival spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArrivalSpecError {}
+
+impl ArrivalSpec {
+    /// A Poisson spec at `rate` RPS.
+    pub fn poisson(rate: f64) -> Self {
+        ArrivalSpec {
+            process: "poisson".into(),
+            rate: Some(rate),
+            cv: None,
+            shape: None,
+            scale: None,
+            times: None,
+            seed: None,
+        }
+    }
+
+    /// A Gamma-renewal spec at `rate` RPS with coefficient of variation `cv`.
+    pub fn gamma(rate: f64, cv: f64) -> Self {
+        ArrivalSpec { cv: Some(cv), ..ArrivalSpec::poisson(rate) }.with_process("gamma")
+    }
+
+    /// A synthesized Azure-shape trace spec (`shape` as in [`TraceKind`]).
+    pub fn trace(shape: TraceKind, base_rate: f64, scale: f64) -> Self {
+        ArrivalSpec {
+            shape: Some(shape.name().to_ascii_lowercase()),
+            scale: Some(scale),
+            ..ArrivalSpec::poisson(base_rate)
+        }
+        .with_process("trace")
+    }
+
+    /// A replay spec over explicit arrival instants in seconds.
+    pub fn replay(times: Vec<f64>) -> Self {
+        ArrivalSpec {
+            process: "replay".into(),
+            rate: None,
+            cv: None,
+            shape: None,
+            scale: None,
+            times: Some(times),
+            seed: None,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    fn with_process(mut self, process: &str) -> Self {
+        self.process = process.into();
+        self
+    }
+
+    fn rate(&self) -> Result<f64, ArrivalSpecError> {
+        let rate = self
+            .rate
+            .ok_or_else(|| ArrivalSpecError(format!("`{}` needs a `rate`", self.process)))?;
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ArrivalSpecError(format!("rate must be positive, got {rate}")));
+        }
+        Ok(rate)
+    }
+
+    /// Builds the arrival process. `default_seed` is used when the spec
+    /// carries no seed of its own; `horizon` sizes synthesized traces.
+    pub fn build(
+        &self,
+        default_seed: u64,
+        horizon: SimDuration,
+    ) -> Result<Box<dyn ArrivalProcess>, ArrivalSpecError> {
+        let seed = self.seed.unwrap_or(default_seed);
+        match self.process.as_str() {
+            "poisson" => Ok(Box::new(PoissonProcess::new(self.rate()?, seed))),
+            "gamma" => {
+                let cv = self.cv.ok_or_else(|| ArrivalSpecError("`gamma` needs a `cv`".into()))?;
+                if !(cv.is_finite() && cv > 0.0) {
+                    return Err(ArrivalSpecError(format!("cv must be positive, got {cv}")));
+                }
+                Ok(Box::new(GammaProcess::new(self.rate()?, cv, seed)))
+            }
+            "trace" => {
+                let shape = self
+                    .shape
+                    .as_deref()
+                    .ok_or_else(|| ArrivalSpecError("`trace` needs a `shape`".into()))?;
+                let kind = TraceKind::ALL
+                    .into_iter()
+                    .find(|k| k.name().eq_ignore_ascii_case(shape))
+                    .ok_or_else(|| {
+                        ArrivalSpecError(format!(
+                            "unknown trace shape `{shape}` (known: bursty, periodic, sporadic)"
+                        ))
+                    })?;
+                let scale = self.scale.unwrap_or(4.0);
+                let trace = RateTrace::synthesize(kind, self.rate()?, scale, horizon, seed);
+                Ok(Box::new(TraceProcess::new(trace, seed)))
+            }
+            "replay" => {
+                let times = self
+                    .times
+                    .as_ref()
+                    .ok_or_else(|| ArrivalSpecError("`replay` needs `times`".into()))?;
+                if times.iter().any(|&t| !t.is_finite() || t < 0.0) {
+                    return Err(ArrivalSpecError("replay times must be non-negative".into()));
+                }
+                Ok(Box::new(ReplayProcess::new(times.iter().map(|&t| SimTime::from_secs_f64(t)))))
+            }
+            other => Err(ArrivalSpecError(format!(
+                "unknown process `{other}` (known: {})",
+                PROCESS_NAMES.join(", ")
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_each_process_kind() {
+        let horizon = SimDuration::from_secs(30);
+        let mut p = ArrivalSpec::poisson(20.0).build(7, horizon).unwrap();
+        assert!((p.mean_rate() - 20.0).abs() < 1e-9);
+        assert!(!p.generate(SimTime::ZERO + horizon).is_empty());
+
+        let mut g = ArrivalSpec::gamma(10.0, 4.0).with_seed(3).build(7, horizon).unwrap();
+        assert!(!g.generate(SimTime::ZERO + horizon).is_empty());
+
+        let mut t = ArrivalSpec::trace(TraceKind::Periodic, 10.0, 2.0).build(7, horizon).unwrap();
+        assert!(!t.generate(SimTime::ZERO + horizon).is_empty());
+
+        let mut r = ArrivalSpec::replay(vec![0.5, 1.5]).build(7, horizon).unwrap();
+        assert_eq!(r.generate(SimTime::ZERO + horizon).len(), 2);
+    }
+
+    #[test]
+    fn seed_falls_back_to_default() {
+        let horizon = SimDuration::from_secs(20);
+        let a = ArrivalSpec::poisson(15.0)
+            .build(11, horizon)
+            .unwrap()
+            .generate(SimTime::ZERO + horizon);
+        let b = ArrivalSpec::poisson(15.0)
+            .build(11, horizon)
+            .unwrap()
+            .generate(SimTime::ZERO + horizon);
+        let c = ArrivalSpec::poisson(15.0)
+            .with_seed(12)
+            .build(11, horizon)
+            .unwrap()
+            .generate(SimTime::ZERO + horizon);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn misuse_is_reported_not_panicked() {
+        let horizon = SimDuration::from_secs(10);
+        assert!(ArrivalSpec::poisson(-1.0).build(0, horizon).is_err());
+        let mut no_cv = ArrivalSpec::poisson(5.0);
+        no_cv.process = "gamma".into();
+        assert!(no_cv.build(0, horizon).is_err());
+        let mut unknown = ArrivalSpec::poisson(5.0);
+        unknown.process = "weibull".into();
+        let err = unknown.build(0, horizon).err().expect("unknown process must fail");
+        assert!(err.to_string().contains("weibull"));
+    }
+}

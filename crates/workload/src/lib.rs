@@ -25,7 +25,9 @@
 #![warn(missing_docs)]
 
 mod arrival;
+mod config;
 mod traces;
 
 pub use arrival::{ArrivalProcess, GammaProcess, PoissonProcess, ReplayProcess};
+pub use config::{ArrivalSpec, ArrivalSpecError, PROCESS_NAMES};
 pub use traces::{RateTrace, TraceKind, TraceProcess};

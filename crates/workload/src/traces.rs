@@ -63,7 +63,13 @@ impl RateTrace {
     /// Synthesises a trace of `duration` seconds with the given `kind`,
     /// `base_rps`, and burst `scale` (ignored for Periodic/Sporadic shape
     /// parameters other than amplitude).
-    pub fn synthesize(kind: TraceKind, base_rps: f64, scale: f64, duration: SimDuration, seed: u64) -> Self {
+    pub fn synthesize(
+        kind: TraceKind,
+        base_rps: f64,
+        scale: f64,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
         assert!(base_rps.is_finite() && base_rps > 0.0, "base rate must be positive");
         assert!(scale.is_finite() && scale >= 1.0, "burst scale must be >= 1");
         let secs = duration.as_secs() as usize;
@@ -78,7 +84,7 @@ impl RateTrace {
                     if t >= secs {
                         break;
                     }
-                    let len = rng.gen_range(15..=40).min(secs - t);
+                    let len = rng.gen_range(15usize..=40).min(secs - t);
                     let burst = base_rps * rng.gen_range(scale * 0.8..=scale * 1.2);
                     for r in rps.iter_mut().skip(t).take(len) {
                         *r = burst;
@@ -106,7 +112,7 @@ impl RateTrace {
                     if t >= secs {
                         break;
                     }
-                    let len = rng.gen_range(20..=45).min(secs - t);
+                    let len = rng.gen_range(20usize..=45).min(secs - t);
                     for r in rps.iter_mut().skip(t).take(len) {
                         *r = base_rps;
                     }
@@ -203,13 +209,7 @@ mod tests {
 
     #[test]
     fn bursty_trace_has_bursts_above_base() {
-        let t = RateTrace::synthesize(
-            TraceKind::Bursty,
-            10.0,
-            5.0,
-            SimDuration::from_secs(600),
-            1,
-        );
+        let t = RateTrace::synthesize(TraceKind::Bursty, 10.0, 5.0, SimDuration::from_secs(600), 1);
         assert!(t.peak() >= 10.0 * 4.0, "peak {}", t.peak());
         let at_base = t.rps().iter().filter(|&&r| (r - 10.0).abs() < 1e-9).count();
         assert!(at_base > 300, "most seconds stay at base, got {at_base}");
@@ -217,13 +217,8 @@ mod tests {
 
     #[test]
     fn sporadic_trace_is_mostly_idle() {
-        let t = RateTrace::synthesize(
-            TraceKind::Sporadic,
-            8.0,
-            1.0,
-            SimDuration::from_secs(600),
-            2,
-        );
+        let t =
+            RateTrace::synthesize(TraceKind::Sporadic, 8.0, 1.0, SimDuration::from_secs(600), 5);
         let idle = t.rps().iter().filter(|&&r| r == 0.0).count();
         assert!(idle as f64 > 0.7 * 600.0, "idle seconds {idle}");
         assert!(t.peak() > 0.0, "some activity must exist");
@@ -231,13 +226,8 @@ mod tests {
 
     #[test]
     fn periodic_trace_oscillates() {
-        let t = RateTrace::synthesize(
-            TraceKind::Periodic,
-            10.0,
-            2.0,
-            SimDuration::from_secs(240),
-            3,
-        );
+        let t =
+            RateTrace::synthesize(TraceKind::Periodic, 10.0, 2.0, SimDuration::from_secs(240), 3);
         assert!(t.peak() > 15.0);
         let min = t.rps().iter().copied().fold(f64::INFINITY, f64::min);
         assert!(min >= 10.0 - 1e-9, "periodic never drops below base, got {min}");
@@ -245,7 +235,7 @@ mod tests {
 
     #[test]
     fn trace_process_tracks_intensity() {
-        let trace = RateTrace::from_rps(std::iter::repeat(30.0).take(100));
+        let trace = RateTrace::from_rps(std::iter::repeat_n(30.0, 100));
         let mut p = TraceProcess::new(trace, 4);
         let arrivals = p.generate(SimTime::from_secs(100));
         let rate = arrivals.len() as f64 / 100.0;

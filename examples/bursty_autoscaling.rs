@@ -18,25 +18,15 @@ fn main() {
     // Base 20 rps bursting ~5x: peaks sit inside the vertical-scaling
     // headroom of a single instance (request -> limit), the regime the
     // paper's lazy scale-out targets.
-    let trace = RateTrace::synthesize(
-        TraceKind::Bursty,
-        20.0,
-        5.0,
-        SimDuration::from_secs(HORIZON),
-        91,
-    );
-    println!(
-        "bursty trace: base 20 rps, bursts to ~{:.0} rps, {}s\n",
-        trace.peak(),
-        HORIZON
-    );
+    let trace =
+        RateTrace::synthesize(TraceKind::Bursty, 20.0, 5.0, SimDuration::from_secs(HORIZON), 91);
+    println!("bursty trace: base 20 rps, bursts to ~{:.0} rps, {}s\n", trace.peak(), HORIZON);
     println!(
         "{:<12} {:>11} {:>8} {:>10} {:>12}",
         "system", "cold starts", "SVR", "p95 (ms)", "GPU-seconds"
     );
     for kind in [SystemKind::Dilu, SystemKind::FastGsPlus, SystemKind::InflessPlusL] {
-        let arrivals =
-            TraceProcess::new(trace.clone(), 91).generate(SimTime::from_secs(HORIZON));
+        let arrivals = TraceProcess::new(trace.clone(), 91).generate(SimTime::from_secs(HORIZON));
         let mut sim = build_sim(kind, ClusterSpec::single_node(8));
         sim.deploy_inference(funcs::inference_function(1, ModelId::RobertaLarge), 1, arrivals)
             .expect("empty cluster has room");

@@ -41,11 +41,7 @@ fn main() {
     println!("\nserved {} of {} requests", f.completed, f.arrived);
     println!("p50 {}  p95 {}  SVR {:.2}%", f.latency.p50(), f.latency.p95(), f.svr() * 100.0);
     let t = report.training.values().next().expect("job deployed");
-    println!(
-        "collocated training: {:.0} {} on the same GPU",
-        t.throughput(report.horizon),
-        t.unit
-    );
+    println!("collocated training: {:.0} {} on the same GPU", t.throughput(report.horizon), t.unit);
     println!(
         "GPUs occupied: {} peak, SM fragmentation {:.1}%",
         report.peak_gpus,

@@ -22,23 +22,37 @@
 //!
 //! # Quickstart
 //!
+//! The fluent [`ScenarioBuilder`](core::ScenarioBuilder) is the front door:
+//! a [`core::SystemKind`] preset pre-populates the paper's composition, and
+//! every component stays swappable.
+//!
 //! ```
-//! use dilu::core::{build_sim, funcs, SystemKind};
+//! use dilu::core::{funcs, SystemKind};
 //! use dilu::cluster::ClusterSpec;
 //! use dilu::models::ModelId;
-//! use dilu::sim::SimTime;
-//! use dilu::workload::{ArrivalProcess, PoissonProcess};
+//! use dilu::sim::SimDuration;
+//! use dilu::workload::PoissonProcess;
 //!
 //! // A two-GPU node running the full Dilu stack.
-//! let mut sim = build_sim(SystemKind::Dilu, ClusterSpec::single_node(2));
-//! let function = funcs::inference_function(1, ModelId::RobertaLarge);
-//! let arrivals = PoissonProcess::new(25.0, 7).generate(SimTime::from_secs(20));
-//! sim.deploy_inference(function, 1, arrivals)?;
-//! sim.run_until(SimTime::from_secs(25));
-//! let report = sim.into_report();
+//! let report = SystemKind::Dilu
+//!     .builder()
+//!     .cluster(ClusterSpec::single_node(2))
+//!     .horizon(SimDuration::from_secs(20))
+//!     .function(funcs::inference_function(1, ModelId::RobertaLarge))
+//!     .arrivals(PoissonProcess::new(25.0, 7))
+//!     .build()?
+//!     .run()?;
 //! let f = report.inference.values().next().unwrap();
 //! assert!(f.svr() < 0.05, "Dilu keeps the SLO under steady load");
-//! # Ok::<(), dilu::cluster::DeployError>(())
+//! # Ok::<(), dilu::core::ScenarioError>(())
+//! ```
+//!
+//! Compositions also load from TOML/JSON scenario files
+//! ([`core::ScenarioConfig`]) and run via the `dilu` CLI:
+//!
+//! ```console
+//! $ dilu run examples/scenarios/quickstart.toml
+//! $ dilu experiment fig15
 //! ```
 
 #![forbid(unsafe_code)]

@@ -11,13 +11,8 @@ use dilu::workload::{ArrivalProcess, RateTrace, TraceKind, TraceProcess};
 const HORIZON: u64 = 240;
 
 fn bursty_run(kind: SystemKind) -> (u64, f64) {
-    let trace = RateTrace::synthesize(
-        TraceKind::Bursty,
-        20.0,
-        5.0,
-        SimDuration::from_secs(HORIZON),
-        13,
-    );
+    let trace =
+        RateTrace::synthesize(TraceKind::Bursty, 20.0, 5.0, SimDuration::from_secs(HORIZON), 13);
     let arrivals = TraceProcess::new(trace, 13).generate(SimTime::from_secs(HORIZON));
     let mut sim = build_sim(kind, ClusterSpec::single_node(6));
     sim.deploy_inference(funcs::inference_function(1, ModelId::RobertaLarge), 1, arrivals)
@@ -34,10 +29,7 @@ fn lazy_coscaling_reduces_cold_starts() {
     // traces because RCKM absorbs the short bursts vertically.
     let (dilu_csc, dilu_svr) = bursty_run(SystemKind::Dilu);
     let (eager_csc, _) = bursty_run(SystemKind::FastGsPlus);
-    assert!(
-        dilu_csc <= eager_csc,
-        "Dilu {dilu_csc} cold starts vs FaST-GS+ {eager_csc}"
-    );
+    assert!(dilu_csc <= eager_csc, "Dilu {dilu_csc} cold starts vs FaST-GS+ {eager_csc}");
     assert!(dilu_svr < 0.25, "Dilu SVR under bursty trace: {dilu_svr}");
 }
 
@@ -45,10 +37,7 @@ fn lazy_coscaling_reduces_cold_starts() {
 fn dilu_serves_bursts_with_low_violations() {
     let (_, svr) = bursty_run(SystemKind::Dilu);
     let (_, eager_svr) = bursty_run(SystemKind::FastGsPlus);
-    assert!(
-        svr <= eager_svr + 0.02,
-        "Dilu SVR {svr} vs FaST-GS+ {eager_svr}"
-    );
+    assert!(svr <= eager_svr + 0.02, "Dilu SVR {svr} vs FaST-GS+ {eager_svr}");
 }
 
 #[test]

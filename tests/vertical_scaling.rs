@@ -36,10 +36,7 @@ fn dilu_preserves_qos_while_collocating() {
     // halving the GPUs.
     let (excl_p95, excl_svr, _) = pair_case(GpuSystem::Exclusive, 20.0, 3);
     let (dilu_p95, dilu_svr, dilu_train) = pair_case(dilu(), 20.0, 3);
-    assert!(
-        dilu_p95 <= excl_p95 * 2.0,
-        "Dilu p95 {dilu_p95}ms vs exclusive {excl_p95}ms"
-    );
+    assert!(dilu_p95 <= excl_p95 * 2.0, "Dilu p95 {dilu_p95}ms vs exclusive {excl_p95}ms");
     assert!(dilu_svr <= excl_svr + 0.05, "Dilu SVR {dilu_svr}");
     assert!(dilu_train > 0.0, "collocated training must progress");
 }
@@ -50,10 +47,7 @@ fn tgs_nearly_stops_collocated_training() {
     // collocated training function.
     let (_, _, dilu_train) = pair_case(dilu(), 20.0, 5);
     let (_, _, tgs_train) = pair_case(GpuSystem::Tgs, 20.0, 5);
-    assert!(
-        tgs_train < dilu_train * 0.35,
-        "TGS training {tgs_train} vs Dilu {dilu_train}"
-    );
+    assert!(tgs_train < dilu_train * 0.35, "TGS training {tgs_train} vs Dilu {dilu_train}");
 }
 
 #[test]
@@ -102,21 +96,13 @@ fn dilu_training_throughput_beats_static_partitions() {
     let pair = |system: GpuSystem| {
         let a = funcs::training_function(1, ModelId::BertBase, 1, u64::MAX);
         let b = funcs::training_function(2, ModelId::RobertaLarge, 1, u64::MAX);
-        let members =
-            vec![Member::workers(a, &[gpu(0)]), Member::workers(b, &[gpu(0)])];
+        let members = vec![Member::workers(a, &[gpu(0)]), Member::workers(b, &[gpu(0)])];
         let report = run_case(2, members, system, HORIZON);
-        report
-            .training
-            .values()
-            .map(|t| t.throughput(report.horizon))
-            .collect::<Vec<_>>()
+        report.training.values().map(|t| t.throughput(report.horizon)).collect::<Vec<_>>()
     };
     let d = pair(dilu());
     let r = pair(GpuSystem::MpsR);
     let dilu_sum: f64 = d.iter().sum();
     let mps_sum: f64 = r.iter().sum();
-    assert!(
-        dilu_sum >= mps_sum * 0.99,
-        "Dilu aggregate {dilu_sum} vs MPS-r {mps_sum}"
-    );
+    assert!(dilu_sum >= mps_sum * 0.99, "Dilu aggregate {dilu_sum} vs MPS-r {mps_sum}");
 }

@@ -1,0 +1,507 @@
+//! A minimal, self-contained stand-in for `serde`, used because this
+//! workspace builds fully offline.
+//!
+//! Instead of serde's visitor-based architecture, everything funnels through
+//! one dynamic [`Value`] tree: `Serialize` renders a type into a [`Value`],
+//! `Deserialize` reconstructs a type from one. The companion `serde_json`
+//! and `toml` stand-ins read/write [`Value`] from their textual formats.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) are provided by
+//! the sibling `serde_derive` crate and follow serde's externally-tagged
+//! data model: structs become string-keyed maps, unit enum variants become
+//! strings, data-carrying variants become single-entry maps.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The dynamic data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / null.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A key-ordered map. Keys are usually `Value::Str`.
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a string key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?.iter().find(|(k, _)| k.as_str() == Some(key)).map(|(_, v)| v)
+    }
+
+    /// Coerces any numeric value to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Coerces any integral numeric value to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Coerces any integral numeric value to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean contents, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A short name of this value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: what was expected, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError { message: format!("expected {what} while deserializing {ty}") }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError { message: format!("missing field `{field}` of {ty}") }
+    }
+
+    /// An enum tag matched no variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        DeError { message: format!("unknown variant `{tag}` of {ty}") }
+    }
+
+    /// Adds field context to an inner error.
+    pub fn in_field(self, field: &str, ty: &str) -> Self {
+        DeError { message: format!("in field `{field}` of {ty}: {}", self.message) }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Renders `self` into the dynamic [`Value`] model.
+pub trait Serialize {
+    /// The [`Value`] representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the dynamic [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `value`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field of this type is absent. Errors by default;
+    /// `Option<T>` overrides this to yield `None` (serde's behaviour).
+    fn from_missing(field: &str, ty: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field, ty))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v.kind()))?;
+                <$t>::try_from(u).map_err(|_| DeError::custom(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::expected("integer", v.kind()))?;
+                <$t>::try_from(i).map_err(|_| DeError::custom(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v.kind()))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| DeError::expected("number", v.kind()))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v.kind()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("char", v.kind()))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", v.kind()))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // Model profiles carry `&'static str` names; leaking on the rare
+        // deserialization path is an accepted trade-off of the stand-in.
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", v.kind()))?;
+        Ok(Box::leak(s.to_owned().into_boxed_str()))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Unit => Ok(()),
+            other => Err(DeError::expected("unit", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Unit,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Unit => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str, _ty: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", other.kind())),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let Value::Seq(items) = v else {
+                    return Err(DeError::expected("sequence (tuple)", v.kind()));
+                };
+                let expected = [$(stringify!($n)),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+fn key_to_string(key: &Value) -> Value {
+    match key {
+        Value::Str(_) => key.clone(),
+        Value::UInt(u) => Value::Str(u.to_string()),
+        Value::Int(i) => Value::Str(i.to_string()),
+        Value::Float(f) => Value::Str(f.to_string()),
+        Value::Bool(b) => Value::Str(b.to_string()),
+        other => other.clone(),
+    }
+}
+
+fn key_from_value<K: Deserialize>(key: &Value) -> Result<K, DeError> {
+    // Textual formats stringify non-string keys; fall back to reparsing.
+    K::from_value(key).or_else(|e| {
+        let Some(s) = key.as_str() else { return Err(e) };
+        if let Ok(u) = s.parse::<u64>() {
+            return K::from_value(&Value::UInt(u));
+        }
+        if let Ok(i) = s.parse::<i64>() {
+            return K::from_value(&Value::Int(i));
+        }
+        Err(e)
+    })
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (key_to_string(&k.to_value()), v.to_value())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_map().ok_or_else(|| DeError::expected("map", v.kind()))?;
+        entries.iter().map(|(k, v)| Ok((key_from_value(k)?, V::from_value(v)?))).collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(Value, Value)> =
+            self.iter().map(|(k, v)| (key_to_string(&k.to_value()), v.to_value())).collect();
+        entries.sort_by(|(a, _), (b, _)| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_map().ok_or_else(|| DeError::expected("map", v.kind()))?;
+        entries.iter().map(|(k, v)| Ok((key_from_value(k)?, V::from_value(v)?))).collect()
+    }
+}
+
+/// Support glue used by the generated derive code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Reads struct field `field` of `ty` out of a map value.
+    pub fn field<T: Deserialize>(v: &Value, field: &str, ty: &str) -> Result<T, DeError> {
+        match v.get(field) {
+            Some(fv) => T::from_value(fv).map_err(|e| e.in_field(field, ty)),
+            None => T::from_missing(field, ty),
+        }
+    }
+
+    /// Splits an externally-tagged enum value into `(tag, payload)`.
+    pub fn variant<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), DeError> {
+        match v {
+            Value::Str(s) => Ok((s, None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                let (k, payload) = &entries[0];
+                let tag =
+                    k.as_str().ok_or_else(|| DeError::expected("string variant tag", k.kind()))?;
+                Ok((tag, Some(payload)))
+            }
+            other => Err(DeError::expected("variant (string or single-entry map)", other.kind()))
+                .map_err(|e| e.in_field("<variant>", ty)),
+        }
+    }
+
+    /// Expects a sequence of exactly `n` elements (tuple variants/structs).
+    pub fn seq<'v>(v: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], DeError> {
+        match v {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => {
+                Err(DeError::custom(format!("expected {n} elements for {ty}, got {}", items.len())))
+            }
+            other => Err(DeError::expected("sequence", other.kind()).in_field("<tuple>", ty)),
+        }
+    }
+}

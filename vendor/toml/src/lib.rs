@@ -1,0 +1,512 @@
+//! TOML parsing for the offline serde stand-in.
+//!
+//! Supports the subset scenario configs need: `[table]` headers,
+//! `[[array-of-tables]]` headers, dotted keys, basic and literal strings,
+//! integers (with `_` separators), floats, booleans, arrays (including
+//! multi-line), inline tables, and `#` comments. Dates and multi-line
+//! strings are not supported.
+
+use serde::{DeError, Deserialize, Value};
+
+/// TOML parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Parses TOML text into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses TOML text into the dynamic [`Value`] model (a map at the root).
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut root = Value::Map(Vec::new());
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, line: 1 };
+    // Path of the currently open [table] / [[array-of-tables]] header.
+    let mut current_path: Vec<String> = Vec::new();
+    loop {
+        p.skip_trivia();
+        let Some(b) = p.peek() else { break };
+        if b == b'[' {
+            p.bump();
+            let is_array = p.peek() == Some(b'[');
+            if is_array {
+                p.bump();
+            }
+            let path = p.key_path()?;
+            p.expect(b']')?;
+            if is_array {
+                p.expect(b']')?;
+            }
+            p.end_of_line()?;
+            if is_array {
+                push_array_table(&mut root, &path).map_err(|e| p.err(e))?;
+            } else {
+                ensure_table(&mut root, &path).map_err(|e| p.err(e))?;
+            }
+            current_path = path;
+        } else {
+            let path = p.key_path()?;
+            p.expect(b'=')?;
+            let value = p.value()?;
+            p.end_of_line()?;
+            let mut full = current_path.clone();
+            full.extend(path);
+            insert(&mut root, &full, value).map_err(|e| p.err(e))?;
+        }
+    }
+    Ok(root)
+}
+
+// ---------------------------------------------------------------------------
+// Tree construction
+// ---------------------------------------------------------------------------
+
+fn entry_mut<'a>(map: &'a mut [(Value, Value)], key: &str) -> Option<&'a mut Value> {
+    map.iter_mut().find(|(k, _)| k.as_str() == Some(key)).map(|(_, v)| v)
+}
+
+/// Descends to the map at `path`, creating intermediate tables. When a step
+/// lands on an array of tables, descends into its *last* element (TOML rule).
+fn descend<'a>(root: &'a mut Value, path: &[String]) -> Result<&'a mut Value, String> {
+    let mut node = root;
+    for key in path {
+        let Value::Map(map) = node else {
+            return Err(format!("key `{key}` used both as value and as table"));
+        };
+        if entry_mut(map, key).is_none() {
+            map.push((Value::Str(key.clone()), Value::Map(Vec::new())));
+        }
+        let next = entry_mut(map, key).expect("just inserted");
+        node = match next {
+            Value::Seq(items) => {
+                items.last_mut().ok_or_else(|| format!("array of tables `{key}` is empty"))?
+            }
+            other => other,
+        };
+    }
+    Ok(node)
+}
+
+fn ensure_table(root: &mut Value, path: &[String]) -> Result<(), String> {
+    let node = descend(root, path)?;
+    match node {
+        Value::Map(_) => Ok(()),
+        _ => Err(format!("table header `[{}]` clashes with a value", path.join("."))),
+    }
+}
+
+fn push_array_table(root: &mut Value, path: &[String]) -> Result<(), String> {
+    let (last, parents) = path.split_last().ok_or("empty table header")?;
+    let node = descend(root, parents)?;
+    let Value::Map(map) = node else {
+        return Err(format!("`{}` is not a table", parents.join(".")));
+    };
+    if entry_mut(map, last).is_none() {
+        map.push((Value::Str(last.clone()), Value::Seq(Vec::new())));
+    }
+    match entry_mut(map, last).expect("just inserted") {
+        Value::Seq(items) => {
+            items.push(Value::Map(Vec::new()));
+            Ok(())
+        }
+        _ => Err(format!("`{last}` is not an array of tables")),
+    }
+}
+
+fn insert(root: &mut Value, path: &[String], value: Value) -> Result<(), String> {
+    let (last, parents) = path.split_last().ok_or("empty key")?;
+    let node = descend(root, parents)?;
+    let Value::Map(map) = node else {
+        return Err(format!("`{}` is not a table", parents.join(".")));
+    };
+    if entry_mut(map, last).is_some() {
+        return Err(format!("duplicate key `{last}`"));
+    }
+    map.push((Value::Str(last.clone()), value));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Lexing/parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::new(format!("line {}: {}", self.line, message.into()))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.peek() == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Skips spaces/tabs on the current line.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, newlines, and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') => self.bump(),
+                Some(b'#') => {
+                    while self.peek().is_some_and(|b| b != b'\n') {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        self.skip_inline_ws();
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    /// Requires nothing but trivia until end of line.
+    fn end_of_line(&mut self) -> Result<(), Error> {
+        self.skip_inline_ws();
+        match self.peek() {
+            None | Some(b'\n') => Ok(()),
+            Some(b'\r') => Ok(()),
+            Some(b'#') => {
+                while self.peek().is_some_and(|b| b != b'\n') {
+                    self.bump();
+                }
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!("unexpected `{}` after value", c as char))),
+        }
+    }
+
+    /// Parses a possibly-dotted key path: `a.b.c` with bare or quoted parts.
+    fn key_path(&mut self) -> Result<Vec<String>, Error> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            let part = match self.peek() {
+                Some(b'"') => self.basic_string()?,
+                Some(b'\'') => self.literal_string()?,
+                _ => self.bare_key()?,
+            };
+            path.push(part);
+            self.skip_inline_ws();
+            if self.peek() == Some(b'.') {
+                self.bump();
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn bare_key(&mut self) -> Result<String, Error> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-') {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected key"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_inline_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.basic_string()?)),
+            Some(b'\'') => Ok(Value::Str(self.literal_string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => self.boolean(),
+            Some(c) if c == b'-' || c == b'+' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected `{}` in value", c as char))),
+            None => Err(self.err("unexpected end of input in value")),
+        }
+    }
+
+    fn basic_string(&mut self) -> Result<String, Error> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.bump();
+            match b {
+                b'"' => return Ok(out),
+                b'\n' => return Err(self.err("newline in basic string")),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.bump();
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' | b'U' => {
+                            let len = if esc == b'u' { 4 } else { 8 };
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + len)
+                                .ok_or_else(|| self.err("truncated unicode escape"))?;
+                            for _ in 0..len {
+                                self.bump();
+                            }
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("invalid unicode escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("invalid unicode escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                first => {
+                    let start = self.pos - 1;
+                    let width = match first {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + width).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    while self.pos < end {
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    fn literal_string(&mut self) -> Result<String, Error> {
+        self.bump(); // opening quote
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b != b'\'' && b != b'\n') {
+            self.bump();
+        }
+        if self.peek() != Some(b'\'') {
+            return Err(self.err("unterminated literal string"));
+        }
+        let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.bump();
+        Ok(s)
+    }
+
+    fn boolean(&mut self) -> Result<Value, Error> {
+        for (lit, v) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                for _ in 0..lit.len() {
+                    self.bump();
+                }
+                return Ok(Value::Bool(v));
+            }
+        }
+        Err(self.err("invalid boolean"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => self.bump(),
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?
+            .chars()
+            .filter(|&c| c != '_' && c != '+')
+            .collect();
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.bump(); // '['
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.bump();
+                return Ok(Value::Seq(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => self.bump(),
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, Error> {
+        self.bump(); // '{'
+        let mut map = Value::Map(Vec::new());
+        self.skip_inline_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(map);
+        }
+        loop {
+            self.skip_inline_ws();
+            let path = self.key_path()?;
+            self.expect(b'=')?;
+            let value = self.value()?;
+            insert(&mut map, &path, value).map_err(|e| self.err(e))?;
+            self.skip_inline_ws();
+            match self.peek() {
+                Some(b',') => self.bump(),
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(map);
+                }
+                _ => return Err(self.err("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let text = r#"
+# top comment
+title = "demo"
+count = 3
+ratio = 0.5
+big = 1_000
+flag = true
+
+[cluster]
+nodes = 2
+gpus_per_node = 4
+
+[system.placement]
+name = "dilu"
+
+[[functions]]
+name = "bert"
+rates = [1, 2, 3]
+
+[[functions]]
+name = "llama"
+inline = { a = 1, b = "x" }
+"#;
+        let v = parse_value(text).unwrap();
+        assert_eq!(v.get("title").and_then(Value::as_str), Some("demo"));
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("ratio").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(v.get("big").and_then(Value::as_u64), Some(1000));
+        assert_eq!(v.get("flag").and_then(Value::as_bool), Some(true));
+        let nodes = v.get("cluster").and_then(|c| c.get("nodes")).and_then(Value::as_u64);
+        assert_eq!(nodes, Some(2));
+        let pname = v
+            .get("system")
+            .and_then(|s| s.get("placement"))
+            .and_then(|p| p.get("name"))
+            .and_then(Value::as_str);
+        assert_eq!(pname, Some("dilu"));
+        let Value::Seq(funcs) = v.get("functions").unwrap() else { panic!("functions") };
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].get("name").and_then(Value::as_str), Some("bert"));
+        assert_eq!(
+            funcs[1].get("inline").and_then(|i| i.get("b")).and_then(Value::as_str),
+            Some("x")
+        );
+    }
+
+    #[test]
+    fn multiline_arrays_and_dotted_keys() {
+        let text = "a.b = 1\nxs = [\n  1,\n  2, # comment\n]\n";
+        let v = parse_value(text).unwrap();
+        assert_eq!(v.get("a").and_then(|a| a.get("b")).and_then(Value::as_u64), Some(1));
+        let Value::Seq(xs) = v.get("xs").unwrap() else { panic!("xs") };
+        assert_eq!(xs.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(parse_value("a = 1\na = 2\n").is_err());
+    }
+}
