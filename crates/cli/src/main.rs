@@ -113,6 +113,7 @@ fn run_scenario(path: &Path, json_out: Option<&Path>) -> Result<(), String> {
             "p50",
             "p95",
             "cold starts",
+            "resizes",
         ]);
         for f in report.inference.values() {
             t.row([
@@ -124,6 +125,7 @@ fn run_scenario(path: &Path, json_out: Option<&Path>) -> Result<(), String> {
                 f.p50_display().to_string(),
                 f.p95_display().to_string(),
                 f.cold_starts.count().to_string(),
+                format!("{}↑ {}↓", f.resizes.grows(), f.resizes.shrinks()),
             ]);
         }
         println!("{t}");
@@ -174,6 +176,7 @@ fn report_summary(report: &dilu_cluster::ClusterReport) -> serde::Value {
                 (Value::Str("svr".into()), Value::Float(f.svr())),
                 (Value::Str("p95_us".into()), Value::UInt(f.p95_display().as_micros())),
                 (Value::Str("cold_starts".into()), Value::UInt(f.cold_starts.count())),
+                (Value::Str("resizes".into()), Value::UInt(f.resizes.total())),
             ])
         })
         .collect();
@@ -256,6 +259,7 @@ fn cmd_list() -> Result<(), String> {
     }
     println!("\nplacements:        {}", registry.placement_names().join(", "));
     println!("autoscalers:       {}", registry.autoscaler_names().join(", "));
+    println!("controllers (2D):  {}", registry.controller_names().join(", "));
     println!("share policies:    {}", registry.share_policy_names().join(", "));
     println!("arrival processes: {}", dilu_workload::PROCESS_NAMES.join(", "));
     println!(

@@ -13,8 +13,12 @@
 //!
 //! * [`Placement`] — which GPUs an instance lands on (Algorithm 1 lives in
 //!   `dilu-scheduler`);
-//! * [`Autoscaler`] — when instances launch/terminate (Dilu's lazy co-scaler
-//!   lives in `dilu-scaler`, eager baselines in `dilu-baselines`);
+//! * [`ElasticityController`] — the 2D control plane deciding both
+//!   *horizontal* scaling (launch/terminate instances) and *vertical*
+//!   scaling (resize `<request, limit>` quotas of running instances within
+//!   one scheduling quantum). Dilu's 2D co-scaler lives in `dilu-scaler`;
+//!   horizontal-only [`Autoscaler`]s (the lazy scaler, eager baselines in
+//!   `dilu-baselines`) participate through a blanket adapter;
 //! * [`dilu_gpu::SharePolicy`] — per-quantum SM grants (Dilu's RCKM lives in
 //!   `dilu-rckm`, MPS/TGS/FaST-GS in `dilu-baselines`).
 
@@ -34,6 +38,6 @@ pub use spec::{
     cold_start_duration, ClusterSpec, FunctionId, FunctionKind, FunctionSpec, GpuAddr, Quotas,
 };
 pub use traits::{
-    named, Autoscaler, ClusterView, FunctionScaleView, GpuView, NamedPolicyFactory, Placement,
-    PolicyFactory, ResidentInfo, ScaleAction,
+    named, Autoscaler, ClusterView, ElasticityController, FunctionScaleView, GpuView,
+    NamedPolicyFactory, Placement, PolicyFactory, QuotaView, ResidentInfo, ScaleAction,
 };

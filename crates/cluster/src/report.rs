@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use dilu_metrics::{ColdStartCounter, FragmentationStats, LatencyRecorder};
+use dilu_metrics::{ColdStartCounter, FragmentationStats, LatencyRecorder, ResizeCounter};
 use dilu_models::ModelId;
 use dilu_sim::{SimDuration, SimTime};
 
@@ -42,6 +42,8 @@ pub struct FunctionReport {
     pub completed: u64,
     /// Cold starts after initial deployment.
     pub cold_starts: ColdStartCounter,
+    /// Vertical quota resizes applied to this function's instances.
+    pub resizes: ResizeCounter,
     /// Per-second observations.
     pub timeline: Vec<TimelinePoint>,
 }
@@ -160,6 +162,11 @@ impl ClusterReport {
         self.inference.values().map(|f| f.cold_starts.count()).sum()
     }
 
+    /// Total vertical quota resizes across all inference functions.
+    pub fn total_resizes(&self) -> u64 {
+        self.inference.values().map(|f| f.resizes.total()).sum()
+    }
+
     /// Aggregate inference goodput (completed RPS) per occupied GPU.
     ///
     /// The paper's Fig. 16 "aggregate throughput" normalises serving
@@ -236,6 +243,7 @@ mod tests {
             arrived: 1,
             completed: 1,
             cold_starts: ColdStartCounter::new(),
+            resizes: ResizeCounter::new(),
             timeline: Vec::new(),
         };
         assert_eq!(f.p50_display(), SimDuration::from_millis(100));

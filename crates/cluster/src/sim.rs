@@ -2,10 +2,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
-use dilu_gpu::{GpuEngine, SlotConfig, TaskClass};
+use dilu_gpu::{GpuEngine, SlotConfig, SmRate, TaskClass};
 use dilu_metrics::{
     ColdStartCounter, FragmentationSnapshot, FragmentationStats, GpuUsageSample, LatencyRecorder,
-    RateWindow,
+    RateWindow, ResizeCounter,
 };
 
 use dilu_sim::{SimDuration, SimTime};
@@ -13,8 +13,8 @@ use dilu_sim::{SimDuration, SimTime};
 use crate::instance::{InflightBatch, Instance, Request};
 use crate::report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
 use crate::traits::{
-    Autoscaler, ClusterView, FunctionScaleView, GpuView, Placement, PolicyFactory, ResidentInfo,
-    ScaleAction,
+    Autoscaler, ClusterView, ElasticityController, FunctionScaleView, GpuView, Placement,
+    PolicyFactory, QuotaView, ResidentInfo, ScaleAction,
 };
 use crate::{
     cold_start_duration, ClusterSpec, FunctionId, FunctionKind, FunctionSpec, GpuAddr,
@@ -34,6 +34,10 @@ pub struct SimConfig {
     pub stage_transfer: SimDuration,
     /// Autoscaler tick and metrics sampling period.
     pub tick: SimDuration,
+    /// Delay between a [`ScaleAction::ResizeQuota`] decision and the new
+    /// quotas reaching the GPUs (the paper's millisecond-scale vertical
+    /// scaling, vs. the seconds-scale cold start of a scale-out).
+    pub resize_latency: SimDuration,
 }
 
 impl Default for SimConfig {
@@ -44,12 +48,14 @@ impl Default for SimConfig {
             batch_timeout_cap: SimDuration::from_millis(100),
             stage_transfer: SimDuration::from_millis(2),
             tick: SimDuration::from_secs(1),
+            resize_latency: SimDuration::from_millis(1),
         }
     }
 }
 
 /// Errors surfaced by deployment calls.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DeployError {
     /// The placement policy found no feasible GPUs.
     PlacementFailed(FunctionId),
@@ -124,6 +130,15 @@ struct GpuSlot {
     quanta_accum: u32,
 }
 
+/// A decided-but-not-yet-applied vertical resize.
+#[derive(Debug, Clone, Copy)]
+struct PendingResize {
+    due: SimTime,
+    func: FunctionId,
+    request: SmRate,
+    limit: SmRate,
+}
+
 struct FuncState {
     spec: FunctionSpec,
     arrivals: VecDeque<SimTime>,
@@ -132,6 +147,7 @@ struct FuncState {
     arrived: u64,
     completed: u64,
     cold_starts: ColdStartCounter,
+    resizes: ResizeCounter,
     window: RateWindow,
     timeline: Vec<TimelinePoint>,
     sec_arrivals: u64,
@@ -152,7 +168,8 @@ pub struct ClusterSim {
     instances: BTreeMap<InstanceUid, Instance>,
     jobs: BTreeMap<FunctionId, TrainingJob>,
     placement: Box<dyn Placement>,
-    autoscaler: Box<dyn Autoscaler>,
+    controller: Box<dyn ElasticityController>,
+    pending_resizes: Vec<PendingResize>,
     tags: HashMap<u64, WorkPayload>,
     slot_index: HashMap<dilu_gpu::InstanceId, (InstanceUid, usize)>,
     next_uid: u64,
@@ -177,7 +194,7 @@ impl std::fmt::Debug for ClusterSim {
             .field("spec", &self.spec)
             .field("now", &self.now)
             .field("placement", &self.placement.name())
-            .field("autoscaler", &self.autoscaler.name())
+            .field("controller", &self.controller.name())
             .field("share_policy", &self.share_policy_name)
             .field("functions", &self.funcs.len())
             .field("instances", &self.instances.len())
@@ -186,12 +203,28 @@ impl std::fmt::Debug for ClusterSim {
 }
 
 impl ClusterSim {
-    /// Creates a cluster with the given policies on every GPU.
+    /// Creates a cluster driven by a horizontal-only [`Autoscaler`].
+    ///
+    /// Shorthand for [`with_controller`](Self::with_controller) through the
+    /// blanket [`ElasticityController`] adapter — every pre-2D composition
+    /// keeps working unchanged.
     pub fn new(
         spec: ClusterSpec,
         config: SimConfig,
         placement: Box<dyn Placement>,
         autoscaler: Box<dyn Autoscaler>,
+        policy_factory: &dyn PolicyFactory,
+    ) -> Self {
+        Self::with_controller(spec, config, placement, Box::new(autoscaler), policy_factory)
+    }
+
+    /// Creates a cluster driven by a 2D [`ElasticityController`], which may
+    /// resize quotas of running instances as well as scale instance counts.
+    pub fn with_controller(
+        spec: ClusterSpec,
+        config: SimConfig,
+        placement: Box<dyn Placement>,
+        controller: Box<dyn ElasticityController>,
         policy_factory: &dyn PolicyFactory,
     ) -> Self {
         let gpus = spec
@@ -218,7 +251,8 @@ impl ClusterSim {
             instances: BTreeMap::new(),
             jobs: BTreeMap::new(),
             placement,
-            autoscaler,
+            controller,
+            pending_resizes: Vec::new(),
             tags: HashMap::new(),
             slot_index: HashMap::new(),
             next_uid: 1,
@@ -258,9 +292,15 @@ impl ClusterSim {
         self.placement.name()
     }
 
-    /// Report name of the autoscaler.
+    /// Report name of the elasticity controller (historically the
+    /// autoscaler slot; kept for every report and test that names it).
     pub fn autoscaler_name(&self) -> &str {
-        self.autoscaler.name()
+        self.controller.name()
+    }
+
+    /// Report name of the elasticity controller.
+    pub fn controller_name(&self) -> &str {
+        self.controller.name()
     }
 
     /// Report name of the per-GPU share-policy factory.
@@ -412,6 +452,7 @@ impl ClusterSim {
                             arrived: f.arrived,
                             completed: f.completed,
                             cold_starts: f.cold_starts,
+                            resizes: f.resizes,
                             timeline: f.timeline,
                         },
                     );
@@ -481,6 +522,7 @@ impl ClusterSim {
     }
 
     fn step_quantum(&mut self) {
+        self.apply_due_resizes();
         self.submit_due_training();
         self.promote_ready_instances();
         self.ingest_arrivals();
@@ -489,10 +531,76 @@ impl ClusterSim {
         self.reap_drained();
         if self.now + self.config.quantum >= self.next_sample_at {
             self.sample_metrics();
-            self.run_autoscaler();
+            self.run_controller();
             self.next_sample_at += self.config.tick;
         }
         self.now += self.config.quantum;
+    }
+
+    /// Queues a vertical resize to apply after the configured latency.
+    ///
+    /// A re-request while one is still in flight retargets the pending
+    /// resize but keeps its original due time — controllers re-emit their
+    /// decision every tick until the spec reflects it, and resetting the
+    /// clock each time would starve the apply whenever
+    /// `resize_latency >= tick`.
+    fn request_resize(&mut self, func: FunctionId, request: SmRate, limit: SmRate) {
+        let Some(f) = self.funcs.get(&func) else {
+            return;
+        };
+        let request = request.min(SmRate::FULL);
+        let limit = limit.max(request);
+        if let Some(pending) = self.pending_resizes.iter_mut().find(|r| r.func == func) {
+            pending.request = request;
+            pending.limit = limit;
+            return;
+        }
+        if f.spec.quotas.request == request && f.spec.quotas.limit == limit {
+            return;
+        }
+        let due = self.now + self.config.resize_latency;
+        self.pending_resizes.push(PendingResize { due, func, request, limit });
+    }
+
+    /// Applies every resize whose latency has elapsed: the function's spec
+    /// (future launches, capacity) and every live slice on the GPUs.
+    fn apply_due_resizes(&mut self) {
+        let now = self.now;
+        if self.pending_resizes.iter().all(|r| r.due > now) {
+            return;
+        }
+        let mut due = Vec::new();
+        self.pending_resizes.retain(|r| {
+            if r.due <= now {
+                due.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        for r in due {
+            let Some(f) = self.funcs.get_mut(&r.func) else {
+                continue;
+            };
+            let old = f.spec.quotas;
+            if r.request > old.request || (r.request == old.request && r.limit > old.limit) {
+                f.resizes.record_grow();
+            } else {
+                f.resizes.record_shrink();
+            }
+            f.spec.quotas.request = r.request;
+            f.spec.quotas.limit = r.limit;
+            for inst in self.instances.values().filter(|i| i.func == r.func) {
+                for (stage, gpu) in inst.gpus.iter().enumerate() {
+                    let slot_id = inst.slot_id(stage);
+                    if let Some(g) = self.gpus.get_mut(gpu) {
+                        if g.engine.resize(slot_id, r.request, r.limit).is_ok() {
+                            g.policy.notify_resize(slot_id, r.request, r.limit);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn submit_due_training(&mut self) {
@@ -982,9 +1090,42 @@ impl ClusterSim {
         Ok(uid)
     }
 
-    fn run_autoscaler(&mut self) {
+    /// Per-GPU guaranteed-SM slack, and per function the tightest slack
+    /// across the GPUs hosting its (non-draining) instances.
+    ///
+    /// A resize re-quotas *every* slice of the function, so a GPU hosting
+    /// `n` of them absorbs `n×` the per-slice growth — its slack is divided
+    /// by the slice count before taking the minimum.
+    fn vertical_headroom(&self, cluster: &ClusterView) -> BTreeMap<FunctionId, SmRate> {
+        let slack: BTreeMap<GpuAddr, SmRate> =
+            cluster.gpus.iter().map(|g| (g.addr, g.request_slack())).collect();
+        let mut slices: BTreeMap<(FunctionId, GpuAddr), u32> = BTreeMap::new();
+        for inst in self.instances.values() {
+            if matches!(inst.state, InstanceState::Draining) {
+                continue;
+            }
+            for gpu in &inst.gpus {
+                *slices.entry((inst.func, *gpu)).or_insert(0) += 1;
+            }
+        }
+        let mut headroom: BTreeMap<FunctionId, SmRate> = BTreeMap::new();
+        for (&(func, gpu), &count) in &slices {
+            let per_slice = slack
+                .get(&gpu)
+                .copied()
+                .unwrap_or(SmRate::ZERO)
+                .scale(1.0 / f64::from(count.max(1)));
+            headroom.entry(func).and_modify(|h| *h = h.min(per_slice)).or_insert(per_slice);
+        }
+        headroom
+    }
+
+    fn run_controller(&mut self) {
         let now = self.now;
+        let cluster = self.cluster_view();
+        let headroom = self.vertical_headroom(&cluster);
         let mut views = Vec::new();
+        let instances = &self.instances;
         for (id, f) in self.funcs.iter_mut() {
             f.window.roll_to(now);
             if !f.spec.kind.is_inference() {
@@ -994,7 +1135,7 @@ impl ClusterSim {
             let mut starting = 0u32;
             let mut backlog = f.backlog.len();
             let mut max_idle = SimDuration::ZERO;
-            for inst in self.instances.values().filter(|i| i.func == *id) {
+            for inst in instances.values().filter(|i| i.func == *id) {
                 match inst.state {
                     InstanceState::Running => {
                         ready += 1;
@@ -1019,9 +1160,15 @@ impl ClusterSim {
                 backlog,
                 capacity_rps: f.spec.capacity_rps(),
                 max_idle,
+                quota: QuotaView {
+                    request: f.spec.quotas.request,
+                    limit: f.spec.quotas.limit,
+                    headroom: headroom.get(id).copied().unwrap_or(SmRate::ZERO),
+                    capacity_rps_at_limit: f.spec.capacity_rps_at(f.spec.quotas.limit),
+                },
             });
         }
-        let actions = self.autoscaler.on_tick(now, &views);
+        let actions = self.controller.on_tick(now, &views, &cluster);
         for action in actions {
             match action {
                 ScaleAction::ScaleOut { func, count } => {
@@ -1051,6 +1198,9 @@ impl ClusterSim {
                             }
                         }
                     }
+                }
+                ScaleAction::ResizeQuota { func, request, limit } => {
+                    self.request_resize(func, request, limit);
                 }
             }
         }
@@ -1134,6 +1284,7 @@ fn new_func_state(spec: FunctionSpec, arrivals: Vec<SimTime>) -> FuncState {
         arrived: 0,
         completed: 0,
         cold_starts: ColdStartCounter::new(),
+        resizes: ResizeCounter::new(),
         window: RateWindow::new(40),
         timeline: Vec::new(),
         sec_arrivals: 0,
@@ -1346,6 +1497,136 @@ mod tests {
         assert!(f.completed >= expected * 9 / 10, "completed {}/{}", f.completed, expected);
         // Per-token display latency should be in tens of ms.
         assert!(f.p95_display() < SimDuration::from_millis(200));
+    }
+
+    /// Resizes a function's quotas at t=2 s and records the quota views it
+    /// is shown afterwards (shared out through `Rc` so the test can assert
+    /// on what the control plane actually saw).
+    struct ResizeProbe {
+        func: FunctionId,
+        fired: bool,
+        seen: std::rc::Rc<std::cell::RefCell<Vec<QuotaView>>>,
+    }
+
+    impl ElasticityController for ResizeProbe {
+        fn on_tick(
+            &mut self,
+            now: SimTime,
+            functions: &[FunctionScaleView],
+            cluster: &ClusterView,
+        ) -> Vec<ScaleAction> {
+            assert_eq!(cluster.gpus.len(), 2, "controller sees the whole cluster");
+            if let Some(f) = functions.iter().find(|f| f.func == self.func) {
+                self.seen.borrow_mut().push(f.quota);
+            }
+            if !self.fired && now >= SimTime::from_secs(2) {
+                self.fired = true;
+                return vec![ScaleAction::ResizeQuota {
+                    func: self.func,
+                    request: SmRate::from_percent(80.0),
+                    limit: SmRate::from_percent(90.0),
+                }];
+            }
+            Vec::new()
+        }
+
+        fn name(&self) -> &str {
+            "resize-probe"
+        }
+    }
+
+    #[test]
+    fn vertical_resizes_apply_and_are_counted() {
+        let spec = inference_spec(1, ModelId::RobertaLarge, 4);
+        let func = spec.id;
+        let (req0, lim0) = (spec.quotas.request, spec.quotas.limit);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = ClusterSim::with_controller(
+            ClusterSpec::single_node(2),
+            SimConfig::default(),
+            Box::new(FirstFit),
+            Box::new(ResizeProbe { func, fired: false, seen: seen.clone() }),
+            &fair_factory(),
+        );
+        let arrivals = PoissonProcess::new(10.0, 7).generate(SimTime::from_secs(6));
+        sim.deploy_inference(spec, 1, arrivals).unwrap();
+        sim.run_until(SimTime::from_secs(6));
+        let report = sim.into_report();
+        let f = &report.inference[&func];
+        assert_eq!(f.resizes.grows(), 1, "one grow resize");
+        assert_eq!(f.resizes.total(), 1);
+        assert_eq!(report.total_resizes(), 1);
+        assert_eq!(f.cold_starts.count(), 0, "vertical scaling pays no cold start");
+        let seen = seen.borrow();
+        // Before the resize the controller saw the deployed quotas plus the
+        // GPU's guaranteed-SM slack as vertical headroom.
+        let before = seen.first().expect("ticks before the resize");
+        assert_eq!(before.request, req0);
+        assert_eq!(before.limit, lim0);
+        assert!((before.headroom.as_fraction() - (1.0 - req0.as_fraction())).abs() < 1e-9);
+        assert!(before.capacity_rps_at_limit > 0.0);
+        // Within one tick of the decision (1 ms apply latency ≪ 1 s tick)
+        // the views reflect the new quotas, and headroom shrank to match.
+        let after = seen.last().expect("ticks after the resize");
+        assert_eq!(after.request, SmRate::from_percent(80.0));
+        assert_eq!(after.limit, SmRate::from_percent(90.0));
+        assert!((after.headroom.as_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    /// Re-emits the same grow every tick until the spec reflects it — the
+    /// steady-state behaviour of a real controller whose decision stands
+    /// until applied.
+    struct PersistentResizer {
+        func: FunctionId,
+        target: SmRate,
+    }
+
+    impl ElasticityController for PersistentResizer {
+        fn on_tick(
+            &mut self,
+            _now: SimTime,
+            functions: &[FunctionScaleView],
+            _cluster: &ClusterView,
+        ) -> Vec<ScaleAction> {
+            match functions.iter().find(|f| f.func == self.func) {
+                Some(f) if f.quota.request < self.target => vec![ScaleAction::ResizeQuota {
+                    func: self.func,
+                    request: self.target,
+                    limit: self.target,
+                }],
+                _ => Vec::new(),
+            }
+        }
+
+        fn name(&self) -> &str {
+            "persistent-resizer"
+        }
+    }
+
+    #[test]
+    fn re_requested_resizes_keep_their_original_due_time() {
+        // With resize_latency longer than the tick, a controller re-emitting
+        // its decision every tick must not push the apply out forever.
+        let spec = inference_spec(1, ModelId::BertBase, 4);
+        let func = spec.id;
+        let config =
+            SimConfig { resize_latency: SimDuration::from_secs(2), ..SimConfig::default() };
+        let mut sim = ClusterSim::with_controller(
+            ClusterSpec::single_node(1),
+            config,
+            Box::new(FirstFit),
+            Box::new(PersistentResizer { func, target: SmRate::from_percent(70.0) }),
+            &fair_factory(),
+        );
+        let arrivals = PoissonProcess::new(5.0, 3).generate(SimTime::from_secs(8));
+        sim.deploy_inference(spec, 1, arrivals).unwrap();
+        sim.run_until(SimTime::from_secs(8));
+        let report = sim.into_report();
+        assert_eq!(
+            report.inference[&func].resizes.total(),
+            1,
+            "the resize must apply once despite per-tick re-requests"
+        );
     }
 
     #[test]

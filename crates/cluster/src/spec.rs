@@ -152,10 +152,18 @@ impl FunctionSpec {
     ///
     /// Returns 0 for training functions.
     pub fn capacity_rps(&self) -> f64 {
+        self.capacity_rps_at(self.quotas.request)
+    }
+
+    /// Requests per second one instance sustains at an arbitrary SM quota —
+    /// what a 2D co-scaler gains (or gives back) by resizing `request`.
+    ///
+    /// Returns 0 for training functions.
+    pub fn capacity_rps_at(&self, quota: SmRate) -> f64 {
         match self.kind {
             FunctionKind::Inference { batch, .. } => {
                 let profile = self.model.profile();
-                let t = profile.inference_exec_time(batch, self.quotas.request);
+                let t = profile.inference_exec_time(batch, quota);
                 if t.is_zero() {
                     0.0
                 } else {

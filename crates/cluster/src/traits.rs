@@ -44,6 +44,14 @@ impl GpuView {
         self.residents.iter().map(|r| r.limit).sum()
     }
 
+    /// Guaranteed SM rate still unreserved on this GPU: the card minus the
+    /// resident `request` quotas, floored at zero when requests already
+    /// oversubscribe. This is the vertical headroom a 2D co-scaler can grow
+    /// a resident's `request` into without touching anyone's guarantee.
+    pub fn request_slack(&self) -> SmRate {
+        SmRate::FULL - self.sum_requests()
+    }
+
     /// Free memory in bytes.
     pub fn mem_free(&self) -> u64 {
         self.mem_capacity.saturating_sub(self.mem_reserved)
@@ -87,7 +95,42 @@ pub trait Placement {
     fn name(&self) -> &str;
 }
 
-/// Per-function state handed to the autoscaler every second.
+/// A function's vertical (quota) state as seen by the elasticity controller.
+///
+/// All rates are per GPU *slice*: a pipelined instance holds one slice of
+/// these quotas on each of its GPUs, and a resize applies the same new
+/// values to every slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaView {
+    /// Current `request` quota (the guaranteed minimum).
+    pub request: SmRate,
+    /// Current `limit` quota (the burst ceiling).
+    pub limit: SmRate,
+    /// The tightest guaranteed-SM slack across the GPUs hosting this
+    /// function's instances — how far `request` can grow before some hosting
+    /// GPU's guarantees oversubscribe. Zero when no instance is deployed.
+    pub headroom: SmRate,
+    /// One instance's serving capacity at the current `limit` quota, in RPS
+    /// (the vertical analogue of
+    /// [`FunctionScaleView::capacity_rps`]; controllers interpolate between
+    /// the two points to size resizes).
+    pub capacity_rps_at_limit: f64,
+}
+
+impl QuotaView {
+    /// A zeroed view for functions with no vertical dimension (training, or
+    /// test fixtures that only exercise horizontal logic).
+    pub fn none() -> Self {
+        QuotaView {
+            request: SmRate::ZERO,
+            limit: SmRate::ZERO,
+            headroom: SmRate::ZERO,
+            capacity_rps_at_limit: 0.0,
+        }
+    }
+}
+
+/// Per-function state handed to the elasticity controller every second.
 #[derive(Debug, Clone)]
 pub struct FunctionScaleView {
     /// The function.
@@ -106,10 +149,18 @@ pub struct FunctionScaleView {
     pub capacity_rps: f64,
     /// Idle time of the longest-idle ready instance.
     pub max_idle: SimDuration,
+    /// The vertical dimension: current quotas and per-GPU headroom.
+    pub quota: QuotaView,
 }
 
-/// An autoscaler decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// An elasticity decision: horizontal (instances) or vertical (quotas).
+///
+/// `ResizeQuota` is the vertical dimension of Dilu's 2D co-scaling: it
+/// retargets the `<request, limit>` SM quotas of *every* deployed slice of a
+/// function (and of future launches) within one scheduling quantum of the
+/// configured apply latency — no eviction, no cold start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum ScaleAction {
     /// Launch `count` new instances of the function.
     ScaleOut {
@@ -125,16 +176,79 @@ pub enum ScaleAction {
         /// Instances to remove.
         count: u32,
     },
+    /// Retarget the function's per-slice `<request, limit>` SM quotas.
+    ResizeQuota {
+        /// Target function.
+        func: FunctionId,
+        /// New guaranteed quota (clamped to one whole GPU on apply).
+        request: SmRate,
+        /// New burst ceiling (clamped up to at least `request` on apply).
+        limit: SmRate,
+    },
 }
 
-/// Decides horizontal scaling each second (the paper's global scaler and the
-/// baselines' reactive/keep-alive policies).
+/// Decides horizontal scaling each second (the baselines' reactive and
+/// keep-alive policies, and any controller blind to the vertical dimension).
+///
+/// Every `Autoscaler` is automatically an [`ElasticityController`] through a
+/// blanket adapter that ignores the cluster view, so horizontal-only
+/// policies keep composing unchanged.
 pub trait Autoscaler {
     /// Inspects per-function state and returns scaling actions.
     fn on_tick(&mut self, now: SimTime, functions: &[FunctionScaleView]) -> Vec<ScaleAction>;
 
     /// A short name for reports.
     fn name(&self) -> &str;
+}
+
+impl Autoscaler for Box<dyn Autoscaler> {
+    fn on_tick(&mut self, now: SimTime, functions: &[FunctionScaleView]) -> Vec<ScaleAction> {
+        (**self).on_tick(now, functions)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The 2D elasticity control plane: sees both scaling dimensions and may
+/// act on both.
+///
+/// Called once per tick with the per-function views *and* the cluster-wide
+/// allocation state, so implementations can trade vertical quota growth of
+/// running instances (millisecond-scale, via [`ScaleAction::ResizeQuota`])
+/// against cold-start-bound horizontal scale-out — the paper's adaptive 2D
+/// co-scaling. Horizontal-only [`Autoscaler`]s participate through the
+/// blanket adapter (their actions simply never include resizes).
+pub trait ElasticityController {
+    /// Inspects per-function and cluster state and returns scaling actions
+    /// in either dimension.
+    fn on_tick(
+        &mut self,
+        now: SimTime,
+        functions: &[FunctionScaleView],
+        cluster: &ClusterView,
+    ) -> Vec<ScaleAction>;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Horizontal-only controllers: every [`Autoscaler`] is an
+/// [`ElasticityController`] that ignores the cluster view.
+impl<A: Autoscaler> ElasticityController for A {
+    fn on_tick(
+        &mut self,
+        now: SimTime,
+        functions: &[FunctionScaleView],
+        _cluster: &ClusterView,
+    ) -> Vec<ScaleAction> {
+        Autoscaler::on_tick(self, now, functions)
+    }
+
+    fn name(&self) -> &str {
+        Autoscaler::name(self)
+    }
 }
 
 /// Builds one [`SharePolicy`] per GPU.
@@ -149,25 +263,11 @@ pub trait PolicyFactory {
     fn name(&self) -> &str;
 }
 
-impl<F> PolicyFactory for F
-where
-    F: Fn() -> Box<dyn SharePolicy>,
-{
-    fn make(&self) -> Box<dyn SharePolicy> {
-        self()
-    }
-
-    /// Bare closures cannot carry a useful name; wrap them with [`named`]
-    /// so reports and scenario listings identify the policy.
-    fn name(&self) -> &str {
-        "closure-policy"
-    }
-}
-
 /// A [`PolicyFactory`] built from a closure plus an explicit report name.
 ///
-/// Prefer this over passing a bare closure (whose factory name is the
-/// uninformative `"closure-policy"`).
+/// [`named`] is the *only* closure path: bare closures are deliberately not
+/// factories (an old blanket impl gave them all the same uninformative
+/// `"closure-policy"` name, which made scenario listings ambiguous).
 pub struct NamedPolicyFactory<F> {
     name: String,
     make: F,
@@ -245,9 +345,46 @@ mod tests {
     }
 
     #[test]
-    fn closures_are_policy_factories() {
-        let f = || -> Box<dyn SharePolicy> { Box::new(dilu_gpu::policies::FairSharePolicy) };
-        let p = f.make();
-        assert_eq!(p.name(), "fair-share");
+    fn named_is_the_closure_factory_path() {
+        let f = named("my-fair", || -> Box<dyn SharePolicy> {
+            Box::new(dilu_gpu::policies::FairSharePolicy)
+        });
+        assert_eq!(f.name(), "my-fair");
+        assert_eq!(f.make().name(), "fair-share");
+    }
+
+    #[test]
+    fn request_slack_saturates_at_zero() {
+        let g = view(&[30.0, 20.0], 8);
+        assert!((g.request_slack().as_percent() - 50.0).abs() < 1e-9);
+        let over = view(&[70.0, 60.0], 8);
+        assert_eq!(over.request_slack(), SmRate::ZERO);
+    }
+
+    struct Fixed(Vec<ScaleAction>);
+
+    impl Autoscaler for Fixed {
+        fn on_tick(&mut self, _now: SimTime, _functions: &[FunctionScaleView]) -> Vec<ScaleAction> {
+            self.0.clone()
+        }
+
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn autoscalers_adapt_to_elasticity_controllers() {
+        let actions = vec![ScaleAction::ScaleOut { func: FunctionId(1), count: 2 }];
+        // Concrete autoscaler through the blanket adapter.
+        let mut direct: Box<dyn ElasticityController> = Box::new(Fixed(actions.clone()));
+        let cluster = ClusterView { gpus: Vec::new() };
+        assert_eq!(direct.on_tick(SimTime::ZERO, &[], &cluster), actions);
+        assert_eq!(direct.name(), "fixed");
+        // Boxed trait object (the registry path) adapts too.
+        let boxed: Box<dyn Autoscaler> = Box::new(Fixed(actions.clone()));
+        let mut adapted: Box<dyn ElasticityController> = Box::new(boxed);
+        assert_eq!(adapted.on_tick(SimTime::ZERO, &[], &cluster), actions);
+        assert_eq!(adapted.name(), "fixed");
     }
 }

@@ -11,6 +11,13 @@
 //! [system]
 //! preset = "dilu"              # or compose placement/autoscaler/share_policy
 //!
+//! [system.controller]          # optional: a 2D elasticity controller
+//! name = "co-scale"            # (accepts autoscaler names too)
+//!
+//! [sim]                        # optional serving-plane tunables
+//! quantum_ms = 5.0
+//! resize_latency_ms = 1.0
+//!
 //! [run]
 //! horizon_secs = 30
 //! seed = 7
@@ -29,7 +36,7 @@
 //! gamma = 5.0                  # any extra key is a component parameter
 //! ```
 
-use dilu_cluster::ClusterSpec;
+use dilu_cluster::{ClusterSpec, SimConfig};
 use dilu_models::ModelId;
 use dilu_sim::{SimDuration, SimTime};
 use dilu_workload::ArrivalSpec;
@@ -119,10 +126,96 @@ pub struct SystemSection {
     pub preset: Option<String>,
     /// Placement override.
     pub placement: Option<ComponentSection>,
-    /// Autoscaler override.
+    /// Autoscaler override (horizontal-only controllers).
     pub autoscaler: Option<ComponentSection>,
+    /// Elasticity-controller override (2D co-scaling; also accepts every
+    /// autoscaler name). Mutually exclusive with `autoscaler` — they fill
+    /// the same slot.
+    pub controller: Option<ComponentSection>,
     /// Share-policy override.
     pub share_policy: Option<ComponentSection>,
+}
+
+/// Serving-plane tunables section (`[sim]`); every field defaults to
+/// [`SimConfig::default`]. Durations are in (fractional) milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSection {
+    /// GPU scheduling quantum (the RCKM token period) in ms.
+    pub quantum_ms: Option<f64>,
+    /// Controller tick and metrics sampling period in ms.
+    pub tick_ms: Option<f64>,
+    /// Fraction of the SLO a partial batch may wait before dispatch.
+    pub batch_timeout_frac: Option<f64>,
+    /// Cap on the batching wait regardless of SLO, in ms.
+    pub batch_timeout_cap_ms: Option<f64>,
+    /// Extra per-stage cost modelling activation transfer, in ms.
+    pub stage_transfer_ms: Option<f64>,
+    /// Delay before a vertical quota resize reaches the GPUs, in ms.
+    pub resize_latency_ms: Option<f64>,
+}
+
+impl SimSection {
+    /// Validates the section and maps it onto a [`SimConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Config`] for non-finite or negative values, a zero
+    /// quantum, a `batch_timeout_frac` outside `[0, 1]`, or a tick shorter
+    /// than the quantum.
+    pub fn to_config(&self) -> Result<SimConfig, ScenarioError> {
+        fn duration(
+            key: &str,
+            ms: Option<f64>,
+            default: SimDuration,
+            allow_zero: bool,
+        ) -> Result<SimDuration, ScenarioError> {
+            let Some(ms) = ms else { return Ok(default) };
+            if !ms.is_finite() || ms < 0.0 || (ms == 0.0 && !allow_zero) {
+                return Err(ScenarioError::Config(format!(
+                    "[sim] `{key}` must be a {} number of milliseconds, got {ms}",
+                    if allow_zero { "non-negative" } else { "positive" }
+                )));
+            }
+            Ok(SimDuration::from_millis_f64(ms))
+        }
+        let d = SimConfig::default();
+        let quantum = duration("quantum_ms", self.quantum_ms, d.quantum, false)?;
+        let tick = duration("tick_ms", self.tick_ms, d.tick, false)?;
+        if tick < quantum {
+            return Err(ScenarioError::Config(format!(
+                "[sim] `tick_ms` ({tick}) must not be shorter than `quantum_ms` ({quantum})"
+            )));
+        }
+        let frac = self.batch_timeout_frac.unwrap_or(d.batch_timeout_frac);
+        if !(frac.is_finite() && (0.0..=1.0).contains(&frac)) {
+            return Err(ScenarioError::Config(format!(
+                "[sim] `batch_timeout_frac` must be in [0, 1], got {frac}"
+            )));
+        }
+        Ok(SimConfig {
+            quantum,
+            tick,
+            batch_timeout_frac: frac,
+            batch_timeout_cap: duration(
+                "batch_timeout_cap_ms",
+                self.batch_timeout_cap_ms,
+                d.batch_timeout_cap,
+                true,
+            )?,
+            stage_transfer: duration(
+                "stage_transfer_ms",
+                self.stage_transfer_ms,
+                d.stage_transfer,
+                true,
+            )?,
+            resize_latency: duration(
+                "resize_latency_ms",
+                self.resize_latency_ms,
+                d.resize_latency,
+                true,
+            )?,
+        })
+    }
 }
 
 /// Run parameters section (`[run]`).
@@ -178,6 +271,8 @@ pub struct ScenarioConfig {
     pub cluster: Option<ClusterSection>,
     /// System composition.
     pub system: SystemSection,
+    /// Serving-plane tunables; defaults to [`SimConfig::default`].
+    pub sim: Option<SimSection>,
     /// Run parameters.
     pub run: Option<RunSection>,
     /// The deployed functions.
@@ -249,12 +344,25 @@ impl ScenarioConfig {
             .horizon(horizon)
             .drain(SimDuration::from_secs(run.drain_secs.unwrap_or(5)))
             .seed(seed);
+        if let Some(sim) = &self.sim {
+            builder = builder.sim_config(sim.to_config()?);
+        }
 
         if let Some(p) = &self.system.placement {
             builder = builder.placement_boxed(registry.placement(&p.name, &p.params)?);
         }
+        if self.system.autoscaler.is_some() && self.system.controller.is_some() {
+            return Err(ScenarioError::Config(
+                "[system] declares both `autoscaler` and `controller`; they fill the same \
+                 slot — keep one"
+                    .into(),
+            ));
+        }
         if let Some(a) = &self.system.autoscaler {
             builder = builder.autoscaler_boxed(registry.autoscaler(&a.name, &a.params)?);
+        }
+        if let Some(c) = &self.system.controller {
+            builder = builder.controller_boxed(registry.controller(&c.name, &c.params)?);
         }
         if let Some(s) = &self.system.share_policy {
             builder = builder.share_policy_boxed(registry.share_policy(&s.name, &s.params)?);
@@ -360,15 +468,33 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
         }
         Ok(())
     }
-    check("the scenario root", root, &["name", "cluster", "system", "run", "functions"])?;
+    check("the scenario root", root, &["name", "cluster", "system", "sim", "run", "functions"])?;
     if let Some(cluster) = root.get("cluster") {
         check("[cluster]", cluster, &["nodes", "gpus_per_node", "gpu_mem_gb"])?;
+    }
+    if let Some(sim) = root.get("sim") {
+        check(
+            "[sim]",
+            sim,
+            &[
+                "quantum_ms",
+                "tick_ms",
+                "batch_timeout_frac",
+                "batch_timeout_cap_ms",
+                "stage_transfer_ms",
+                "resize_latency_ms",
+            ],
+        )?;
     }
     if let Some(run) = root.get("run") {
         check("[run]", run, &["horizon_secs", "drain_secs", "seed"])?;
     }
     if let Some(system) = root.get("system") {
-        check("[system]", system, &["preset", "placement", "autoscaler", "share_policy"])?;
+        check(
+            "[system]",
+            system,
+            &["preset", "placement", "autoscaler", "controller", "share_policy"],
+        )?;
     }
     if let Some(Value::Seq(functions)) = root.get("functions") {
         for f in functions {
@@ -507,6 +633,121 @@ arrivals = { process = "poisson", rate = 5.0 }
         let json = serde_json::to_string_pretty(&config).unwrap();
         let back = ScenarioConfig::from_json_str(&json).unwrap();
         assert_eq!(config, back);
+    }
+
+    #[test]
+    fn sim_section_round_trips_and_applies() {
+        let text = r#"
+[system]
+preset = "dilu"
+
+[sim]
+quantum_ms = 2.5
+tick_ms = 500.0
+batch_timeout_frac = 0.5
+batch_timeout_cap_ms = 50.0
+stage_transfer_ms = 1.0
+resize_latency_ms = 2.0
+
+[run]
+horizon_secs = 5
+
+[[functions]]
+model = "bert-base"
+arrivals = { process = "poisson", rate = 10.0 }
+"#;
+        let config = ScenarioConfig::from_toml_str(text).unwrap();
+        // TOML → JSON → TOML-equivalent structure round-trips exactly.
+        let json = serde_json::to_string_pretty(&config).unwrap();
+        let back = ScenarioConfig::from_json_str(&json).unwrap();
+        assert_eq!(config, back);
+        // And the values land in the running simulator's SimConfig.
+        let registry = Registry::with_defaults();
+        let scenario = config.into_builder(&registry).unwrap().build().unwrap();
+        let sim_config = *scenario.sim().config();
+        assert_eq!(sim_config.quantum, SimDuration::from_micros(2_500));
+        assert_eq!(sim_config.tick, SimDuration::from_millis(500));
+        assert!((sim_config.batch_timeout_frac - 0.5).abs() < 1e-12);
+        assert_eq!(sim_config.batch_timeout_cap, SimDuration::from_millis(50));
+        assert_eq!(sim_config.stage_transfer, SimDuration::from_millis(1));
+        assert_eq!(sim_config.resize_latency, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn sim_section_rejects_invalid_values() {
+        let registry = Registry::with_defaults();
+        let cases = [
+            ("quantum_ms = 0.0", "quantum_ms"),
+            ("quantum_ms = -1.0", "quantum_ms"),
+            ("tick_ms = 1.0", "tick_ms"), // shorter than the default 5 ms quantum
+            ("batch_timeout_frac = 1.5", "batch_timeout_frac"),
+            ("quantum_typo_ms = 5.0", "quantum_typo_ms"),
+        ];
+        for (line, needle) in cases {
+            let text = format!(
+                "[system]\npreset = \"dilu\"\n\n[sim]\n{line}\n\n[[functions]]\nmodel = \
+                 \"bert-base\"\narrivals = {{ process = \"poisson\", rate = 5.0 }}\n"
+            );
+            let err = ScenarioConfig::from_toml_str(&text)
+                .and_then(|c| c.into_builder(&registry).map(|_| ()))
+                .map_err(|e| e.to_string());
+            assert!(err.as_ref().is_err_and(|e| e.contains(needle)), "{line}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn controller_section_selects_2d_coscaling() {
+        let text = r#"
+[system]
+preset = "dilu"
+
+[system.controller]
+name = "co-scale"
+max_request_pct = 80.0
+phi_out = 10
+
+[[functions]]
+model = "bert-base"
+arrivals = { process = "poisson", rate = 10.0 }
+"#;
+        let config = ScenarioConfig::from_toml_str(text).unwrap();
+        let registry = Registry::with_defaults();
+        let scenario = config.into_builder(&registry).unwrap().build().unwrap();
+        assert_eq!(scenario.sim().controller_name(), "dilu-co-scaler");
+        // Autoscaler names resolve through the controller slot too.
+        let fallback = ScenarioConfig::from_toml_str(
+            &text
+                .replace("name = \"co-scale\"", "name = \"reactive\"")
+                .replace("max_request_pct = 80.0\nphi_out = 10\n", ""),
+        )
+        .unwrap();
+        let scenario = fallback.into_builder(&registry).unwrap().build().unwrap();
+        assert_eq!(scenario.sim().controller_name(), "fast-gs+-reactive");
+    }
+
+    #[test]
+    fn autoscaler_and_controller_conflict_is_rejected() {
+        let text = r#"
+[system]
+preset = "dilu"
+
+[system.autoscaler]
+name = "lazy"
+
+[system.controller]
+name = "co-scale"
+
+[[functions]]
+model = "bert-base"
+arrivals = { process = "poisson", rate = 10.0 }
+"#;
+        let registry = Registry::with_defaults();
+        let err = ScenarioConfig::from_toml_str(text)
+            .unwrap()
+            .into_builder(&registry)
+            .map(|_| ())
+            .map_err(|e| e.to_string());
+        assert!(err.as_ref().is_err_and(|e| e.contains("same slot")), "{err:?}");
     }
 
     #[test]

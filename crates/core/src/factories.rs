@@ -90,10 +90,10 @@ impl PolicyFactory for FairFactory {
 ///
 /// This is the ergonomic way to plug a custom per-GPU policy into
 /// [`ScenarioBuilder::share_policy`](crate::ScenarioBuilder::share_policy)
-/// without defining a factory struct. A bare closure also works (there is
-/// a blanket `PolicyFactory` impl) but reports the uninformative name
-/// `"closure-policy"`; this wrapper, via [`dilu_cluster::named`], keeps
-/// scenario listings and reports meaningful.
+/// without defining a factory struct. It is also the *only* closure path:
+/// bare closures are not factories (an old blanket impl gave them all the
+/// same uninformative `"closure-policy"` name), so every custom policy
+/// carries a meaningful name in scenario listings and reports.
 ///
 /// # Examples
 ///

@@ -10,9 +10,10 @@
 use std::collections::BTreeMap;
 
 use dilu_baselines::{KeepAliveScaler, QuotaSource, ReactiveScaler};
-use dilu_cluster::{Autoscaler, Placement, PolicyFactory};
+use dilu_cluster::{Autoscaler, ElasticityController, Placement, PolicyFactory};
+use dilu_gpu::SmRate;
 use dilu_rckm::RckmConfig;
-use dilu_scaler::{LazyScaler, ScalerConfig};
+use dilu_scaler::{CoScaler, CoScalerConfig, LazyScaler, ScalerConfig};
 use dilu_scheduler::{DiluScheduler, ExclusivePlacement, SchedulerConfig};
 use dilu_sim::SimDuration;
 use serde::Value;
@@ -28,6 +29,9 @@ pub type PlacementCtor =
 /// Constructor signature for registered autoscalers.
 pub type AutoscalerCtor =
     Box<dyn Fn(&Params) -> Result<Box<dyn Autoscaler>, ScenarioError> + Send + Sync>;
+/// Constructor signature for registered 2D elasticity controllers.
+pub type ControllerCtor =
+    Box<dyn Fn(&Params) -> Result<Box<dyn ElasticityController>, ScenarioError> + Send + Sync>;
 /// Constructor signature for registered share-policy factories.
 pub type SharePolicyCtor =
     Box<dyn Fn(&Params) -> Result<Box<dyn PolicyFactory>, ScenarioError> + Send + Sync>;
@@ -135,6 +139,43 @@ fn scaler_config(params: &Params) -> Result<ScalerConfig, ScenarioError> {
     })
 }
 
+fn coscaler_config(params: &Params) -> Result<CoScalerConfig, ScenarioError> {
+    params.expect_keys(&[
+        "window",
+        "phi_out",
+        "phi_in",
+        "phi_vertical",
+        "scale_to_zero",
+        "max_request_pct",
+        "target_headroom",
+    ])?;
+    let d = CoScalerConfig::default();
+    let max_request_pct = params.f64_or("max_request_pct", d.max_request.as_percent())?;
+    if !(max_request_pct.is_finite() && 0.0 < max_request_pct && max_request_pct <= 100.0) {
+        return Err(ScenarioError::Config(format!(
+            "parameter `max_request_pct` must be in (0, 100], got {max_request_pct}"
+        )));
+    }
+    let target_headroom = params.f64_or("target_headroom", d.target_headroom)?;
+    if !(target_headroom.is_finite() && target_headroom >= 1.0) {
+        return Err(ScenarioError::Config(format!(
+            "parameter `target_headroom` must be at least 1.0, got {target_headroom}"
+        )));
+    }
+    let h = d.horizontal;
+    Ok(CoScalerConfig {
+        horizontal: ScalerConfig {
+            window: params.u64_or("window", h.window as u64)? as usize,
+            phi_out: params.u64_or("phi_out", h.phi_out as u64)? as usize,
+            phi_in: params.u64_or("phi_in", h.phi_in as u64)? as usize,
+            scale_to_zero: params.bool_or("scale_to_zero", h.scale_to_zero)?,
+        },
+        phi_vertical: params.u64_or("phi_vertical", d.phi_vertical as u64)? as usize,
+        max_request: SmRate::from_percent(max_request_pct),
+        target_headroom,
+    })
+}
+
 fn rckm_config(params: &Params) -> Result<RckmConfig, ScenarioError> {
     params.expect_keys(&[
         "max_tokens",
@@ -164,6 +205,7 @@ fn rckm_config(params: &Params) -> Result<RckmConfig, ScenarioError> {
 pub struct Registry {
     placements: BTreeMap<String, PlacementCtor>,
     autoscalers: BTreeMap<String, AutoscalerCtor>,
+    controllers: BTreeMap<String, ControllerCtor>,
     share_policies: BTreeMap<String, SharePolicyCtor>,
 }
 
@@ -227,6 +269,9 @@ impl Registry {
             Ok(Box::new(NullAutoscaler))
         });
 
+        // 2D elasticity controllers.
+        r.register_controller("co-scale", |p| Ok(Box::new(CoScaler::new(coscaler_config(p)?))));
+
         // Share policies.
         r.register_share_policy("rckm", |p| Ok(Box::new(RckmFactory(rckm_config(p)?))));
         r.register_share_policy("mps-l", |p| {
@@ -266,6 +311,18 @@ impl Registry {
         F: Fn(&Params) -> Result<Box<dyn Autoscaler>, ScenarioError> + Send + Sync + 'static,
     {
         self.autoscalers.insert(name.into(), Box::new(ctor));
+    }
+
+    /// Registers (or replaces) a 2D elasticity-controller constructor under
+    /// `name`.
+    pub fn register_controller<F>(&mut self, name: impl Into<String>, ctor: F)
+    where
+        F: Fn(&Params) -> Result<Box<dyn ElasticityController>, ScenarioError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.controllers.insert(name.into(), Box::new(ctor));
     }
 
     /// Registers (or replaces) a share-policy constructor under `name`.
@@ -308,6 +365,29 @@ impl Registry {
         }
     }
 
+    /// Builds the elasticity controller registered under `name`.
+    ///
+    /// Falls back to the autoscaler namespace: any registered
+    /// [`Autoscaler`] resolves here too, adapted into a horizontal-only
+    /// controller — so `[system.controller]` accepts every name
+    /// `[system.autoscaler]` does, plus the true 2D controllers.
+    pub fn controller(
+        &self,
+        name: &str,
+        params: &Params,
+    ) -> Result<Box<dyn ElasticityController>, ScenarioError> {
+        if let Some(ctor) = self.controllers.get(name) {
+            return ctor(params);
+        }
+        if self.autoscalers.contains_key(name) {
+            let autoscaler = self.autoscaler(name, params)?;
+            return Ok(Box::new(autoscaler));
+        }
+        let mut known = self.controller_names();
+        known.extend(self.autoscaler_names());
+        Err(ScenarioError::Unknown { kind: "controller", name: name.to_owned(), known })
+    }
+
     /// Builds the share-policy factory registered under `name`.
     pub fn share_policy(
         &self,
@@ -334,6 +414,12 @@ impl Registry {
         self.autoscalers.keys().cloned().collect()
     }
 
+    /// Registered 2D-controller names, sorted (autoscaler names resolve as
+    /// controllers too but are listed by [`autoscaler_names`](Self::autoscaler_names)).
+    pub fn controller_names(&self) -> Vec<String> {
+        self.controllers.keys().cloned().collect()
+    }
+
     /// Registered share-policy names, sorted.
     pub fn share_policy_names(&self) -> Vec<String> {
         self.share_policies.keys().cloned().collect()
@@ -349,12 +435,16 @@ mod tests {
         let r = Registry::with_defaults();
         assert_eq!(r.placement_names(), ["dilu", "exclusive", "first-fit", "packing"]);
         assert_eq!(r.autoscaler_names(), ["keep-alive", "lazy", "null", "reactive"]);
+        assert_eq!(r.controller_names(), ["co-scale"]);
         assert_eq!(r.share_policy_names(), ["fair", "fast-gs", "mps-l", "mps-r", "rckm", "tgs"]);
         for name in r.placement_names() {
             assert!(r.placement(&name, &Params::empty()).is_ok(), "placement {name}");
         }
         for name in r.autoscaler_names() {
             assert!(r.autoscaler(&name, &Params::empty()).is_ok(), "autoscaler {name}");
+        }
+        for name in r.controller_names() {
+            assert!(r.controller(&name, &Params::empty()).is_ok(), "controller {name}");
         }
         for name in r.share_policy_names() {
             let f = r.share_policy(&name, &Params::empty()).unwrap();
@@ -385,6 +475,30 @@ mod tests {
             Ok(_) => panic!("typo must fail"),
         };
         assert!(msg.contains("gamm"), "{msg}");
+    }
+
+    #[test]
+    fn autoscalers_resolve_as_controllers() {
+        let r = Registry::with_defaults();
+        // Horizontal-only names adapt through the blanket impl.
+        let lazy = r.controller("lazy", &Params::empty()).unwrap();
+        assert_eq!(lazy.name(), "dilu-lazy-scaler");
+        // The true 2D controller resolves directly, with its knobs.
+        let params = Params::from_entries(vec![
+            ("max_request_pct".into(), Value::Float(80.0)),
+            ("phi_out".into(), Value::UInt(10)),
+        ]);
+        let co = r.controller("co-scale", &params).unwrap();
+        assert_eq!(co.name(), "dilu-co-scaler");
+        // Unknown names list both namespaces.
+        let err = match r.controller("no-such", &Params::empty()) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("lookup must fail"),
+        };
+        assert!(err.contains("co-scale") && err.contains("lazy"), "{err}");
+        // Bad knobs are typed errors.
+        let bad = Params::from_entries(vec![("max_request_pct".into(), Value::Float(0.0))]);
+        assert!(r.controller("co-scale", &bad).is_err());
     }
 
     #[test]

@@ -33,18 +33,20 @@
 
 use dilu_cluster::ClusterReport;
 use dilu_cluster::{
-    Autoscaler, ClusterSim, ClusterSpec, DeployError, FunctionId, FunctionSpec, Placement,
-    PolicyFactory, SimConfig,
+    Autoscaler, ClusterSim, ClusterSpec, DeployError, ElasticityController, FunctionId,
+    FunctionSpec, Placement, PolicyFactory, SimConfig,
 };
 use dilu_sim::{SimDuration, SimTime};
 use dilu_workload::{ArrivalProcess, ArrivalSpec};
 
 /// Why a scenario could not be composed or run.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ScenarioError {
     /// No placement policy was supplied (and no preset provided one).
     MissingPlacement,
-    /// No autoscaler was supplied (and no preset provided one).
+    /// No elasticity controller (or autoscaler) was supplied, and no preset
+    /// provided one.
     MissingAutoscaler,
     /// No share-policy factory was supplied (and no preset provided one).
     MissingSharePolicy,
@@ -147,7 +149,7 @@ struct FunctionEntry {
 }
 
 /// The three substrate components a scenario composes.
-type Components = (Box<dyn Placement>, Box<dyn Autoscaler>, Box<dyn PolicyFactory>);
+type Components = (Box<dyn Placement>, Box<dyn ElasticityController>, Box<dyn PolicyFactory>);
 
 /// Fluent, open composition of a complete serving scenario.
 ///
@@ -158,7 +160,7 @@ pub struct ScenarioBuilder {
     cluster: ClusterSpec,
     sim: SimConfig,
     placement: Option<Box<dyn Placement>>,
-    autoscaler: Option<Box<dyn Autoscaler>>,
+    controller: Option<Box<dyn ElasticityController>>,
     share_policy: Option<Box<dyn PolicyFactory>>,
     functions: Vec<FunctionEntry>,
     horizon: SimDuration,
@@ -173,7 +175,7 @@ impl Default for ScenarioBuilder {
             cluster: ClusterSpec::paper_testbed(),
             sim: SimConfig::default(),
             placement: None,
-            autoscaler: None,
+            controller: None,
             share_policy: None,
             functions: Vec::new(),
             horizon: SimDuration::from_secs(60),
@@ -215,15 +217,31 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the autoscaler.
+    /// Sets a horizontal-only autoscaler as the elasticity controller
+    /// (through the blanket [`ElasticityController`] adapter).
     pub fn autoscaler(mut self, autoscaler: impl Autoscaler + 'static) -> Self {
-        self.autoscaler = Some(Box::new(autoscaler));
+        self.controller = Some(Box::new(autoscaler));
         self
     }
 
     /// Sets the autoscaler from a box (registry path).
     pub fn autoscaler_boxed(mut self, autoscaler: Box<dyn Autoscaler>) -> Self {
-        self.autoscaler = Some(autoscaler);
+        self.controller = Some(Box::new(autoscaler));
+        self
+    }
+
+    /// Sets a 2D elasticity controller (vertical quota resizing plus
+    /// horizontal scaling). Replaces whatever
+    /// [`autoscaler`](Self::autoscaler) set and vice versa — they fill the
+    /// same slot.
+    pub fn controller(mut self, controller: impl ElasticityController + 'static) -> Self {
+        self.controller = Some(Box::new(controller));
+        self
+    }
+
+    /// Sets the elasticity controller from a box (registry path).
+    pub fn controller_boxed(mut self, controller: Box<dyn ElasticityController>) -> Self {
+        self.controller = Some(controller);
         self
     }
 
@@ -375,9 +393,9 @@ impl ScenarioBuilder {
             return Err(misuse);
         }
         let placement = self.placement.take().ok_or(ScenarioError::MissingPlacement)?;
-        let autoscaler = self.autoscaler.take().ok_or(ScenarioError::MissingAutoscaler)?;
+        let controller = self.controller.take().ok_or(ScenarioError::MissingAutoscaler)?;
         let share_policy = self.share_policy.take().ok_or(ScenarioError::MissingSharePolicy)?;
-        Ok((placement, autoscaler, share_policy))
+        Ok((placement, controller, share_policy))
     }
 
     /// Builds just the composed serving substrate, with no functions
@@ -390,8 +408,14 @@ impl ScenarioBuilder {
     /// [`ScenarioError::MissingSharePolicy`] when a component is absent,
     /// or any recorded builder misuse.
     pub fn build_sim(mut self) -> Result<ClusterSim, ScenarioError> {
-        let (placement, autoscaler, share_policy) = self.take_components()?;
-        Ok(ClusterSim::new(self.cluster, self.sim, placement, autoscaler, &*share_policy))
+        let (placement, controller, share_policy) = self.take_components()?;
+        Ok(ClusterSim::with_controller(
+            self.cluster,
+            self.sim,
+            placement,
+            controller,
+            &*share_policy,
+        ))
     }
 
     /// Builds the full scenario: validates the composition, samples every
@@ -405,12 +429,17 @@ impl ScenarioBuilder {
     /// arrival source, and [`ScenarioError::Deploy`] when the serving plane
     /// rejects a function.
     pub fn build(mut self) -> Result<Scenario, ScenarioError> {
-        let (placement, autoscaler, share_policy) = self.take_components()?;
+        let (placement, controller, share_policy) = self.take_components()?;
         if self.functions.is_empty() {
             return Err(ScenarioError::NoFunctions);
         }
-        let mut sim =
-            ClusterSim::new(self.cluster, self.sim, placement, autoscaler, &*share_policy);
+        let mut sim = ClusterSim::with_controller(
+            self.cluster,
+            self.sim,
+            placement,
+            controller,
+            &*share_policy,
+        );
         let end = SimTime::ZERO + self.horizon;
         for entry in self.functions {
             match entry.workload {
@@ -446,7 +475,7 @@ impl std::fmt::Debug for ScenarioBuilder {
         f.debug_struct("ScenarioBuilder")
             .field("cluster", &self.cluster)
             .field("placement", &self.placement.as_ref().map(|p| p.name().to_owned()))
-            .field("autoscaler", &self.autoscaler.as_ref().map(|a| a.name().to_owned()))
+            .field("controller", &self.controller.as_ref().map(|a| a.name().to_owned()))
             .field("share_policy", &self.share_policy.as_ref().map(|s| s.name().to_owned()))
             .field("functions", &self.functions.len())
             .field("horizon", &self.horizon)

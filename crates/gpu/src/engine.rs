@@ -203,6 +203,32 @@ impl GpuEngine {
         Ok(())
     }
 
+    /// Resizes an instance's `<request, limit>` SM quotas in place.
+    ///
+    /// The memory reservation and task class are untouched; the new quotas
+    /// are visible to the [`SharePolicy`] at the very next [`step`](Self::step)
+    /// (the paper's millisecond-scale vertical scaling — no eviction or
+    /// re-admission). `request` is clamped to one whole GPU and `limit` is
+    /// clamped up to at least `request`. The engine does not police
+    /// cross-instance oversubscription — Σ requests above capacity is the
+    /// controller's responsibility and resolves proportionally at step time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::UnknownInstance`] if `id` is not resident.
+    pub fn resize(
+        &mut self,
+        id: InstanceId,
+        request: SmRate,
+        limit: SmRate,
+    ) -> Result<(), GpuError> {
+        let slot = self.slots.get_mut(&id).ok_or(GpuError::UnknownInstance(id))?;
+        let request = request.min(SmRate::FULL);
+        slot.config.request = request;
+        slot.config.limit = limit.max(request);
+        Ok(())
+    }
+
     /// Enqueues a work item on an instance.
     ///
     /// # Errors
@@ -643,6 +669,51 @@ mod tests {
         run_until_idle(&mut gpu, &mut FairSharePolicy);
         assert_eq!(gpu.blocks_total(), 5 * 333);
         assert_eq!(gpu.instance_blocks_total(id).unwrap(), 5 * 333);
+    }
+
+    #[test]
+    fn resize_applies_within_one_quantum() {
+        // A 30%-capped instance running a 60%-sat stream speeds up the very
+        // next quantum after its quota is resized to saturation.
+        let mut gpu = GpuEngine::new(GB * 4);
+        let id = InstanceId(1);
+        gpu.admit(id, slot(TaskClass::SloSensitive, 30.0, 30.0)).unwrap();
+        gpu.push_work(
+            id,
+            WorkItem::compute(SimDuration::from_millis(40), SmRate::from_percent(60.0), 400, 1),
+        )
+        .unwrap();
+        let mut policy = StaticPartitionPolicy::new([(id, SmRate::from_percent(30.0))]);
+        gpu.step(SimTime::ZERO, &mut policy);
+        gpu.resize(id, SmRate::from_percent(60.0), SmRate::from_percent(60.0)).unwrap();
+        assert_eq!(gpu.views()[0].request, SmRate::from_percent(60.0));
+        let mut full = StaticPartitionPolicy::new([(id, SmRate::from_percent(60.0))]);
+        let mut now = SimTime::ZERO + gpu.quantum();
+        let mut done = Vec::new();
+        while done.is_empty() {
+            done.extend(gpu.step(now, &mut full).completions);
+            now += gpu.quantum();
+        }
+        // One quantum at 30/60 (rate 0.574) then saturated: well under the
+        // ~70 ms a permanently capped run would take.
+        assert!(done[0].elapsed < SimDuration::from_millis(50), "elapsed {}", done[0].elapsed);
+    }
+
+    #[test]
+    fn resize_clamps_and_rejects_unknown_instances() {
+        let mut gpu = GpuEngine::new(GB * 4);
+        let id = InstanceId(1);
+        gpu.admit(id, slot(TaskClass::SloSensitive, 40.0, 80.0)).unwrap();
+        // limit below request is clamped up; request above a whole card is
+        // clamped down.
+        gpu.resize(id, SmRate::from_percent(150.0), SmRate::from_percent(10.0)).unwrap();
+        let v = gpu.views()[0];
+        assert_eq!(v.request, SmRate::FULL);
+        assert_eq!(v.limit, SmRate::FULL);
+        assert!(matches!(
+            gpu.resize(InstanceId(9), SmRate::ZERO, SmRate::ZERO),
+            Err(GpuError::UnknownInstance(_))
+        ));
     }
 
     #[test]

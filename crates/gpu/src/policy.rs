@@ -64,6 +64,18 @@ pub trait SharePolicy {
         views: &[InstanceView],
     ) -> Vec<Grant>;
 
+    /// Notifies the policy that an instance's `<request, limit>` quotas were
+    /// resized by the elasticity control plane (vertical scaling).
+    ///
+    /// Quotas in [`InstanceView`]s already reflect the new values at the next
+    /// [`allocate`](Self::allocate) call; this hook exists for policies that
+    /// carry *derived* per-instance state (e.g. RCKM's last-issued grant) and
+    /// must re-clamp it so the resize takes effect within one quantum rather
+    /// than after the state decays. The default does nothing.
+    fn notify_resize(&mut self, id: InstanceId, request: SmRate, limit: SmRate) {
+        let _ = (id, request, limit);
+    }
+
     /// A short human-readable policy name for reports.
     fn name(&self) -> &str;
 }

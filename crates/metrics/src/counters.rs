@@ -129,6 +129,68 @@ impl RateWindow {
     }
 }
 
+/// Counts vertical quota resizes applied to a function's instances.
+///
+/// Dilu's 2D co-scaling absorbs bursts by growing `<request, limit>` SM
+/// quotas of *running* instances (millisecond-scale) before paying a cold
+/// start for a new one; this counter is the vertical analogue of
+/// [`ColdStartCounter`].
+///
+/// # Examples
+///
+/// ```
+/// use dilu_metrics::ResizeCounter;
+///
+/// let mut r = ResizeCounter::new();
+/// r.record_grow();
+/// r.record_grow();
+/// r.record_shrink();
+/// assert_eq!((r.grows(), r.shrinks(), r.total()), (2, 1, 3));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResizeCounter {
+    grows: u64,
+    shrinks: u64,
+}
+
+impl ResizeCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one quota expansion (vertical scale-up).
+    pub fn record_grow(&mut self) {
+        self.grows += 1;
+    }
+
+    /// Records one quota reduction (vertical scale-down).
+    pub fn record_shrink(&mut self) {
+        self.shrinks += 1;
+    }
+
+    /// Number of quota expansions.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Number of quota reductions.
+    pub fn shrinks(&self) -> u64 {
+        self.shrinks
+    }
+
+    /// Total resizes in either direction.
+    pub fn total(&self) -> u64 {
+        self.grows + self.shrinks
+    }
+
+    /// Folds another counter's events into this one.
+    pub fn merge(&mut self, other: &ResizeCounter) {
+        self.grows += other.grows;
+        self.shrinks += other.shrinks;
+    }
+}
+
 /// Integrates occupied-GPU count over time (GPU-seconds).
 ///
 /// Feeds the paper's saved GPU time (SGT) and the Fig. 17 occupancy curves.
@@ -232,6 +294,45 @@ mod tests {
         assert_eq!(w.count_above(2.0), 2);
         assert_eq!(w.count_below(2.0), 2);
         assert!((w.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_window_wraps_around_far_beyond_capacity() {
+        // Rolling across many more seconds than the window holds must keep
+        // exactly `capacity` samples and preserve the newest ones.
+        let mut w = RateWindow::new(3);
+        for sec in 0..100u64 {
+            for _ in 0..sec {
+                w.observe(SimTime::from_millis(sec * 1000 + 1));
+            }
+        }
+        w.roll_to(SimTime::from_secs(100));
+        assert!(w.is_full());
+        assert_eq!(w.samples(), [97, 98, 99]);
+        // A long silent gap wraps the same way: all-zero buckets.
+        w.roll_to(SimTime::from_secs(500));
+        assert_eq!(w.samples(), [0, 0, 0]);
+        assert_eq!(w.mean(), 0.0);
+        // And the window keeps working after the wrap.
+        w.observe(SimTime::from_millis(500_500));
+        w.roll_to(SimTime::from_secs(501));
+        assert_eq!(w.samples(), [0, 0, 1]);
+    }
+
+    #[test]
+    fn resize_counter_tracks_directions() {
+        let mut r = ResizeCounter::new();
+        assert_eq!(r.total(), 0);
+        r.record_grow();
+        r.record_shrink();
+        r.record_shrink();
+        assert_eq!(r.grows(), 1);
+        assert_eq!(r.shrinks(), 2);
+        assert_eq!(r.total(), 3);
+        let mut sum = ResizeCounter::new();
+        sum.record_grow();
+        sum.merge(&r);
+        assert_eq!((sum.grows(), sum.shrinks(), sum.total()), (2, 2, 4));
     }
 
     #[test]

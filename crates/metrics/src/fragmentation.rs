@@ -148,6 +148,23 @@ mod tests {
     }
 
     #[test]
+    fn empty_cluster_snapshot_is_all_zero() {
+        // Zero GPUs observed at all: no division by the empty capacity sums.
+        let snap = FragmentationSnapshot::from_samples(std::iter::empty::<&GpuUsageSample>());
+        assert_eq!(snap.total_gpus, 0);
+        assert_eq!(snap.occupied_gpus, 0);
+        assert_eq!(snap.sm_fragmentation, 0.0);
+        assert_eq!(snap.mem_fragmentation, 0.0);
+        // Stats fed only empty snapshots stay zero too.
+        let mut stats = FragmentationStats::new();
+        stats.push(snap);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats.mean_sm_fragmentation(), 0.0);
+        assert_eq!(stats.mean_mem_fragmentation(), 0.0);
+        assert_eq!(stats.mean_occupied_gpus(), 0.0);
+    }
+
+    #[test]
     fn exclusive_underuse_shows_as_fragmentation() {
         // One occupied GPU using 30% SM and 10 GB of 40 GB: 70% SM frag.
         let gpus = [sample(30.0, 10 * GB, true), sample(0.0, 0, false)];

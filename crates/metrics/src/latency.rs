@@ -140,6 +140,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_and_one_sample_percentiles_are_well_defined() {
+        // Zero samples: every quantile (including the boundaries) is zero.
+        let empty = LatencyRecorder::new();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(empty.quantile(q), SimDuration::ZERO, "q={q}");
+        }
+        // One sample: every quantile is that sample (nearest rank clamps the
+        // rank into [1, 1], so q=0.0 must not underflow).
+        let one = rec(&[42]);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(one.quantile(q), SimDuration::from_millis(42), "q={q}");
+        }
+        assert_eq!(one.mean(), SimDuration::from_millis(42));
+        assert_eq!(one.violation_rate(SimDuration::from_millis(42)), 0.0);
+        assert_eq!(one.violation_rate(SimDuration::from_millis(41)), 1.0);
+    }
+
+    #[test]
     fn nearest_rank_percentiles() {
         let lat = rec(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
         assert_eq!(lat.p50(), SimDuration::from_millis(5));

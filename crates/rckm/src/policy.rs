@@ -229,6 +229,18 @@ impl SharePolicy for RckmPolicy {
         grants
     }
 
+    fn notify_resize(&mut self, id: InstanceId, request: SmRate, limit: SmRate) {
+        // Quotas arrive fresh in the next cycle's views; only the derived
+        // last-grant state needs re-clamping so a shrink takes effect this
+        // quantum instead of waiting for the multiplicative ramp to decay,
+        // and a grow starts its ramp from the new request floor.
+        if let Some(ctl) = self.ctl.get_mut(&id) {
+            let floor = self.config.max_tokens * request.as_fraction();
+            let ceiling = self.config.max_tokens * limit.as_fraction();
+            ctl.r_last = ctl.r_last.clamp(floor.min(ceiling), ceiling);
+        }
+    }
+
     fn name(&self) -> &str {
         "dilu-rckm"
     }
@@ -373,6 +385,31 @@ mod tests {
         assert!(p.state_of(InstanceId(2)).is_some());
         tick(&mut p, &[view(1, TaskClass::SloSensitive, 30.0, 60.0, 50, 0.0)]);
         assert_eq!(p.state_of(InstanceId(2)), None);
+    }
+
+    #[test]
+    fn notify_resize_takes_effect_within_one_cycle() {
+        // Inference expands into an idle co-runner's SMs until its grant far
+        // exceeds its limit. A vertical shrink must pull the next grant back
+        // under the new ceiling immediately, not wait for the ramp to decay.
+        let mut p = RckmPolicy::new(RckmConfig::default());
+        let expanding = [
+            view(1, TaskClass::SloSensitive, 30.0, 60.0, 60, 0.0),
+            view(2, TaskClass::BestEffort, 50.0, 80.0, 0, 0.0), // idle
+        ];
+        let mut g = Vec::new();
+        for _ in 0..12 {
+            g = tick(&mut p, &expanding);
+        }
+        assert!(grant_of(&g, 1) > 0.9, "expanded grant {}", grant_of(&g, 1));
+        p.notify_resize(InstanceId(1), SmRate::from_percent(10.0), SmRate::from_percent(20.0));
+        let shrunk = [
+            view(1, TaskClass::SloSensitive, 10.0, 20.0, 60, 0.0),
+            view(2, TaskClass::BestEffort, 50.0, 80.0, 0, 0.0),
+        ];
+        let g = tick(&mut p, &shrunk);
+        // Ramp restarts from the clamped state: 0.2 × η = 0.26, not 1.0.
+        assert!(grant_of(&g, 1) < 0.3, "post-shrink grant {}", grant_of(&g, 1));
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Dilu's adaptive 2D co-scaler: vertical quota resizing first, horizontal
+//! scale-out only when vertical headroom is exhausted.
+
+use std::collections::HashMap;
+
+use dilu_cluster::{
+    ClusterView, ElasticityController, FunctionId, FunctionScaleView, GpuAddr, ScaleAction,
+};
+use dilu_gpu::SmRate;
+use dilu_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::ScalerConfig;
+
+/// Tunables of the 2D co-scaler.
+///
+/// The sliding-window thresholds are shared with the horizontal
+/// [`LazyScaler`](crate::LazyScaler); the vertical knobs bound how far a
+/// function's per-slice `request` quota may grow (Ω) and how much capacity
+/// headroom a resize targets over the observed window mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoScalerConfig {
+    /// Sliding-window and φ thresholds shared with the lazy scaler.
+    pub horizontal: ScalerConfig,
+    /// Samples above capacity required to trigger a *vertical* grow
+    /// (default 5). Deliberately far below φ_out: a resize costs
+    /// milliseconds and no cold start, so the controller can afford to
+    /// react to bursts the lazy horizontal threshold must sit out.
+    pub phi_vertical: usize,
+    /// Per-slice ceiling on vertical `request` growth (the Ω cap; default
+    /// one whole GPU).
+    pub max_request: SmRate,
+    /// Capacity target as a multiple of the window-mean demand; a little
+    /// slack (default 1.1) damps resize oscillation around the mean.
+    pub target_headroom: f64,
+}
+
+impl Default for CoScalerConfig {
+    fn default() -> Self {
+        CoScalerConfig {
+            horizontal: ScalerConfig::default(),
+            phi_vertical: 5,
+            max_request: SmRate::FULL,
+            target_headroom: 1.1,
+        }
+    }
+}
+
+/// Dilu's global scaler as a true 2D controller.
+///
+/// Where [`LazyScaler`](crate::LazyScaler) merely *assumes* per-GPU vertical
+/// scaling absorbed a burst, `CoScaler` observes vertical headroom and acts
+/// on it: on a sustained overload it grows the function's `<request, limit>`
+/// quotas (millisecond apply latency, no cold start) up to the tightest
+/// hosting GPU's guaranteed-SM slack and the Ω cap, and only emits
+/// [`ScaleAction::ScaleOut`] for demand beyond that. On the way down it
+/// shrinks grown quotas back toward the profiled baseline before it
+/// considers terminating instances.
+///
+/// # Examples
+///
+/// ```
+/// use dilu_scaler::{CoScaler, CoScalerConfig};
+/// use dilu_cluster::ElasticityController;
+///
+/// let scaler = CoScaler::new(CoScalerConfig::default());
+/// assert_eq!(scaler.name(), "dilu-co-scaler");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoScaler {
+    config: CoScalerConfig,
+    /// First-seen (profiled) `<request, limit>` per function — the shrink
+    /// floor, and the source of the limit/request growth ratio.
+    baselines: HashMap<FunctionId, (SmRate, SmRate)>,
+}
+
+impl CoScaler {
+    /// Creates a co-scaler with the given tunables.
+    pub fn new(config: CoScalerConfig) -> Self {
+        CoScaler { config, baselines: HashMap::new() }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CoScalerConfig {
+        &self.config
+    }
+
+    /// Estimated capacity slope in RPS per unit of SM fraction, from the
+    /// two capacity points the view carries. Falls back to the
+    /// through-origin proportional slope when the quota interval is
+    /// degenerate; returns 0 when growing the quota buys nothing
+    /// (saturated).
+    fn capacity_slope(f: &FunctionScaleView) -> f64 {
+        let q = &f.quota;
+        let span = q.limit.as_fraction() - q.request.as_fraction();
+        let gain = q.capacity_rps_at_limit - f.capacity_rps;
+        if span > 1e-9 {
+            (gain / span).max(0.0)
+        } else if q.request.as_fraction() > 1e-9 {
+            f.capacity_rps / q.request.as_fraction()
+        } else {
+            0.0
+        }
+    }
+
+    /// The vertical move meeting `wanted_per_instance` RPS, if any:
+    /// `(new_request, estimated_capacity_after)`.
+    fn grow_quota(&self, f: &FunctionScaleView, wanted_per_instance: f64) -> (SmRate, f64) {
+        let q = &f.quota;
+        let slope = Self::capacity_slope(f);
+        let ceiling = (q.request + q.headroom).min(self.config.max_request);
+        if slope <= 1e-9 || ceiling <= q.request {
+            return (q.request, f.capacity_rps);
+        }
+        let deficit = (wanted_per_instance - f.capacity_rps).max(0.0);
+        let grown = SmRate::from_fraction(q.request.as_fraction() + deficit / slope).min(ceiling);
+        let capacity_after =
+            f.capacity_rps + slope * (grown.as_fraction() - q.request.as_fraction());
+        (grown, capacity_after)
+    }
+
+    /// New limit for a resized request: preserve the profiled
+    /// limit/request ratio, never shrinking the limit on a grow.
+    fn limit_for(
+        &self,
+        f: &FunctionScaleView,
+        baseline: (SmRate, SmRate),
+        request: SmRate,
+    ) -> SmRate {
+        let (base_req, base_lim) = baseline;
+        let ratio = if base_req.as_fraction() > 1e-9 {
+            base_lim.as_fraction() / base_req.as_fraction()
+        } else {
+            2.0
+        };
+        let scaled = request.scale(ratio.max(1.0));
+        if request >= f.quota.request {
+            scaled.max(f.quota.limit)
+        } else {
+            scaled
+        }
+    }
+
+    fn decide(&mut self, f: &FunctionScaleView) -> Vec<ScaleAction> {
+        if !f.kind.is_inference() {
+            return Vec::new();
+        }
+        let baseline = *self.baselines.entry(f.func).or_insert((f.quota.request, f.quota.limit));
+        let cfg = self.config.horizontal;
+        let deployed = f.ready_instances + f.starting_instances;
+        if deployed == 0 {
+            // Nothing deployed: the vertical dimension does not exist yet.
+            if f.backlog > 0 {
+                return vec![ScaleAction::ScaleOut { func: f.func, count: 1 }];
+            }
+            return Vec::new();
+        }
+        let window: &[u64] = if f.rps_window.len() > cfg.window {
+            &f.rps_window[f.rps_window.len() - cfg.window..]
+        } else {
+            &f.rps_window
+        };
+        let capacity_now = f.capacity_rps * f64::from(deployed);
+        let above = window.iter().filter(|&&rps| rps as f64 > capacity_now).count();
+        // Vertical reacts at φ_vertical (cheap, millisecond-scale);
+        // horizontal stays lazy at φ_out (each scale-out is a cold start).
+        if above >= self.config.phi_vertical.min(cfg.phi_out) {
+            let mean = window.iter().sum::<u64>() as f64 / window.len().max(1) as f64;
+            // A short burst barely moves the 40 s mean; the vertical move
+            // sizes against the recent seconds so it tracks the burst
+            // itself (a resize is cheap enough to oversize and shrink
+            // later). The horizontal fallback keeps the lazy window-mean
+            // sizing — each scale-out is a cold start.
+            let tail = self.config.phi_vertical.max(1).min(window.len());
+            let recent = window[window.len() - tail..].iter().sum::<u64>() as f64 / tail as f64;
+            let wanted_v = mean.max(recent) * self.config.target_headroom;
+            let wanted_h = mean * self.config.target_headroom;
+            if wanted_v <= capacity_now {
+                return Vec::new();
+            }
+            let mut actions = Vec::new();
+            let (grown, capacity_after) = self.grow_quota(f, wanted_v / f64::from(deployed));
+            if grown.as_fraction() > f.quota.request.as_fraction() + 1e-9 {
+                actions.push(ScaleAction::ResizeQuota {
+                    func: f.func,
+                    request: grown,
+                    limit: self.limit_for(f, baseline, grown),
+                });
+            }
+            let total_after = capacity_after * f64::from(deployed);
+            if above >= cfg.phi_out && wanted_h > total_after * (1.0 + 1e-9) {
+                // Sustained overload beyond the vertical ceiling: scale out
+                // for the remainder.
+                let count =
+                    ((wanted_h - total_after) / capacity_after.max(1e-9)).ceil().max(1.0) as u32;
+                actions.push(ScaleAction::ScaleOut { func: f.func, count });
+            }
+            return actions;
+        }
+        // Quiet side. Shrink grown quotas back toward the baseline before
+        // touching instance counts — the reverse of the grow order. Bursty
+        // traffic keeps recent samples above capacity even when the mean is
+        // low, so a shrink additionally requires a fully-subdued window.
+        if above == 0 && window.len() >= cfg.phi_in && f.quota.request > baseline.0 {
+            let mean = window.iter().sum::<u64>() as f64 / window.len().max(1) as f64;
+            let wanted = (mean * self.config.target_headroom) / f64::from(deployed);
+            let slope = Self::capacity_slope(f);
+            if slope > 1e-9 {
+                let surplus = (f.capacity_rps - wanted).max(0.0);
+                let target = SmRate::from_fraction(
+                    (f.quota.request.as_fraction() - surplus / slope).max(0.0),
+                )
+                .max(baseline.0);
+                // Require the window to actually fit at the lower quota and
+                // a non-trivial step (≥ 1% of the card) to avoid churn.
+                let capacity_at_target =
+                    f.capacity_rps - slope * (f.quota.request - target).as_fraction();
+                let fits = window
+                    .iter()
+                    .filter(|&&rps| (rps as f64) < capacity_at_target * f64::from(deployed))
+                    .count()
+                    > cfg.phi_in;
+                if fits && f.quota.request.as_fraction() - target.as_fraction() > 0.01 {
+                    return vec![ScaleAction::ResizeQuota {
+                        func: f.func,
+                        request: target,
+                        limit: self.limit_for(f, baseline, target),
+                    }];
+                }
+            }
+        }
+        // Horizontal scale-in/scale-to-zero is exactly the lazy scaler's
+        // decision — one shared implementation, not a copy.
+        crate::lazy::horizontal_scale_in(&cfg, f, window).into_iter().collect()
+    }
+}
+
+impl ElasticityController for CoScaler {
+    fn on_tick(
+        &mut self,
+        _now: SimTime,
+        functions: &[FunctionScaleView],
+        cluster: &ClusterView,
+    ) -> Vec<ScaleAction> {
+        // Per-tick vertical budget: the view's headroom is a snapshot taken
+        // before any of this tick's decisions, so grows emitted for one
+        // function must be deducted from the slack of the GPUs it shares
+        // before the next function sizes its own grow — otherwise two
+        // functions bursting in the same tick both claim the same SMs and
+        // the "guaranteed" requests oversubscribe the card.
+        let mut slack: HashMap<GpuAddr, f64> =
+            cluster.gpus.iter().map(|g| (g.addr, g.request_slack().as_fraction())).collect();
+        let mut slices: HashMap<(FunctionId, GpuAddr), f64> = HashMap::new();
+        for gpu in &cluster.gpus {
+            for r in &gpu.residents {
+                *slices.entry((r.func, gpu.addr)).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut actions = Vec::new();
+        for f in functions {
+            let hosting: Vec<(GpuAddr, f64)> = slices
+                .iter()
+                .filter(|((func, _), _)| *func == f.func)
+                .map(|((_, gpu), &n)| (*gpu, n))
+                .collect();
+            let budget = hosting
+                .iter()
+                .map(|(gpu, n)| slack.get(gpu).copied().unwrap_or(0.0) / n.max(1.0))
+                .fold(f64::INFINITY, f64::min);
+            let mut fv = f.clone();
+            if budget.is_finite() {
+                fv.quota.headroom = fv.quota.headroom.min(SmRate::from_fraction(budget.max(0.0)));
+            }
+            let decided = self.decide(&fv);
+            for action in &decided {
+                if let ScaleAction::ResizeQuota { request, .. } = action {
+                    let delta = (request.as_fraction() - f.quota.request.as_fraction()).max(0.0);
+                    if delta > 0.0 {
+                        for (gpu, n) in &hosting {
+                            if let Some(s) = slack.get_mut(gpu) {
+                                *s = (*s - delta * n).max(0.0);
+                            }
+                        }
+                    }
+                }
+            }
+            actions.extend(decided);
+        }
+        actions
+    }
+
+    fn name(&self) -> &str {
+        "dilu-co-scaler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dilu_cluster::{FunctionKind, QuotaView};
+    use dilu_sim::SimDuration;
+
+    fn view(window: Vec<u64>, ready: u32, quota: QuotaView) -> FunctionScaleView {
+        FunctionScaleView {
+            func: FunctionId(1),
+            kind: FunctionKind::Inference { slo: SimDuration::from_millis(100), batch: 4 },
+            rps_window: window,
+            ready_instances: ready,
+            starting_instances: 0,
+            backlog: 0,
+            capacity_rps: 50.0,
+            max_idle: SimDuration::ZERO,
+            quota,
+        }
+    }
+
+    fn quota(request: f64, limit: f64, headroom: f64, cap_at_limit: f64) -> QuotaView {
+        QuotaView {
+            request: SmRate::from_percent(request),
+            limit: SmRate::from_percent(limit),
+            headroom: SmRate::from_percent(headroom),
+            capacity_rps_at_limit: cap_at_limit,
+        }
+    }
+
+    fn hot_window() -> Vec<u64> {
+        // 25 of 40 seconds at 160 rps against 50 rps of capacity.
+        let mut w = vec![10u64; 15];
+        w.extend([160u64; 25]);
+        w
+    }
+
+    fn tick(scaler: &mut CoScaler, v: FunctionScaleView) -> Vec<ScaleAction> {
+        let cluster = ClusterView { gpus: Vec::new() };
+        scaler.on_tick(SimTime::from_secs(60), &[v], &cluster)
+    }
+
+    #[test]
+    fn burst_with_headroom_resizes_instead_of_scaling_out() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        // 20%→40% quotas, 60% slack on the GPU, capacity doubling at limit.
+        let actions = tick(&mut s, view(hot_window(), 1, quota(20.0, 40.0, 60.0, 100.0)));
+        assert_eq!(actions.len(), 1, "{actions:?}");
+        let ScaleAction::ResizeQuota { request, limit, .. } = actions[0] else {
+            panic!("expected a resize, got {:?}", actions[0]);
+        };
+        // Recent seconds run at 160 rps → wanted ≈ 176; slope =
+        // (100−50)/0.2 = 250 rps/unit → grow ≈ 0.2 + 126/250 ≈ 0.70,
+        // within the 0.8 headroom bound.
+        assert!(request > SmRate::from_percent(40.0), "request {request}");
+        assert!(request <= SmRate::from_percent(80.0), "request {request}");
+        assert!(limit >= request, "limit {limit} under request {request}");
+    }
+
+    #[test]
+    fn short_bursts_trigger_vertical_but_never_horizontal() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        // 8 hot seconds: above φ_vertical (5) but far below φ_out (20).
+        let mut w = vec![10u64; 32];
+        w.extend([160u64; 8]);
+        let actions = tick(&mut s, view(w.clone(), 1, quota(20.0, 40.0, 60.0, 100.0)));
+        assert_eq!(actions.len(), 1, "{actions:?}");
+        assert!(matches!(actions[0], ScaleAction::ResizeQuota { .. }), "{actions:?}");
+        // Same burst with zero vertical headroom: still no cold start — the
+        // horizontal dimension stays lazy below φ_out.
+        let actions = tick(&mut s, view(w, 1, quota(20.0, 40.0, 0.0, 100.0)));
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    #[test]
+    fn burst_without_headroom_falls_back_to_scale_out() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        let actions = tick(&mut s, view(hot_window(), 1, quota(20.0, 40.0, 0.0, 100.0)));
+        assert_eq!(actions.len(), 1, "{actions:?}");
+        let ScaleAction::ScaleOut { count, .. } = actions[0] else {
+            panic!("expected scale out, got {:?}", actions[0]);
+        };
+        // wanted ≈ 114 against 50 rps deployed → 2 more instances.
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn partial_headroom_combines_both_dimensions() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        // Only 10% slack: vertical buys ~25 rps, the rest must scale out.
+        let actions = tick(&mut s, view(hot_window(), 1, quota(20.0, 40.0, 10.0, 100.0)));
+        assert_eq!(actions.len(), 2, "{actions:?}");
+        assert!(matches!(actions[0], ScaleAction::ResizeQuota { .. }), "{actions:?}");
+        assert!(matches!(actions[1], ScaleAction::ScaleOut { .. }), "{actions:?}");
+    }
+
+    #[test]
+    fn omega_caps_vertical_growth() {
+        let config =
+            CoScalerConfig { max_request: SmRate::from_percent(25.0), ..CoScalerConfig::default() };
+        let mut s = CoScaler::new(config);
+        let actions = tick(&mut s, view(hot_window(), 1, quota(20.0, 40.0, 60.0, 100.0)));
+        let ScaleAction::ResizeQuota { request, .. } = actions[0] else {
+            panic!("expected a resize, got {:?}", actions[0]);
+        };
+        assert_eq!(request, SmRate::from_percent(25.0));
+        assert!(
+            actions.iter().any(|a| matches!(a, ScaleAction::ScaleOut { .. })),
+            "capped vertical must scale out for the remainder: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn quiet_window_shrinks_grown_quotas_before_scaling_in() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        // Record the 20%/40% baseline.
+        tick(&mut s, view(hot_window(), 1, quota(20.0, 40.0, 60.0, 100.0)));
+        // Later: quotas grown to 60%, demand collapsed to ~5 rps.
+        let mut grown = view(vec![5u64; 40], 2, quota(60.0, 120.0, 20.0, 90.0));
+        grown.capacity_rps = 80.0;
+        let actions = tick(&mut s, grown);
+        assert_eq!(actions.len(), 1, "{actions:?}");
+        let ScaleAction::ResizeQuota { request, limit, .. } = actions[0] else {
+            panic!("expected a shrink, got {:?}", actions[0]);
+        };
+        assert_eq!(request, SmRate::from_percent(20.0), "shrink floors at the baseline");
+        assert_eq!(limit, SmRate::from_percent(40.0));
+    }
+
+    #[test]
+    fn at_baseline_quotas_horizontal_scale_in_applies() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        tick(&mut s, view(hot_window(), 1, quota(20.0, 40.0, 60.0, 100.0)));
+        // Back at baseline quotas with 2 instances and a long quiet window.
+        let mut w = vec![80u64; 5];
+        w.extend([20u64; 35]);
+        let actions = tick(&mut s, view(w, 2, quota(20.0, 40.0, 60.0, 100.0)));
+        assert_eq!(actions, vec![ScaleAction::ScaleIn { func: FunctionId(1), count: 1 }]);
+    }
+
+    #[test]
+    fn scales_to_zero_like_the_lazy_scaler() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        let actions = tick(&mut s, view(vec![0u64; 40], 1, quota(20.0, 40.0, 60.0, 100.0)));
+        assert_eq!(actions, vec![ScaleAction::ScaleIn { func: FunctionId(1), count: 1 }]);
+    }
+
+    #[test]
+    fn concurrent_bursts_share_the_per_gpu_headroom_budget() {
+        use dilu_cluster::{GpuView, ResidentInfo};
+        use dilu_gpu::TaskClass;
+        // Two functions on one GPU, 20% request each → 60% guaranteed slack.
+        // Both burst in the same tick; their combined grows must fit the
+        // slack instead of both claiming all of it.
+        let resident = |id: u32| ResidentInfo {
+            func: FunctionId(id),
+            class: TaskClass::SloSensitive,
+            request: SmRate::from_percent(20.0),
+            limit: SmRate::from_percent(40.0),
+            mem_bytes: dilu_gpu::GB,
+        };
+        let cluster = ClusterView {
+            gpus: vec![GpuView {
+                addr: GpuAddr::default(),
+                mem_capacity: 40 * dilu_gpu::GB,
+                mem_reserved: 2 * dilu_gpu::GB,
+                residents: vec![resident(1), resident(2)],
+            }],
+        };
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        let mut f1 = view(hot_window(), 1, quota(20.0, 40.0, 60.0, 100.0));
+        let mut f2 = f1.clone();
+        f2.func = FunctionId(2);
+        let actions = s.on_tick(SimTime::from_secs(60), &[f1.clone(), f2.clone()], &cluster);
+        let grown: f64 = actions
+            .iter()
+            .filter_map(|a| match a {
+                ScaleAction::ResizeQuota { request, .. } => Some(request.as_fraction() - 0.20),
+                _ => None,
+            })
+            .sum();
+        assert!(
+            actions.iter().filter(|a| matches!(a, ScaleAction::ResizeQuota { .. })).count() == 2,
+            "both functions should get a vertical grow: {actions:?}"
+        );
+        assert!(grown <= 0.60 + 1e-9, "combined grows {grown} must fit the 60% slack");
+        // And the pipelined case: one function with two slices on the GPU
+        // can only grow by half the slack per slice.
+        f1.func = FunctionId(3);
+        f1.quota.headroom = SmRate::from_percent(60.0);
+        let two_slices = ClusterView {
+            gpus: vec![GpuView {
+                addr: GpuAddr::default(),
+                mem_capacity: 40 * dilu_gpu::GB,
+                mem_reserved: 2 * dilu_gpu::GB,
+                residents: vec![
+                    ResidentInfo { func: FunctionId(3), ..resident(3) },
+                    ResidentInfo { func: FunctionId(3), ..resident(3) },
+                ],
+            }],
+        };
+        let actions = s.on_tick(SimTime::from_secs(60), &[f1], &two_slices);
+        let ScaleAction::ResizeQuota { request, .. } = actions[0] else {
+            panic!("expected a resize, got {:?}", actions[0]);
+        };
+        // Slack 60% over two slices → at most +30% per slice (0.2 → ≤ 0.5).
+        assert!(
+            request <= SmRate::from_percent(50.0) + SmRate::from_percent(1e-6),
+            "per-slice grow must halve for two slices: {request}"
+        );
+    }
+
+    #[test]
+    fn training_functions_are_ignored() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        let mut v = view(vec![100; 40], 1, quota(20.0, 40.0, 60.0, 100.0));
+        v.kind = FunctionKind::Training { workers: 2, iterations: 10 };
+        assert!(tick(&mut s, v).is_empty());
+    }
+
+    #[test]
+    fn zero_instances_with_backlog_cold_starts() {
+        let mut s = CoScaler::new(CoScalerConfig::default());
+        let mut v = view(vec![0; 40], 0, quota(20.0, 40.0, 0.0, 100.0));
+        v.backlog = 3;
+        let actions = tick(&mut s, v);
+        assert_eq!(actions, vec![ScaleAction::ScaleOut { func: FunctionId(1), count: 1 }]);
+    }
+}

@@ -79,22 +79,34 @@ impl LazyScaler {
             let count = (deficit / f.capacity_rps.max(1e-9)).ceil().max(1.0) as u32;
             return Some(ScaleAction::ScaleOut { func: f.func, count });
         }
-        if f.ready_instances > 1 {
-            let reduced = f.capacity_rps * f64::from(f.ready_instances - 1);
-            let below = window.iter().filter(|&&rps| (rps as f64) < reduced).count();
-            if below > self.config.phi_in && window.len() >= self.config.phi_in {
-                return Some(ScaleAction::ScaleIn { func: f.func, count: 1 });
-            }
-        } else if self.config.scale_to_zero
-            && f.ready_instances == 1
-            && f.backlog == 0
-            && window.len() >= self.config.phi_in
-            && window.iter().rev().take(self.config.phi_in).all(|&rps| rps == 0)
-        {
+        horizontal_scale_in(&self.config, f, window)
+    }
+}
+
+/// The lazy horizontal scale-in decision, shared by [`LazyScaler`] and the
+/// 2D [`CoScaler`](crate::CoScaler): drop one instance when more than φ_in
+/// samples fit the capacity of one fewer, and scale to zero only after a
+/// fully idle φ_in tail.
+pub(crate) fn horizontal_scale_in(
+    config: &ScalerConfig,
+    f: &FunctionScaleView,
+    window: &[u64],
+) -> Option<ScaleAction> {
+    if f.ready_instances > 1 {
+        let reduced = f.capacity_rps * f64::from(f.ready_instances - 1);
+        let below = window.iter().filter(|&&rps| (rps as f64) < reduced).count();
+        if below > config.phi_in && window.len() >= config.phi_in {
             return Some(ScaleAction::ScaleIn { func: f.func, count: 1 });
         }
-        None
+    } else if config.scale_to_zero
+        && f.ready_instances == 1
+        && f.backlog == 0
+        && window.len() >= config.phi_in
+        && window.iter().rev().take(config.phi_in).all(|&rps| rps == 0)
+    {
+        return Some(ScaleAction::ScaleIn { func: f.func, count: 1 });
     }
+    None
 }
 
 impl Autoscaler for LazyScaler {
@@ -123,6 +135,7 @@ mod tests {
             backlog,
             capacity_rps: 50.0,
             max_idle: SimDuration::ZERO,
+            quota: dilu_cluster::QuotaView::none(),
         }
     }
 

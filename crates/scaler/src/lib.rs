@@ -1,8 +1,9 @@
-//! Dilu's lazy horizontal scaler (paper §3.4.2).
+//! Dilu's global scalers (paper §3.4.2): the lazy horizontal scaler and
+//! the adaptive 2D co-scaler.
 //!
 //! Classic serverless scalers react instantly to load changes and pay the
 //! cold-start price for every few-second burst. Dilu instead lets the fast
-//! *vertical* scaler (RCKM) absorb short bursts and only scales out when a
+//! *vertical* scaler absorb short bursts and only scales out when a
 //! 40-second sliding window shows a *sustained* overload:
 //!
 //! * **scale out** when at least φ_out (20) per-second RPS samples exceed
@@ -10,11 +11,21 @@
 //! * **scale in** when more than φ_in (30) samples fall below the capacity
 //!   of one fewer instance — avoiding termination/restart churn.
 //!
-//! [`LazyScaler`] implements [`dilu_cluster::Autoscaler`].
+//! Two controllers implement this:
+//!
+//! * [`LazyScaler`] — horizontal-only ([`dilu_cluster::Autoscaler`]); it
+//!   *assumes* per-GPU vertical scaling (RCKM) handles the bursts;
+//! * [`CoScaler`] — a true 2D [`dilu_cluster::ElasticityController`]: it
+//!   observes per-GPU quota headroom, grows a function's `<request, limit>`
+//!   quotas in place (millisecond apply latency) up to the Ω cap, and only
+//!   falls back to cold-start-bound scale-out beyond that; on quiet windows
+//!   it shrinks grown quotas back before terminating instances.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coscale;
 mod lazy;
 
+pub use coscale::{CoScaler, CoScalerConfig};
 pub use lazy::{LazyScaler, ScalerConfig};

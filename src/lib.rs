@@ -9,8 +9,9 @@
 //!
 //! * **control plane** — [`profiler`] (`<request, limit>` quota search),
 //!   [`scheduler`] (Algorithm 1 resourcing-complementary placement);
-//! * **scaling plane** — [`scaler`] (lazy scaling-out/in) and [`rckm`]
-//!   (Algorithm 2 token-based fast scaling-up/down);
+//! * **scaling plane** — [`scaler`] (lazy scaling-out/in plus the 2D
+//!   `CoScaler` driving vertical quota resizes) and [`rckm`] (Algorithm 2
+//!   token-based fast scaling-up/down);
 //! * **serving plane** — [`cluster`] (instances, batching, training jobs,
 //!   cold starts) over [`gpu`] (quantum-stepped SM contention engine) and
 //!   [`models`] (the evaluated DL model zoo) fed by [`workload`] arrival

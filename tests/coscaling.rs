@@ -1,9 +1,9 @@
 //! Integration tests for the co-scaling (§5.3) and scheduling (§5.4/5.5)
 //! claims, at reduced scale for debug-build speed.
 
-use dilu::cluster::ClusterSpec;
+use dilu::cluster::{ClusterReport, ClusterSpec};
 use dilu::core::macrosim::{run_macro, MacroConfig, MacroSystem};
-use dilu::core::{build_sim, funcs, SystemKind};
+use dilu::core::{build_sim, funcs, ComponentSection, Registry, ScenarioConfig, SystemKind};
 use dilu::models::ModelId;
 use dilu::sim::{SimDuration, SimTime};
 use dilu::workload::{ArrivalProcess, RateTrace, TraceKind, TraceProcess};
@@ -38,6 +38,52 @@ fn dilu_serves_bursts_with_low_violations() {
     let (_, svr) = bursty_run(SystemKind::Dilu);
     let (_, eager_svr) = bursty_run(SystemKind::FastGsPlus);
     assert!(svr <= eager_svr + 0.02, "Dilu SVR {svr} vs FaST-GS+ {eager_svr}");
+}
+
+/// Runs the shipped 2D co-scaling scenario, optionally swapping the
+/// controller for a horizontal-only autoscaler. Arrival streams derive
+/// from the scenario seed, so both runs serve identical traffic.
+fn coscaling_scenario_run(horizontal_only: Option<&str>) -> ClusterReport {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios/coscaling.toml");
+    let mut config = ScenarioConfig::load(&path).expect("shipped scenario parses");
+    if let Some(autoscaler) = horizontal_only {
+        config.system.controller = None;
+        config.system.autoscaler = Some(ComponentSection::named(autoscaler));
+    }
+    let registry = Registry::with_defaults();
+    config
+        .into_builder(&registry)
+        .and_then(|b| b.build())
+        .and_then(|s| s.run())
+        .expect("scenario runs")
+}
+
+#[test]
+fn coscaler_absorbs_bursts_vertically_with_fewer_cold_starts() {
+    // The acceptance bar for the 2D redesign: on the shipped burst
+    // scenario, the co-scaler must beat the horizontal-only lazy baseline
+    // on cold starts *strictly* while holding equal-or-better SLO
+    // attainment — because its vertical resizes land in milliseconds where
+    // a scale-out pays a multi-second cold start.
+    let co = coscaling_scenario_run(None);
+    let lazy = coscaling_scenario_run(Some("lazy"));
+    let co_f = co.inference.values().next().unwrap();
+    let lazy_f = lazy.inference.values().next().unwrap();
+    assert!(co.total_resizes() > 0, "the co-scaler must act vertically");
+    assert_eq!(lazy.total_resizes(), 0, "the lazy baseline is horizontal-only");
+    assert!(
+        co_f.cold_starts.count() < lazy_f.cold_starts.count(),
+        "co-scaler cold starts ({}) must be strictly below lazy's ({})",
+        co_f.cold_starts.count(),
+        lazy_f.cold_starts.count()
+    );
+    assert!(
+        co_f.svr() <= lazy_f.svr() + 1e-9,
+        "co-scaler SVR {} must not exceed lazy SVR {}",
+        co_f.svr(),
+        lazy_f.svr()
+    );
 }
 
 #[test]
