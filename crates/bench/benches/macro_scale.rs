@@ -1,0 +1,92 @@
+//! Macro-scale time-model benchmark: runs `examples/scenarios/macro-scale.toml`
+//! (1024 GPUs, one simulated hour, bursty multi-model traffic) under both the
+//! wake-on-work event engine and the legacy dense quantum stepper, verifies
+//! they produce the identical report, and records the wall-clock speedup in
+//! `BENCH_macro_scale.json` at the repository root so future PRs track the
+//! perf trajectory.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dilu_cluster::ClusterReport;
+use dilu_core::{Registry, ScenarioConfig};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run(config: &ScenarioConfig, model: &str) -> (ClusterReport, f64) {
+    let mut config = config.clone();
+    config.sim.get_or_insert_with(Default::default).time_model = Some(model.to_owned());
+    let registry = Registry::with_defaults();
+    let scenario = config
+        .into_builder(&registry)
+        .and_then(|b| b.build())
+        .expect("macro-scale scenario composes");
+    let started = Instant::now();
+    let report = scenario.run().expect("macro-scale scenario runs");
+    (report, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let path = repo_root().join("examples/scenarios/macro-scale.toml");
+    let config = ScenarioConfig::load(&path).expect("shipped scenario parses");
+    let gpus = {
+        let c = config.cluster.as_ref().expect("cluster section");
+        c.nodes.unwrap_or(0) * c.gpus_per_node.unwrap_or(0)
+    };
+    let horizon_secs =
+        config.run.as_ref().and_then(|r| r.horizon_secs).expect("run section with horizon");
+    assert!(gpus >= 512, "macro-scale means at least 512 GPUs, got {gpus}");
+    assert!(horizon_secs >= 3600, "macro-scale means at least one simulated hour");
+
+    println!("== macro-scale: {gpus} GPUs, {horizon_secs} s simulated, both time models ==");
+    let (event_report, event_secs) = run(&config, "event-driven");
+    println!("event-driven:  {event_secs:.2} s wall");
+    let (dense_report, dense_secs) = run(&config, "dense-quantum");
+    println!("dense-quantum: {dense_secs:.2} s wall");
+
+    // Same fidelity, not approximately: the two time models must emit the
+    // identical report before their wall clocks are comparable at all.
+    let event_json = serde_json::to_string(&event_report).expect("report serializes");
+    let dense_json = serde_json::to_string(&dense_report).expect("report serializes");
+    assert_eq!(event_json, dense_json, "time models diverged on the macro-scale scenario");
+
+    let speedup = dense_secs / event_secs;
+    let requests: u64 = event_report.inference.values().map(|f| f.arrived).sum();
+    println!(
+        "speedup: {speedup:.2}x ({requests} requests, mean SVR {:.2}%, peak {} GPUs)",
+        event_report.mean_svr() * 100.0,
+        event_report.peak_gpus,
+    );
+
+    let out = repo_root().join("BENCH_macro_scale.json");
+    let value = serde::Value::Map(vec![
+        (s("scenario"), s("examples/scenarios/macro-scale.toml")),
+        (s("gpus"), serde::Value::UInt(u64::from(gpus))),
+        (s("simulated_secs"), serde::Value::UInt(horizon_secs)),
+        (s("requests_served"), serde::Value::UInt(requests)),
+        (s("event_driven_wall_secs"), serde::Value::Float(round2(event_secs))),
+        (s("dense_quantum_wall_secs"), serde::Value::Float(round2(dense_secs))),
+        (s("speedup"), serde::Value::Float(round2(speedup))),
+        (s("reports_identical"), serde::Value::Bool(true)),
+        (s("peak_gpus"), serde::Value::UInt(u64::from(event_report.peak_gpus))),
+        (s("mean_svr"), serde::Value::Float(round2(event_report.mean_svr() * 100.0))),
+    ]);
+    dilu_core::table::write_json_at(&out, &value);
+    println!("[json: {}]", out.display());
+
+    assert!(
+        speedup >= 5.0,
+        "acceptance: event engine must be at least 5x faster than dense stepping \
+         on the macro-scale scenario (got {speedup:.2}x)"
+    );
+}
+
+fn s(text: &str) -> serde::Value {
+    serde::Value::Str(text.to_owned())
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}

@@ -39,8 +39,11 @@ fn usage() -> String {
     "dilu — GPU resourcing-on-demand for serverless DL serving (reproduction)\n\
      \n\
      USAGE:\n\
-     \x20 dilu run <scenario.toml|.json> [--json <out.json>]\n\
+     \x20 dilu run <scenario.toml|.json> [--json <out.json>] [--time-model <event-driven|dense-quantum>]\n\
      \x20     Build the scenario described by the config file and simulate it.\n\
+     \x20     --time-model overrides the scenario's [sim] time_model (the\n\
+     \x20     wake-on-work event engine by default; dense-quantum is the\n\
+     \x20     legacy per-quantum stepper kept for comparison).\n\
      \x20 dilu experiment <name>... | all\n\
      \x20     Regenerate registered paper experiments (JSON under target/experiments/).\n\
      \x20 dilu list\n\
@@ -57,12 +60,17 @@ fn usage() -> String {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut scenario_path: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut time_model: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => {
                 let path = it.next().ok_or("--json needs a path")?;
                 json_out = Some(PathBuf::from(path));
+            }
+            "--time-model" => {
+                let model = it.next().ok_or("--time-model needs a value")?;
+                time_model = Some(model.clone());
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `dilu run`"));
@@ -76,11 +84,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let path =
         scenario_path.ok_or_else(|| format!("`dilu run` needs a scenario file\n\n{}", usage()))?;
-    run_scenario(&path, json_out.as_deref())
+    run_scenario(&path, json_out.as_deref(), time_model.as_deref())
 }
 
-fn run_scenario(path: &Path, json_out: Option<&Path>) -> Result<(), String> {
-    let config = ScenarioConfig::load(path).map_err(|e| e.to_string())?;
+fn run_scenario(
+    path: &Path,
+    json_out: Option<&Path>,
+    time_model: Option<&str>,
+) -> Result<(), String> {
+    let mut config = ScenarioConfig::load(path).map_err(|e| e.to_string())?;
+    if let Some(model) = time_model {
+        // Validated with the rest of the [sim] section when the builder maps
+        // the config (unknown values fail there, loudly).
+        config.sim.get_or_insert_with(Default::default).time_model = Some(model.to_owned());
+    }
     let name = config.name.clone().unwrap_or_else(|| {
         path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
     });

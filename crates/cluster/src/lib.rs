@@ -33,7 +33,7 @@ mod traits;
 
 pub use instance::{InstanceState, InstanceUid};
 pub use report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
-pub use sim::{ClusterSim, DeployError, SimConfig};
+pub use sim::{ClusterSim, DeployError, SimConfig, SimEvent, TimeModel};
 pub use spec::{
     cold_start_duration, ClusterSpec, FunctionId, FunctionKind, FunctionSpec, GpuAddr, Quotas,
 };

@@ -5,11 +5,12 @@ use std::collections::BTreeMap;
 use dilu_metrics::{ColdStartCounter, FragmentationStats, LatencyRecorder, ResizeCounter};
 use dilu_models::ModelId;
 use dilu_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::FunctionId;
 
 /// Per-second observations for one inference function (Fig. 12 panels).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct TimelinePoint {
     /// Second index since simulation start.
     pub sec: u64,
@@ -24,7 +25,7 @@ pub struct TimelinePoint {
 }
 
 /// Serving results for one inference function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FunctionReport {
     /// Function name.
     pub name: String,
@@ -75,7 +76,7 @@ impl FunctionReport {
 }
 
 /// Results for one training function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainingReport {
     /// Function name.
     pub name: String,
@@ -122,7 +123,7 @@ impl TrainingReport {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusterReport {
     /// End time of the run.
     pub horizon: SimTime,

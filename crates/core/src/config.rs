@@ -138,7 +138,7 @@ pub struct SystemSection {
 
 /// Serving-plane tunables section (`[sim]`); every field defaults to
 /// [`SimConfig::default`]. Durations are in (fractional) milliseconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimSection {
     /// GPU scheduling quantum (the RCKM token period) in ms.
     pub quantum_ms: Option<f64>,
@@ -152,6 +152,9 @@ pub struct SimSection {
     pub stage_transfer_ms: Option<f64>,
     /// Delay before a vertical quota resize reaches the GPUs, in ms.
     pub resize_latency_ms: Option<f64>,
+    /// Time model: `"event-driven"` (default) or `"dense-quantum"` (the
+    /// legacy stepper, kept as the executable specification).
+    pub time_model: Option<String>,
 }
 
 impl SimSection {
@@ -192,6 +195,16 @@ impl SimSection {
                 "[sim] `batch_timeout_frac` must be in [0, 1], got {frac}"
             )));
         }
+        let time_model = match self.time_model.as_deref() {
+            None => d.time_model,
+            Some("event-driven") => dilu_cluster::TimeModel::EventDriven,
+            Some("dense-quantum") => dilu_cluster::TimeModel::DenseQuantum,
+            Some(other) => {
+                return Err(ScenarioError::Config(format!(
+                    "[sim] unknown `time_model` `{other}` (event-driven | dense-quantum)"
+                )));
+            }
+        };
         Ok(SimConfig {
             quantum,
             tick,
@@ -214,6 +227,7 @@ impl SimSection {
                 d.resize_latency,
                 true,
             )?,
+            time_model,
         })
     }
 }
@@ -483,6 +497,7 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
                 "batch_timeout_cap_ms",
                 "stage_transfer_ms",
                 "resize_latency_ms",
+                "time_model",
             ],
         )?;
     }

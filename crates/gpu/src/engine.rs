@@ -39,12 +39,15 @@ pub struct Completion {
 }
 
 /// Per-quantum result of [`GpuEngine::step`].
+///
+/// Per-instance *consumed* SM rates are not materialised (only the sum):
+/// the step path is the simulator's innermost loop and every avoidable
+/// per-quantum allocation there is wall-clock at cluster scale. Callers
+/// needing per-instance telemetry read [`GpuEngine::views`] between steps.
 #[derive(Debug, Clone, Default)]
 pub struct StepOutcome {
     /// Items that finished during the quantum, in completion order.
     pub completions: Vec<Completion>,
-    /// Effective SM rate consumed per instance this quantum.
-    pub used: Vec<(InstanceId, SmRate)>,
     /// Sum of consumed SM rate (≤ 1.0).
     pub total_used: SmRate,
     /// Kernel blocks issued per instance this quantum.
@@ -113,6 +116,11 @@ pub struct GpuEngine {
     mem_used: u64,
     slots: BTreeMap<InstanceId, Slot>,
     blocks_total: u64,
+    /// Reused per-step scratch for policy views (hot-loop allocation
+    /// avoidance; cleared each step).
+    view_buf: Vec<InstanceView>,
+    /// Reused per-step scratch for resolved effective rates.
+    eff_buf: Vec<(InstanceId, f64)>,
 }
 
 impl GpuEngine {
@@ -129,7 +137,15 @@ impl GpuEngine {
     /// Panics if `quantum` is zero.
     pub fn with_quantum(mem_capacity: u64, quantum: SimDuration) -> Self {
         assert!(!quantum.is_zero(), "quantum must be positive");
-        GpuEngine { quantum, mem_capacity, mem_used: 0, slots: BTreeMap::new(), blocks_total: 0 }
+        GpuEngine {
+            quantum,
+            mem_capacity,
+            mem_used: 0,
+            slots: BTreeMap::new(),
+            blocks_total: 0,
+            view_buf: Vec::new(),
+            eff_buf: Vec::new(),
+        }
     }
 
     /// The scheduling quantum.
@@ -263,22 +279,80 @@ impl GpuEngine {
         self.slots.values().all(|s| s.queue_len() == 0)
     }
 
+    /// The next instant at which this GPU needs to be stepped, given the
+    /// last step ran at `now`, or `None` when the engine is idle.
+    ///
+    /// Grants are renegotiated every token cycle, so while any slot has
+    /// pending work the next interesting instant is the next quantum
+    /// boundary; completions *inside* a quantum are already reported at
+    /// their exact instants by [`step`](Self::step). An idle engine has no
+    /// next event — a wake-on-work driver simply stops scheduling it and
+    /// calls [`idle_fastforward`](Self::idle_fastforward) before the next
+    /// real step.
+    pub fn next_event_at(&self, now: SimTime) -> Option<SimTime> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(now + self.quantum)
+        }
+    }
+
+    /// Replays `cycles` workless token cycles starting at `from`, as if
+    /// [`step`](Self::step) had been called that many times with every
+    /// queue empty.
+    ///
+    /// An event-driven driver skips quanta in which no slot has work; this
+    /// keeps the *policy* evolution identical to a dense per-quantum
+    /// stepper across the gap: share policies carry derived state (RCKM's
+    /// kernel-rate windows, last-grant ramps, idle counters) that dense
+    /// stepping feeds with empty observations every cycle. Each replayed
+    /// cycle zeroes per-cycle counters, presents the views, consults the
+    /// policy (grants are discarded — nothing can run), and ages the idle
+    /// counters, in exactly the dense order.
+    ///
+    /// Callers cap `cycles` (policy state reaches a fixed point once every
+    /// per-slot window has filled with zeros), so a long gap costs a
+    /// bounded replay rather than O(gap).
+    ///
+    /// No work progresses during the replay. Callers normally invoke this
+    /// while the engine is idle; if items are already queued (a deployment
+    /// landing right after an idle gap), the replayed views anachronistically
+    /// show their head demand — a bounded approximation, since grants are
+    /// discarded either way.
+    pub fn idle_fastforward(&mut self, from: SimTime, cycles: u64, policy: &mut dyn SharePolicy) {
+        let mut now = from;
+        for _ in 0..cycles {
+            let views = self.views();
+            let _ = policy.allocate(now, self.quantum, &views);
+            for slot in self.slots.values_mut() {
+                slot.blocks_last_quantum = 0;
+                slot.idle_quanta = slot.idle_quanta.saturating_add(1);
+            }
+            now += self.quantum;
+        }
+    }
+
     /// Builds policy views of all resident instances (ascending id order).
     pub fn views(&self) -> Vec<InstanceView> {
-        self.slots
-            .iter()
-            .map(|(&id, slot)| InstanceView {
-                id,
-                class: slot.config.class,
-                request: slot.config.request,
-                limit: slot.config.limit,
-                demand: slot.head_demand(),
-                queue_len: slot.queue_len(),
-                blocks_last_quantum: slot.blocks_last_quantum,
-                klc_inflation: slot.klc_inflation_estimate(),
-                idle_quanta: slot.idle_quanta,
-            })
-            .collect()
+        let mut buf = Vec::with_capacity(self.slots.len());
+        self.views_into(&mut buf);
+        buf
+    }
+
+    /// [`views`](Self::views) into a caller-owned buffer (cleared first).
+    fn views_into(&self, buf: &mut Vec<InstanceView>) {
+        buf.clear();
+        buf.extend(self.slots.iter().map(|(&id, slot)| InstanceView {
+            id,
+            class: slot.config.class,
+            request: slot.config.request,
+            limit: slot.config.limit,
+            demand: slot.head_demand(),
+            queue_len: slot.queue_len(),
+            blocks_last_quantum: slot.blocks_last_quantum,
+            klc_inflation: slot.klc_inflation_estimate(),
+            idle_quanta: slot.idle_quanta,
+        }));
     }
 
     /// Advances the GPU by one quantum starting at `now`.
@@ -288,6 +362,19 @@ impl GpuEngine {
     /// clamped grants. Compute items progress according to
     /// [`rate_factor`]; idle items elapse in wall time.
     pub fn step(&mut self, now: SimTime, policy: &mut dyn SharePolicy) -> StepOutcome {
+        let mut outcome = StepOutcome::default();
+        self.step_into(now, policy, &mut outcome);
+        outcome
+    }
+
+    /// [`step`](Self::step) into a caller-owned outcome (cleared first) —
+    /// the allocation-free form for drivers stepping millions of quanta.
+    pub fn step_into(
+        &mut self,
+        now: SimTime,
+        policy: &mut dyn SharePolicy,
+        outcome: &mut StepOutcome,
+    ) {
         // Activate head items so demand reflects this quantum's work.
         for slot in self.slots.values_mut() {
             if slot.active.is_none() {
@@ -302,11 +389,16 @@ impl GpuEngine {
             }
         }
 
-        let views = self.views();
+        outcome.completions.clear();
+        outcome.blocks_issued.clear();
+        outcome.total_used = SmRate::ZERO;
+        let mut views = std::mem::take(&mut self.view_buf);
+        self.views_into(&mut views);
         let grants = policy.allocate(now, self.quantum, &views);
-        let effective = self.resolve_grants(&grants);
+        let mut effective = std::mem::take(&mut self.eff_buf);
+        self.resolve_grants(&grants, &mut effective);
+        self.view_buf = views;
 
-        let mut outcome = StepOutcome::default();
         let quantum = self.quantum;
         for (&id, slot) in self.slots.iter_mut() {
             let eff = effective.iter().find(|(gid, _)| *gid == id).map(|&(_, e)| e).unwrap_or(0.0);
@@ -320,11 +412,12 @@ impl GpuEngine {
             } else {
                 slot.idle_quanta = 0;
             }
-            outcome.used.push((id, SmRate::from_fraction(used)));
             outcome.total_used += SmRate::from_fraction(used);
-            outcome.blocks_issued.push((id, blocks));
+            if blocks > 0 {
+                outcome.blocks_issued.push((id, blocks));
+            }
         }
-        outcome
+        self.eff_buf = effective;
     }
 
     /// Resolves physical contention over granted occupancy.
@@ -333,8 +426,8 @@ impl GpuEngine {
     /// spread kernels across the whole active-thread allotment even past
     /// the marginal-benefit knee), so contention is resolved over grants;
     /// the useful share is clamped to the item's saturation later.
-    fn resolve_grants(&self, grants: &[Grant]) -> Vec<(InstanceId, f64)> {
-        let mut effective: Vec<(InstanceId, f64)> = Vec::with_capacity(self.slots.len());
+    fn resolve_grants(&self, grants: &[Grant], effective: &mut Vec<(InstanceId, f64)>) {
+        effective.clear();
         let mut total = 0.0;
         for (&id, slot) in self.slots.iter() {
             let granted = grants
@@ -354,7 +447,6 @@ impl GpuEngine {
                 *eff *= scale;
             }
         }
-        effective
     }
 }
 
@@ -714,6 +806,72 @@ mod tests {
             gpu.resize(InstanceId(9), SmRate::ZERO, SmRate::ZERO),
             Err(GpuError::UnknownInstance(_))
         ));
+    }
+
+    #[test]
+    fn next_event_at_is_the_quantum_boundary_while_busy() {
+        let mut gpu = GpuEngine::new(GB * 4);
+        let id = InstanceId(1);
+        gpu.admit(id, slot(TaskClass::SloSensitive, 40.0, 80.0)).unwrap();
+        assert_eq!(gpu.next_event_at(SimTime::ZERO), None, "resident but workless GPU is idle");
+        gpu.push_work(
+            id,
+            WorkItem::compute(SimDuration::from_millis(12), SmRate::from_percent(40.0), 100, 1),
+        )
+        .unwrap();
+        let now = SimTime::from_millis(15);
+        assert_eq!(gpu.next_event_at(now), Some(now + gpu.quantum()));
+        let mut policy = FairSharePolicy;
+        run_until_idle(&mut gpu, &mut policy);
+        assert_eq!(gpu.next_event_at(SimTime::ZERO), None, "drained GPU needs no wake");
+    }
+
+    /// Records every view sequence the policy is shown, so the fast-forward
+    /// path can be compared observation-for-observation against dense
+    /// idle stepping.
+    struct Recorder {
+        seen: Vec<Vec<InstanceView>>,
+    }
+
+    impl SharePolicy for Recorder {
+        fn allocate(
+            &mut self,
+            _now: SimTime,
+            _quantum: SimDuration,
+            views: &[InstanceView],
+        ) -> Vec<Grant> {
+            self.seen.push(views.to_vec());
+            Vec::new()
+        }
+
+        fn name(&self) -> &str {
+            "recorder"
+        }
+    }
+
+    #[test]
+    fn idle_fastforward_matches_dense_idle_stepping() {
+        // Two engines with the same resident (workless) slot: one stepped
+        // densely through 7 empty quanta, one fast-forwarded over them. The
+        // policies must observe identical view sequences and the slots must
+        // end in identical state.
+        let build = || {
+            let mut gpu = GpuEngine::new(GB * 4);
+            gpu.admit(InstanceId(1), slot(TaskClass::SloSensitive, 40.0, 80.0)).unwrap();
+            gpu.admit(InstanceId(2), slot(TaskClass::BestEffort, 30.0, 60.0)).unwrap();
+            gpu
+        };
+        let (mut dense, mut fast) = (build(), build());
+        let mut dense_policy = Recorder { seen: Vec::new() };
+        let mut fast_policy = Recorder { seen: Vec::new() };
+        let mut now = SimTime::ZERO;
+        for _ in 0..7 {
+            dense.step(now, &mut dense_policy);
+            now += dense.quantum();
+        }
+        fast.idle_fastforward(SimTime::ZERO, 7, &mut fast_policy);
+        assert_eq!(dense_policy.seen, fast_policy.seen);
+        assert_eq!(dense.views(), fast.views());
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct InstanceView {
     /// completed or in-flight compute item; `0.0` when uncontended.
     pub klc_inflation: f64,
     /// Quanta since this instance last issued a kernel block.
+    ///
+    /// Under an event-driven driver, long fully-idle gaps are replayed
+    /// into the policy with a bounded number of cycles (see
+    /// [`GpuEngine::idle_fastforward`](crate::GpuEngine::idle_fastforward)),
+    /// so after such a gap this counter advances by at most the replay cap
+    /// rather than the true gap length. Policies whose decisions hinge on
+    /// idle spans longer than that cap should derive idleness from the
+    /// `now` passed to [`SharePolicy::allocate`] instead.
     pub idle_quanta: u32,
 }
 
@@ -50,6 +58,20 @@ pub struct Grant {
 /// MPS partitions, TGS opportunistic sharing, and FaST-GS spatio-temporal
 /// sharing. The trait is object-safe so engines can hold `Box<dyn
 /// SharePolicy>`.
+///
+/// # Event-driven drivers and derived state
+///
+/// An event-driven driver skips token cycles in which no resident has
+/// work and later replays a *bounded* number of idle cycles (capped; see
+/// [`GpuEngine::idle_fastforward`](crate::GpuEngine::idle_fastforward))
+/// before the next real step. Policies whose derived per-instance state
+/// converges to a fixed point within that many workless cycles — windows
+/// filling with zeros, multiplicative ramps reaching their ceilings, as
+/// RCKM's do — behave identically under dense and event-driven stepping.
+/// A custom policy whose behaviour depends on idle spans *longer* than
+/// the cap (e.g. "release quota after 10 s idle" counted in cycles)
+/// should track time via `now` in [`allocate`](Self::allocate), or be run
+/// under the dense time model.
 pub trait SharePolicy {
     /// Computes grants for the quantum starting at `now`.
     ///

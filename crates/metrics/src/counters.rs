@@ -191,6 +191,52 @@ impl ResizeCounter {
     }
 }
 
+/// Tracks sampling instants for event-scheduled metrics collection and
+/// converts the elapsed window into a quantum count.
+///
+/// An event-driven simulator samples on *scheduled* tick events rather
+/// than counting the quanta it happened to execute — idle quanta are
+/// skipped entirely, yet they must still dilute time-averaged gauges
+/// (e.g. SM utilisation). `window_quanta` returns the number of scheduling
+/// quanta the closing window covered, counting skipped ones; accumulators
+/// that sum only executed quanta (skipped quanta contribute exactly zero)
+/// divide by it to get the same average a dense per-quantum sampler
+/// produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleClock {
+    last_sample: Option<SimTime>,
+}
+
+impl SampleClock {
+    /// A clock that has never sampled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Instant of the previous sample, if any.
+    pub fn last_sample(&self) -> Option<SimTime> {
+        self.last_sample
+    }
+
+    /// Closes the window at `now` and returns how many `quantum`-length
+    /// slots it covered (at least 1). The first window spans simulation
+    /// start through `now` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn window_quanta(&mut self, now: SimTime, quantum: SimDuration) -> u64 {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        let q = quantum.as_micros();
+        let quanta = match self.last_sample {
+            None => now.as_micros() / q + 1,
+            Some(prev) => (now.saturating_since(prev).as_micros() / q).max(1),
+        };
+        self.last_sample = Some(now);
+        quanta
+    }
+}
+
 /// Integrates occupied-GPU count over time (GPU-seconds).
 ///
 /// Feeds the paper's saved GPU time (SGT) and the Fig. 17 occupancy curves.
@@ -244,6 +290,20 @@ impl GpuTimeMeter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sample_clock_counts_window_quanta() {
+        let q = SimDuration::from_millis(5);
+        let mut clock = SampleClock::new();
+        assert_eq!(clock.last_sample(), None);
+        // First window: everything from t=0 through the sample instant.
+        assert_eq!(clock.window_quanta(SimTime::from_millis(995), q), 200);
+        // Steady state: exactly one tick of quanta per window.
+        assert_eq!(clock.window_quanta(SimTime::from_millis(1995), q), 200);
+        assert_eq!(clock.last_sample(), Some(SimTime::from_millis(1995)));
+        // A flush right after a sample still divides by at least one.
+        assert_eq!(clock.window_quanta(SimTime::from_millis(1995), q), 1);
+    }
 
     #[test]
     fn cold_start_counter_accumulates() {

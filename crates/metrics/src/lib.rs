@@ -26,6 +26,6 @@ mod counters;
 mod fragmentation;
 mod latency;
 
-pub use counters::{ColdStartCounter, GpuTimeMeter, RateWindow, ResizeCounter};
+pub use counters::{ColdStartCounter, GpuTimeMeter, RateWindow, ResizeCounter, SampleClock};
 pub use fragmentation::{FragmentationSnapshot, FragmentationStats, GpuUsageSample};
 pub use latency::LatencyRecorder;

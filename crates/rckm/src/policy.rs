@@ -1,6 +1,6 @@
 //! Algorithm 2: fast scale-up/down token control.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dilu_gpu::{Grant, InstanceId, InstanceView, SharePolicy, SmRate};
 use dilu_sim::{SimDuration, SimTime};
@@ -87,7 +87,13 @@ impl InstanceCtl {
 #[derive(Debug, Clone)]
 pub struct RckmPolicy {
     config: RckmConfig,
-    ctl: HashMap<InstanceId, InstanceCtl>,
+    /// Per-instance control state, in first-seen order. A linear small-vec
+    /// instead of a hash map: the token manager runs once per 5 ms cycle
+    /// per GPU with a handful of residents, so in the simulator's hot loop
+    /// a few `u64` compares beat hashing by a wide margin.
+    ctl: Vec<(InstanceId, InstanceCtl)>,
+    /// Reused per-cycle scratch: each view's kernel-rate window sum.
+    sum_buf: Vec<u64>,
     /// The SLO-sensitive instance currently holding the EMERGENCY state,
     /// with its last observed ΔT. Only this instance may reset it (§3.4.1).
     emergency: Option<(InstanceId, f64)>,
@@ -96,7 +102,7 @@ pub struct RckmPolicy {
 impl RckmPolicy {
     /// Creates a token manager with the given tunables.
     pub fn new(config: RckmConfig) -> Self {
-        RckmPolicy { config, ctl: HashMap::new(), emergency: None }
+        RckmPolicy { config, ctl: Vec::new(), sum_buf: Vec::new(), emergency: None }
     }
 
     /// The configuration in effect.
@@ -111,7 +117,7 @@ impl RckmPolicy {
 
     /// The scaling state of `id`, if tracked.
     pub fn state_of(&self, id: InstanceId) -> Option<ScaleState> {
-        self.ctl.get(&id).map(|c| c.state)
+        self.ctl.iter().find(|(cid, _)| *cid == id).map(|(_, c)| c.state)
     }
 
     /// The burst/contention pressure of an instance: relative KLC inflation,
@@ -161,29 +167,40 @@ impl SharePolicy for RckmPolicy {
     ) -> Vec<Grant> {
         let cfg = self.config;
         // Drop state for departed instances.
-        self.ctl.retain(|id, _| views.iter().any(|v| v.id == *id));
+        self.ctl.retain(|(id, _)| views.iter().any(|v| v.id == *id));
         for v in views {
-            self.ctl
-                .entry(v.id)
-                .or_insert_with(|| InstanceCtl::new(cfg.rate_window))
-                .push_rate(v.blocks_last_quantum, cfg.rate_window);
+            match self.ctl.iter_mut().find(|(id, _)| *id == v.id) {
+                Some((_, c)) => c.push_rate(v.blocks_last_quantum, cfg.rate_window),
+                None => {
+                    let mut c = InstanceCtl::new(cfg.rate_window);
+                    c.push_rate(v.blocks_last_quantum, cfg.rate_window);
+                    self.ctl.push((v.id, c));
+                }
+            }
         }
         self.refresh_emergency(views);
         let emergency = self.emergency;
 
+        // Each view's kernel-rate window sum, computed once per cycle (the
+        // idle/contention branches below would otherwise re-derive them
+        // quadratically).
+        let mut sums = std::mem::take(&mut self.sum_buf);
+        sums.clear();
+        sums.extend(views.iter().map(|v| {
+            self.ctl.iter().find(|(id, _)| *id == v.id).map(|(_, c)| c.window_sum()).unwrap_or(0)
+        }));
+
         // Activity of SLO-sensitive co-runners, for best-effort ramping.
-        let slo_active: bool = views.iter().any(|v| {
-            v.class.is_slo_sensitive() && self.ctl.get(&v.id).is_some_and(|c| c.window_sum() > 0)
-        });
+        let slo_active: bool =
+            views.iter().zip(&sums).any(|(v, &sum)| v.class.is_slo_sensitive() && sum > 0);
 
         let mut grants = Vec::with_capacity(views.len());
-        for v in views {
-            let others_idle = views
-                .iter()
-                .filter(|o| o.id != v.id)
-                .all(|o| self.ctl.get(&o.id).is_none_or(|c| c.window_sum() == 0));
+        for (i, v) in views.iter().enumerate() {
+            let others_idle = sums.iter().enumerate().all(|(j, &sum)| j == i || sum == 0);
             let alone = views.len() == 1;
-            let ctl = self.ctl.get_mut(&v.id).expect("ctl inserted above");
+            let my_sum = sums[i];
+            let (_, ctl) =
+                self.ctl.iter_mut().find(|(id, _)| *id == v.id).expect("ctl inserted above");
             let request = cfg.max_tokens * v.request.as_fraction();
             let limit = cfg.max_tokens * v.limit.as_fraction();
 
@@ -191,7 +208,7 @@ impl SharePolicy for RckmPolicy {
                 if emergency.is_some_and(|(id, _)| id == v.id) {
                     // Protective fast scale-up (Algorithm 2 line 14-15).
                     (ScaleState::Emergency, limit)
-                } else if ctl.window_sum() == 0 {
+                } else if my_sum == 0 {
                     // Idle inference: release SMs down to request (line 16-17).
                     (ScaleState::Recovery, request)
                 } else if others_idle {
@@ -226,6 +243,7 @@ impl SharePolicy for RckmPolicy {
             ctl.r_last = issue;
             grants.push(Grant { id: v.id, smr: SmRate::from_fraction(issue.max(0.0)) });
         }
+        self.sum_buf = sums;
         grants
     }
 
@@ -234,7 +252,7 @@ impl SharePolicy for RckmPolicy {
         // last-grant state needs re-clamping so a shrink takes effect this
         // quantum instead of waiting for the multiplicative ramp to decay,
         // and a grow starts its ramp from the new request floor.
-        if let Some(ctl) = self.ctl.get_mut(&id) {
+        if let Some((_, ctl)) = self.ctl.iter_mut().find(|(cid, _)| *cid == id) {
             let floor = self.config.max_tokens * request.as_fraction();
             let ceiling = self.config.max_tokens * limit.as_fraction();
             ctl.r_last = ctl.r_last.clamp(floor.min(ceiling), ceiling);

@@ -1,7 +1,7 @@
 //! Dilu's adaptive 2D co-scaler: vertical quota resizing first, horizontal
 //! scale-out only when vertical headroom is exhausted.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dilu_cluster::{
     ClusterView, ElasticityController, FunctionId, FunctionScaleView, GpuAddr, ScaleAction,
@@ -71,13 +71,17 @@ pub struct CoScaler {
     config: CoScalerConfig,
     /// First-seen (profiled) `<request, limit>` per function — the shrink
     /// floor, and the source of the limit/request growth ratio.
-    baselines: HashMap<FunctionId, (SmRate, SmRate)>,
+    ///
+    /// A `BTreeMap` (like every map in the per-tick budget below): the
+    /// event-driven core pins byte-identical reports across runs, so the
+    /// controller must never iterate hash-ordered state.
+    baselines: BTreeMap<FunctionId, (SmRate, SmRate)>,
 }
 
 impl CoScaler {
     /// Creates a co-scaler with the given tunables.
     pub fn new(config: CoScalerConfig) -> Self {
-        CoScaler { config, baselines: HashMap::new() }
+        CoScaler { config, baselines: BTreeMap::new() }
     }
 
     /// The configuration in effect.
@@ -248,9 +252,9 @@ impl ElasticityController for CoScaler {
         // before the next function sizes its own grow — otherwise two
         // functions bursting in the same tick both claim the same SMs and
         // the "guaranteed" requests oversubscribe the card.
-        let mut slack: HashMap<GpuAddr, f64> =
+        let mut slack: BTreeMap<GpuAddr, f64> =
             cluster.gpus.iter().map(|g| (g.addr, g.request_slack().as_fraction())).collect();
-        let mut slices: HashMap<(FunctionId, GpuAddr), f64> = HashMap::new();
+        let mut slices: BTreeMap<(FunctionId, GpuAddr), f64> = BTreeMap::new();
         for gpu in &cluster.gpus {
             for r in &gpu.residents {
                 *slices.entry((r.func, gpu.addr)).or_insert(0.0) += 1.0;
@@ -503,6 +507,47 @@ mod tests {
             request <= SmRate::from_percent(50.0) + SmRate::from_percent(1e-6),
             "per-slice grow must halve for two slices: {request}"
         );
+    }
+
+    #[test]
+    fn decisions_are_deterministic_across_reconstructions() {
+        // The event-driven serving core pins byte-identical reports, which
+        // requires every controller decision (including multi-function,
+        // multi-GPU budget sharing) to be a pure function of its inputs —
+        // no hash-iteration order may leak into action order or sizing.
+        use dilu_cluster::{GpuView, ResidentInfo};
+        use dilu_gpu::TaskClass;
+        let resident = |id: u32| ResidentInfo {
+            func: FunctionId(id),
+            class: TaskClass::SloSensitive,
+            request: SmRate::from_percent(15.0),
+            limit: SmRate::from_percent(30.0),
+            mem_bytes: dilu_gpu::GB,
+        };
+        let cluster = ClusterView {
+            gpus: (0..4)
+                .map(|g| GpuView {
+                    addr: GpuAddr { node: 0, gpu: g },
+                    mem_capacity: 40 * dilu_gpu::GB,
+                    mem_reserved: 3 * dilu_gpu::GB,
+                    residents: vec![resident(g), resident(g + 1), resident(g + 2)],
+                })
+                .collect(),
+        };
+        let views: Vec<FunctionScaleView> = (0..6)
+            .map(|id| {
+                let mut v = view(hot_window(), 1, quota(15.0, 30.0, 55.0, 100.0));
+                v.func = FunctionId(id);
+                v
+            })
+            .collect();
+        let run = || {
+            let mut s = CoScaler::new(CoScalerConfig::default());
+            let a = s.on_tick(SimTime::from_secs(60), &views, &cluster);
+            let b = s.on_tick(SimTime::from_secs(61), &views, &cluster);
+            (a, b)
+        };
+        assert_eq!(run(), run(), "same inputs must yield identical action sequences");
     }
 
     #[test]

@@ -1,14 +1,27 @@
 //! A stable-ordered future event list.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::SimTime;
+
+/// Handle to a cancellable event in an [`EventQueue`].
+///
+/// Obtained from [`EventQueue::push_cancellable`]; spend it on
+/// [`EventQueue::cancel`] to withdraw the event before it fires. Tokens are
+/// unique per queue and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
 
 /// A min-ordered queue of `(SimTime, T)` events.
 ///
 /// Events scheduled for the same instant pop in insertion order, which keeps
-/// simulations deterministic regardless of heap internals.
+/// simulations deterministic regardless of heap internals. Events pushed via
+/// [`push_cancellable`](Self::push_cancellable) can be withdrawn again with
+/// their [`EventToken`] — cancellation is O(1) (lazy deletion: the entry is
+/// skipped when it reaches the head), which is what deadline-heavy
+/// simulations need (most batch-formation deadlines are cancelled by an
+/// earlier full-batch dispatch and never fire).
 ///
 /// # Examples
 ///
@@ -22,10 +35,26 @@ use crate::SimTime;
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, ['a', 'b', 'c']);
 /// ```
+///
+/// Cancellation:
+///
+/// ```
+/// use dilu_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let deadline = q.push_cancellable(SimTime::from_millis(10), "timeout");
+/// q.push(SimTime::from_millis(20), "tick");
+/// assert!(q.cancel(deadline));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(20), "tick")));
+/// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
+    /// Tokens of cancellable entries still sitting in the heap.
+    cancellable: HashSet<u64>,
+    /// Tokens cancelled but not yet physically removed (lazy deletion).
+    cancelled: HashSet<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -59,7 +88,24 @@ impl<T> Ord for Entry<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `capacity` events before
+    /// reallocating — a hint for event-driven simulations that know their
+    /// steady-state pending-event count up front.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            cancellable: HashSet::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedules `event` to fire at `at`.
@@ -69,13 +115,61 @@ impl<T> EventQueue<T> {
         self.heap.push(Entry { at, seq, event });
     }
 
+    /// Schedules `event` to fire at `at` and returns a token that can
+    /// [`cancel`](Self::cancel) it before then.
+    ///
+    /// Cancellable events keep the same same-instant FIFO ordering as plain
+    /// pushes — the token costs one hash-set entry, nothing more.
+    pub fn push_cancellable(&mut self, at: SimTime, event: T) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.cancellable.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending (it will never fire), `false` if it already fired or was
+    /// already cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if self.cancellable.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops cancelled entries sitting at the head of the heap.
+    fn purge_cancelled_head(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.contains(&head.seq) {
+                let seq = self.heap.pop().expect("peeked").seq;
+                self.cancelled.remove(&seq);
+            } else {
+                break;
+            }
+        }
+    }
+
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        self.purge_cancelled_head();
+        self.heap.pop().map(|e| {
+            self.cancellable.remove(&e.seq);
+            (e.at, e.event)
+        })
+    }
+
+    /// The earliest pending event without removing it, if any.
+    pub fn peek(&mut self) -> Option<(SimTime, &T)> {
+        self.purge_cancelled_head();
+        self.heap.peek().map(|e| (e.at, &e.event))
     }
 
     /// The instant of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.purge_cancelled_head();
         self.heap.peek().map(|e| e.at)
     }
 
@@ -89,14 +183,22 @@ impl<T> EventQueue<T> {
         }
     }
 
-    /// The number of pending events.
+    /// The number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Drops every pending event (tokens from before the clear no longer
+    /// cancel anything).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancellable.clear();
+        self.cancelled.clear();
     }
 }
 
@@ -160,8 +262,83 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let q: EventQueue<u8> = (0u8..5).map(|i| (SimTime::from_millis(u64::from(i)), i)).collect();
+        let mut q: EventQueue<u8> =
+            (0u8..5).map(|i| (SimTime::from_millis(u64::from(i)), i)).collect();
         assert_eq!(q.len(), 5);
         assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut q = EventQueue::new();
+        let a = q.push_cancellable(SimTime::from_millis(5), "a");
+        q.push(SimTime::from_millis(10), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(10)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_is_single_shot_and_rejects_fired_events() {
+        let mut q = EventQueue::new();
+        let a = q.push_cancellable(SimTime::from_millis(1), "a");
+        let b = q.push_cancellable(SimTime::from_millis(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+        assert!(!q.cancel(a), "already fired");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "already cancelled");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_fifo_survives_interleaved_push_and_cancel() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(9);
+        q.push(t, 0);
+        let c1 = q.push_cancellable(t, 1);
+        q.push(t, 2);
+        let c3 = q.push_cancellable(t, 3);
+        q.push(t, 4);
+        assert!(q.cancel(c1));
+        q.push(t, 5);
+        assert!(q.cancel(c3));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [0, 2, 4, 5], "survivors keep insertion order");
+    }
+
+    #[test]
+    fn peek_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let a = q.push_cancellable(SimTime::from_millis(1), 'a');
+        let b = q.push_cancellable(SimTime::from_millis(2), 'b');
+        q.push(SimTime::from_millis(3), 'c');
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(q.peek(), Some((SimTime::from_millis(3), &'c')));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_invalidates_outstanding_tokens() {
+        let mut q = EventQueue::new();
+        let a = q.push_cancellable(SimTime::from_millis(1), 'a');
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.cancel(a));
+        q.push(SimTime::from_millis(2), 'b');
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 'b')));
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_are_usable() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(64);
+        q.reserve(128);
+        for i in 0..10 {
+            q.push(SimTime::from_millis(i), i as u32);
+        }
+        assert_eq!(q.len(), 10);
     }
 }

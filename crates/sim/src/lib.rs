@@ -28,5 +28,5 @@ mod time;
 
 pub mod rng;
 
-pub use events::EventQueue;
+pub use events::{EventQueue, EventToken};
 pub use time::{SimDuration, SimTime};

@@ -1,7 +1,8 @@
 //! Property-based tests on cross-crate invariants.
 
 use dilu::cluster::{
-    ClusterView, FunctionId, FunctionKind, FunctionSpec, GpuView, Placement, Quotas, ResidentInfo,
+    ClusterReport, ClusterSpec, ClusterView, FunctionId, FunctionKind, FunctionSpec, GpuView,
+    Placement, Quotas, ResidentInfo, TimeModel,
 };
 use dilu::gpu::policies::FairSharePolicy;
 use dilu::gpu::{GpuEngine, InstanceId, SlotConfig, SmRate, TaskClass, WorkItem, GB};
@@ -161,4 +162,137 @@ proptest! {
         prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
         prop_assert!(arrivals.iter().all(|&t| t < horizon));
     }
+}
+
+/// Shape of one randomized equivalence scenario.
+#[derive(Debug, Clone)]
+struct EquivScenario {
+    gpus: u32,
+    rate: f64,
+    arrival_seed: u64,
+    batch: u32,
+    horizon_secs: u64,
+    initial: u32,
+    coscale: bool,
+    with_training: bool,
+    training_start_sec: u64,
+}
+
+/// Builds and runs the scenario under the given time model. Arrival
+/// streams are generated outside (seeded), so both models serve the
+/// identical request trace.
+fn run_equiv(s: &EquivScenario, model: TimeModel) -> ClusterReport {
+    use dilu::core::{funcs, SystemKind};
+    use dilu::models::ModelId;
+    use dilu::workload::{ArrivalProcess, PoissonProcess};
+
+    let horizon = SimDuration::from_secs(s.horizon_secs);
+    let arrivals = PoissonProcess::new(s.rate, s.arrival_seed).generate(SimTime::ZERO + horizon);
+    let mut spec = funcs::inference_function(1, ModelId::RobertaLarge);
+    if let FunctionKind::Inference { slo, .. } = spec.kind {
+        spec.kind = FunctionKind::Inference { slo, batch: s.batch };
+    }
+    let mut builder = SystemKind::Dilu
+        .builder()
+        .cluster(ClusterSpec::single_node(s.gpus))
+        .sim_config(dilu::cluster::SimConfig { time_model: model, ..Default::default() })
+        .horizon(horizon)
+        .drain(SimDuration::from_secs(3))
+        .function(spec)
+        .initial_instances(s.initial)
+        .arrival_times(arrivals);
+    if s.coscale {
+        builder = builder.controller(dilu::scaler::CoScaler::new(Default::default()));
+    }
+    if s.with_training {
+        let tspec = funcs::training_function(2, ModelId::BertBase, 1, 40);
+        builder = builder.function(tspec).starts_at(SimTime::from_secs(s.training_start_sec));
+    }
+    builder.build().expect("scenario composes").run().expect("scenario runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The event-driven core is not an approximation: on randomized small
+    /// scenarios its full report — every latency sample, timeline point,
+    /// fragmentation snapshot, resize and cold-start count — is
+    /// byte-identical to the dense quantum stepper's.
+    #[test]
+    fn event_core_matches_dense_stepper(
+        gpus in 1u32..4,
+        rate in 8u32..50,
+        arrival_seed in 0u64..1_000,
+        batch_pick in 0u32..2,
+        horizon_secs in 5u64..9,
+        initial in 0u32..2,
+        coscale_pick in 0u32..2,
+        training_pick in 0u32..2,
+        training_start_sec in 0u64..4,
+    ) {
+        let scenario = EquivScenario {
+            gpus,
+            rate: f64::from(rate),
+            arrival_seed,
+            batch: if batch_pick == 0 { 2 } else { 4 },
+            horizon_secs,
+            initial,
+            coscale: coscale_pick == 1,
+            with_training: training_pick == 1,
+            training_start_sec,
+        };
+        let dense = run_equiv(&scenario, TimeModel::DenseQuantum);
+        let event = run_equiv(&scenario, TimeModel::EventDriven);
+        let dense_json = serde_json::to_string(&dense).expect("report serializes");
+        let event_json = serde_json::to_string(&event).expect("report serializes");
+        prop_assert!(
+            dense_json == event_json,
+            "event core diverged from the dense stepper for {scenario:?}\ndense: {}\nevent: {}",
+            summary(&dense),
+            summary(&event),
+        );
+    }
+}
+
+fn summary(r: &ClusterReport) -> String {
+    let f = r.inference.values().next().expect("one inference function");
+    format!(
+        "arrived {} completed {} svr {:.4} cold {} resizes {} p95 {} occupied {:?}",
+        f.arrived,
+        f.completed,
+        f.svr(),
+        f.cold_starts.count(),
+        f.resizes.total(),
+        f.latency.p95(),
+        r.occupied_gpus.len(),
+    )
+}
+/// A long-horizon deterministic case: 60 s of bursty-ish traffic drives the
+/// lazy scaler through cold-start scale-outs, scale-ins, and
+/// scale-to-zero, plus a late training job — the full lifecycle on both
+/// time models, byte-identical.
+#[test]
+fn event_core_matches_dense_stepper_across_scaling_lifecycle() {
+    let scenario = EquivScenario {
+        gpus: 4,
+        rate: 95.0,
+        arrival_seed: 41,
+        batch: 4,
+        horizon_secs: 60,
+        initial: 0,
+        coscale: true,
+        with_training: true,
+        training_start_sec: 12,
+    };
+    let dense = run_equiv(&scenario, TimeModel::DenseQuantum);
+    let event = run_equiv(&scenario, TimeModel::EventDriven);
+    let f = event.inference.values().next().expect("inference function");
+    assert!(f.cold_starts.count() > 0, "case must exercise the cold-start path");
+    assert_eq!(
+        serde_json::to_string(&dense).unwrap(),
+        serde_json::to_string(&event).unwrap(),
+        "event core diverged from the dense stepper\ndense: {}\nevent: {}",
+        summary(&dense),
+        summary(&event),
+    );
 }
