@@ -3,6 +3,7 @@
 //! ```text
 //! dilu run <scenario.toml|.json> [--json <out.json>]   simulate a config file
 //! dilu experiment <name>... | all                      regenerate paper figures
+//! dilu fuzz [--cases N] [--seed S] [--oracle name]     fuzz the composition space
 //! dilu list                                            components, presets, models
 //! ```
 
@@ -19,6 +20,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("list") => cmd_list(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
@@ -46,6 +48,13 @@ fn usage() -> String {
      \x20     legacy per-quantum stepper kept for comparison).\n\
      \x20 dilu experiment <name>... | all\n\
      \x20     Regenerate registered paper experiments (JSON under target/experiments/).\n\
+     \x20 dilu fuzz [--cases N] [--seed S] [--oracle <name>]... [--minimize] [--dump-dir <dir>]\n\
+     \x20     Generate N scenarios across the whole composition space (seeded,\n\
+     \x20     reproducible) and check every one against the invariant oracles:\n\
+     \x20     differential (event-driven == dense-quantum), determinism,\n\
+     \x20     conservation, capacity. Failing scenarios are dumped as TOML\n\
+     \x20     (default target/fuzz/) with a copy-pasteable repro line;\n\
+     \x20     --minimize shrinks them first. Exits non-zero on any violation.\n\
      \x20 dilu list\n\
      \x20     Show registered experiments, components, presets, and models.\n\
      \x20 dilu help\n\
@@ -223,6 +232,81 @@ fn report_summary(report: &dilu_cluster::ClusterReport) -> serde::Value {
 }
 
 // ---------------------------------------------------------------------------
+// dilu fuzz
+// ---------------------------------------------------------------------------
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    use dilu_harness::{FuzzOptions, Harness};
+
+    let mut options =
+        FuzzOptions { dump_dir: Some(PathBuf::from("target/fuzz")), ..FuzzOptions::default() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cases" => {
+                let n = it.next().ok_or("--cases needs a number")?;
+                options.cases =
+                    n.parse().map_err(|_| format!("--cases needs a number, got `{n}`"))?;
+            }
+            "--seed" => {
+                let s = it.next().ok_or("--seed needs a number")?;
+                options.seed =
+                    s.parse().map_err(|_| format!("--seed needs a number, got `{s}`"))?;
+            }
+            "--oracle" => {
+                let name = it.next().ok_or("--oracle needs a name")?;
+                options.oracles.push(name.clone());
+            }
+            "--minimize" => options.minimize = true,
+            "--dump-dir" => {
+                let dir = it.next().ok_or("--dump-dir needs a path")?;
+                options.dump_dir = Some(PathBuf::from(dir));
+            }
+            other => return Err(format!("unknown flag `{other}` for `dilu fuzz`\n\n{}", usage())),
+        }
+    }
+    let harness = Harness::new();
+    println!("== dilu fuzz: {} cases from seed {} ==", options.cases, options.seed);
+    println!(
+        "oracles: {}\n",
+        if options.oracles.is_empty() {
+            harness.oracle_names().join(", ")
+        } else {
+            options.oracles.join(", ")
+        }
+    );
+    let started = std::time::Instant::now();
+    let report = harness.run_with_progress(&options, |line| println!("{line}"))?;
+    println!(
+        "\n{} cases | {} checks passed | {} skipped (infeasible compositions) | {} violations \
+         [{:.1}s]",
+        report.cases,
+        report.passed,
+        report.skipped,
+        report.failures.len(),
+        started.elapsed().as_secs_f64(),
+    );
+    if report.clean() {
+        return Ok(());
+    }
+    for failure in &report.failures {
+        println!("\n--- {} violated (case seed {}) ---", failure.oracle, failure.case_seed);
+        println!("{}", failure.detail);
+        if failure.minimized.is_some() {
+            println!("[shrunk to a minimal reproducer]");
+        }
+        if let Some(dump) = &failure.dump {
+            println!("scenario: {}  (try `dilu run {}`)", dump.display(), dump.display());
+        }
+        println!(
+            "repro: dilu fuzz --cases 1 --seed {} --oracle {} --minimize",
+            failure.case_seed, failure.oracle
+        );
+    }
+    Err(format!("{} oracle violation(s)", report.failures.len()))
+}
+
+// ---------------------------------------------------------------------------
 // dilu experiment
 // ---------------------------------------------------------------------------
 
@@ -279,6 +363,7 @@ fn cmd_list() -> Result<(), String> {
     println!("controllers (2D):  {}", registry.controller_names().join(", "));
     println!("share policies:    {}", registry.share_policy_names().join(", "));
     println!("arrival processes: {}", dilu_workload::PROCESS_NAMES.join(", "));
+    println!("fuzz oracles:      {}", dilu_harness::Harness::new().oracle_names().join(", "));
     println!(
         "models:            {}",
         ModelId::ALL.iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")

@@ -1,0 +1,96 @@
+//! Point-in-time audits of the serving plane's allocation and accounting
+//! state, for external invariant checkers (the `dilu-harness` fuzzer's
+//! capacity and conservation oracles).
+//!
+//! [`ClusterSim::audit`](crate::ClusterSim::audit) takes a snapshot on
+//! demand; [`ClusterSim::set_audit_hook`](crate::ClusterSim::set_audit_hook)
+//! registers an observer invoked at every controller tick — the same cadence
+//! on both time models, *before* the controller acts, so a hook sees exactly
+//! the state the elasticity controller is about to decide on.
+
+use dilu_sim::SimTime;
+
+use crate::{FunctionId, GpuAddr};
+
+/// One GPU's quota and memory accounting at audit time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuAudit {
+    /// The GPU's address.
+    pub addr: GpuAddr,
+    /// Σ resident `request` quotas as a fraction of the card.
+    pub sum_request: f64,
+    /// Σ resident `limit` quotas as a fraction of the card.
+    pub sum_limit: f64,
+    /// Bytes of device memory reserved by residents.
+    pub mem_reserved: u64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Number of resident instance slices.
+    pub residents: u32,
+}
+
+/// One function's request-accounting state at audit time.
+///
+/// Conservation invariant: every request this function has ingested is in
+/// exactly one place, so
+/// `arrived == completed + backlog + queued + inflight` at every instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionAudit {
+    /// The function.
+    pub func: FunctionId,
+    /// `true` for inference functions.
+    pub inference: bool,
+    /// Requests ingested so far.
+    pub arrived: u64,
+    /// Requests completed so far.
+    pub completed: u64,
+    /// Requests waiting at the gateway (no instance had room).
+    pub backlog: u64,
+    /// Requests queued on instances, not yet batched.
+    pub queued: u64,
+    /// Requests inside dispatched (in-flight) batches.
+    pub inflight: u64,
+    /// Generated arrivals not yet ingested (future instants).
+    pub pending_arrivals: u64,
+    /// Ready (serving) instances.
+    pub ready_instances: u32,
+    /// Cold-starting instances.
+    pub starting_instances: u32,
+    /// Draining instances.
+    pub draining_instances: u32,
+    /// Cold starts recorded so far.
+    pub cold_starts: u64,
+    /// Vertical quota grows applied so far.
+    pub resize_grows: u64,
+    /// Vertical quota shrinks applied so far.
+    pub resize_shrinks: u64,
+}
+
+impl FunctionAudit {
+    /// Requests ingested but neither completed nor lost: the in-flight mass
+    /// the conservation oracle balances against `arrived`.
+    pub fn outstanding(&self) -> u64 {
+        self.backlog + self.queued + self.inflight
+    }
+}
+
+/// A whole-cluster audit snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditSnapshot {
+    /// The instant the snapshot was taken.
+    pub now: SimTime,
+    /// Per-GPU accounting, in deterministic address order.
+    pub gpus: Vec<GpuAudit>,
+    /// Per-function accounting, in function-id order.
+    pub functions: Vec<FunctionAudit>,
+}
+
+impl AuditSnapshot {
+    /// The audit entry for `func`, if deployed.
+    pub fn function(&self, func: FunctionId) -> Option<&FunctionAudit> {
+        self.functions.iter().find(|f| f.func == func)
+    }
+}
+
+/// Observer invoked with a fresh [`AuditSnapshot`] at every controller tick.
+pub type AuditHook = Box<dyn FnMut(&AuditSnapshot)>;

@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod instance;
 mod report;
 mod sim;
 mod spec;
 mod traits;
 
+pub use audit::{AuditHook, AuditSnapshot, FunctionAudit, GpuAudit};
 pub use instance::{InstanceState, InstanceUid};
 pub use report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
 pub use sim::{ClusterSim, DeployError, SimConfig, SimEvent, TimeModel};

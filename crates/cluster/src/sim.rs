@@ -28,6 +28,7 @@ use dilu_metrics::{
 
 use dilu_sim::{EventQueue, EventToken, SimDuration, SimTime};
 
+use crate::audit::{AuditHook, AuditSnapshot, FunctionAudit, GpuAudit};
 use crate::instance::{InflightBatch, Instance, Request};
 use crate::report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
 use crate::traits::{
@@ -268,6 +269,8 @@ pub struct ClusterSim {
     jobs: BTreeMap<FunctionId, TrainingJob>,
     placement: Box<dyn Placement>,
     controller: Box<dyn ElasticityController>,
+    /// Observer invoked with an [`AuditSnapshot`] at every controller tick.
+    audit_hook: Option<AuditHook>,
     pending_resizes: Vec<PendingResize>,
     tags: HashMap<u64, WorkPayload>,
     slot_index: HashMap<dilu_gpu::InstanceId, (InstanceUid, usize, FunctionId)>,
@@ -375,6 +378,7 @@ impl ClusterSim {
             jobs: BTreeMap::new(),
             placement,
             controller,
+            audit_hook: None,
             pending_resizes: Vec::new(),
             tags: HashMap::new(),
             slot_index: HashMap::new(),
@@ -540,6 +544,76 @@ impl ClusterSim {
         self.validate_spec(&spec)?;
         self.pending_training.push((at, spec));
         Ok(())
+    }
+
+    /// Registers an observer invoked with a fresh [`AuditSnapshot`] at
+    /// every controller tick, before the elasticity controller acts.
+    ///
+    /// The hook cadence and content are identical on both time models (it
+    /// runs inside the shared controller phase), so an invariant checker
+    /// attached here cannot desynchronise the byte-identical reports.
+    /// Replaces any previously registered hook.
+    pub fn set_audit_hook(&mut self, hook: AuditHook) {
+        self.audit_hook = Some(hook);
+    }
+
+    /// Takes a point-in-time [`AuditSnapshot`] of quota, memory, and
+    /// request accounting — the state the fuzzer's capacity and
+    /// conservation oracles check.
+    pub fn audit(&self) -> AuditSnapshot {
+        let view = self.cluster_view();
+        let gpus = view
+            .gpus
+            .iter()
+            .map(|g| GpuAudit {
+                addr: g.addr,
+                sum_request: g.sum_requests().as_fraction(),
+                sum_limit: g.sum_limits().as_fraction(),
+                mem_reserved: g.mem_reserved,
+                mem_capacity: g.mem_capacity,
+                residents: g.residents.len() as u32,
+            })
+            .collect();
+        let functions = self
+            .funcs
+            .iter()
+            .map(|(&func, f)| {
+                let mut queued = 0u64;
+                let mut inflight = 0u64;
+                let mut ready = 0u32;
+                let mut starting = 0u32;
+                let mut draining = 0u32;
+                for uid in &f.instance_ids {
+                    let Some(inst) = self.instances.get(uid) else {
+                        continue;
+                    };
+                    queued += inst.pending.len() as u64;
+                    inflight += inst.inflight.iter().map(|b| b.requests.len() as u64).sum::<u64>();
+                    match inst.state {
+                        InstanceState::Running => ready += 1,
+                        InstanceState::ColdStarting { .. } => starting += 1,
+                        InstanceState::Draining => draining += 1,
+                    }
+                }
+                FunctionAudit {
+                    func,
+                    inference: f.spec.kind.is_inference(),
+                    arrived: f.arrived,
+                    completed: f.completed,
+                    backlog: f.backlog.len() as u64,
+                    queued,
+                    inflight,
+                    pending_arrivals: f.arrivals.len() as u64,
+                    ready_instances: ready,
+                    starting_instances: starting,
+                    draining_instances: draining,
+                    cold_starts: f.cold_starts.count(),
+                    resize_grows: f.resizes.grows(),
+                    resize_shrinks: f.resizes.shrinks(),
+                }
+            })
+            .collect();
+        AuditSnapshot { now: self.now, gpus, functions }
     }
 
     /// Number of ready (serving) instances of a function.
@@ -1803,6 +1877,12 @@ impl ClusterSim {
     }
 
     fn run_controller(&mut self) {
+        if self.audit_hook.is_some() {
+            let snapshot = self.audit();
+            if let Some(hook) = self.audit_hook.as_mut() {
+                hook(&snapshot);
+            }
+        }
         let now = self.now;
         let cluster = self.cluster_view();
         let headroom = self.vertical_headroom(&cluster);

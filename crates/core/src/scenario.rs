@@ -520,6 +520,11 @@ impl Scenario {
         self.horizon
     }
 
+    /// The drain tail after the horizon.
+    pub fn drain(&self) -> SimDuration {
+        self.drain
+    }
+
     /// The root seed used for arrival sampling fallbacks.
     pub fn seed(&self) -> u64 {
         self.seed

@@ -1,0 +1,172 @@
+//! Scenario-config → TOML emission for copy-pasteable reproducers.
+//!
+//! The vendored `toml` stand-in only parses, so the fuzzer carries its own
+//! emitter for the [`ScenarioConfig`] shape: top-level scalar keys, one
+//! `[section]` per map, `[section.sub]` for nested component tables,
+//! `[[functions]]` for the function array, and inline tables for maps
+//! nested inside array elements (`arrivals = { ... }`) — exactly the
+//! dialect of `examples/scenarios/*.toml`. Round-tripping through
+//! [`ScenarioConfig::from_toml_str`] is pinned by tests.
+
+use dilu_core::ScenarioConfig;
+use serde::{Serialize, Value};
+
+/// Renders a scenario config as a TOML document that
+/// [`ScenarioConfig::from_toml_str`] parses back to an equal config.
+pub fn to_toml(config: &ScenarioConfig) -> String {
+    let value = config.to_value();
+    let mut out = String::new();
+    let Value::Map(entries) = &value else {
+        return out;
+    };
+    // Top-level scalars first (TOML assigns keys to the preceding table
+    // header, so they must precede any section).
+    for (k, v) in entries {
+        if is_scalar(v) {
+            push_assignment(&mut out, key_of(k), v);
+        }
+    }
+    for (k, v) in entries {
+        match v {
+            Value::Map(sub) => emit_table(&mut out, key_of(k), sub),
+            Value::Seq(items) if items.iter().any(|i| matches!(i, Value::Map(_))) => {
+                for item in items {
+                    if let Value::Map(sub) = item {
+                        out.push_str(&format!("\n[[{}]]\n", key_of(k)));
+                        emit_element(&mut out, sub);
+                    }
+                }
+            }
+            Value::Seq(_) => push_assignment(&mut out, key_of(k), v),
+            _ => {} // scalars already emitted; Unit dropped (TOML has no null)
+        }
+    }
+    out
+}
+
+/// `true` when a map holds nothing TOML-visible (every entry is `Unit`).
+fn is_empty_map(entries: &[(Value, Value)]) -> bool {
+    entries.iter().all(|(_, v)| matches!(v, Value::Unit))
+}
+
+/// Emits `[name]` with its scalar entries, then `[name.sub]` child tables.
+fn emit_table(out: &mut String, name: &str, entries: &[(Value, Value)]) {
+    if is_empty_map(entries) {
+        return;
+    }
+    // Unconditional header: a section holding only sub-tables ([system]
+    // holding just [system.placement]) stays valid TOML either way, and an
+    // empty-but-present section round-trips.
+    out.push_str(&format!("\n[{name}]\n"));
+    for (k, v) in entries {
+        if is_scalar(v) || matches!(v, Value::Seq(_)) {
+            push_assignment(out, key_of(k), v);
+        }
+    }
+    for (k, v) in entries {
+        if let Value::Map(sub) = v {
+            emit_table(out, &format!("{name}.{}", key_of(k)), sub);
+        }
+    }
+}
+
+/// Emits the body of one array-of-tables element: scalars, sequences, and
+/// nested maps as inline tables (TOML sub-tables of array elements are a
+/// dialect corner the parser stand-in does not guarantee).
+fn emit_element(out: &mut String, entries: &[(Value, Value)]) {
+    for (k, v) in entries {
+        match v {
+            Value::Unit => {}
+            Value::Map(sub) => {
+                if !is_empty_map(sub) {
+                    out.push_str(&format!("{} = {}\n", key_of(k), inline_table(sub)));
+                }
+            }
+            _ => push_assignment(out, key_of(k), v),
+        }
+    }
+}
+
+fn inline_table(entries: &[(Value, Value)]) -> String {
+    let parts: Vec<String> = entries
+        .iter()
+        .filter(|(_, v)| !matches!(v, Value::Unit))
+        .map(|(k, v)| match v {
+            Value::Map(sub) => format!("{} = {}", key_of(k), inline_table(sub)),
+            _ => format!("{} = {}", key_of(k), scalar(v)),
+        })
+        .collect();
+    format!("{{ {} }}", parts.join(", "))
+}
+
+fn push_assignment(out: &mut String, key: &str, v: &Value) {
+    out.push_str(&format!("{key} = {}\n", scalar(v)));
+}
+
+fn is_scalar(v: &Value) -> bool {
+    matches!(v, Value::Bool(_) | Value::Int(_) | Value::UInt(_) | Value::Float(_) | Value::Str(_))
+}
+
+fn key_of(k: &Value) -> &str {
+    k.as_str().expect("config keys are strings")
+}
+
+fn scalar(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        // `{:?}` keeps a decimal point (`25.0`), which TOML floats need.
+        Value::Float(f) => format!("{f:?}"),
+        Value::Str(s) => quote(s),
+        Value::Seq(items) => {
+            let parts: Vec<String> = items.iter().map(scalar).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        Value::Unit | Value::Map(_) => unreachable!("filtered by callers"),
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut q = String::with_capacity(s.len() + 2);
+    q.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => q.push_str("\\\""),
+            '\\' => q.push_str("\\\\"),
+            '\n' => q.push_str("\\n"),
+            '\t' => q.push_str("\\t"),
+            other => q.push(other),
+        }
+    }
+    q.push('"');
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, SpaceConfig};
+
+    #[test]
+    fn generated_configs_round_trip_through_toml() {
+        let space = SpaceConfig::default();
+        for seed in 0..60 {
+            let config = generate_case(&space, seed);
+            let text = to_toml(&config);
+            let back = ScenarioConfig::from_toml_str(&text)
+                .unwrap_or_else(|e| panic!("case {seed} does not re-parse: {e}\n{text}"));
+            assert_eq!(config, back, "case {seed} round-trip drifted:\n{text}");
+        }
+    }
+
+    #[test]
+    fn emits_the_example_dialect() {
+        let space = SpaceConfig::default();
+        let config = generate_case(&space, 3);
+        let text = to_toml(&config);
+        assert!(text.contains("[system.placement]"), "{text}");
+        assert!(text.contains("[run]"), "{text}");
+        assert!(text.contains("[[functions]]"), "{text}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Property tests pinning the documented semantics of the scheduler's
+//! ablation toggles, and the Ω/Γ caps under random deploy sequences for
+//! every toggle combination.
+
+use std::collections::BTreeSet;
+
+use dilu_cluster::{
+    ClusterView, FunctionId, FunctionKind, FunctionSpec, GpuAddr, GpuView, Placement, Quotas,
+    ResidentInfo,
+};
+use dilu_gpu::{SmRate, TaskClass, GB};
+use dilu_models::ModelId;
+use dilu_scheduler::{DiluScheduler, SchedulerConfig};
+use dilu_sim::SimDuration;
+use proptest::prelude::*;
+
+fn func(id: u32, request: f64, mem_gb: u64) -> FunctionSpec {
+    FunctionSpec {
+        id: FunctionId(id),
+        name: format!("f{id}"),
+        model: ModelId::BertBase,
+        kind: FunctionKind::Inference { slo: SimDuration::from_millis(50), batch: 4 },
+        quotas: Quotas::new(
+            SmRate::from_percent(request),
+            SmRate::from_percent(request * 2.0),
+            mem_gb * GB,
+        ),
+        gpus_per_instance: 1,
+    }
+}
+
+fn empty_cluster(gpus: u32) -> Vec<GpuView> {
+    (0..gpus)
+        .map(|i| GpuView {
+            addr: GpuAddr { node: 0, gpu: i },
+            mem_capacity: 40 * GB,
+            mem_reserved: 0,
+            residents: Vec::new(),
+        })
+        .collect()
+}
+
+fn settle(gpus: &mut [GpuView], addr: GpuAddr, spec: &FunctionSpec) {
+    let g = gpus.iter_mut().find(|g| g.addr == addr).expect("placed on a known GPU");
+    g.mem_reserved += spec.quotas.mem_bytes;
+    g.residents.push(ResidentInfo {
+        func: spec.id,
+        class: TaskClass::SloSensitive,
+        request: spec.quotas.request,
+        limit: spec.quotas.limit,
+        mem_bytes: spec.quotas.mem_bytes,
+    });
+}
+
+/// Whether `spec` fits `gpu` under the given caps (the documented
+/// feasibility rule, re-derived independently of the implementation).
+fn feasible(gpu: &GpuView, spec: &FunctionSpec, omega: f64, gamma: f64) -> bool {
+    gpu.sum_requests().as_fraction() + spec.quotas.request.as_fraction() <= omega + 1e-9
+        && gpu.sum_limits().as_fraction() + spec.quotas.limit.as_fraction() <= gamma + 1e-9
+        && gpu.mem_reserved + spec.quotas.mem_bytes <= gpu.mem_capacity
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ω, Γ, and memory capacity hold under random deploy sequences for
+    /// every ablation-toggle combination and random cap values.
+    #[test]
+    fn caps_hold_for_every_toggle_combination(
+        requests in collection::vec(5u32..70, 1..30),
+        mems in collection::vec(1u64..20, 1..30),
+        toggles in 0u32..4,
+        omega_pct in 80u32..121,
+        gamma_pct in 120u32..201,
+    ) {
+        let config = SchedulerConfig {
+            omega: f64::from(omega_pct) / 100.0,
+            gamma: f64::from(gamma_pct) / 100.0,
+            workload_affinity: toggles & 1 == 1,
+            resource_complementary: toggles & 2 == 2,
+            ..SchedulerConfig::default()
+        };
+        let mut sched = DiluScheduler::new(config);
+        let mut gpus = empty_cluster(5);
+        let n = requests.len().min(mems.len());
+        for i in 0..n {
+            let spec = func(i as u32, f64::from(requests[i]), mems[i]);
+            let view = ClusterView { gpus: gpus.clone() };
+            if let Some(placed) = sched.place(&spec, &view) {
+                settle(&mut gpus, placed[0], &spec);
+            }
+        }
+        for g in &gpus {
+            prop_assert!(g.sum_requests().as_fraction() <= config.omega + 1e-9,
+                "Ω violated on {}: {}", g.addr, g.sum_requests().as_fraction());
+            prop_assert!(g.sum_limits().as_fraction() <= config.gamma + 1e-9,
+                "Γ violated on {}: {}", g.addr, g.sum_limits().as_fraction());
+            prop_assert!(g.mem_reserved <= g.mem_capacity);
+        }
+    }
+
+    /// Documented −RC semantics: with `resource_complementary` off (and no
+    /// affinity), placement is plain first fit — the lowest-addressed
+    /// feasible *active* GPU, else the lowest-addressed feasible idle one.
+    #[test]
+    fn rc_off_is_first_fit(
+        requests in collection::vec(5u32..70, 1..20),
+        mems in collection::vec(1u64..20, 1..20),
+    ) {
+        let config = SchedulerConfig {
+            workload_affinity: false,
+            resource_complementary: false,
+            ..SchedulerConfig::default()
+        };
+        let mut sched = DiluScheduler::new(config);
+        let mut gpus = empty_cluster(4);
+        let n = requests.len().min(mems.len());
+        for i in 0..n {
+            let spec = func(i as u32, f64::from(requests[i]), mems[i]);
+            let view = ClusterView { gpus: gpus.clone() };
+            let expected = gpus
+                .iter()
+                .filter(|g| g.occupied() && feasible(g, &spec, config.omega, config.gamma))
+                .map(|g| g.addr)
+                .min()
+                .or_else(|| {
+                    gpus.iter()
+                        .filter(|g| !g.occupied() && feasible(g, &spec, config.omega, config.gamma))
+                        .map(|g| g.addr)
+                        .min()
+                });
+            let placed = sched.place(&spec, &view).map(|p| p[0]);
+            prop_assert!(placed == expected, "step {i}: placed {placed:?}, expected {expected:?}");
+            if let Some(addr) = placed {
+                settle(&mut gpus, addr, &spec);
+            }
+        }
+    }
+
+    /// Documented WA semantics: with `workload_affinity` on, a function
+    /// that already shares a GPU with partners lands on a GPU hosting one
+    /// of those partners whenever any such GPU is feasible — even when a
+    /// stranger GPU scores better. With WA off, partners are invisible.
+    #[test]
+    fn workload_affinity_prefers_partner_gpus_whenever_feasible(
+        partner_request in 5u32..30,
+        stranger_request in 40u32..70,
+        new_request in 5u32..30,
+    ) {
+        // GPU 0: the function + its partner. GPU 1: a fuller stranger GPU
+        // that best-fit scoring would otherwise prefer. GPU 2: idle.
+        let mut gpus = empty_cluster(3);
+        let me = func(1, f64::from(new_request), 2);
+        let partner = func(2, f64::from(partner_request), 2);
+        let stranger = func(3, f64::from(stranger_request), 20);
+        settle(&mut gpus, GpuAddr { node: 0, gpu: 0 }, &me);
+        settle(&mut gpus, GpuAddr { node: 0, gpu: 0 }, &partner);
+        settle(&mut gpus, GpuAddr { node: 0, gpu: 1 }, &stranger);
+        let view = ClusterView { gpus: gpus.clone() };
+        let d = SchedulerConfig::default();
+
+        let mut with_wa = DiluScheduler::new(d);
+        let placed = with_wa.place(&me, &view).map(|p| p[0]);
+        let partner_feasible = feasible(&gpus[0], &me, d.omega, d.gamma);
+        if partner_feasible {
+            prop_assert!(placed == Some(GpuAddr { node: 0, gpu: 0 }),
+                "feasible partner GPU must win under WA, got {placed:?}");
+        }
+
+        let mut without_wa =
+            DiluScheduler::new(SchedulerConfig { workload_affinity: false, ..d });
+        let blind = without_wa.place(&me, &view).map(|p| p[0]);
+        // Without affinity the choice is pure best-fit scoring: it must
+        // equal the choice made when the partner relationship is erased.
+        let mut anonymised = gpus.clone();
+        for g in &mut anonymised {
+            for r in &mut g.residents {
+                if r.func == partner.id {
+                    r.func = FunctionId(99);
+                }
+            }
+        }
+        let mut control = DiluScheduler::new(SchedulerConfig { workload_affinity: false, ..d });
+        let expected = control.place(&me, &ClusterView { gpus: anonymised }).map(|p| p[0]);
+        prop_assert!(blind == expected, "-WA must be blind to partners: {blind:?} vs {expected:?}");
+    }
+
+    /// Multi-GPU placements never reuse a GPU, regardless of toggles.
+    #[test]
+    fn pipeline_stages_land_on_distinct_gpus(
+        stages in 2u32..5,
+        toggles in 0u32..4,
+        occupancy in collection::vec(0u32..40, 6),
+    ) {
+        let mut gpus = empty_cluster(6);
+        for (i, &req) in occupancy.iter().enumerate() {
+            if req > 0 {
+                let filler = func(100 + i as u32, f64::from(req), 4);
+                let addr = gpus[i].addr;
+                settle(&mut gpus, addr, &filler);
+            }
+        }
+        let config = SchedulerConfig {
+            workload_affinity: toggles & 1 == 1,
+            resource_complementary: toggles & 2 == 2,
+            ..SchedulerConfig::default()
+        };
+        let mut sched = DiluScheduler::new(config);
+        let mut spec = func(1, 10.0, 2);
+        spec.gpus_per_instance = stages;
+        if let Some(placed) = sched.place(&spec, &ClusterView { gpus }) {
+            prop_assert_eq!(placed.len(), stages as usize);
+            let unique: BTreeSet<_> = placed.iter().collect();
+            prop_assert!(unique.len() == stages as usize, "stages must not share GPUs");
+        }
+    }
+}

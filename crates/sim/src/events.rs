@@ -333,6 +333,77 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_pop_due_is_a_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push_cancellable(SimTime::from_millis(5), "a");
+        q.push(SimTime::from_millis(5), "b");
+        assert_eq!(q.pop_due(SimTime::from_millis(5)), Some((SimTime::from_millis(5), "a")));
+        // The event already fired: cancelling its token must not disturb
+        // anything still pending at the same instant.
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(SimTime::from_millis(5)), Some((SimTime::from_millis(5), "b")));
+    }
+
+    #[test]
+    fn double_cancel_reports_false_and_stays_consistent() {
+        let mut q = EventQueue::new();
+        let a = q.push_cancellable(SimTime::from_millis(3), 'a');
+        q.push(SimTime::from_millis(4), 'b');
+        assert!(q.cancel(a));
+        for _ in 0..3 {
+            assert!(!q.cancel(a), "a token is spent by its first cancel");
+        }
+        assert_eq!(q.len(), 1, "double-cancel must not discount live events");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(4), 'b')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_and_peek_time_skip_runs_of_lazily_deleted_entries() {
+        let mut q = EventQueue::new();
+        // A run of cancelled entries at the head, interleaved with the
+        // surviving ones, all at mixed instants.
+        let dead: Vec<EventToken> =
+            (0..10).map(|i| q.push_cancellable(SimTime::from_millis(i), i)).collect();
+        q.push(SimTime::from_millis(4), 100);
+        q.push(SimTime::from_millis(20), 200);
+        for t in dead {
+            assert!(q.cancel(t));
+        }
+        // peek_time and peek purge the dead head without firing anything.
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
+        assert_eq!(q.peek(), Some((SimTime::from_millis(4), &100)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_due(SimTime::from_millis(3)), None, "nothing live is due yet");
+        assert_eq!(q.pop_due(SimTime::from_millis(4)), Some((SimTime::from_millis(4), 100)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn tokens_are_never_reused_across_pushes() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(8);
+        let first = q.push_cancellable(t, "first");
+        assert_eq!(q.pop(), Some((t, "first")));
+        // Same instant, fresh entry: the spent token must neither equal the
+        // new one nor be able to cancel it.
+        let second = q.push_cancellable(t, "second");
+        assert_ne!(first, second);
+        assert!(!q.cancel(first), "a fired token must never cancel a later push");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(second));
+        assert!(q.is_empty());
+        // And a cancelled (never fired) token stays spent across pushes too.
+        let third = q.push_cancellable(t, "third");
+        assert!(q.cancel(third));
+        let fourth = q.push_cancellable(t, "fourth");
+        assert_ne!(third, fourth);
+        assert!(!q.cancel(third));
+        assert_eq!(q.pop(), Some((t, "fourth")));
+    }
+
+    #[test]
     fn with_capacity_and_reserve_are_usable() {
         let mut q: EventQueue<u32> = EventQueue::with_capacity(64);
         q.reserve(128);

@@ -112,23 +112,38 @@ impl ArrivalProcess for GammaProcess {
 }
 
 /// Replays an explicit list of arrival instants.
+///
+/// Input hygiene is part of the contract (config files and fuzzers hand
+/// this process arbitrary user data): **unsorted input is sorted on
+/// construction** — never rejected — and **duplicate instants are
+/// preserved**, modelling two requests landing at the same moment. Like
+/// every [`ArrivalProcess`], repeated [`generate`](ArrivalProcess::generate)
+/// calls continue the stream: instants already emitted for an earlier
+/// horizon are not emitted again.
 #[derive(Debug, Clone)]
 pub struct ReplayProcess {
     arrivals: Vec<SimTime>,
+    /// Index of the first instant not yet emitted (stream continuation).
+    cursor: usize,
 }
 
 impl ReplayProcess {
-    /// Creates a replay process; arrivals are sorted on construction.
+    /// Creates a replay process; arrivals are sorted on construction and
+    /// duplicates are kept.
     pub fn new<I: IntoIterator<Item = SimTime>>(arrivals: I) -> Self {
         let mut arrivals: Vec<SimTime> = arrivals.into_iter().collect();
         arrivals.sort_unstable();
-        ReplayProcess { arrivals }
+        ReplayProcess { arrivals, cursor: 0 }
     }
 }
 
 impl ArrivalProcess for ReplayProcess {
     fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
-        self.arrivals.iter().copied().filter(|&t| t < horizon).collect()
+        let start = self.cursor;
+        while self.cursor < self.arrivals.len() && self.arrivals[self.cursor] < horizon {
+            self.cursor += 1;
+        }
+        self.arrivals[start..self.cursor].to_vec()
     }
 
     fn mean_rate(&self) -> f64 {
@@ -201,5 +216,67 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         PoissonProcess::new(0.0, 0);
+    }
+
+    /// Empirical moments at fuzzer scale (n ≥ 10⁵): the Gamma renewal
+    /// process must deliver both its configured mean rate and its
+    /// coefficient of variation within tight tolerance.
+    #[test]
+    fn gamma_statistics_hold_at_1e5_samples() {
+        for (cv, seed) in [(0.5, 11), (1.0, 12), (3.0, 13)] {
+            let mut g = GammaProcess::new(500.0, cv, seed);
+            let arrivals = g.generate(SimTime::from_secs(250));
+            assert!(arrivals.len() >= 100_000, "need n ≥ 1e5, got {}", arrivals.len());
+            let rate = arrivals.len() as f64 / 250.0;
+            assert!(
+                (rate - 500.0).abs() / 500.0 < 0.02,
+                "cv {cv}: empirical rate {rate} off by more than 2%"
+            );
+            let empirical_cv = cv_of_interarrivals(&arrivals);
+            assert!(
+                (empirical_cv - cv).abs() / cv < 0.05,
+                "cv {cv}: empirical cv {empirical_cv} off by more than 5%"
+            );
+        }
+    }
+
+    /// Same bar for Poisson: rate within 1%, CV ≈ 1.
+    #[test]
+    fn poisson_statistics_hold_at_1e5_samples() {
+        let mut p = PoissonProcess::new(500.0, 21);
+        let arrivals = p.generate(SimTime::from_secs(250));
+        assert!(arrivals.len() >= 100_000);
+        let rate = arrivals.len() as f64 / 250.0;
+        assert!((rate - 500.0).abs() / 500.0 < 0.01, "rate {rate}");
+        let cv = cv_of_interarrivals(&arrivals);
+        assert!((cv - 1.0).abs() < 0.02, "cv {cv}");
+    }
+
+    /// The documented input-hygiene contract: unsorted input is sorted
+    /// (not rejected) and duplicate instants are preserved.
+    #[test]
+    fn replay_sorts_unsorted_input_and_keeps_duplicates() {
+        let t = |s: u64| SimTime::from_secs(s);
+        let mut r = ReplayProcess::new([t(5), t(1), t(5), t(3), t(1)]);
+        assert_eq!(r.generate(t(10)), vec![t(1), t(1), t(3), t(5), t(5)]);
+    }
+
+    /// Repeated `generate` calls continue the stream (the trait contract)
+    /// instead of re-emitting instants already handed out.
+    #[test]
+    fn replay_generate_continues_the_stream() {
+        let t = |s: u64| SimTime::from_secs(s);
+        let mut r = ReplayProcess::new([t(1), t(3), t(5), t(7)]);
+        assert_eq!(r.generate(t(4)), vec![t(1), t(3)]);
+        assert_eq!(r.generate(t(4)), Vec::<SimTime>::new(), "no duplicates on re-query");
+        assert_eq!(r.generate(t(8)), vec![t(5), t(7)], "later horizon resumes the stream");
+        assert_eq!(r.generate(t(100)), Vec::<SimTime>::new());
+    }
+
+    #[test]
+    fn replay_mean_rate_survives_degenerate_inputs() {
+        assert_eq!(ReplayProcess::new([]).mean_rate(), 0.0);
+        let t = SimTime::from_secs(2);
+        assert_eq!(ReplayProcess::new([t, t, t]).mean_rate(), 0.0, "zero span has no rate");
     }
 }

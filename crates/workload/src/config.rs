@@ -211,6 +211,26 @@ mod tests {
     }
 
     #[test]
+    fn replay_spec_accepts_unsorted_and_duplicate_times() {
+        let horizon = SimDuration::from_secs(10);
+        // Unsorted with a duplicate: sorted on construction, duplicate kept.
+        let mut r = ArrivalSpec::replay(vec![4.0, 1.0, 4.0, 2.5]).build(0, horizon).unwrap();
+        let got = r.generate(SimTime::ZERO + horizon);
+        assert_eq!(
+            got,
+            vec![
+                SimTime::from_secs_f64(1.0),
+                SimTime::from_secs_f64(2.5),
+                SimTime::from_secs_f64(4.0),
+                SimTime::from_secs_f64(4.0),
+            ]
+        );
+        // Negative or non-finite instants stay typed errors.
+        assert!(ArrivalSpec::replay(vec![-1.0]).build(0, horizon).is_err());
+        assert!(ArrivalSpec::replay(vec![f64::NAN]).build(0, horizon).is_err());
+    }
+
+    #[test]
     fn misuse_is_reported_not_panicked() {
         let horizon = SimDuration::from_secs(10);
         assert!(ArrivalSpec::poisson(-1.0).build(0, horizon).is_err());
