@@ -42,12 +42,17 @@ fn usage() -> String {
      \n\
      USAGE:\n\
      \x20 dilu run <scenario.toml|.json> [--json <out.json>] [--time-model <event-driven|dense-quantum>]\n\
+     \x20          [--threads <n>]\n\
      \x20     Build the scenario described by the config file and simulate it.\n\
      \x20     --time-model overrides the scenario's [sim] time_model (the\n\
      \x20     wake-on-work event engine by default; dense-quantum is the\n\
-     \x20     legacy per-quantum stepper kept for comparison).\n\
-     \x20 dilu experiment <name>... | all\n\
+     \x20     legacy per-quantum stepper kept for comparison). --threads\n\
+     \x20     overrides [sim] threads (node-plane step parallelism; the\n\
+     \x20     report is byte-identical at any setting).\n\
+     \x20 dilu experiment <name>... | all [--threads <n>]\n\
      \x20     Regenerate registered paper experiments (JSON under target/experiments/).\n\
+     \x20     --threads sets the default node-plane step parallelism (the\n\
+     \x20     DILU_THREADS environment variable) for every experiment run.\n\
      \x20 dilu fuzz [--cases N] [--seed S] [--oracle <name>]... [--minimize] [--dump-dir <dir>]\n\
      \x20     Generate N scenarios across the whole composition space (seeded,\n\
      \x20     reproducible) and check every one against the invariant oracles:\n\
@@ -70,6 +75,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut scenario_path: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
     let mut time_model: Option<String> = None;
+    let mut threads: Option<u32> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,6 +86,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--time-model" => {
                 let model = it.next().ok_or("--time-model needs a value")?;
                 time_model = Some(model.clone());
+            }
+            "--threads" => {
+                threads = Some(parse_threads(it.next())?);
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `dilu run`"));
@@ -93,19 +102,32 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let path =
         scenario_path.ok_or_else(|| format!("`dilu run` needs a scenario file\n\n{}", usage()))?;
-    run_scenario(&path, json_out.as_deref(), time_model.as_deref())
+    run_scenario(&path, json_out.as_deref(), time_model.as_deref(), threads)
+}
+
+/// Parses a `--threads` operand: a positive integer.
+fn parse_threads(value: Option<&String>) -> Result<u32, String> {
+    let value = value.ok_or("--threads needs a number")?;
+    match value.parse::<u32>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--threads needs a positive number, got `{value}`")),
+    }
 }
 
 fn run_scenario(
     path: &Path,
     json_out: Option<&Path>,
     time_model: Option<&str>,
+    threads: Option<u32>,
 ) -> Result<(), String> {
     let mut config = ScenarioConfig::load(path).map_err(|e| e.to_string())?;
     if let Some(model) = time_model {
         // Validated with the rest of the [sim] section when the builder maps
         // the config (unknown values fail there, loudly).
         config.sim.get_or_insert_with(Default::default).time_model = Some(model.to_owned());
+    }
+    if let Some(threads) = threads {
+        config.sim.get_or_insert_with(Default::default).threads = Some(threads);
     }
     let name = config.name.clone().unwrap_or_else(|| {
         path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
@@ -311,16 +333,32 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn cmd_experiment(args: &[String]) -> Result<(), String> {
-    if args.is_empty() {
+    // Experiments compose their scenarios internally, so `--threads` flows
+    // through the `DILU_THREADS` default that `SimConfig` reads — every
+    // report stays byte-identical; only the wall clock changes. The env
+    // write happens here on the main thread, before any simulation (and
+    // therefore any step-pool thread) exists, which is the one window
+    // where mutating the environment is race-free.
+    let mut names_args: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let threads = parse_threads(it.next())?;
+            std::env::set_var("DILU_THREADS", threads.to_string());
+        } else {
+            names_args.push(arg);
+        }
+    }
+    if names_args.is_empty() {
         return Err(format!(
             "`dilu experiment` needs at least one name (or `all`); known: {}",
             experiment_names().join(", ")
         ));
     }
-    let names: Vec<&str> = if args.len() == 1 && args[0] == "all" {
+    let names: Vec<&str> = if names_args.len() == 1 && names_args[0] == "all" {
         experiments::all().iter().map(|e| e.name()).collect()
     } else {
-        args.iter().map(String::as_str).collect()
+        names_args.iter().map(|s| s.as_str()).collect()
     };
     // Resolve everything before running anything, so typos fail fast.
     let mut todo = Vec::new();

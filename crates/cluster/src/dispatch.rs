@@ -1,0 +1,375 @@
+//! Request dispatch (control plane): arrival ingest, gateway routing,
+//! dynamic batch formation, and completion handling.
+//!
+//! Arrivals are ingested per quantum, routed to the least-loaded ready
+//! instance (falling back to cold-starting instances, then the gateway
+//! backlog), and batched per instance under the SLO-derived formation
+//! timeout. Both time models share the same batching rules; the event
+//! core visits only *dirty* instances (those whose batch state changed
+//! this wake) while the dense stepper scans everything. Work items are
+//! queued on node-plane engines through [`push_stage_item`]
+//! (`ClusterSim::push_stage_item`), which also performs the idle→busy
+//! policy catch-up; completions flow back here to advance pipeline stages,
+//! record latencies, and drive the training state machine in
+//! [`lifecycle`](crate::lifecycle).
+
+use dilu_sim::SimTime;
+
+use crate::instance::{InflightBatch, Request};
+use crate::sim::ClusterSim;
+use crate::{FunctionId, FunctionKind, InstanceState, InstanceUid};
+
+/// What a completed engine work item meant to the control plane.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WorkPayload {
+    InferStage { uid: InstanceUid, batch_id: u64 },
+    TrainCompute { func: FunctionId, worker: usize },
+    TrainComm { func: FunctionId, worker: usize },
+}
+
+impl ClusterSim {
+    pub(crate) fn ingest_arrivals(&mut self) {
+        let now = self.now;
+        let cutoff = now + self.config.quantum;
+        let mut routed: Vec<(FunctionId, Request)> = Vec::new();
+        for (id, f) in self.funcs.iter_mut() {
+            while f.arrivals.front().is_some_and(|&t| t < cutoff) {
+                let arrived = f.arrivals.pop_front().expect("checked front");
+                let req = Request { id: self.next_request, arrived };
+                self.next_request += 1;
+                f.arrived += 1;
+                f.sec_arrivals += 1;
+                f.window.observe(arrived);
+                routed.push((*id, req));
+            }
+        }
+        for (func, req) in routed {
+            self.route_request(func, req);
+        }
+    }
+
+    pub(crate) fn route_request(&mut self, func: FunctionId, req: Request) {
+        // Least-loaded ready instance; else least-loaded cold-starting one;
+        // else the gateway backlog. Scans only this function's instances
+        // (the per-func index), not the cluster.
+        let ids: &[InstanceUid] =
+            self.funcs.get(&func).map(|f| f.instance_ids.as_slice()).unwrap_or(&[]);
+        let instances = &self.instances;
+        let candidates = ids.iter().filter_map(|uid| instances.get(uid));
+        let mut best_ready: Option<(usize, InstanceUid)> = None;
+        let mut best_cold: Option<(usize, InstanceUid)> = None;
+        for inst in candidates {
+            let key = (inst.load(), inst.uid);
+            match inst.state {
+                InstanceState::Running => {
+                    if best_ready.is_none_or(|b| key < b) {
+                        best_ready = Some(key);
+                    }
+                }
+                InstanceState::ColdStarting { .. } => {
+                    if best_cold.is_none_or(|b| key < b) {
+                        best_cold = Some(key);
+                    }
+                }
+                InstanceState::Draining => {}
+            }
+        }
+        let target = best_ready.or(best_cold).map(|(_, uid)| uid);
+        match target {
+            Some(uid) => {
+                let inst = self.instances.get_mut(&uid).expect("target exists");
+                inst.pending.push_back(req);
+                if self.event_active {
+                    self.dirty.push(uid);
+                }
+            }
+            None => {
+                if let Some(f) = self.funcs.get_mut(&func) {
+                    f.backlog.push_back(req);
+                }
+            }
+        }
+    }
+
+    /// The dense dispatch phase: every instance, every quantum.
+    pub(crate) fn dispatch_batches(&mut self) {
+        let now = self.now;
+        let mut dispatches: Vec<(InstanceUid, u64, usize)> = Vec::new();
+        for inst in self.instances.values_mut() {
+            if !inst.state.is_ready() && !matches!(inst.state, InstanceState::Draining) {
+                continue;
+            }
+            let Some(f) = self.funcs.get(&inst.func) else {
+                continue;
+            };
+            let FunctionKind::Inference { slo, batch } = f.spec.kind else {
+                continue;
+            };
+            // Keep a short pipeline of batches queued on the engine slot so
+            // the share policy sees backlog pressure (the RCKM reads queue
+            // depth / KLC growth as its burst signal).
+            let at_stage0 = inst.inflight.iter().filter(|b| b.stage == 0).count();
+            if at_stage0 >= 4 {
+                continue;
+            }
+            if inst.pending.is_empty() {
+                continue;
+            }
+            let timeout =
+                (slo.mul_f64(self.config.batch_timeout_frac)).min(self.config.batch_timeout_cap);
+            let oldest = inst.pending.front().expect("non-empty").arrived;
+            let full = inst.pending.len() >= batch as usize;
+            let expired = now.saturating_since(oldest) >= timeout;
+            if !full && !expired {
+                continue;
+            }
+            let take = inst.pending.len().min(batch as usize);
+            let requests: Vec<Request> = inst.pending.drain(..take).collect();
+            let batch_id = self.next_batch;
+            self.next_batch += 1;
+            inst.inflight.push(InflightBatch { batch_id, requests, stage: 0 });
+            inst.last_active = now;
+            dispatches.push((inst.uid, batch_id, take));
+        }
+        for (uid, batch_id, size) in dispatches {
+            self.push_stage_item(uid, batch_id, 0, size as u32);
+        }
+    }
+
+    /// The event-core dispatch phase: examines exactly the instances whose
+    /// batch state changed this wake (`dirty`) plus those whose deadline
+    /// fired, in uid order — the same visit order and one-batch-per-
+    /// quantum budget as the dense scan over all instances.
+    pub(crate) fn dispatch_candidates(&mut self, expired: Vec<InstanceUid>) {
+        if self.dirty.is_empty() && expired.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let mut candidates = std::mem::take(&mut self.dirty);
+        candidates.extend(expired);
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut dispatches = std::mem::take(&mut self.dispatch_buf);
+        dispatches.clear();
+        for uid in candidates.drain(..) {
+            let Some(inst) = self.instances.get(&uid) else {
+                self.cancel_deadline(uid);
+                continue;
+            };
+            if !inst.state.is_ready() && !matches!(inst.state, InstanceState::Draining) {
+                // Still cold-starting: promotion re-marks it dirty.
+                continue;
+            }
+            let Some(f) = self.funcs.get(&inst.func) else {
+                continue;
+            };
+            let FunctionKind::Inference { slo, batch } = f.spec.kind else {
+                continue;
+            };
+            if inst.pending.is_empty() {
+                self.cancel_deadline(uid);
+                continue;
+            }
+            let timeout =
+                (slo.mul_f64(self.config.batch_timeout_frac)).min(self.config.batch_timeout_cap);
+            let at_stage0 = inst.inflight.iter().filter(|b| b.stage == 0).count();
+            let oldest = inst.pending.front().expect("non-empty").arrived;
+            let full = inst.pending.len() >= batch as usize;
+            let is_expired = now.saturating_since(oldest) >= timeout;
+            if at_stage0 >= 4 {
+                // Pipeline full: the next stage-0 completion re-marks this
+                // instance dirty, which re-runs this check.
+                continue;
+            }
+            if !full && !is_expired {
+                self.schedule_deadline(uid, oldest + timeout);
+                continue;
+            }
+            let inst = self.instances.get_mut(&uid).expect("checked above");
+            let take = inst.pending.len().min(batch as usize);
+            let requests: Vec<Request> = inst.pending.drain(..take).collect();
+            let batch_id = self.next_batch;
+            self.next_batch += 1;
+            inst.inflight.push(InflightBatch { batch_id, requests, stage: 0 });
+            inst.last_active = now;
+            dispatches.push((uid, batch_id, take));
+            // Leftover requests: at most one batch dispatches per instance
+            // per quantum (as in the dense stepper), so a still-ready
+            // leftover waits for the next grid instant.
+            match inst.pending.front() {
+                None => self.cancel_deadline(uid),
+                Some(head) => {
+                    let head_arrived = head.arrived;
+                    let full2 = inst.pending.len() >= batch as usize;
+                    let expired2 = now.saturating_since(head_arrived) >= timeout;
+                    if full2 || expired2 {
+                        self.cancel_deadline(uid);
+                        if at_stage0 + 1 < 4 {
+                            self.dirty.push(uid);
+                        }
+                    } else {
+                        self.schedule_deadline(uid, head_arrived + timeout);
+                    }
+                }
+            }
+        }
+        for &(uid, batch_id, size) in &dispatches {
+            self.push_stage_item(uid, batch_id, 0, size as u32);
+        }
+        self.dispatch_buf = dispatches;
+        // Hand the drained allocation back to `dirty`, keeping any entries
+        // pushed while dispatching (they are next quantum's candidates).
+        candidates.append(&mut self.dirty);
+        self.dirty = candidates;
+    }
+
+    /// Queues the work item for `stage` of a batch on the right GPU.
+    pub(crate) fn push_stage_item(
+        &mut self,
+        uid: InstanceUid,
+        batch_id: u64,
+        stage: usize,
+        batch: u32,
+    ) {
+        let Some(inst) = self.instances.get_mut(&uid) else {
+            return;
+        };
+        let Some(f) = self.funcs.get(&inst.func) else {
+            return;
+        };
+        let profile = f.spec.model.profile();
+        let stages = inst.gpus.len() as u32;
+        let t_total = profile.inference_t_min(batch);
+        let t_stage = t_total / u64::from(stages) + self.config.stage_transfer.min(t_total);
+        // Each stage hosts 1/stages of the layers, so its kernel stream
+        // saturates at roughly that share of the card.
+        let sat = profile
+            .inference_sat(batch)
+            .scale(1.0 / f64::from(stages))
+            .max(dilu_gpu::SmRate::from_percent(5.0));
+        let blocks = profile.inference_blocks(batch) / u64::from(stages);
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.tags.insert(tag, WorkPayload::InferStage { uid, batch_id });
+        let gpu = inst.gpus[stage];
+        let slot = inst.slot_id(stage);
+        let item = dilu_gpu::WorkItem::compute(t_stage, sat, blocks.max(1), tag);
+        self.queue_work(gpu, slot, item);
+    }
+
+    pub(crate) fn push_train_item(
+        &mut self,
+        func: FunctionId,
+        uid: InstanceUid,
+        worker: usize,
+        compute: bool,
+    ) {
+        let Some(f) = self.funcs.get(&func) else {
+            return;
+        };
+        let training = f.spec.model.profile().training;
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let payload = if compute {
+            WorkPayload::TrainCompute { func, worker }
+        } else {
+            WorkPayload::TrainComm { func, worker }
+        };
+        self.tags.insert(tag, payload);
+        let item = if compute { training.compute_item(tag) } else { training.idle_item(tag) };
+        if let Some(inst) = self.instances.get(&uid) {
+            let gpu = inst.gpus[0];
+            let slot = inst.slot_id(0);
+            self.queue_work(gpu, slot, item);
+        }
+    }
+
+    /// Queues a work item on a node-plane engine. Under the event core the
+    /// GPU is marked busy and, on the idle→busy transition, its share
+    /// policy is first caught up through the skipped cycles so it sees the
+    /// historically accurate workless views.
+    fn queue_work(
+        &mut self,
+        gpu: crate::GpuAddr,
+        slot: dilu_gpu::InstanceId,
+        item: dilu_gpu::WorkItem,
+    ) {
+        if self.event_active && self.nodes.mark_busy(gpu) {
+            self.nodes.slot_mut(gpu).catch_up(self.now, self.config.quantum, self.gpu_phase_done);
+        }
+        let _ = self.nodes.slot_mut(gpu).engine.push_work(slot, item);
+    }
+
+    /// Credits issued kernel blocks to the cluster and per-function
+    /// second counters.
+    pub(crate) fn attribute_blocks(&mut self, issued: &[(dilu_gpu::InstanceId, u64)]) {
+        for &(slot_id, blocks) in issued {
+            if blocks == 0 {
+                continue;
+            }
+            self.total_blocks_sec += blocks;
+            if let Some(&(_, _, func)) = self.slot_index.get(&slot_id) {
+                if let Some(f) = self.funcs.get_mut(&func) {
+                    f.sec_blocks += blocks;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn handle_completion(&mut self, c: dilu_gpu::Completion) {
+        let Some(payload) = self.tags.remove(&c.tag) else {
+            return;
+        };
+        match payload {
+            WorkPayload::InferStage { uid, batch_id } => {
+                self.advance_inference_batch(uid, batch_id, c.at);
+            }
+            WorkPayload::TrainCompute { func, worker } => {
+                self.advance_training(func, worker, true, c.at);
+            }
+            WorkPayload::TrainComm { func, worker } => {
+                self.advance_training(func, worker, false, c.at);
+            }
+        }
+    }
+
+    pub(crate) fn advance_inference_batch(&mut self, uid: InstanceUid, batch_id: u64, at: SimTime) {
+        let Some(inst) = self.instances.get_mut(&uid) else {
+            return;
+        };
+        let stages = inst.gpus.len();
+        let Some(pos) = inst.inflight.iter().position(|b| b.batch_id == batch_id) else {
+            return;
+        };
+        let next_stage = inst.inflight[pos].stage + 1;
+        if next_stage >= stages {
+            let batch = inst.inflight.remove(pos);
+            inst.last_active = at;
+            let func = inst.func;
+            let slo = self.funcs.get(&func).and_then(|f| f.spec.slo());
+            if let Some(f) = self.funcs.get_mut(&func) {
+                for req in &batch.requests {
+                    let latency = at.saturating_since(req.arrived);
+                    f.latency.record(latency);
+                    f.completed += 1;
+                    f.sec_completions += 1;
+                    if slo.is_some_and(|s| latency > s) {
+                        f.sec_violations += 1;
+                    }
+                }
+            }
+        } else {
+            inst.inflight[pos].stage = next_stage;
+            let size = inst.inflight[pos].requests.len() as u32;
+            self.push_stage_item(uid, batch_id, next_stage, size);
+        }
+        if self.event_active {
+            // A freed stage-0 slot only matters if requests are waiting to
+            // fill it; arrivals and promotions mark the instance dirty
+            // themselves when new work shows up later.
+            if self.instances.get(&uid).is_some_and(|i| !i.pending.is_empty()) {
+                self.dirty.push(uid);
+            }
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Elasticity execution and observability (control plane).
+//!
+//! The controller tick is the cluster's decision heartbeat: every
+//! [`SimConfig::tick`](crate::SimConfig) the control plane samples metrics,
+//! snapshots the cluster for the audit hook, builds per-function
+//! [`FunctionScaleView`]s (including vertical headroom derived from
+//! per-GPU guaranteed-SM slack), and executes the
+//! [`ElasticityController`](crate::ElasticityController)'s actions —
+//! horizontal scale-out/scale-in through the
+//! [`lifecycle`](crate::lifecycle) module, and vertical
+//! [`ScaleAction::ResizeQuota`] decisions queued here behind the
+//! configured apply latency, then fanned out to every live slice on the
+//! node plane. Identical on both time models (the tick runs inside the
+//! shared controller phase), which is what keeps audit content and
+//! reports byte-identical across dense, serial-event, and parallel-event
+//! execution.
+
+use std::collections::BTreeMap;
+
+use dilu_gpu::{SmRate, TaskClass};
+use dilu_metrics::{FragmentationSnapshot, GpuUsageSample};
+use dilu_sim::{SimDuration, SimTime};
+
+use crate::audit::{AuditHook, AuditSnapshot, FunctionAudit, GpuAudit};
+use crate::report::TimelinePoint;
+use crate::sim::{ClusterSim, SimEvent};
+use crate::traits::{
+    ClusterView, FunctionScaleView, GpuView, QuotaView, ResidentInfo, ScaleAction,
+};
+use crate::{FunctionId, GpuAddr, InstanceState};
+
+/// A decided-but-not-yet-applied vertical resize.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingResize {
+    pub(crate) due: SimTime,
+    pub(crate) func: FunctionId,
+    pub(crate) request: SmRate,
+    pub(crate) limit: SmRate,
+}
+
+impl ClusterSim {
+    /// Registers an observer invoked with a fresh [`AuditSnapshot`] at
+    /// every controller tick, before the elasticity controller acts.
+    ///
+    /// The hook cadence and content are identical on both time models and
+    /// at every `[sim] threads` setting (it runs inside the shared
+    /// controller phase, on the simulation thread), so an invariant
+    /// checker attached here cannot desynchronise the byte-identical
+    /// reports.
+    /// Replaces any previously registered hook.
+    pub fn set_audit_hook(&mut self, hook: AuditHook) {
+        self.audit_hook = Some(hook);
+    }
+
+    /// Takes a point-in-time [`AuditSnapshot`] of quota, memory, and
+    /// request accounting — the state the fuzzer's capacity and
+    /// conservation oracles check.
+    #[must_use]
+    pub fn audit(&self) -> AuditSnapshot {
+        self.audit_with(&self.cluster_view())
+    }
+
+    /// [`audit`](Self::audit) over an already-built view — the controller
+    /// tick builds one [`ClusterView`] and uses it for both the audit hook
+    /// and the controller itself.
+    fn audit_with(&self, view: &ClusterView) -> AuditSnapshot {
+        let gpus = view
+            .gpus
+            .iter()
+            .map(|g| GpuAudit {
+                addr: g.addr,
+                sum_request: g.sum_requests().as_fraction(),
+                sum_limit: g.sum_limits().as_fraction(),
+                mem_reserved: g.mem_reserved,
+                mem_capacity: g.mem_capacity,
+                residents: g.residents.len() as u32,
+            })
+            .collect();
+        let functions = self
+            .funcs
+            .iter()
+            .map(|(&func, f)| {
+                let mut queued = 0u64;
+                let mut inflight = 0u64;
+                let mut ready = 0u32;
+                let mut starting = 0u32;
+                let mut draining = 0u32;
+                for uid in &f.instance_ids {
+                    let Some(inst) = self.instances.get(uid) else {
+                        continue;
+                    };
+                    queued += inst.pending.len() as u64;
+                    inflight += inst.inflight.iter().map(|b| b.requests.len() as u64).sum::<u64>();
+                    match inst.state {
+                        InstanceState::Running => ready += 1,
+                        InstanceState::ColdStarting { .. } => starting += 1,
+                        InstanceState::Draining => draining += 1,
+                    }
+                }
+                FunctionAudit {
+                    func,
+                    inference: f.spec.kind.is_inference(),
+                    arrived: f.arrived,
+                    completed: f.completed,
+                    backlog: f.backlog.len() as u64,
+                    queued,
+                    inflight,
+                    pending_arrivals: f.arrivals.len() as u64,
+                    ready_instances: ready,
+                    starting_instances: starting,
+                    draining_instances: draining,
+                    cold_starts: f.cold_starts.count(),
+                    resize_grows: f.resizes.grows(),
+                    resize_shrinks: f.resizes.shrinks(),
+                }
+            })
+            .collect();
+        AuditSnapshot { now: self.now, gpus, functions }
+    }
+
+    /// Queues a vertical resize to apply after the configured latency.
+    ///
+    /// A re-request while one is still in flight retargets the pending
+    /// resize but keeps its original due time — controllers re-emit their
+    /// decision every tick until the spec reflects it, and resetting the
+    /// clock each time would starve the apply whenever
+    /// `resize_latency >= tick`.
+    pub(crate) fn request_resize(&mut self, func: FunctionId, request: SmRate, limit: SmRate) {
+        let Some(f) = self.funcs.get(&func) else {
+            return;
+        };
+        let request = request.min(SmRate::FULL);
+        let limit = limit.max(request);
+        if let Some(pending) = self.pending_resizes.iter_mut().find(|r| r.func == func) {
+            pending.request = request;
+            pending.limit = limit;
+            return;
+        }
+        if f.spec.quotas.request == request && f.spec.quotas.limit == limit {
+            return;
+        }
+        let due = self.now + self.config.resize_latency;
+        self.pending_resizes.push(PendingResize { due, func, request, limit });
+        if self.event_active {
+            // Never earlier than the next quantum: this wake's apply phase
+            // has already run, and the dense stepper would first see the
+            // pending resize at the next quantum start (a zero apply
+            // latency must not re-wake — and re-step — this instant).
+            let at = self.grid_ceil(due).max(self.now + self.config.quantum);
+            self.events.push(at, SimEvent::ResizeApply);
+        }
+    }
+
+    /// Applies every resize whose latency has elapsed: the function's spec
+    /// (future launches, capacity) and every live slice on the GPUs.
+    pub(crate) fn apply_due_resizes(&mut self) {
+        let now = self.now;
+        if self.pending_resizes.iter().all(|r| r.due > now) {
+            return;
+        }
+        let mut due = Vec::new();
+        self.pending_resizes.retain(|r| {
+            if r.due <= now {
+                due.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        for r in due {
+            let Some(f) = self.funcs.get_mut(&r.func) else {
+                continue;
+            };
+            let old = f.spec.quotas;
+            if r.request > old.request || (r.request == old.request && r.limit > old.limit) {
+                f.resizes.record_grow();
+            } else {
+                f.resizes.record_shrink();
+            }
+            f.spec.quotas.request = r.request;
+            f.spec.quotas.limit = r.limit;
+            let ids = f.instance_ids.clone();
+            for uid in ids {
+                let Some(inst) = self.instances.get(&uid) else {
+                    continue;
+                };
+                let gpus: Vec<(dilu_gpu::InstanceId, GpuAddr)> = inst
+                    .gpus
+                    .iter()
+                    .enumerate()
+                    .map(|(stage, &gpu)| (inst.slot_id(stage), gpu))
+                    .collect();
+                for (slot_id, gpu) in gpus {
+                    let g = self.nodes.slot_mut(gpu);
+                    if g.engine.resize(slot_id, r.request, r.limit).is_ok() {
+                        g.policy.notify_resize(slot_id, r.request, r.limit);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn cluster_view(&self) -> ClusterView {
+        let mut views: BTreeMap<GpuAddr, GpuView> = self
+            .spec
+            .gpu_addrs()
+            .map(|addr| {
+                (
+                    addr,
+                    GpuView {
+                        addr,
+                        mem_capacity: self.spec.gpu_mem_bytes,
+                        mem_reserved: 0,
+                        residents: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        for inst in self.instances.values() {
+            let Some(f) = self.funcs.get(&inst.func) else {
+                continue;
+            };
+            let class = if f.spec.kind.is_inference() {
+                TaskClass::SloSensitive
+            } else {
+                TaskClass::BestEffort
+            };
+            let per_gpu_mem = f.spec.quotas.mem_bytes;
+            for gpu in &inst.gpus {
+                if let Some(v) = views.get_mut(gpu) {
+                    v.mem_reserved += per_gpu_mem;
+                    v.residents.push(ResidentInfo {
+                        func: inst.func,
+                        class,
+                        request: f.spec.quotas.request,
+                        limit: f.spec.quotas.limit,
+                        mem_bytes: per_gpu_mem,
+                    });
+                }
+            }
+        }
+        ClusterView { gpus: views.into_values().collect() }
+    }
+
+    /// Per-GPU guaranteed-SM slack, and per function the tightest slack
+    /// across the GPUs hosting its (non-draining) instances.
+    ///
+    /// A resize re-quotas *every* slice of the function, so a GPU hosting
+    /// `n` of them absorbs `n×` the per-slice growth — its slack is divided
+    /// by the slice count before taking the minimum.
+    fn vertical_headroom(&self, cluster: &ClusterView) -> BTreeMap<FunctionId, SmRate> {
+        let slack: BTreeMap<GpuAddr, SmRate> =
+            cluster.gpus.iter().map(|g| (g.addr, g.request_slack())).collect();
+        let mut slices: BTreeMap<(FunctionId, GpuAddr), u32> = BTreeMap::new();
+        for inst in self.instances.values() {
+            if matches!(inst.state, InstanceState::Draining) {
+                continue;
+            }
+            for gpu in &inst.gpus {
+                *slices.entry((inst.func, *gpu)).or_insert(0) += 1;
+            }
+        }
+        let mut headroom: BTreeMap<FunctionId, SmRate> = BTreeMap::new();
+        for (&(func, gpu), &count) in &slices {
+            let per_slice = slack
+                .get(&gpu)
+                .copied()
+                .unwrap_or(SmRate::ZERO)
+                .scale(1.0 / f64::from(count.max(1)));
+            headroom.entry(func).and_modify(|h| *h = h.min(per_slice)).or_insert(per_slice);
+        }
+        headroom
+    }
+
+    pub(crate) fn run_controller(&mut self) {
+        let cluster = self.cluster_view();
+        if self.audit_hook.is_some() {
+            let snapshot = self.audit_with(&cluster);
+            if let Some(hook) = self.audit_hook.as_mut() {
+                hook(&snapshot);
+            }
+        }
+        let now = self.now;
+        let headroom = self.vertical_headroom(&cluster);
+        let mut views = Vec::new();
+        let instances = &self.instances;
+        for (id, f) in self.funcs.iter_mut() {
+            f.window.roll_to(now);
+            if !f.spec.kind.is_inference() {
+                continue;
+            }
+            let mut ready = 0u32;
+            let mut starting = 0u32;
+            let mut backlog = f.backlog.len();
+            let mut max_idle = SimDuration::ZERO;
+            for inst in instances.values().filter(|i| i.func == *id) {
+                match inst.state {
+                    InstanceState::Running => {
+                        ready += 1;
+                        backlog += inst.load();
+                        if inst.load() == 0 {
+                            max_idle = max_idle.max(now.saturating_since(inst.last_active));
+                        }
+                    }
+                    InstanceState::ColdStarting { .. } => {
+                        starting += 1;
+                        backlog += inst.load();
+                    }
+                    InstanceState::Draining => {}
+                }
+            }
+            views.push(FunctionScaleView {
+                func: *id,
+                kind: f.spec.kind,
+                rps_window: f.window.samples().to_vec(),
+                ready_instances: ready,
+                starting_instances: starting,
+                backlog,
+                capacity_rps: f.spec.capacity_rps(),
+                max_idle,
+                quota: QuotaView {
+                    request: f.spec.quotas.request,
+                    limit: f.spec.quotas.limit,
+                    headroom: headroom.get(id).copied().unwrap_or(SmRate::ZERO),
+                    capacity_rps_at_limit: f.spec.capacity_rps_at(f.spec.quotas.limit),
+                },
+            });
+        }
+        let actions = self.controller.on_tick(now, &views, &cluster);
+        for action in actions {
+            match action {
+                ScaleAction::ScaleOut { func, count } => {
+                    for _ in 0..count {
+                        let _ = self.launch_instance(func, false);
+                    }
+                }
+                ScaleAction::ScaleIn { func, count } => {
+                    for _ in 0..count {
+                        // Drain the most idle ready instance.
+                        let victim = self
+                            .instances
+                            .values()
+                            .filter(|i| i.func == func && i.state.is_ready())
+                            .min_by_key(|i| {
+                                (
+                                    std::cmp::Reverse(
+                                        now.saturating_since(i.last_active).as_micros(),
+                                    ),
+                                    i.uid,
+                                )
+                            })
+                            .map(|i| i.uid);
+                        if let Some(uid) = victim {
+                            if let Some(inst) = self.instances.get_mut(&uid) {
+                                inst.state = InstanceState::Draining;
+                                self.draining_count += 1;
+                                if self.event_active {
+                                    // Remaining pending work may still
+                                    // dispatch while draining.
+                                    self.dirty.push(uid);
+                                }
+                            }
+                        }
+                    }
+                }
+                ScaleAction::ResizeQuota { func, request, limit } => {
+                    self.request_resize(func, request, limit);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn sample_metrics(&mut self) {
+        let sec = self.now.as_secs();
+        if self.last_sampled_sec == Some(sec) {
+            return;
+        }
+        self.last_sampled_sec = Some(sec);
+        // Quanta covered by this sampling window. Skipped (idle) quanta
+        // contribute exactly 0 to `used_accum`, so dividing by the window
+        // size gives the same average whether or not they were stepped —
+        // the dense stepper and the event core agree bit-for-bit.
+        let window_quanta = self.sample_clock.window_quanta(self.now, self.config.quantum);
+        let gpu_count = self.spec.total_gpus() as usize;
+        let mut samples = Vec::with_capacity(gpu_count);
+        let mut occupied = 0u32;
+        for slot in self.nodes.slots_mut() {
+            let avg_used = slot.used_accum / window_quanta as f64;
+            slot.used_accum = 0.0;
+            let is_occupied = slot.engine.resident_count() > 0;
+            if is_occupied {
+                occupied += 1;
+            }
+            samples.push(GpuUsageSample {
+                sm_capacity: 100.0,
+                sm_used: avg_used * 100.0,
+                mem_capacity: slot.engine.mem_capacity(),
+                mem_used: slot.engine.mem_used(),
+                occupied: is_occupied,
+            });
+        }
+        debug_assert_eq!(
+            occupied,
+            self.nodes.occupied(),
+            "node-plane occupancy counter drifted from engine state"
+        );
+        self.fragmentation.push(FragmentationSnapshot::from_samples(&samples));
+        self.occupied_series.push((sec, occupied));
+        self.peak_gpus = self.peak_gpus.max(occupied);
+        self.gpu_seconds += f64::from(occupied) * self.config.tick.as_secs_f64();
+        let instance_gpus: usize = self.instances.values().map(|i| i.gpus.len()).sum();
+        self.instance_gpu_seconds += instance_gpus as f64 * self.config.tick.as_secs_f64();
+        self.total_kernel_series.push((sec, self.total_blocks_sec));
+        self.total_blocks_sec = 0;
+        for f in self.funcs.values_mut() {
+            f.kernel_series.push((sec, f.sec_blocks));
+            f.sec_blocks = 0;
+        }
+        // Inference timelines need instance counts; gather after borrows end.
+        let ready_counts: BTreeMap<FunctionId, u32> = self
+            .funcs
+            .keys()
+            .map(|&id| {
+                (
+                    id,
+                    self.instances.values().filter(|i| i.func == id && i.state.is_ready()).count()
+                        as u32,
+                )
+            })
+            .collect();
+        for (id, f) in self.funcs.iter_mut() {
+            if f.spec.kind.is_inference() {
+                f.timeline.push(TimelinePoint {
+                    sec,
+                    arrivals: f.sec_arrivals,
+                    completions: f.sec_completions,
+                    violations: f.sec_violations,
+                    ready_instances: ready_counts.get(id).copied().unwrap_or(0),
+                });
+            }
+            f.sec_arrivals = 0;
+            f.sec_completions = 0;
+            f.sec_violations = 0;
+        }
+    }
+}

@@ -8,6 +8,13 @@
 //! stage/bubble phases (pipeline parallelism), models cold starts, and
 //! records every metric the paper reports.
 //!
+//! Internally the simulator is layered into a **control plane** (routing
+//! and dispatch, lifecycle, elasticity execution — the `dispatch`,
+//! `lifecycle`, and `elasticity` modules) over a **node plane** (`nodes`):
+//! per-node GPU runtimes that can be stepped serially or across a
+//! deterministic scoped-thread pool ([`SimConfig::threads`]) with
+//! byte-identical results. The `sim` module sequences the phases.
+//!
 //! Three extension points make it policy-agnostic so Dilu and every baseline
 //! run on the identical substrate:
 //!
@@ -26,7 +33,11 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod dispatch;
+mod elasticity;
 mod instance;
+mod lifecycle;
+mod nodes;
 mod report;
 mod sim;
 mod spec;
@@ -34,8 +45,9 @@ mod traits;
 
 pub use audit::{AuditHook, AuditSnapshot, FunctionAudit, GpuAudit};
 pub use instance::{InstanceState, InstanceUid};
+pub use lifecycle::DeployError;
 pub use report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
-pub use sim::{ClusterSim, DeployError, SimConfig, SimEvent, TimeModel};
+pub use sim::{ClusterSim, SimConfig, SimEvent, TimeModel};
 pub use spec::{
     cold_start_duration, ClusterSpec, FunctionId, FunctionKind, FunctionSpec, GpuAddr, Quotas,
 };

@@ -1,0 +1,501 @@
+//! Instance and training-job lifecycle (control plane).
+//!
+//! Everything that creates, promotes, drains, or destroys capacity lives
+//! here: deployment entry points and their typed [`DeployError`]s, spec
+//! validation, instance launch (placement + engine admission + cold-start
+//! scheduling) and termination, cold-start promotion, drained-instance
+//! reaping, and the barrier-synchronised training-job state machine
+//! (compute/communication phases, worker placement retries, completion
+//! teardown). The node plane is only touched through
+//! [`NodePlane`](crate::nodes) wrappers so occupancy accounting stays
+//! exact.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use dilu_gpu::{SlotConfig, TaskClass};
+use dilu_sim::SimTime;
+
+use crate::instance::Instance;
+use crate::sim::{new_func_state, SimEvent};
+use crate::{
+    cold_start_duration, ClusterSim, FunctionId, FunctionKind, FunctionSpec, InstanceState,
+    InstanceUid,
+};
+
+/// Errors surfaced by deployment calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeployError {
+    /// The placement policy found no feasible GPUs.
+    PlacementFailed(FunctionId),
+    /// A function with this id is already deployed.
+    DuplicateFunction(FunctionId),
+    /// The function spec itself is invalid (zero batch, zero workers, ...).
+    InvalidSpec {
+        /// The offending function.
+        func: FunctionId,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// The spec asks for more GPUs per instance than the cluster has.
+    ClusterTooSmall {
+        /// The offending function.
+        func: FunctionId,
+        /// GPUs one instance needs.
+        needed: u32,
+        /// GPUs the cluster has in total.
+        available: u32,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::PlacementFailed(id) => write!(f, "no feasible placement for {id}"),
+            DeployError::DuplicateFunction(id) => write!(f, "function {id} already deployed"),
+            DeployError::InvalidSpec { func, reason } => {
+                write!(f, "invalid spec for {func}: {reason}")
+            }
+            DeployError::ClusterTooSmall { func, needed, available } => {
+                write!(f, "{func} needs {needed} GPUs per instance but the cluster has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JobPhase {
+    WaitingForWorkers,
+    Compute,
+    Comm,
+    Done,
+}
+
+#[derive(Debug)]
+pub(crate) struct TrainingJob {
+    pub(crate) workers: Vec<InstanceUid>,
+    pub(crate) phase: JobPhase,
+    pub(crate) remaining: BTreeSet<usize>,
+    pub(crate) iterations_done: u64,
+    pub(crate) target: u64,
+    pub(crate) started: Option<SimTime>,
+    pub(crate) finished: Option<SimTime>,
+    pub(crate) samples_done: u64,
+}
+
+impl ClusterSim {
+    /// Deploys an inference function with `initial` pre-warmed instances and
+    /// a pre-generated arrival stream.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::DuplicateFunction`] if the id is taken;
+    /// [`DeployError::PlacementFailed`] if any initial instance cannot be
+    /// placed.
+    pub fn deploy_inference(
+        &mut self,
+        spec: FunctionSpec,
+        initial: u32,
+        arrivals: Vec<SimTime>,
+    ) -> Result<(), DeployError> {
+        if self.funcs.contains_key(&spec.id) {
+            return Err(DeployError::DuplicateFunction(spec.id));
+        }
+        debug_assert!(spec.kind.is_inference(), "use deploy_training for training functions");
+        self.validate_spec(&spec)?;
+        let id = spec.id;
+        self.funcs.insert(id, new_func_state(spec, arrivals));
+        for _ in 0..initial {
+            self.launch_instance(id, true).map_err(|_| DeployError::PlacementFailed(id))?;
+        }
+        Ok(())
+    }
+
+    /// Deploys a training function; its workers are placed immediately and
+    /// the job starts once all of them are ready.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::DuplicateFunction`] if the id is taken;
+    /// [`DeployError::PlacementFailed`] if any worker cannot be placed.
+    pub fn deploy_training(&mut self, spec: FunctionSpec) -> Result<(), DeployError> {
+        if self.funcs.contains_key(&spec.id) {
+            return Err(DeployError::DuplicateFunction(spec.id));
+        }
+        let FunctionKind::Training { workers, iterations } = spec.kind else {
+            panic!("use deploy_inference for inference functions");
+        };
+        self.validate_spec(&spec)?;
+        let id = spec.id;
+        self.funcs.insert(id, new_func_state(spec, Vec::new()));
+        let mut uids = Vec::new();
+        for _ in 0..workers {
+            match self.launch_instance(id, true) {
+                Ok(uid) => uids.push(uid),
+                Err(()) => {
+                    // Roll back so a later retry starts clean.
+                    for uid in uids {
+                        self.terminate_instance(uid);
+                    }
+                    self.funcs.remove(&id);
+                    return Err(DeployError::PlacementFailed(id));
+                }
+            }
+        }
+        self.jobs.insert(
+            id,
+            TrainingJob {
+                workers: uids,
+                phase: JobPhase::WaitingForWorkers,
+                remaining: BTreeSet::new(),
+                iterations_done: 0,
+                target: iterations,
+                started: None,
+                finished: None,
+                samples_done: 0,
+            },
+        );
+        // Pre-warmed workers are ready immediately; kick the job off now.
+        self.maybe_start_job(id);
+        Ok(())
+    }
+
+    /// Schedules a training function to be submitted at `at` (paper §5.4
+    /// submits jobs at different times). Placement happens at submission;
+    /// if the cluster is full then, the submission is retried each second.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::InvalidSpec`] / [`DeployError::ClusterTooSmall`] for
+    /// structurally impossible specs — validated eagerly, since a spec
+    /// failing at submission time would otherwise be retried (and dropped)
+    /// silently.
+    pub fn schedule_training(
+        &mut self,
+        spec: FunctionSpec,
+        at: SimTime,
+    ) -> Result<(), DeployError> {
+        debug_assert!(!spec.kind.is_inference(), "only training can be scheduled late");
+        self.validate_spec(&spec)?;
+        self.pending_training.push((at, spec));
+        Ok(())
+    }
+
+    /// Rejects structurally impossible specs with a typed error instead of
+    /// letting them fail as an opaque placement failure (or panic) later.
+    pub(crate) fn validate_spec(&self, spec: &FunctionSpec) -> Result<(), DeployError> {
+        let func = spec.id;
+        if spec.gpus_per_instance == 0 {
+            return Err(DeployError::InvalidSpec { func, reason: "gpus_per_instance is zero" });
+        }
+        if spec.quotas.mem_bytes == 0 {
+            return Err(DeployError::InvalidSpec { func, reason: "memory reservation is zero" });
+        }
+        if spec.quotas.mem_bytes > self.spec.gpu_mem_bytes {
+            return Err(DeployError::InvalidSpec {
+                func,
+                reason: "memory reservation exceeds one GPU",
+            });
+        }
+        match spec.kind {
+            FunctionKind::Inference { batch: 0, .. } => {
+                return Err(DeployError::InvalidSpec { func, reason: "batch size is zero" });
+            }
+            FunctionKind::Training { workers: 0, .. } => {
+                return Err(DeployError::InvalidSpec { func, reason: "worker count is zero" });
+            }
+            FunctionKind::Training { iterations: 0, .. } => {
+                return Err(DeployError::InvalidSpec { func, reason: "iteration target is zero" });
+            }
+            _ => {}
+        }
+        if spec.gpus_per_instance > self.spec.total_gpus() {
+            return Err(DeployError::ClusterTooSmall {
+                func,
+                needed: spec.gpus_per_instance,
+                available: self.spec.total_gpus(),
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn submit_due_training(&mut self) {
+        let now = self.now;
+        let due: Vec<FunctionSpec> = {
+            let mut due = Vec::new();
+            self.pending_training.retain(|(at, spec)| {
+                if *at <= now {
+                    due.push(spec.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for spec in due {
+            let at = now + self.config.tick;
+            if self.deploy_training(spec.clone()).is_err() {
+                // Cluster full or duplicate: retry next second unless the
+                // function already exists.
+                if !self.funcs.contains_key(&spec.id) {
+                    self.pending_training.push((at, spec));
+                    if self.event_active {
+                        let due = self.grid_ceil(at).max(self.now + self.config.quantum);
+                        self.events.push(due, SimEvent::TrainingSubmit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The dense promotion phase: every cold-started instance whose
+    /// `ready_at` has passed becomes ready and picks up the gateway
+    /// backlog.
+    pub(crate) fn promote_ready_instances(&mut self) {
+        let now = self.now;
+        let mut became_ready = Vec::new();
+        for inst in self.instances.values_mut() {
+            if let InstanceState::ColdStarting { ready_at } = inst.state {
+                if now >= ready_at {
+                    inst.state = InstanceState::Running;
+                    inst.last_active = now;
+                    became_ready.push((inst.uid, inst.func));
+                }
+            }
+        }
+        // Drain gateway backlog into newly ready instances.
+        for (uid, func) in became_ready {
+            if let Some(f) = self.funcs.get_mut(&func) {
+                if let Some(inst) = self.instances.get_mut(&uid) {
+                    while let Some(req) = f.backlog.pop_front() {
+                        inst.pending.push_back(req);
+                    }
+                }
+            }
+            self.maybe_start_job(func);
+        }
+    }
+
+    /// Promotes one cold-started instance (the event-core counterpart of
+    /// [`promote_ready_instances`](Self::promote_ready_instances)).
+    pub(crate) fn promote_instance(&mut self, uid: InstanceUid) {
+        let now = self.now;
+        let Some(inst) = self.instances.get_mut(&uid) else {
+            return;
+        };
+        let InstanceState::ColdStarting { ready_at } = inst.state else {
+            return;
+        };
+        debug_assert!(now >= ready_at, "promotion event fired early");
+        inst.state = InstanceState::Running;
+        inst.last_active = now;
+        let func = inst.func;
+        if let Some(f) = self.funcs.get_mut(&func) {
+            while let Some(req) = f.backlog.pop_front() {
+                inst.pending.push_back(req);
+            }
+        }
+        if !inst.pending.is_empty() {
+            self.dirty.push(uid);
+        }
+        self.maybe_start_job(func);
+    }
+
+    pub(crate) fn maybe_start_job(&mut self, func: FunctionId) {
+        let Some(job) = self.jobs.get_mut(&func) else {
+            return;
+        };
+        if job.phase != JobPhase::WaitingForWorkers {
+            return;
+        }
+        let all_ready = job
+            .workers
+            .iter()
+            .all(|uid| self.instances.get(uid).is_some_and(|i| i.state.is_ready()));
+        if !all_ready {
+            return;
+        }
+        job.phase = JobPhase::Compute;
+        job.started = Some(self.now);
+        job.remaining = (0..job.workers.len()).collect();
+        let workers = job.workers.clone();
+        for (w, uid) in workers.iter().enumerate() {
+            self.push_train_item(func, *uid, w, true);
+        }
+    }
+
+    pub(crate) fn advance_training(
+        &mut self,
+        func: FunctionId,
+        worker: usize,
+        was_compute: bool,
+        at: SimTime,
+    ) {
+        let Some(job) = self.jobs.get_mut(&func) else {
+            return;
+        };
+        job.remaining.remove(&worker);
+        if !job.remaining.is_empty() {
+            return;
+        }
+        match (job.phase, was_compute) {
+            (JobPhase::Compute, true) => {
+                job.phase = JobPhase::Comm;
+                job.remaining = (0..job.workers.len()).collect();
+                let workers = job.workers.clone();
+                for (w, uid) in workers.iter().enumerate() {
+                    self.push_train_item(func, *uid, w, false);
+                }
+            }
+            (JobPhase::Comm, false) => {
+                job.iterations_done += 1;
+                let samples = self
+                    .funcs
+                    .get(&func)
+                    .map(|f| u64::from(f.spec.model.profile().training.samples_per_iter))
+                    .unwrap_or(0);
+                job.samples_done += samples * job.workers.len() as u64;
+                if job.iterations_done >= job.target {
+                    job.phase = JobPhase::Done;
+                    // The exact block-finish instant of the last worker, not
+                    // the enclosing quantum's start.
+                    job.finished = Some(at);
+                    let workers = job.workers.clone();
+                    for uid in workers {
+                        self.terminate_instance(uid);
+                    }
+                } else {
+                    job.phase = JobPhase::Compute;
+                    job.remaining = (0..job.workers.len()).collect();
+                    let workers = job.workers.clone();
+                    for (w, uid) in workers.iter().enumerate() {
+                        self.push_train_item(func, *uid, w, true);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn reap_drained(&mut self) {
+        if self.draining_count == 0 {
+            return;
+        }
+        let drained: Vec<InstanceUid> = self
+            .instances
+            .values()
+            .filter(|i| {
+                matches!(i.state, InstanceState::Draining)
+                    && i.inflight.is_empty()
+                    && i.pending.is_empty()
+            })
+            .map(|i| i.uid)
+            .collect();
+        for uid in drained {
+            self.terminate_instance(uid);
+        }
+    }
+
+    pub(crate) fn terminate_instance(&mut self, uid: InstanceUid) {
+        let Some(inst) = self.instances.remove(&uid) else {
+            return;
+        };
+        if matches!(inst.state, InstanceState::Draining) {
+            self.draining_count = self.draining_count.saturating_sub(1);
+        }
+        self.dirty.retain(|&d| d != uid);
+        self.cancel_deadline(uid);
+        if let Some(f) = self.funcs.get_mut(&inst.func) {
+            f.instance_ids.retain(|&i| i != uid);
+        }
+        // Requeue any stranded requests at the gateway.
+        if let Some(f) = self.funcs.get_mut(&inst.func) {
+            for req in inst.pending.iter() {
+                f.backlog.push_back(*req);
+            }
+        }
+        for (stage, gpu) in inst.gpus.iter().enumerate() {
+            let slot = inst.slot_id(stage);
+            self.slot_index.remove(&slot);
+            self.nodes.evict(*gpu, slot);
+        }
+    }
+
+    pub(crate) fn launch_instance(
+        &mut self,
+        func: FunctionId,
+        prewarmed: bool,
+    ) -> Result<InstanceUid, ()> {
+        let view = self.cluster_view();
+        let spec = self.funcs.get(&func).ok_or(())?.spec.clone();
+        let gpus = self.placement.place(&spec, &view).ok_or(())?;
+        debug_assert_eq!(gpus.len() as u32, spec.gpus_per_instance);
+        let uid = InstanceUid(self.next_uid);
+        self.next_uid += 1;
+        let class =
+            if spec.kind.is_inference() { TaskClass::SloSensitive } else { TaskClass::BestEffort };
+        let state = if prewarmed {
+            InstanceState::Running
+        } else {
+            let delay = cold_start_duration(spec.model);
+            if let Some(f) = self.funcs.get_mut(&func) {
+                f.cold_starts.record(delay);
+            }
+            let ready_at = self.now + delay;
+            if self.event_active {
+                // This wake's promotion phase has already run; the dense
+                // stepper would promote at the next processed quantum.
+                let due = self.grid_ceil(ready_at).max(self.now + self.config.quantum);
+                self.events.push(due, SimEvent::ColdStartReady(uid));
+            }
+            InstanceState::ColdStarting { ready_at }
+        };
+        let inst = Instance {
+            uid,
+            func,
+            gpus: gpus.clone(),
+            state,
+            pending: VecDeque::new(),
+            inflight: Vec::new(),
+            last_active: self.now,
+        };
+        for (stage, gpu) in gpus.iter().enumerate() {
+            let slot = inst.slot_id(stage);
+            let cfg = SlotConfig {
+                class,
+                request: spec.quotas.request,
+                limit: spec.quotas.limit,
+                mem_bytes: spec.quotas.mem_bytes,
+            };
+            if self.event_active {
+                // Close any idle gap *before* the new slot joins the
+                // roster: replayed cycles must show the pre-admission
+                // residents only, and the fresh slot's policy history must
+                // start here — exactly as under dense stepping.
+                self.nodes.slot_mut(*gpu).catch_up(
+                    self.now,
+                    self.config.quantum,
+                    self.gpu_phase_done,
+                );
+            }
+            if self.nodes.admit(*gpu, slot, cfg).is_err() {
+                // Roll back earlier stages.
+                for (s, g) in gpus.iter().enumerate().take(stage) {
+                    let sid = inst.slot_id(s);
+                    self.slot_index.remove(&sid);
+                    self.nodes.evict(*g, sid);
+                }
+                return Err(());
+            }
+            self.slot_index.insert(slot, (uid, stage, func));
+        }
+        if let Some(f) = self.funcs.get_mut(&func) {
+            f.instance_ids.push(uid);
+        }
+        self.instances.insert(uid, inst);
+        Ok(uid)
+    }
+}

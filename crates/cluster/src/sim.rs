@@ -1,7 +1,17 @@
-//! The cluster simulation driver.
+//! The cluster simulation driver: phase orchestration over the control
+//! plane and the node plane.
 //!
-//! Two time models drive the serving plane over the same state and the
-//! same phase semantics:
+//! [`ClusterSim`] is layered. The **control plane** decides and accounts —
+//! arrival ingest and routing ([`crate::dispatch`]), instance and
+//! training-job lifecycle ([`crate::lifecycle`]), elasticity execution,
+//! metrics, and auditing ([`crate::elasticity`]). The **node plane**
+//! ([`crate::nodes`]) owns per-node GPU runtimes and steps them — serially
+//! or across a deterministic scoped-thread pool ([`SimConfig::threads`]).
+//! This module owns the state shared by both planes and sequences the
+//! phases.
+//!
+//! Two time models drive the phases over the same state and the same
+//! semantics:
 //!
 //! * [`TimeModel::EventDriven`] (the default) — a wake-on-work engine over
 //!   [`dilu_sim::EventQueue`]. The cluster sleeps until the next
@@ -16,29 +26,28 @@
 //!
 //! Both models run on the same quantum grid (grants are renegotiated each
 //! token cycle), so an event wake is always a grid instant and skipping a
-//! grid instant is only allowed when it is provably a no-op.
+//! grid instant is only allowed when it is provably a no-op. And both
+//! models produce byte-identical reports at every `threads` setting: the
+//! node plane merges per-node step outcomes in fixed node order, so
+//! parallelism changes wall clock, never results.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use dilu_gpu::{GpuEngine, SlotConfig, SmRate, StepOutcome, TaskClass};
 use dilu_metrics::{
-    ColdStartCounter, FragmentationSnapshot, FragmentationStats, GpuUsageSample, LatencyRecorder,
-    RateWindow, ResizeCounter, SampleClock,
+    ColdStartCounter, FragmentationStats, LatencyRecorder, RateWindow, ResizeCounter, SampleClock,
 };
 
 use dilu_sim::{EventQueue, EventToken, SimDuration, SimTime};
 
-use crate::audit::{AuditHook, AuditSnapshot, FunctionAudit, GpuAudit};
-use crate::instance::{InflightBatch, Instance, Request};
+use crate::audit::AuditHook;
+use crate::dispatch::WorkPayload;
+use crate::elasticity::PendingResize;
+use crate::instance::{Instance, Request};
+use crate::lifecycle::TrainingJob;
+use crate::nodes::{JobKind, NodePlane, PoolShared, StepPool};
 use crate::report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
-use crate::traits::{
-    Autoscaler, ClusterView, ElasticityController, FunctionScaleView, GpuView, Placement,
-    PolicyFactory, QuotaView, ResidentInfo, ScaleAction,
-};
-use crate::{
-    cold_start_duration, ClusterSpec, FunctionId, FunctionKind, FunctionSpec, GpuAddr,
-    InstanceState, InstanceUid,
-};
+use crate::traits::{Autoscaler, ElasticityController, Placement, PolicyFactory};
+use crate::{ClusterSpec, FunctionId, FunctionKind, FunctionSpec, InstanceState, InstanceUid};
 
 /// How simulated time advances in [`ClusterSim::run_until`]: a
 /// wake-on-work event engine by default, or the legacy dense stepper kept
@@ -75,9 +84,26 @@ pub struct SimConfig {
     /// Delay between a [`ScaleAction::ResizeQuota`] decision and the new
     /// quotas reaching the GPUs (the paper's millisecond-scale vertical
     /// scaling, vs. the seconds-scale cold start of a scale-out).
+    ///
+    /// [`ScaleAction::ResizeQuota`]: crate::ScaleAction::ResizeQuota
     pub resize_latency: SimDuration,
     /// The time model driving [`ClusterSim::run_until`].
     pub time_model: TimeModel,
+    /// Threads stepping the node plane's GPUs (clamped to ≥ 1; values
+    /// above the node count gain nothing). `1` steps serially on the
+    /// simulation thread; `n > 1` fans busy nodes out over up to `n − 1`
+    /// pool workers plus the simulation thread. Reports are byte-identical
+    /// at every setting — per-node outcomes are merged in fixed node
+    /// order — so this knob trades wall clock only, never results.
+    ///
+    /// An explicit count is honored as given, not clamped to the host's
+    /// cores: wall-clock wins need spare hardware threads, and an
+    /// oversubscribed count runs correctly but slower (the OS time-slices
+    /// the workers).
+    ///
+    /// Defaults to the `DILU_THREADS` environment variable when set (and
+    /// ≥ 1), else `1`.
+    pub threads: u32,
 }
 
 impl Default for SimConfig {
@@ -90,8 +116,16 @@ impl Default for SimConfig {
             tick: SimDuration::from_secs(1),
             resize_latency: SimDuration::from_millis(1),
             time_model: TimeModel::EventDriven,
+            threads: default_threads(),
         }
     }
+}
+
+/// The `DILU_THREADS` environment override, else 1 — read per call so the
+/// test suite (and CI's `DILU_THREADS=4` lane) can sweep parallelism
+/// without touching every composition site.
+fn default_threads() -> u32 {
+    std::env::var("DILU_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&t| t >= 1).unwrap_or(1)
 }
 
 /// One entry of the event-driven core's future event list.
@@ -126,6 +160,8 @@ pub enum SimEvent {
     ControllerTick,
     /// At least one pending [`ScaleAction::ResizeQuota`] reaches the end of
     /// its apply latency.
+    ///
+    /// [`ScaleAction::ResizeQuota`]: crate::ScaleAction::ResizeQuota
     ResizeApply,
     /// A cold-starting instance becomes able to serve.
     ColdStartReady(InstanceUid),
@@ -133,190 +169,85 @@ pub enum SimEvent {
     TrainingSubmit,
 }
 
-/// Cap on replayed idle token cycles when a GPU is stepped after a gap
-/// (see [`GpuEngine::idle_fastforward`]). Policy state is a fixed point
-/// once every kernel-rate window has filled with zeros and every
-/// multiplicative grant ramp has hit its ceiling; 96 cycles (~0.5 s of the
-/// default quantum) covers RCKM's default 10-cycle window plus the longest
-/// ramp with a wide margin.
-const IDLE_REPLAY_CAP: u64 = 96;
-
-/// Errors surfaced by deployment calls.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum DeployError {
-    /// The placement policy found no feasible GPUs.
-    PlacementFailed(FunctionId),
-    /// A function with this id is already deployed.
-    DuplicateFunction(FunctionId),
-    /// The function spec itself is invalid (zero batch, zero workers, ...).
-    InvalidSpec {
-        /// The offending function.
-        func: FunctionId,
-        /// What is wrong with it.
-        reason: &'static str,
-    },
-    /// The spec asks for more GPUs per instance than the cluster has.
-    ClusterTooSmall {
-        /// The offending function.
-        func: FunctionId,
-        /// GPUs one instance needs.
-        needed: u32,
-        /// GPUs the cluster has in total.
-        available: u32,
-    },
-}
-
-impl std::fmt::Display for DeployError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DeployError::PlacementFailed(id) => write!(f, "no feasible placement for {id}"),
-            DeployError::DuplicateFunction(id) => write!(f, "function {id} already deployed"),
-            DeployError::InvalidSpec { func, reason } => {
-                write!(f, "invalid spec for {func}: {reason}")
-            }
-            DeployError::ClusterTooSmall { func, needed, available } => {
-                write!(f, "{func} needs {needed} GPUs per instance but the cluster has {available}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for DeployError {}
-
-#[derive(Debug, Clone, Copy)]
-enum WorkPayload {
-    InferStage { uid: InstanceUid, batch_id: u64 },
-    TrainCompute { func: FunctionId, worker: usize },
-    TrainComm { func: FunctionId, worker: usize },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum JobPhase {
-    WaitingForWorkers,
-    Compute,
-    Comm,
-    Done,
-}
-
-#[derive(Debug)]
-struct TrainingJob {
-    workers: Vec<InstanceUid>,
-    phase: JobPhase,
-    remaining: BTreeSet<usize>,
-    iterations_done: u64,
-    target: u64,
-    started: Option<SimTime>,
-    finished: Option<SimTime>,
-    samples_done: u64,
-}
-
-struct GpuSlot {
-    engine: GpuEngine,
-    policy: Box<dyn dilu_gpu::SharePolicy>,
-    /// Σ effective SM fraction over the quanta stepped since the last
-    /// metrics sample (skipped quanta contribute exactly 0).
-    used_accum: f64,
-    /// Start of the last stepped quantum; `None` before the first step.
-    /// The event core uses the gap to this instant to replay skipped idle
-    /// cycles into the share policy.
-    last_step: Option<SimTime>,
-}
-
-/// A decided-but-not-yet-applied vertical resize.
-#[derive(Debug, Clone, Copy)]
-struct PendingResize {
-    due: SimTime,
-    func: FunctionId,
-    request: SmRate,
-    limit: SmRate,
-}
-
-struct FuncState {
-    spec: FunctionSpec,
+pub(crate) struct FuncState {
+    pub(crate) spec: FunctionSpec,
     /// Uids of this function's live instances, ascending (maintained at
     /// launch/terminate so routing never scans the whole cluster).
-    instance_ids: Vec<InstanceUid>,
-    arrivals: VecDeque<SimTime>,
-    backlog: VecDeque<Request>,
-    latency: LatencyRecorder,
-    arrived: u64,
-    completed: u64,
-    cold_starts: ColdStartCounter,
-    resizes: ResizeCounter,
-    window: RateWindow,
-    timeline: Vec<TimelinePoint>,
-    sec_arrivals: u64,
-    sec_completions: u64,
-    sec_violations: u64,
-    sec_blocks: u64,
-    kernel_series: Vec<(u64, u64)>,
+    pub(crate) instance_ids: Vec<InstanceUid>,
+    pub(crate) arrivals: VecDeque<SimTime>,
+    pub(crate) backlog: VecDeque<Request>,
+    pub(crate) latency: LatencyRecorder,
+    pub(crate) arrived: u64,
+    pub(crate) completed: u64,
+    pub(crate) cold_starts: ColdStartCounter,
+    pub(crate) resizes: ResizeCounter,
+    pub(crate) window: RateWindow,
+    pub(crate) timeline: Vec<TimelinePoint>,
+    pub(crate) sec_arrivals: u64,
+    pub(crate) sec_completions: u64,
+    pub(crate) sec_violations: u64,
+    pub(crate) sec_blocks: u64,
+    pub(crate) kernel_series: Vec<(u64, u64)>,
 }
 
 /// The serving-plane simulator. See the [crate docs](crate) for the model.
 pub struct ClusterSim {
-    spec: ClusterSpec,
-    config: SimConfig,
-    share_policy_name: String,
-    now: SimTime,
-    /// GPU state in dense `gpu_addrs()` order; [`Self::gpu_index`] maps an
-    /// address to its slot in O(1). A flat vector, not a map: the event
-    /// core addresses individual busy GPUs millions of times per simulated
-    /// hour.
-    gpus: Vec<GpuSlot>,
-    funcs: BTreeMap<FunctionId, FuncState>,
-    instances: BTreeMap<InstanceUid, Instance>,
-    jobs: BTreeMap<FunctionId, TrainingJob>,
-    placement: Box<dyn Placement>,
-    controller: Box<dyn ElasticityController>,
-    /// Observer invoked with an [`AuditSnapshot`] at every controller tick.
-    audit_hook: Option<AuditHook>,
-    pending_resizes: Vec<PendingResize>,
-    tags: HashMap<u64, WorkPayload>,
-    slot_index: HashMap<dilu_gpu::InstanceId, (InstanceUid, usize, FunctionId)>,
-    next_uid: u64,
-    next_request: u64,
-    next_batch: u64,
-    next_tag: u64,
-    next_sample_at: SimTime,
-    sample_clock: SampleClock,
+    pub(crate) spec: ClusterSpec,
+    pub(crate) config: SimConfig,
+    pub(crate) share_policy_name: String,
+    pub(crate) now: SimTime,
+    /// The node plane: per-node GPU runtimes, busy tracking, occupancy.
+    pub(crate) nodes: NodePlane,
+    pub(crate) funcs: BTreeMap<FunctionId, FuncState>,
+    pub(crate) instances: BTreeMap<InstanceUid, Instance>,
+    pub(crate) jobs: BTreeMap<FunctionId, TrainingJob>,
+    pub(crate) placement: Box<dyn Placement>,
+    pub(crate) controller: Box<dyn ElasticityController>,
+    /// Observer invoked with an [`AuditSnapshot`](crate::AuditSnapshot) at
+    /// every controller tick.
+    pub(crate) audit_hook: Option<AuditHook>,
+    pub(crate) pending_resizes: Vec<PendingResize>,
+    pub(crate) tags: HashMap<u64, WorkPayload>,
+    pub(crate) slot_index: HashMap<dilu_gpu::InstanceId, (InstanceUid, usize, FunctionId)>,
+    pub(crate) next_uid: u64,
+    pub(crate) next_request: u64,
+    pub(crate) next_batch: u64,
+    pub(crate) next_tag: u64,
+    pub(crate) next_sample_at: SimTime,
+    pub(crate) sample_clock: SampleClock,
     // --- event-core working state (rebuilt at each `run_until` entry) ---
-    events: EventQueue<SimEvent>,
-    /// GPUs holding queued or active work; only these are stepped.
-    busy_gpus: BTreeSet<GpuAddr>,
+    pub(crate) events: EventQueue<SimEvent>,
     /// Instances whose batch state changed this wake (routed requests,
     /// freed pipeline slots, promotions) — the dispatch candidates. May
     /// hold duplicates; sorted and deduplicated at the dispatch phase.
-    dirty: Vec<InstanceUid>,
+    pub(crate) dirty: Vec<InstanceUid>,
     /// Outstanding batch-formation deadline per instance.
-    deadlines: HashMap<InstanceUid, (SimTime, EventToken)>,
+    pub(crate) deadlines: HashMap<InstanceUid, (SimTime, EventToken)>,
     /// The out-of-heap [`SimEvent::GpuQuantum`] chain: the next
     /// one-quantum-ahead wake, if any.
-    next_quantum_wake: Option<SimTime>,
+    pub(crate) next_quantum_wake: Option<SimTime>,
     /// Instances in `Draining` state (guards the reap scan).
-    draining_count: u32,
+    pub(crate) draining_count: u32,
     /// `true` only inside an event-driven `run_until` — internal mutations
     /// schedule follow-up events when set.
-    event_active: bool,
+    pub(crate) event_active: bool,
     /// `true` once this wake's GPU phase has run (completion handlers,
     /// reaping, controller) — policy catch-ups performed then must cover
     /// the current quantum too, since it will not be stepped again.
-    gpu_phase_done: bool,
+    pub(crate) gpu_phase_done: bool,
     /// Reused per-wake scratch buffers (hot-loop allocation avoidance).
-    completion_buf: Vec<dilu_gpu::Completion>,
-    issued_buf: Vec<(dilu_gpu::InstanceId, u64)>,
-    addr_buf: Vec<GpuAddr>,
-    dispatch_buf: Vec<(InstanceUid, u64, usize)>,
-    outcome_buf: StepOutcome,
-    fragmentation: FragmentationStats,
-    occupied_series: Vec<(u64, u32)>,
-    total_blocks_sec: u64,
-    total_kernel_series: Vec<(u64, u64)>,
-    gpu_seconds: f64,
-    instance_gpu_seconds: f64,
-    peak_gpus: u32,
-    last_sampled_sec: Option<u64>,
-    pending_training: Vec<(SimTime, FunctionSpec)>,
+    pub(crate) completion_buf: Vec<dilu_gpu::Completion>,
+    pub(crate) issued_buf: Vec<(dilu_gpu::InstanceId, u64)>,
+    pub(crate) dispatch_buf: Vec<(InstanceUid, u64, usize)>,
+    pub(crate) fragmentation: FragmentationStats,
+    pub(crate) occupied_series: Vec<(u64, u32)>,
+    pub(crate) total_blocks_sec: u64,
+    pub(crate) total_kernel_series: Vec<(u64, u64)>,
+    pub(crate) gpu_seconds: f64,
+    pub(crate) instance_gpu_seconds: f64,
+    pub(crate) peak_gpus: u32,
+    pub(crate) last_sampled_sec: Option<u64>,
+    pub(crate) pending_training: Vec<(SimTime, FunctionSpec)>,
 }
 
 impl std::fmt::Debug for ClusterSim {
@@ -358,21 +289,12 @@ impl ClusterSim {
         controller: Box<dyn ElasticityController>,
         policy_factory: &dyn PolicyFactory,
     ) -> Self {
-        let gpus = spec
-            .gpu_addrs()
-            .map(|_| GpuSlot {
-                engine: GpuEngine::with_quantum(spec.gpu_mem_bytes, config.quantum),
-                policy: policy_factory.make(),
-                used_accum: 0.0,
-                last_step: None,
-            })
-            .collect();
         ClusterSim {
+            nodes: NodePlane::new(&spec, config.quantum, policy_factory),
             spec,
             config,
             share_policy_name: policy_factory.name().to_owned(),
             now: SimTime::ZERO,
-            gpus,
             funcs: BTreeMap::new(),
             instances: BTreeMap::new(),
             jobs: BTreeMap::new(),
@@ -389,7 +311,6 @@ impl ClusterSim {
             next_sample_at: SimTime::ZERO + config.tick,
             sample_clock: SampleClock::new(),
             events: EventQueue::new(),
-            busy_gpus: BTreeSet::new(),
             dirty: Vec::new(),
             deadlines: HashMap::new(),
             next_quantum_wake: None,
@@ -398,9 +319,7 @@ impl ClusterSim {
             gpu_phase_done: false,
             completion_buf: Vec::new(),
             issued_buf: Vec::new(),
-            addr_buf: Vec::new(),
             dispatch_buf: Vec::new(),
-            outcome_buf: StepOutcome::default(),
             fragmentation: FragmentationStats::new(),
             occupied_series: Vec::new(),
             total_blocks_sec: 0,
@@ -449,207 +368,62 @@ impl ClusterSim {
         &self.share_policy_name
     }
 
-    /// Deploys an inference function with `initial` pre-warmed instances and
-    /// a pre-generated arrival stream.
-    ///
-    /// # Errors
-    ///
-    /// [`DeployError::DuplicateFunction`] if the id is taken;
-    /// [`DeployError::PlacementFailed`] if any initial instance cannot be
-    /// placed.
-    pub fn deploy_inference(
-        &mut self,
-        spec: FunctionSpec,
-        initial: u32,
-        arrivals: Vec<SimTime>,
-    ) -> Result<(), DeployError> {
-        if self.funcs.contains_key(&spec.id) {
-            return Err(DeployError::DuplicateFunction(spec.id));
-        }
-        debug_assert!(spec.kind.is_inference(), "use deploy_training for training functions");
-        self.validate_spec(&spec)?;
-        let id = spec.id;
-        self.funcs.insert(id, new_func_state(spec, arrivals));
-        for _ in 0..initial {
-            self.launch_instance(id, true).map_err(|_| DeployError::PlacementFailed(id))?;
-        }
-        Ok(())
-    }
-
-    /// Deploys a training function; its workers are placed immediately and
-    /// the job starts once all of them are ready.
-    ///
-    /// # Errors
-    ///
-    /// [`DeployError::DuplicateFunction`] if the id is taken;
-    /// [`DeployError::PlacementFailed`] if any worker cannot be placed.
-    pub fn deploy_training(&mut self, spec: FunctionSpec) -> Result<(), DeployError> {
-        if self.funcs.contains_key(&spec.id) {
-            return Err(DeployError::DuplicateFunction(spec.id));
-        }
-        let FunctionKind::Training { workers, iterations } = spec.kind else {
-            panic!("use deploy_inference for inference functions");
-        };
-        self.validate_spec(&spec)?;
-        let id = spec.id;
-        self.funcs.insert(id, new_func_state(spec, Vec::new()));
-        let mut uids = Vec::new();
-        for _ in 0..workers {
-            match self.launch_instance(id, true) {
-                Ok(uid) => uids.push(uid),
-                Err(()) => {
-                    // Roll back so a later retry starts clean.
-                    for uid in uids {
-                        self.terminate_instance(uid);
-                    }
-                    self.funcs.remove(&id);
-                    return Err(DeployError::PlacementFailed(id));
-                }
-            }
-        }
-        self.jobs.insert(
-            id,
-            TrainingJob {
-                workers: uids,
-                phase: JobPhase::WaitingForWorkers,
-                remaining: BTreeSet::new(),
-                iterations_done: 0,
-                target: iterations,
-                started: None,
-                finished: None,
-                samples_done: 0,
-            },
-        );
-        // Pre-warmed workers are ready immediately; kick the job off now.
-        self.maybe_start_job(id);
-        Ok(())
-    }
-
-    /// Schedules a training function to be submitted at `at` (paper §5.4
-    /// submits jobs at different times). Placement happens at submission;
-    /// if the cluster is full then, the submission is retried each second.
-    ///
-    /// # Errors
-    ///
-    /// [`DeployError::InvalidSpec`] / [`DeployError::ClusterTooSmall`] for
-    /// structurally impossible specs — validated eagerly, since a spec
-    /// failing at submission time would otherwise be retried (and dropped)
-    /// silently.
-    pub fn schedule_training(
-        &mut self,
-        spec: FunctionSpec,
-        at: SimTime,
-    ) -> Result<(), DeployError> {
-        debug_assert!(!spec.kind.is_inference(), "only training can be scheduled late");
-        self.validate_spec(&spec)?;
-        self.pending_training.push((at, spec));
-        Ok(())
-    }
-
-    /// Registers an observer invoked with a fresh [`AuditSnapshot`] at
-    /// every controller tick, before the elasticity controller acts.
-    ///
-    /// The hook cadence and content are identical on both time models (it
-    /// runs inside the shared controller phase), so an invariant checker
-    /// attached here cannot desynchronise the byte-identical reports.
-    /// Replaces any previously registered hook.
-    pub fn set_audit_hook(&mut self, hook: AuditHook) {
-        self.audit_hook = Some(hook);
-    }
-
-    /// Takes a point-in-time [`AuditSnapshot`] of quota, memory, and
-    /// request accounting — the state the fuzzer's capacity and
-    /// conservation oracles check.
-    pub fn audit(&self) -> AuditSnapshot {
-        let view = self.cluster_view();
-        let gpus = view
-            .gpus
-            .iter()
-            .map(|g| GpuAudit {
-                addr: g.addr,
-                sum_request: g.sum_requests().as_fraction(),
-                sum_limit: g.sum_limits().as_fraction(),
-                mem_reserved: g.mem_reserved,
-                mem_capacity: g.mem_capacity,
-                residents: g.residents.len() as u32,
-            })
-            .collect();
-        let functions = self
-            .funcs
-            .iter()
-            .map(|(&func, f)| {
-                let mut queued = 0u64;
-                let mut inflight = 0u64;
-                let mut ready = 0u32;
-                let mut starting = 0u32;
-                let mut draining = 0u32;
-                for uid in &f.instance_ids {
-                    let Some(inst) = self.instances.get(uid) else {
-                        continue;
-                    };
-                    queued += inst.pending.len() as u64;
-                    inflight += inst.inflight.iter().map(|b| b.requests.len() as u64).sum::<u64>();
-                    match inst.state {
-                        InstanceState::Running => ready += 1,
-                        InstanceState::ColdStarting { .. } => starting += 1,
-                        InstanceState::Draining => draining += 1,
-                    }
-                }
-                FunctionAudit {
-                    func,
-                    inference: f.spec.kind.is_inference(),
-                    arrived: f.arrived,
-                    completed: f.completed,
-                    backlog: f.backlog.len() as u64,
-                    queued,
-                    inflight,
-                    pending_arrivals: f.arrivals.len() as u64,
-                    ready_instances: ready,
-                    starting_instances: starting,
-                    draining_instances: draining,
-                    cold_starts: f.cold_starts.count(),
-                    resize_grows: f.resizes.grows(),
-                    resize_shrinks: f.resizes.shrinks(),
-                }
-            })
-            .collect();
-        AuditSnapshot { now: self.now, gpus, functions }
-    }
-
     /// Number of ready (serving) instances of a function.
     pub fn ready_instances(&self, func: FunctionId) -> u32 {
         self.instances.values().filter(|i| i.func == func && i.state.is_ready()).count() as u32
     }
 
-    /// Number of currently occupied GPUs.
+    /// Number of currently occupied GPUs: those hosting at least one
+    /// admitted instance. Cold-starting instances reserve their engine
+    /// slots at launch, so their GPUs count from the launch instant —
+    /// capacity is committed while the container deploys, exactly what a
+    /// placement decision must see. O(1), answered from the node plane's
+    /// maintained occupancy counter.
     pub fn occupied_gpus(&self) -> u32 {
-        self.gpus.iter().filter(|g| g.engine.resident_count() > 0).count() as u32
+        self.nodes.occupied()
     }
 
     /// Runs the simulation until `t_end`, using the configured
-    /// [`TimeModel`].
+    /// [`TimeModel`] and [`SimConfig::threads`].
     ///
     /// Both models stop at the same instant (the first quantum boundary at
     /// or after `t_end`) and may be called repeatedly to continue a run.
+    /// With `threads > 1` a scoped worker pool lives for the duration of
+    /// the call; results are byte-identical to the serial run.
     pub fn run_until(&mut self, t_end: SimTime) {
+        // Workers are only worth spawning when the plane can ever hand
+        // them a share (see `nodes::MIN_NODES_PER_SHARE`): a small cluster
+        // always steps inline, so give it no idle threads to park.
+        let max_shares = self.nodes.node_count() / crate::nodes::MIN_NODES_PER_SHARE;
+        let workers = (self.config.threads.max(1) as usize).min(max_shares).saturating_sub(1);
+        if workers == 0 {
+            self.run_until_with(t_end, None);
+            return;
+        }
+        let shared = PoolShared::new(workers);
+        std::thread::scope(|scope| {
+            // The guard precedes the spawns: if a spawn (or anything after
+            // it) panics, its drop still releases every parked worker so
+            // the scope's implicit join cannot deadlock.
+            let _guard = crate::nodes::PoolGuard(&shared);
+            for index in 0..workers {
+                let shared = &shared;
+                scope.spawn(move || crate::nodes::worker_loop(shared, index));
+            }
+            let pool = StepPool::new(&shared);
+            self.run_until_with(t_end, Some(&pool));
+        });
+    }
+
+    fn run_until_with(&mut self, t_end: SimTime, pool: Option<&StepPool<'_>>) {
         match self.config.time_model {
-            TimeModel::EventDriven => self.run_until_events(t_end),
+            TimeModel::EventDriven => self.run_until_events(t_end, pool),
             TimeModel::DenseQuantum => {
                 while self.now < t_end {
-                    self.step_quantum();
+                    self.step_quantum(pool);
                 }
             }
         }
-    }
-
-    /// O(1) slot index of a GPU address.
-    fn gpu_index(&self, addr: GpuAddr) -> usize {
-        (addr.node * self.spec.gpus_per_node + addr.gpu) as usize
-    }
-
-    fn gpu_slot_mut(&mut self, addr: GpuAddr) -> Option<&mut GpuSlot> {
-        let idx = self.gpu_index(addr);
-        self.gpus.get_mut(idx)
     }
 
     // ------------------------------------------------------------------
@@ -657,7 +431,7 @@ impl ClusterSim {
     // ------------------------------------------------------------------
 
     /// First quantum-grid instant at or after `t`.
-    fn grid_ceil(&self, t: SimTime) -> SimTime {
+    pub(crate) fn grid_ceil(&self, t: SimTime) -> SimTime {
         let q = self.config.quantum.as_micros();
         SimTime::from_micros(t.as_micros().div_ceil(q) * q)
     }
@@ -672,7 +446,7 @@ impl ClusterSim {
     /// The wake-on-work driver: pops grid-instant wakes off the event
     /// queue and executes the dense stepper's phase order at each, so a
     /// quantum with no event is provably a no-op and is never visited.
-    fn run_until_events(&mut self, t_end: SimTime) {
+    fn run_until_events(&mut self, t_end: SimTime, pool: Option<&StepPool<'_>>) {
         if self.now >= t_end {
             return;
         }
@@ -692,7 +466,7 @@ impl ClusterSim {
             if t >= t_end {
                 break;
             }
-            self.process_wake(t);
+            self.process_wake(t, pool);
         }
         self.event_active = false;
         // Land exactly where the dense stepper stops: the first quantum
@@ -716,13 +490,7 @@ impl ClusterSim {
         self.deadlines.clear();
         self.next_quantum_wake = None;
         self.events.reserve(self.instances.len() + self.funcs.len() + 4);
-        self.busy_gpus = self
-            .spec
-            .gpu_addrs()
-            .zip(self.gpus.iter())
-            .filter(|(_, slot)| !slot.engine.is_idle())
-            .map(|(addr, _)| addr)
-            .collect();
+        self.nodes.rebuild_busy();
         self.dirty =
             self.instances.values().filter(|i| !i.pending.is_empty()).map(|i| i.uid).collect();
         self.draining_count =
@@ -753,7 +521,7 @@ impl ClusterSim {
             let due = self.grid_ceil(ready_at).max(self.now);
             self.events.push(due, SimEvent::ColdStartReady(uid));
         }
-        if !self.busy_gpus.is_empty() || !self.dirty.is_empty() || self.draining_count > 0 {
+        if self.nodes.has_busy() || !self.dirty.is_empty() || self.draining_count > 0 {
             self.events.push(self.now, SimEvent::GpuQuantum);
         }
     }
@@ -791,7 +559,7 @@ impl ClusterSim {
 
     /// (Re)schedules the batch-formation deadline of `uid` for the grid
     /// instant at which its oldest pending request times out.
-    fn schedule_deadline(&mut self, uid: InstanceUid, raw_due: SimTime) {
+    pub(crate) fn schedule_deadline(&mut self, uid: InstanceUid, raw_due: SimTime) {
         let due = self.grid_ceil(raw_due);
         if let Some(&(at, _)) = self.deadlines.get(&uid) {
             if at == due {
@@ -805,7 +573,7 @@ impl ClusterSim {
         self.deadlines.insert(uid, (due, token));
     }
 
-    fn cancel_deadline(&mut self, uid: InstanceUid) {
+    pub(crate) fn cancel_deadline(&mut self, uid: InstanceUid) {
         if let Some((_, token)) = self.deadlines.remove(&uid) {
             self.events.cancel(token);
         }
@@ -814,7 +582,7 @@ impl ClusterSim {
     /// Executes one wake: drains every event due at `t`, then runs the
     /// dense stepper's phases in canonical order, each gated on whether an
     /// event asked for it.
-    fn process_wake(&mut self, t: SimTime) {
+    fn process_wake(&mut self, t: SimTime, pool: Option<&StepPool<'_>>) {
         debug_assert!(t >= self.now, "wakes are monotone");
         self.now = t;
         self.gpu_phase_done = false;
@@ -855,7 +623,9 @@ impl ClusterSim {
             self.schedule_arrival_event();
         }
         self.dispatch_candidates(expired);
-        self.step_busy_gpus();
+        if self.nodes.has_busy() {
+            self.step_gpu_phase(JobKind::BusyOnly, pool);
+        }
         self.gpu_phase_done = true;
         if self.draining_count > 0 {
             self.reap_drained();
@@ -866,153 +636,43 @@ impl ClusterSim {
             self.next_sample_at += self.config.tick;
             self.schedule_controller_tick(self.now + self.config.quantum);
         }
-        if !self.busy_gpus.is_empty() || !self.dirty.is_empty() || self.draining_count > 0 {
+        if self.nodes.has_busy() || !self.dirty.is_empty() || self.draining_count > 0 {
             self.ensure_quantum_wake(t + self.config.quantum);
         }
     }
 
-    /// Promotes one cold-started instance (the event-core counterpart of
-    /// [`promote_ready_instances`](Self::promote_ready_instances)).
-    fn promote_instance(&mut self, uid: InstanceUid) {
-        let now = self.now;
-        let Some(inst) = self.instances.get_mut(&uid) else {
-            return;
-        };
-        let InstanceState::ColdStarting { ready_at } = inst.state else {
-            return;
-        };
-        debug_assert!(now >= ready_at, "promotion event fired early");
-        inst.state = InstanceState::Running;
-        inst.last_active = now;
-        let func = inst.func;
-        if let Some(f) = self.funcs.get_mut(&func) {
-            while let Some(req) = f.backlog.pop_front() {
-                inst.pending.push_back(req);
-            }
+    // ------------------------------------------------------------------
+    // Shared phases
+    // ------------------------------------------------------------------
+
+    /// One dense quantum: the canonical phase order the event core
+    /// reproduces wake by wake.
+    fn step_quantum(&mut self, pool: Option<&StepPool<'_>>) {
+        self.apply_due_resizes();
+        self.submit_due_training();
+        self.promote_ready_instances();
+        self.ingest_arrivals();
+        self.dispatch_batches();
+        self.step_gpu_phase(JobKind::AllSlots, pool);
+        self.reap_drained();
+        if self.now + self.config.quantum >= self.next_sample_at {
+            self.sample_metrics();
+            self.run_controller();
+            self.next_sample_at += self.config.tick;
         }
-        if !inst.pending.is_empty() {
-            self.dirty.push(uid);
-        }
-        self.maybe_start_job(func);
+        self.now += self.config.quantum;
     }
 
-    /// The event-core dispatch phase: examines exactly the instances whose
-    /// batch state changed this wake (`dirty`) plus those whose deadline
-    /// fired, in uid order — the same visit order and one-batch-per-
-    /// quantum budget as the dense scan over all instances.
-    fn dispatch_candidates(&mut self, expired: Vec<InstanceUid>) {
-        if self.dirty.is_empty() && expired.is_empty() {
-            return;
-        }
-        let now = self.now;
-        let mut candidates = std::mem::take(&mut self.dirty);
-        candidates.extend(expired);
-        candidates.sort_unstable();
-        candidates.dedup();
-        let mut dispatches = std::mem::take(&mut self.dispatch_buf);
-        dispatches.clear();
-        for uid in candidates.drain(..) {
-            let Some(inst) = self.instances.get(&uid) else {
-                self.cancel_deadline(uid);
-                continue;
-            };
-            if !inst.state.is_ready() && !matches!(inst.state, InstanceState::Draining) {
-                // Still cold-starting: promotion re-marks it dirty.
-                continue;
-            }
-            let Some(f) = self.funcs.get(&inst.func) else {
-                continue;
-            };
-            let FunctionKind::Inference { slo, batch } = f.spec.kind else {
-                continue;
-            };
-            if inst.pending.is_empty() {
-                self.cancel_deadline(uid);
-                continue;
-            }
-            let timeout =
-                (slo.mul_f64(self.config.batch_timeout_frac)).min(self.config.batch_timeout_cap);
-            let at_stage0 = inst.inflight.iter().filter(|b| b.stage == 0).count();
-            let oldest = inst.pending.front().expect("non-empty").arrived;
-            let full = inst.pending.len() >= batch as usize;
-            let is_expired = now.saturating_since(oldest) >= timeout;
-            if at_stage0 >= 4 {
-                // Pipeline full: the next stage-0 completion re-marks this
-                // instance dirty, which re-runs this check.
-                continue;
-            }
-            if !full && !is_expired {
-                self.schedule_deadline(uid, oldest + timeout);
-                continue;
-            }
-            let inst = self.instances.get_mut(&uid).expect("checked above");
-            let take = inst.pending.len().min(batch as usize);
-            let requests: Vec<Request> = inst.pending.drain(..take).collect();
-            let batch_id = self.next_batch;
-            self.next_batch += 1;
-            inst.inflight.push(InflightBatch { batch_id, requests, stage: 0 });
-            inst.last_active = now;
-            dispatches.push((uid, batch_id, take));
-            // Leftover requests: at most one batch dispatches per instance
-            // per quantum (as in the dense stepper), so a still-ready
-            // leftover waits for the next grid instant.
-            match inst.pending.front() {
-                None => self.cancel_deadline(uid),
-                Some(head) => {
-                    let head_arrived = head.arrived;
-                    let full2 = inst.pending.len() >= batch as usize;
-                    let expired2 = now.saturating_since(head_arrived) >= timeout;
-                    if full2 || expired2 {
-                        self.cancel_deadline(uid);
-                        if at_stage0 + 1 < 4 {
-                            self.dirty.push(uid);
-                        }
-                    } else {
-                        self.schedule_deadline(uid, head_arrived + timeout);
-                    }
-                }
-            }
-        }
-        for &(uid, batch_id, size) in &dispatches {
-            self.push_stage_item(uid, batch_id, 0, size as u32);
-        }
-        self.dispatch_buf = dispatches;
-        // Hand the drained allocation back to `dirty`, keeping any entries
-        // pushed while dispatching (they are next quantum's candidates).
-        candidates.append(&mut self.dirty);
-        self.dirty = candidates;
-    }
-
-    /// Steps exactly the GPUs holding work, replaying any skipped idle
-    /// cycles into their share policies first so policy state matches what
-    /// dense per-quantum stepping would have produced.
-    fn step_busy_gpus(&mut self) {
-        if self.busy_gpus.is_empty() {
-            return;
-        }
-        let now = self.now;
+    /// The GPU phase: the node plane steps its runtimes (serially or over
+    /// the pool) and merges completions/blocks in fixed node order; the
+    /// control plane then attributes blocks and handles completions — all
+    /// on the simulation thread, in the merged (deterministic) order.
+    fn step_gpu_phase(&mut self, kind: JobKind, pool: Option<&StepPool<'_>>) {
         let mut completions = std::mem::take(&mut self.completion_buf);
         let mut issued = std::mem::take(&mut self.issued_buf);
-        let mut addrs = std::mem::take(&mut self.addr_buf);
         completions.clear();
         issued.clear();
-        addrs.clear();
-        addrs.extend(self.busy_gpus.iter().copied());
-        let mut out = std::mem::take(&mut self.outcome_buf);
-        for &addr in &addrs {
-            let idx = self.gpu_index(addr);
-            let slot = &mut self.gpus[idx];
-            Self::advance_gpu(slot, now, self.config.quantum, &mut out);
-            slot.used_accum += out.total_used.as_fraction();
-            completions.append(&mut out.completions);
-            issued.append(&mut out.blocks_issued);
-            if slot.engine.next_event_at(now).is_none() {
-                // Drained: the GPU reports no next interesting instant, so
-                // it simply stops being scheduled.
-                self.busy_gpus.remove(&addr);
-            }
-        }
-        self.outcome_buf = out;
+        self.nodes.step(kind, self.now, self.config.quantum, pool, &mut completions, &mut issued);
         self.attribute_blocks(&issued);
         self.gpu_phase_done = true;
         for c in completions.drain(..) {
@@ -1020,7 +680,6 @@ impl ClusterSim {
         }
         self.completion_buf = completions;
         self.issued_buf = issued;
-        self.addr_buf = addrs;
     }
 
     /// Consumes the simulator and produces the final report.
@@ -1079,971 +738,9 @@ impl ClusterSim {
         }
         report
     }
-
-    // ------------------------------------------------------------------
-    // Internals
-    // ------------------------------------------------------------------
-
-    /// Rejects structurally impossible specs with a typed error instead of
-    /// letting them fail as an opaque placement failure (or panic) later.
-    fn validate_spec(&self, spec: &FunctionSpec) -> Result<(), DeployError> {
-        let func = spec.id;
-        if spec.gpus_per_instance == 0 {
-            return Err(DeployError::InvalidSpec { func, reason: "gpus_per_instance is zero" });
-        }
-        if spec.quotas.mem_bytes == 0 {
-            return Err(DeployError::InvalidSpec { func, reason: "memory reservation is zero" });
-        }
-        if spec.quotas.mem_bytes > self.spec.gpu_mem_bytes {
-            return Err(DeployError::InvalidSpec {
-                func,
-                reason: "memory reservation exceeds one GPU",
-            });
-        }
-        match spec.kind {
-            FunctionKind::Inference { batch: 0, .. } => {
-                return Err(DeployError::InvalidSpec { func, reason: "batch size is zero" });
-            }
-            FunctionKind::Training { workers: 0, .. } => {
-                return Err(DeployError::InvalidSpec { func, reason: "worker count is zero" });
-            }
-            FunctionKind::Training { iterations: 0, .. } => {
-                return Err(DeployError::InvalidSpec { func, reason: "iteration target is zero" });
-            }
-            _ => {}
-        }
-        if spec.gpus_per_instance > self.spec.total_gpus() {
-            return Err(DeployError::ClusterTooSmall {
-                func,
-                needed: spec.gpus_per_instance,
-                available: self.spec.total_gpus(),
-            });
-        }
-        Ok(())
-    }
-
-    fn step_quantum(&mut self) {
-        self.apply_due_resizes();
-        self.submit_due_training();
-        self.promote_ready_instances();
-        self.ingest_arrivals();
-        self.dispatch_batches();
-        self.step_gpus();
-        self.reap_drained();
-        if self.now + self.config.quantum >= self.next_sample_at {
-            self.sample_metrics();
-            self.run_controller();
-            self.next_sample_at += self.config.tick;
-        }
-        self.now += self.config.quantum;
-    }
-
-    /// Queues a vertical resize to apply after the configured latency.
-    ///
-    /// A re-request while one is still in flight retargets the pending
-    /// resize but keeps its original due time — controllers re-emit their
-    /// decision every tick until the spec reflects it, and resetting the
-    /// clock each time would starve the apply whenever
-    /// `resize_latency >= tick`.
-    fn request_resize(&mut self, func: FunctionId, request: SmRate, limit: SmRate) {
-        let Some(f) = self.funcs.get(&func) else {
-            return;
-        };
-        let request = request.min(SmRate::FULL);
-        let limit = limit.max(request);
-        if let Some(pending) = self.pending_resizes.iter_mut().find(|r| r.func == func) {
-            pending.request = request;
-            pending.limit = limit;
-            return;
-        }
-        if f.spec.quotas.request == request && f.spec.quotas.limit == limit {
-            return;
-        }
-        let due = self.now + self.config.resize_latency;
-        self.pending_resizes.push(PendingResize { due, func, request, limit });
-        if self.event_active {
-            // Never earlier than the next quantum: this wake's apply phase
-            // has already run, and the dense stepper would first see the
-            // pending resize at the next quantum start (a zero apply
-            // latency must not re-wake — and re-step — this instant).
-            let at = self.grid_ceil(due).max(self.now + self.config.quantum);
-            self.events.push(at, SimEvent::ResizeApply);
-        }
-    }
-
-    /// Applies every resize whose latency has elapsed: the function's spec
-    /// (future launches, capacity) and every live slice on the GPUs.
-    fn apply_due_resizes(&mut self) {
-        let now = self.now;
-        if self.pending_resizes.iter().all(|r| r.due > now) {
-            return;
-        }
-        let mut due = Vec::new();
-        self.pending_resizes.retain(|r| {
-            if r.due <= now {
-                due.push(*r);
-                false
-            } else {
-                true
-            }
-        });
-        for r in due {
-            let Some(f) = self.funcs.get_mut(&r.func) else {
-                continue;
-            };
-            let old = f.spec.quotas;
-            if r.request > old.request || (r.request == old.request && r.limit > old.limit) {
-                f.resizes.record_grow();
-            } else {
-                f.resizes.record_shrink();
-            }
-            f.spec.quotas.request = r.request;
-            f.spec.quotas.limit = r.limit;
-            let ids = f.instance_ids.clone();
-            for uid in ids {
-                let Some(inst) = self.instances.get(&uid) else {
-                    continue;
-                };
-                let gpus: Vec<(dilu_gpu::InstanceId, GpuAddr)> = inst
-                    .gpus
-                    .iter()
-                    .enumerate()
-                    .map(|(stage, &gpu)| (inst.slot_id(stage), gpu))
-                    .collect();
-                for (slot_id, gpu) in gpus {
-                    let idx = self.gpu_index(gpu);
-                    if let Some(g) = self.gpus.get_mut(idx) {
-                        if g.engine.resize(slot_id, r.request, r.limit).is_ok() {
-                            g.policy.notify_resize(slot_id, r.request, r.limit);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn submit_due_training(&mut self) {
-        let now = self.now;
-        let due: Vec<FunctionSpec> = {
-            let mut due = Vec::new();
-            self.pending_training.retain(|(at, spec)| {
-                if *at <= now {
-                    due.push(spec.clone());
-                    false
-                } else {
-                    true
-                }
-            });
-            due
-        };
-        for spec in due {
-            let at = now + self.config.tick;
-            if self.deploy_training(spec.clone()).is_err() {
-                // Cluster full or duplicate: retry next second unless the
-                // function already exists.
-                if !self.funcs.contains_key(&spec.id) {
-                    self.pending_training.push((at, spec));
-                    if self.event_active {
-                        let due = self.grid_ceil(at).max(self.now + self.config.quantum);
-                        self.events.push(due, SimEvent::TrainingSubmit);
-                    }
-                }
-            }
-        }
-    }
-
-    fn promote_ready_instances(&mut self) {
-        let now = self.now;
-        let mut became_ready = Vec::new();
-        for inst in self.instances.values_mut() {
-            if let InstanceState::ColdStarting { ready_at } = inst.state {
-                if now >= ready_at {
-                    inst.state = InstanceState::Running;
-                    inst.last_active = now;
-                    became_ready.push((inst.uid, inst.func));
-                }
-            }
-        }
-        // Drain gateway backlog into newly ready instances.
-        for (uid, func) in became_ready {
-            if let Some(f) = self.funcs.get_mut(&func) {
-                if let Some(inst) = self.instances.get_mut(&uid) {
-                    while let Some(req) = f.backlog.pop_front() {
-                        inst.pending.push_back(req);
-                    }
-                }
-            }
-            self.maybe_start_job(func);
-        }
-    }
-
-    fn maybe_start_job(&mut self, func: FunctionId) {
-        let Some(job) = self.jobs.get_mut(&func) else {
-            return;
-        };
-        if job.phase != JobPhase::WaitingForWorkers {
-            return;
-        }
-        let all_ready = job
-            .workers
-            .iter()
-            .all(|uid| self.instances.get(uid).is_some_and(|i| i.state.is_ready()));
-        if !all_ready {
-            return;
-        }
-        job.phase = JobPhase::Compute;
-        job.started = Some(self.now);
-        job.remaining = (0..job.workers.len()).collect();
-        let workers = job.workers.clone();
-        for (w, uid) in workers.iter().enumerate() {
-            self.push_train_item(func, *uid, w, true);
-        }
-    }
-
-    fn push_train_item(
-        &mut self,
-        func: FunctionId,
-        uid: InstanceUid,
-        worker: usize,
-        compute: bool,
-    ) {
-        let Some(f) = self.funcs.get(&func) else {
-            return;
-        };
-        let training = f.spec.model.profile().training;
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        let payload = if compute {
-            WorkPayload::TrainCompute { func, worker }
-        } else {
-            WorkPayload::TrainComm { func, worker }
-        };
-        self.tags.insert(tag, payload);
-        let item = if compute { training.compute_item(tag) } else { training.idle_item(tag) };
-        if let Some(inst) = self.instances.get(&uid) {
-            let gpu = inst.gpus[0];
-            let slot = inst.slot_id(0);
-            let now = self.now;
-            let quantum = self.config.quantum;
-            let post_step = self.gpu_phase_done;
-            let idx = self.gpu_index(gpu);
-            let event_active = self.event_active;
-            if let Some(g) = self.gpus.get_mut(idx) {
-                if event_active && self.busy_gpus.insert(gpu) {
-                    Self::catch_up_policy(g, now, quantum, post_step);
-                }
-                let _ = g.engine.push_work(slot, item);
-            }
-        }
-    }
-
-    fn ingest_arrivals(&mut self) {
-        let now = self.now;
-        let cutoff = now + self.config.quantum;
-        let mut routed: Vec<(FunctionId, Request)> = Vec::new();
-        for (id, f) in self.funcs.iter_mut() {
-            while f.arrivals.front().is_some_and(|&t| t < cutoff) {
-                let arrived = f.arrivals.pop_front().expect("checked front");
-                let req = Request { id: self.next_request, arrived };
-                self.next_request += 1;
-                f.arrived += 1;
-                f.sec_arrivals += 1;
-                f.window.observe(arrived);
-                routed.push((*id, req));
-            }
-        }
-        for (func, req) in routed {
-            self.route_request(func, req);
-        }
-    }
-
-    fn route_request(&mut self, func: FunctionId, req: Request) {
-        // Least-loaded ready instance; else least-loaded cold-starting one;
-        // else the gateway backlog. Scans only this function's instances
-        // (the per-func index), not the cluster.
-        let ids: &[InstanceUid] =
-            self.funcs.get(&func).map(|f| f.instance_ids.as_slice()).unwrap_or(&[]);
-        let instances = &self.instances;
-        let candidates = ids.iter().filter_map(|uid| instances.get(uid));
-        let mut best_ready: Option<(usize, InstanceUid)> = None;
-        let mut best_cold: Option<(usize, InstanceUid)> = None;
-        for inst in candidates {
-            let key = (inst.load(), inst.uid);
-            match inst.state {
-                InstanceState::Running => {
-                    if best_ready.is_none_or(|b| key < b) {
-                        best_ready = Some(key);
-                    }
-                }
-                InstanceState::ColdStarting { .. } => {
-                    if best_cold.is_none_or(|b| key < b) {
-                        best_cold = Some(key);
-                    }
-                }
-                InstanceState::Draining => {}
-            }
-        }
-        let target = best_ready.or(best_cold).map(|(_, uid)| uid);
-        match target {
-            Some(uid) => {
-                let inst = self.instances.get_mut(&uid).expect("target exists");
-                inst.pending.push_back(req);
-                if self.event_active {
-                    self.dirty.push(uid);
-                }
-            }
-            None => {
-                if let Some(f) = self.funcs.get_mut(&func) {
-                    f.backlog.push_back(req);
-                }
-            }
-        }
-    }
-
-    fn dispatch_batches(&mut self) {
-        let now = self.now;
-        let mut dispatches: Vec<(InstanceUid, u64, usize)> = Vec::new();
-        for inst in self.instances.values_mut() {
-            if !inst.state.is_ready() && !matches!(inst.state, InstanceState::Draining) {
-                continue;
-            }
-            let Some(f) = self.funcs.get(&inst.func) else {
-                continue;
-            };
-            let FunctionKind::Inference { slo, batch } = f.spec.kind else {
-                continue;
-            };
-            // Keep a short pipeline of batches queued on the engine slot so
-            // the share policy sees backlog pressure (the RCKM reads queue
-            // depth / KLC growth as its burst signal).
-            let at_stage0 = inst.inflight.iter().filter(|b| b.stage == 0).count();
-            if at_stage0 >= 4 {
-                continue;
-            }
-            if inst.pending.is_empty() {
-                continue;
-            }
-            let timeout =
-                (slo.mul_f64(self.config.batch_timeout_frac)).min(self.config.batch_timeout_cap);
-            let oldest = inst.pending.front().expect("non-empty").arrived;
-            let full = inst.pending.len() >= batch as usize;
-            let expired = now.saturating_since(oldest) >= timeout;
-            if !full && !expired {
-                continue;
-            }
-            let take = inst.pending.len().min(batch as usize);
-            let requests: Vec<Request> = inst.pending.drain(..take).collect();
-            let batch_id = self.next_batch;
-            self.next_batch += 1;
-            inst.inflight.push(InflightBatch { batch_id, requests, stage: 0 });
-            inst.last_active = now;
-            dispatches.push((inst.uid, batch_id, take));
-        }
-        for (uid, batch_id, size) in dispatches {
-            self.push_stage_item(uid, batch_id, 0, size as u32);
-        }
-    }
-
-    /// Queues the work item for `stage` of a batch on the right GPU.
-    fn push_stage_item(&mut self, uid: InstanceUid, batch_id: u64, stage: usize, batch: u32) {
-        let Some(inst) = self.instances.get_mut(&uid) else {
-            return;
-        };
-        let Some(f) = self.funcs.get(&inst.func) else {
-            return;
-        };
-        let profile = f.spec.model.profile();
-        let stages = inst.gpus.len() as u32;
-        let t_total = profile.inference_t_min(batch);
-        let t_stage = t_total / u64::from(stages) + self.config.stage_transfer.min(t_total);
-        // Each stage hosts 1/stages of the layers, so its kernel stream
-        // saturates at roughly that share of the card.
-        let sat = profile
-            .inference_sat(batch)
-            .scale(1.0 / f64::from(stages))
-            .max(dilu_gpu::SmRate::from_percent(5.0));
-        let blocks = profile.inference_blocks(batch) / u64::from(stages);
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        self.tags.insert(tag, WorkPayload::InferStage { uid, batch_id });
-        let gpu = inst.gpus[stage];
-        let slot = inst.slot_id(stage);
-        let item = dilu_gpu::WorkItem::compute(t_stage, sat, blocks.max(1), tag);
-        let now = self.now;
-        let quantum = self.config.quantum;
-        let post_step = self.gpu_phase_done;
-        let idx = self.gpu_index(gpu);
-        let event_active = self.event_active;
-        if let Some(g) = self.gpus.get_mut(idx) {
-            if event_active && self.busy_gpus.insert(gpu) {
-                Self::catch_up_policy(g, now, quantum, post_step);
-            }
-            let _ = g.engine.push_work(slot, item);
-        }
-    }
-
-    /// Advances one GPU by the quantum starting at `now`, first replaying
-    /// any skipped idle cycles into its share policy (capped, see
-    /// [`IDLE_REPLAY_CAP`]) so derived policy state evolves as under dense
-    /// stepping.
-    fn advance_gpu(slot: &mut GpuSlot, now: SimTime, quantum: SimDuration, out: &mut StepOutcome) {
-        let gap_cycles = match slot.last_step {
-            Some(last) => {
-                let expected = last + quantum;
-                if now > expected {
-                    (now - expected).as_micros() / quantum.as_micros()
-                } else {
-                    0
-                }
-            }
-            None => now.as_micros() / quantum.as_micros(),
-        };
-        if gap_cycles > 0 {
-            let replay = gap_cycles.min(IDLE_REPLAY_CAP);
-            let from = now - quantum * replay;
-            slot.engine.idle_fastforward(from, replay, slot.policy.as_mut());
-        }
-        slot.last_step = Some(now);
-        slot.engine.step_into(now, slot.policy.as_mut(), out);
-    }
-
-    /// Catches a GPU's share policy up to the current wake, before new work
-    /// is queued on it (the idle→busy transition), so the replayed cycles
-    /// present the historically accurate workless views.
-    ///
-    /// `post_step` says whether this wake's GPU phase has already run: a
-    /// push from the completion handlers lands *after* it (the dense
-    /// stepper would have idle-stepped this GPU at `now` too, so the
-    /// replay includes `now`), while a push from the dispatch or
-    /// promotion phases lands *before* it (the quantum at `now` is about
-    /// to be stepped normally and must not be replayed).
-    fn catch_up_policy(slot: &mut GpuSlot, now: SimTime, quantum: SimDuration, post_step: bool) {
-        let expected = match slot.last_step {
-            Some(last) => last + quantum,
-            None => SimTime::ZERO,
-        };
-        let through = if post_step {
-            now
-        } else if now.as_micros() >= quantum.as_micros() {
-            now - quantum
-        } else {
-            return;
-        };
-        if through < expected {
-            return;
-        }
-        let gap_cycles = (through - expected).as_micros() / quantum.as_micros() + 1;
-        let replay = gap_cycles.min(IDLE_REPLAY_CAP);
-        let from = through - quantum * (replay - 1);
-        slot.engine.idle_fastforward(from, replay, slot.policy.as_mut());
-        slot.last_step = Some(through);
-    }
-
-    /// Credits issued kernel blocks to the cluster and per-function
-    /// second counters.
-    fn attribute_blocks(&mut self, issued: &[(dilu_gpu::InstanceId, u64)]) {
-        for &(slot_id, blocks) in issued {
-            if blocks == 0 {
-                continue;
-            }
-            self.total_blocks_sec += blocks;
-            if let Some(&(_, _, func)) = self.slot_index.get(&slot_id) {
-                if let Some(f) = self.funcs.get_mut(&func) {
-                    f.sec_blocks += blocks;
-                }
-            }
-        }
-    }
-
-    /// The dense stepper's GPU phase: every GPU, every quantum.
-    fn step_gpus(&mut self) {
-        let now = self.now;
-        let quantum = self.config.quantum;
-        let mut completions = Vec::new();
-        let mut issued: Vec<(dilu_gpu::InstanceId, u64)> = Vec::new();
-        let mut out = std::mem::take(&mut self.outcome_buf);
-        for slot in self.gpus.iter_mut() {
-            Self::advance_gpu(slot, now, quantum, &mut out);
-            slot.used_accum += out.total_used.as_fraction();
-            completions.append(&mut out.completions);
-            issued.append(&mut out.blocks_issued);
-        }
-        self.outcome_buf = out;
-        self.attribute_blocks(&issued);
-        self.gpu_phase_done = true;
-        for c in completions {
-            self.handle_completion(c);
-        }
-    }
-
-    fn handle_completion(&mut self, c: dilu_gpu::Completion) {
-        let Some(payload) = self.tags.remove(&c.tag) else {
-            return;
-        };
-        match payload {
-            WorkPayload::InferStage { uid, batch_id } => {
-                self.advance_inference_batch(uid, batch_id, c.at);
-            }
-            WorkPayload::TrainCompute { func, worker } => {
-                self.advance_training(func, worker, true, c.at);
-            }
-            WorkPayload::TrainComm { func, worker } => {
-                self.advance_training(func, worker, false, c.at);
-            }
-        }
-    }
-
-    fn advance_inference_batch(&mut self, uid: InstanceUid, batch_id: u64, at: SimTime) {
-        let Some(inst) = self.instances.get_mut(&uid) else {
-            return;
-        };
-        let stages = inst.gpus.len();
-        let Some(pos) = inst.inflight.iter().position(|b| b.batch_id == batch_id) else {
-            return;
-        };
-        let next_stage = inst.inflight[pos].stage + 1;
-        if next_stage >= stages {
-            let batch = inst.inflight.remove(pos);
-            inst.last_active = at;
-            let func = inst.func;
-            let slo = self.funcs.get(&func).and_then(|f| f.spec.slo());
-            if let Some(f) = self.funcs.get_mut(&func) {
-                for req in &batch.requests {
-                    let latency = at.saturating_since(req.arrived);
-                    f.latency.record(latency);
-                    f.completed += 1;
-                    f.sec_completions += 1;
-                    if slo.is_some_and(|s| latency > s) {
-                        f.sec_violations += 1;
-                    }
-                }
-            }
-        } else {
-            inst.inflight[pos].stage = next_stage;
-            let size = inst.inflight[pos].requests.len() as u32;
-            self.push_stage_item(uid, batch_id, next_stage, size);
-        }
-        if self.event_active {
-            // A freed stage-0 slot only matters if requests are waiting to
-            // fill it; arrivals and promotions mark the instance dirty
-            // themselves when new work shows up later.
-            if self.instances.get(&uid).is_some_and(|i| !i.pending.is_empty()) {
-                self.dirty.push(uid);
-            }
-        }
-    }
-
-    fn advance_training(
-        &mut self,
-        func: FunctionId,
-        worker: usize,
-        was_compute: bool,
-        at: SimTime,
-    ) {
-        let Some(job) = self.jobs.get_mut(&func) else {
-            return;
-        };
-        job.remaining.remove(&worker);
-        if !job.remaining.is_empty() {
-            return;
-        }
-        match (job.phase, was_compute) {
-            (JobPhase::Compute, true) => {
-                job.phase = JobPhase::Comm;
-                job.remaining = (0..job.workers.len()).collect();
-                let workers = job.workers.clone();
-                for (w, uid) in workers.iter().enumerate() {
-                    self.push_train_item(func, *uid, w, false);
-                }
-            }
-            (JobPhase::Comm, false) => {
-                job.iterations_done += 1;
-                let samples = self
-                    .funcs
-                    .get(&func)
-                    .map(|f| u64::from(f.spec.model.profile().training.samples_per_iter))
-                    .unwrap_or(0);
-                job.samples_done += samples * job.workers.len() as u64;
-                if job.iterations_done >= job.target {
-                    job.phase = JobPhase::Done;
-                    // The exact block-finish instant of the last worker, not
-                    // the enclosing quantum's start.
-                    job.finished = Some(at);
-                    let workers = job.workers.clone();
-                    for uid in workers {
-                        self.terminate_instance(uid);
-                    }
-                } else {
-                    job.phase = JobPhase::Compute;
-                    job.remaining = (0..job.workers.len()).collect();
-                    let workers = job.workers.clone();
-                    for (w, uid) in workers.iter().enumerate() {
-                        self.push_train_item(func, *uid, w, true);
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn reap_drained(&mut self) {
-        if self.draining_count == 0 {
-            return;
-        }
-        let drained: Vec<InstanceUid> = self
-            .instances
-            .values()
-            .filter(|i| {
-                matches!(i.state, InstanceState::Draining)
-                    && i.inflight.is_empty()
-                    && i.pending.is_empty()
-            })
-            .map(|i| i.uid)
-            .collect();
-        for uid in drained {
-            self.terminate_instance(uid);
-        }
-    }
-
-    fn terminate_instance(&mut self, uid: InstanceUid) {
-        let Some(inst) = self.instances.remove(&uid) else {
-            return;
-        };
-        if matches!(inst.state, InstanceState::Draining) {
-            self.draining_count = self.draining_count.saturating_sub(1);
-        }
-        self.dirty.retain(|&d| d != uid);
-        self.cancel_deadline(uid);
-        if let Some(f) = self.funcs.get_mut(&inst.func) {
-            f.instance_ids.retain(|&i| i != uid);
-        }
-        // Requeue any stranded requests at the gateway.
-        if let Some(f) = self.funcs.get_mut(&inst.func) {
-            for req in inst.pending.iter() {
-                f.backlog.push_back(*req);
-            }
-        }
-        for (stage, gpu) in inst.gpus.iter().enumerate() {
-            let slot = inst.slot_id(stage);
-            self.slot_index.remove(&slot);
-            if let Some(g) = self.gpu_slot_mut(*gpu) {
-                let _ = g.engine.evict(slot);
-            }
-        }
-    }
-
-    fn cluster_view(&self) -> ClusterView {
-        let mut views: BTreeMap<GpuAddr, GpuView> = self
-            .spec
-            .gpu_addrs()
-            .map(|addr| {
-                (
-                    addr,
-                    GpuView {
-                        addr,
-                        mem_capacity: self.spec.gpu_mem_bytes,
-                        mem_reserved: 0,
-                        residents: Vec::new(),
-                    },
-                )
-            })
-            .collect();
-        for inst in self.instances.values() {
-            let Some(f) = self.funcs.get(&inst.func) else {
-                continue;
-            };
-            let class = if f.spec.kind.is_inference() {
-                TaskClass::SloSensitive
-            } else {
-                TaskClass::BestEffort
-            };
-            let per_gpu_mem = f.spec.quotas.mem_bytes;
-            for gpu in &inst.gpus {
-                if let Some(v) = views.get_mut(gpu) {
-                    v.mem_reserved += per_gpu_mem;
-                    v.residents.push(ResidentInfo {
-                        func: inst.func,
-                        class,
-                        request: f.spec.quotas.request,
-                        limit: f.spec.quotas.limit,
-                        mem_bytes: per_gpu_mem,
-                    });
-                }
-            }
-        }
-        ClusterView { gpus: views.into_values().collect() }
-    }
-
-    fn launch_instance(&mut self, func: FunctionId, prewarmed: bool) -> Result<InstanceUid, ()> {
-        let view = self.cluster_view();
-        let spec = self.funcs.get(&func).ok_or(())?.spec.clone();
-        let gpus = self.placement.place(&spec, &view).ok_or(())?;
-        debug_assert_eq!(gpus.len() as u32, spec.gpus_per_instance);
-        let uid = InstanceUid(self.next_uid);
-        self.next_uid += 1;
-        let class =
-            if spec.kind.is_inference() { TaskClass::SloSensitive } else { TaskClass::BestEffort };
-        let state = if prewarmed {
-            InstanceState::Running
-        } else {
-            let delay = cold_start_duration(spec.model);
-            if let Some(f) = self.funcs.get_mut(&func) {
-                f.cold_starts.record(delay);
-            }
-            let ready_at = self.now + delay;
-            if self.event_active {
-                // This wake's promotion phase has already run; the dense
-                // stepper would promote at the next processed quantum.
-                let due = self.grid_ceil(ready_at).max(self.now + self.config.quantum);
-                self.events.push(due, SimEvent::ColdStartReady(uid));
-            }
-            InstanceState::ColdStarting { ready_at }
-        };
-        let inst = Instance {
-            uid,
-            func,
-            gpus: gpus.clone(),
-            state,
-            pending: VecDeque::new(),
-            inflight: Vec::new(),
-            last_active: self.now,
-        };
-        for (stage, gpu) in gpus.iter().enumerate() {
-            let slot = inst.slot_id(stage);
-            let cfg = SlotConfig {
-                class,
-                request: spec.quotas.request,
-                limit: spec.quotas.limit,
-                mem_bytes: spec.quotas.mem_bytes,
-            };
-            let gidx = self.gpu_index(*gpu);
-            let gslot = self.gpus.get_mut(gidx).expect("placement returned a valid GPU");
-            if self.event_active {
-                // Close any idle gap *before* the new slot joins the
-                // roster: replayed cycles must show the pre-admission
-                // residents only, and the fresh slot's policy history must
-                // start here — exactly as under dense stepping.
-                Self::catch_up_policy(gslot, self.now, self.config.quantum, self.gpu_phase_done);
-            }
-            let admitted = gslot.engine.admit(slot, cfg);
-            if admitted.is_err() {
-                // Roll back earlier stages.
-                for (s, g) in gpus.iter().enumerate().take(stage) {
-                    let sid = inst.slot_id(s);
-                    self.slot_index.remove(&sid);
-                    if let Some(gs) = self.gpu_slot_mut(*g) {
-                        let _ = gs.engine.evict(sid);
-                    }
-                }
-                return Err(());
-            }
-            self.slot_index.insert(slot, (uid, stage, func));
-        }
-        if let Some(f) = self.funcs.get_mut(&func) {
-            f.instance_ids.push(uid);
-        }
-        self.instances.insert(uid, inst);
-        Ok(uid)
-    }
-
-    /// Per-GPU guaranteed-SM slack, and per function the tightest slack
-    /// across the GPUs hosting its (non-draining) instances.
-    ///
-    /// A resize re-quotas *every* slice of the function, so a GPU hosting
-    /// `n` of them absorbs `n×` the per-slice growth — its slack is divided
-    /// by the slice count before taking the minimum.
-    fn vertical_headroom(&self, cluster: &ClusterView) -> BTreeMap<FunctionId, SmRate> {
-        let slack: BTreeMap<GpuAddr, SmRate> =
-            cluster.gpus.iter().map(|g| (g.addr, g.request_slack())).collect();
-        let mut slices: BTreeMap<(FunctionId, GpuAddr), u32> = BTreeMap::new();
-        for inst in self.instances.values() {
-            if matches!(inst.state, InstanceState::Draining) {
-                continue;
-            }
-            for gpu in &inst.gpus {
-                *slices.entry((inst.func, *gpu)).or_insert(0) += 1;
-            }
-        }
-        let mut headroom: BTreeMap<FunctionId, SmRate> = BTreeMap::new();
-        for (&(func, gpu), &count) in &slices {
-            let per_slice = slack
-                .get(&gpu)
-                .copied()
-                .unwrap_or(SmRate::ZERO)
-                .scale(1.0 / f64::from(count.max(1)));
-            headroom.entry(func).and_modify(|h| *h = h.min(per_slice)).or_insert(per_slice);
-        }
-        headroom
-    }
-
-    fn run_controller(&mut self) {
-        if self.audit_hook.is_some() {
-            let snapshot = self.audit();
-            if let Some(hook) = self.audit_hook.as_mut() {
-                hook(&snapshot);
-            }
-        }
-        let now = self.now;
-        let cluster = self.cluster_view();
-        let headroom = self.vertical_headroom(&cluster);
-        let mut views = Vec::new();
-        let instances = &self.instances;
-        for (id, f) in self.funcs.iter_mut() {
-            f.window.roll_to(now);
-            if !f.spec.kind.is_inference() {
-                continue;
-            }
-            let mut ready = 0u32;
-            let mut starting = 0u32;
-            let mut backlog = f.backlog.len();
-            let mut max_idle = SimDuration::ZERO;
-            for inst in instances.values().filter(|i| i.func == *id) {
-                match inst.state {
-                    InstanceState::Running => {
-                        ready += 1;
-                        backlog += inst.load();
-                        if inst.load() == 0 {
-                            max_idle = max_idle.max(now.saturating_since(inst.last_active));
-                        }
-                    }
-                    InstanceState::ColdStarting { .. } => {
-                        starting += 1;
-                        backlog += inst.load();
-                    }
-                    InstanceState::Draining => {}
-                }
-            }
-            views.push(FunctionScaleView {
-                func: *id,
-                kind: f.spec.kind,
-                rps_window: f.window.samples().to_vec(),
-                ready_instances: ready,
-                starting_instances: starting,
-                backlog,
-                capacity_rps: f.spec.capacity_rps(),
-                max_idle,
-                quota: QuotaView {
-                    request: f.spec.quotas.request,
-                    limit: f.spec.quotas.limit,
-                    headroom: headroom.get(id).copied().unwrap_or(SmRate::ZERO),
-                    capacity_rps_at_limit: f.spec.capacity_rps_at(f.spec.quotas.limit),
-                },
-            });
-        }
-        let actions = self.controller.on_tick(now, &views, &cluster);
-        for action in actions {
-            match action {
-                ScaleAction::ScaleOut { func, count } => {
-                    for _ in 0..count {
-                        let _ = self.launch_instance(func, false);
-                    }
-                }
-                ScaleAction::ScaleIn { func, count } => {
-                    for _ in 0..count {
-                        // Drain the most idle ready instance.
-                        let victim = self
-                            .instances
-                            .values()
-                            .filter(|i| i.func == func && i.state.is_ready())
-                            .min_by_key(|i| {
-                                (
-                                    std::cmp::Reverse(
-                                        now.saturating_since(i.last_active).as_micros(),
-                                    ),
-                                    i.uid,
-                                )
-                            })
-                            .map(|i| i.uid);
-                        if let Some(uid) = victim {
-                            if let Some(inst) = self.instances.get_mut(&uid) {
-                                inst.state = InstanceState::Draining;
-                                self.draining_count += 1;
-                                if self.event_active {
-                                    // Remaining pending work may still
-                                    // dispatch while draining.
-                                    self.dirty.push(uid);
-                                }
-                            }
-                        }
-                    }
-                }
-                ScaleAction::ResizeQuota { func, request, limit } => {
-                    self.request_resize(func, request, limit);
-                }
-            }
-        }
-    }
-
-    fn sample_metrics(&mut self) {
-        let sec = self.now.as_secs();
-        if self.last_sampled_sec == Some(sec) {
-            return;
-        }
-        self.last_sampled_sec = Some(sec);
-        // Quanta covered by this sampling window. Skipped (idle) quanta
-        // contribute exactly 0 to `used_accum`, so dividing by the window
-        // size gives the same average whether or not they were stepped —
-        // the dense stepper and the event core agree bit-for-bit.
-        let window_quanta = self.sample_clock.window_quanta(self.now, self.config.quantum);
-        let mut samples = Vec::with_capacity(self.gpus.len());
-        let mut occupied = 0u32;
-        for slot in self.gpus.iter_mut() {
-            let avg_used = slot.used_accum / window_quanta as f64;
-            slot.used_accum = 0.0;
-            let is_occupied = slot.engine.resident_count() > 0;
-            if is_occupied {
-                occupied += 1;
-            }
-            samples.push(GpuUsageSample {
-                sm_capacity: 100.0,
-                sm_used: avg_used * 100.0,
-                mem_capacity: slot.engine.mem_capacity(),
-                mem_used: slot.engine.mem_used(),
-                occupied: is_occupied,
-            });
-        }
-        self.fragmentation.push(FragmentationSnapshot::from_samples(&samples));
-        self.occupied_series.push((sec, occupied));
-        self.peak_gpus = self.peak_gpus.max(occupied);
-        self.gpu_seconds += f64::from(occupied) * self.config.tick.as_secs_f64();
-        let instance_gpus: usize = self.instances.values().map(|i| i.gpus.len()).sum();
-        self.instance_gpu_seconds += instance_gpus as f64 * self.config.tick.as_secs_f64();
-        self.total_kernel_series.push((sec, self.total_blocks_sec));
-        self.total_blocks_sec = 0;
-        for f in self.funcs.values_mut() {
-            f.kernel_series.push((sec, f.sec_blocks));
-            f.sec_blocks = 0;
-        }
-        // Inference timelines need instance counts; gather after borrows end.
-        let ready_counts: BTreeMap<FunctionId, u32> = self
-            .funcs
-            .keys()
-            .map(|&id| {
-                (
-                    id,
-                    self.instances.values().filter(|i| i.func == id && i.state.is_ready()).count()
-                        as u32,
-                )
-            })
-            .collect();
-        for (id, f) in self.funcs.iter_mut() {
-            if f.spec.kind.is_inference() {
-                f.timeline.push(TimelinePoint {
-                    sec,
-                    arrivals: f.sec_arrivals,
-                    completions: f.sec_completions,
-                    violations: f.sec_violations,
-                    ready_instances: ready_counts.get(id).copied().unwrap_or(0),
-                });
-            }
-            f.sec_arrivals = 0;
-            f.sec_completions = 0;
-            f.sec_violations = 0;
-        }
-    }
 }
 
-fn new_func_state(spec: FunctionSpec, arrivals: Vec<SimTime>) -> FuncState {
+pub(crate) fn new_func_state(spec: FunctionSpec, arrivals: Vec<SimTime>) -> FuncState {
     FuncState {
         spec,
         instance_ids: Vec::new(),
@@ -2061,432 +758,5 @@ fn new_func_state(spec: FunctionSpec, arrivals: Vec<SimTime>) -> FuncState {
         sec_violations: 0,
         sec_blocks: 0,
         kernel_series: Vec::new(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dilu_gpu::policies::FairSharePolicy;
-    use dilu_gpu::SmRate;
-    use dilu_models::ModelId;
-    use dilu_workload::{ArrivalProcess, PoissonProcess};
-
-    /// Places on the first GPU (or GPUs) with enough free memory.
-    struct FirstFit;
-
-    impl Placement for FirstFit {
-        fn place(&mut self, func: &FunctionSpec, cluster: &ClusterView) -> Option<Vec<GpuAddr>> {
-            let mut chosen = Vec::new();
-            for gpu in &cluster.gpus {
-                if gpu.mem_free() >= func.quotas.mem_bytes && !chosen.contains(&gpu.addr) {
-                    chosen.push(gpu.addr);
-                    if chosen.len() as u32 == func.gpus_per_instance {
-                        return Some(chosen);
-                    }
-                }
-            }
-            None
-        }
-
-        fn name(&self) -> &str {
-            "first-fit"
-        }
-    }
-
-    struct NullScaler;
-
-    impl Autoscaler for NullScaler {
-        fn on_tick(&mut self, _now: SimTime, _functions: &[FunctionScaleView]) -> Vec<ScaleAction> {
-            Vec::new()
-        }
-
-        fn name(&self) -> &str {
-            "null"
-        }
-    }
-
-    /// Scales out once at t=2s (exercises the cold-start path).
-    struct OneShotScaler {
-        fired: bool,
-        func: FunctionId,
-    }
-
-    impl Autoscaler for OneShotScaler {
-        fn on_tick(&mut self, now: SimTime, _functions: &[FunctionScaleView]) -> Vec<ScaleAction> {
-            if !self.fired && now >= SimTime::from_secs(2) {
-                self.fired = true;
-                vec![ScaleAction::ScaleOut { func: self.func, count: 1 }]
-            } else {
-                Vec::new()
-            }
-        }
-
-        fn name(&self) -> &str {
-            "one-shot"
-        }
-    }
-
-    fn fair_factory() -> impl PolicyFactory {
-        // `named` over a bare closure: the factory reports "fair-share"
-        // instead of the blanket impl's "closure-policy".
-        crate::named("fair-share", || Box::new(FairSharePolicy))
-    }
-
-    fn inference_spec(id: u32, model: ModelId, batch: u32) -> FunctionSpec {
-        let profile = model.profile();
-        let sat = profile.inference_sat(batch);
-        FunctionSpec {
-            id: FunctionId(id),
-            name: format!("{}-inf", profile.name),
-            model,
-            kind: FunctionKind::Inference { slo: profile.slo, batch },
-            quotas: crate::Quotas::new(sat, sat.scale(2.0), profile.infer_mem_bytes),
-            gpus_per_instance: 1,
-        }
-    }
-
-    #[test]
-    fn single_inference_function_serves_requests() {
-        let mut sim = ClusterSim::new(
-            ClusterSpec::single_node(2),
-            SimConfig::default(),
-            Box::new(FirstFit),
-            Box::new(NullScaler),
-            &fair_factory(),
-        );
-        let spec = inference_spec(1, ModelId::RobertaLarge, 4);
-        let arrivals = PoissonProcess::new(20.0, 7).generate(SimTime::from_secs(20));
-        let expected = arrivals.len() as u64;
-        sim.deploy_inference(spec, 1, arrivals).unwrap();
-        sim.run_until(SimTime::from_secs(25));
-        let report = sim.into_report();
-        let f = &report.inference[&FunctionId(1)];
-        assert_eq!(f.arrived, expected);
-        assert!(f.completed >= expected * 95 / 100, "completed {}/{}", f.completed, expected);
-        // Solo at full grant: latency ≈ exec time + batching wait, well under SLO.
-        assert!(f.svr() < 0.05, "svr {}", f.svr());
-        assert!(f.latency.p50() >= SimDuration::from_millis(5));
-    }
-
-    #[test]
-    fn training_job_completes_and_frees_gpus() {
-        let mut sim = ClusterSim::new(
-            ClusterSpec::single_node(4),
-            SimConfig::default(),
-            Box::new(FirstFit),
-            Box::new(NullScaler),
-            &fair_factory(),
-        );
-        let model = ModelId::BertBase;
-        let spec = FunctionSpec {
-            id: FunctionId(1),
-            name: "bert-train".into(),
-            model,
-            kind: FunctionKind::Training { workers: 2, iterations: 20 },
-            quotas: crate::Quotas::equal(
-                SmRate::from_percent(60.0),
-                model.profile().training.mem_bytes,
-            ),
-            gpus_per_instance: 1,
-        };
-        sim.deploy_training(spec).unwrap();
-        // FirstFit packs both 6 GB workers onto GPU 0; both saturate at 50%
-        // so they still run at full rate side by side.
-        assert_eq!(sim.occupied_gpus(), 1);
-        // 20 iterations × (60+25) ms ≈ 1.7 s.
-        sim.run_until(SimTime::from_secs(5));
-        assert_eq!(sim.occupied_gpus(), 0, "workers must be released at completion");
-        let report = sim.into_report();
-        let t = &report.training[&FunctionId(1)];
-        assert_eq!(t.iterations_done, 20);
-        let jct = t.jct().expect("job finished");
-        let ideal = SimDuration::from_millis((60 + 25) * 20);
-        // Completion timestamps land at exact block-finish instants (not
-        // quantum starts), so the JCT can never undercut the analytic
-        // ideal — only microsecond quantisation slack remains.
-        assert!(jct >= ideal.mul_f64(0.9999), "jct {jct} vs ideal {ideal}");
-        assert!(jct <= ideal.mul_f64(1.3), "jct {jct} too slow");
-        let thr = t.throughput(report.horizon);
-        assert!(thr > 0.0);
-    }
-
-    #[test]
-    fn cold_started_instance_picks_up_backlog() {
-        let spec = inference_spec(1, ModelId::ResNet152, 4);
-        let func = spec.id;
-        let mut sim = ClusterSim::new(
-            ClusterSpec::single_node(1),
-            SimConfig::default(),
-            Box::new(FirstFit),
-            Box::new(OneShotScaler { fired: false, func }),
-            &fair_factory(),
-        );
-        // No initial instances: everything backlogs until the scaler fires.
-        let arrivals = PoissonProcess::new(5.0, 3).generate(SimTime::from_secs(10));
-        sim.deploy_inference(spec, 0, arrivals).unwrap();
-        sim.run_until(SimTime::from_secs(20));
-        let report = sim.into_report();
-        let f = &report.inference[&func];
-        assert_eq!(f.cold_starts.count(), 1);
-        assert!(f.completed > 0, "backlog must drain after cold start");
-        // Early requests waited out the entire cold start (the scaler fired
-        // at t=2 s, the first arrivals landed before that): with exact
-        // completion timestamps the full cold-start delay is a hard lower
-        // bound on the worst latency, no half-delay slack needed.
-        assert!(f.latency.quantile(1.0) >= cold_start_duration(ModelId::ResNet152));
-    }
-
-    #[test]
-    fn pipelined_llm_instance_spans_gpus() {
-        let model = ModelId::Llama2_7b;
-        let profile = model.profile();
-        let mut sim = ClusterSim::new(
-            ClusterSpec::single_node(4),
-            SimConfig::default(),
-            Box::new(FirstFit),
-            Box::new(NullScaler),
-            &fair_factory(),
-        );
-        let spec = FunctionSpec {
-            id: FunctionId(1),
-            name: "llama-inf".into(),
-            model,
-            kind: FunctionKind::Inference { slo: profile.slo, batch: 2 },
-            quotas: crate::Quotas::new(
-                SmRate::from_percent(40.0),
-                SmRate::from_percent(80.0),
-                profile.infer_mem_bytes / 4,
-            ),
-            gpus_per_instance: 4,
-        };
-        let arrivals = PoissonProcess::new(2.0, 5).generate(SimTime::from_secs(20));
-        let expected = arrivals.len() as u64;
-        sim.deploy_inference(spec, 1, arrivals).unwrap();
-        assert_eq!(sim.occupied_gpus(), 4, "stages must land on 4 GPUs");
-        sim.run_until(SimTime::from_secs(30));
-        let report = sim.into_report();
-        let f = &report.inference[&FunctionId(1)];
-        assert!(f.completed >= expected * 9 / 10, "completed {}/{}", f.completed, expected);
-        // Per-token display latency should be in tens of ms.
-        assert!(f.p95_display() < SimDuration::from_millis(200));
-    }
-
-    /// Resizes a function's quotas at t=2 s and records the quota views it
-    /// is shown afterwards (shared out through `Rc` so the test can assert
-    /// on what the control plane actually saw).
-    struct ResizeProbe {
-        func: FunctionId,
-        fired: bool,
-        seen: std::rc::Rc<std::cell::RefCell<Vec<QuotaView>>>,
-    }
-
-    impl ElasticityController for ResizeProbe {
-        fn on_tick(
-            &mut self,
-            now: SimTime,
-            functions: &[FunctionScaleView],
-            cluster: &ClusterView,
-        ) -> Vec<ScaleAction> {
-            assert_eq!(cluster.gpus.len(), 2, "controller sees the whole cluster");
-            if let Some(f) = functions.iter().find(|f| f.func == self.func) {
-                self.seen.borrow_mut().push(f.quota);
-            }
-            if !self.fired && now >= SimTime::from_secs(2) {
-                self.fired = true;
-                return vec![ScaleAction::ResizeQuota {
-                    func: self.func,
-                    request: SmRate::from_percent(80.0),
-                    limit: SmRate::from_percent(90.0),
-                }];
-            }
-            Vec::new()
-        }
-
-        fn name(&self) -> &str {
-            "resize-probe"
-        }
-    }
-
-    #[test]
-    fn vertical_resizes_apply_and_are_counted() {
-        let spec = inference_spec(1, ModelId::RobertaLarge, 4);
-        let func = spec.id;
-        let (req0, lim0) = (spec.quotas.request, spec.quotas.limit);
-        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        let mut sim = ClusterSim::with_controller(
-            ClusterSpec::single_node(2),
-            SimConfig::default(),
-            Box::new(FirstFit),
-            Box::new(ResizeProbe { func, fired: false, seen: seen.clone() }),
-            &fair_factory(),
-        );
-        let arrivals = PoissonProcess::new(10.0, 7).generate(SimTime::from_secs(6));
-        sim.deploy_inference(spec, 1, arrivals).unwrap();
-        sim.run_until(SimTime::from_secs(6));
-        let report = sim.into_report();
-        let f = &report.inference[&func];
-        assert_eq!(f.resizes.grows(), 1, "one grow resize");
-        assert_eq!(f.resizes.total(), 1);
-        assert_eq!(report.total_resizes(), 1);
-        assert_eq!(f.cold_starts.count(), 0, "vertical scaling pays no cold start");
-        let seen = seen.borrow();
-        // Before the resize the controller saw the deployed quotas plus the
-        // GPU's guaranteed-SM slack as vertical headroom.
-        let before = seen.first().expect("ticks before the resize");
-        assert_eq!(before.request, req0);
-        assert_eq!(before.limit, lim0);
-        assert!((before.headroom.as_fraction() - (1.0 - req0.as_fraction())).abs() < 1e-9);
-        assert!(before.capacity_rps_at_limit > 0.0);
-        // Within one tick of the decision (1 ms apply latency ≪ 1 s tick)
-        // the views reflect the new quotas, and headroom shrank to match.
-        let after = seen.last().expect("ticks after the resize");
-        assert_eq!(after.request, SmRate::from_percent(80.0));
-        assert_eq!(after.limit, SmRate::from_percent(90.0));
-        assert!((after.headroom.as_fraction() - 0.2).abs() < 1e-9);
-    }
-
-    /// Re-emits the same grow every tick until the spec reflects it — the
-    /// steady-state behaviour of a real controller whose decision stands
-    /// until applied.
-    struct PersistentResizer {
-        func: FunctionId,
-        target: SmRate,
-    }
-
-    impl ElasticityController for PersistentResizer {
-        fn on_tick(
-            &mut self,
-            _now: SimTime,
-            functions: &[FunctionScaleView],
-            _cluster: &ClusterView,
-        ) -> Vec<ScaleAction> {
-            match functions.iter().find(|f| f.func == self.func) {
-                Some(f) if f.quota.request < self.target => vec![ScaleAction::ResizeQuota {
-                    func: self.func,
-                    request: self.target,
-                    limit: self.target,
-                }],
-                _ => Vec::new(),
-            }
-        }
-
-        fn name(&self) -> &str {
-            "persistent-resizer"
-        }
-    }
-
-    #[test]
-    fn zero_resize_latency_matches_dense_stepping() {
-        // With resize_latency = 0 the controller's decision is due at the
-        // very instant it was made — after this wake's apply phase already
-        // ran. The event core must defer it to the next quantum (where the
-        // dense stepper first sees it), not re-wake and re-step the same
-        // instant.
-        let run = |time_model: TimeModel| {
-            let spec = inference_spec(1, ModelId::BertBase, 4);
-            let func = spec.id;
-            let config =
-                SimConfig { resize_latency: SimDuration::ZERO, time_model, ..SimConfig::default() };
-            let mut sim = ClusterSim::with_controller(
-                ClusterSpec::single_node(1),
-                config,
-                Box::new(FirstFit),
-                Box::new(PersistentResizer { func, target: SmRate::from_percent(70.0) }),
-                &fair_factory(),
-            );
-            let arrivals = PoissonProcess::new(20.0, 5).generate(SimTime::from_secs(6));
-            sim.deploy_inference(spec, 1, arrivals).unwrap();
-            // A collocated always-busy training worker guarantees the GPU
-            // is mid-work at the instant the resize decision lands — a
-            // same-instant re-wake would step it twice and double-issue
-            // kernel blocks.
-            let train = FunctionSpec {
-                id: FunctionId(2),
-                name: "train".into(),
-                model: ModelId::BertBase,
-                kind: FunctionKind::Training { workers: 1, iterations: 10_000 },
-                quotas: crate::Quotas::equal(
-                    SmRate::from_percent(30.0),
-                    ModelId::BertBase.profile().training.mem_bytes,
-                ),
-                gpus_per_instance: 1,
-            };
-            sim.deploy_training(train).unwrap();
-            sim.run_until(SimTime::from_secs(8));
-            sim.into_report()
-        };
-        let dense = run(TimeModel::DenseQuantum);
-        let event = run(TimeModel::EventDriven);
-        assert_eq!(dense.total_resizes(), 1);
-        assert_eq!(
-            format!("{dense:?}"),
-            format!("{event:?}"),
-            "zero-latency resizes must not desynchronise the time models"
-        );
-    }
-
-    #[test]
-    fn re_requested_resizes_keep_their_original_due_time() {
-        // With resize_latency longer than the tick, a controller re-emitting
-        // its decision every tick must not push the apply out forever.
-        let spec = inference_spec(1, ModelId::BertBase, 4);
-        let func = spec.id;
-        let config =
-            SimConfig { resize_latency: SimDuration::from_secs(2), ..SimConfig::default() };
-        let mut sim = ClusterSim::with_controller(
-            ClusterSpec::single_node(1),
-            config,
-            Box::new(FirstFit),
-            Box::new(PersistentResizer { func, target: SmRate::from_percent(70.0) }),
-            &fair_factory(),
-        );
-        let arrivals = PoissonProcess::new(5.0, 3).generate(SimTime::from_secs(8));
-        sim.deploy_inference(spec, 1, arrivals).unwrap();
-        sim.run_until(SimTime::from_secs(8));
-        let report = sim.into_report();
-        assert_eq!(
-            report.inference[&func].resizes.total(),
-            1,
-            "the resize must apply once despite per-tick re-requests"
-        );
-    }
-
-    #[test]
-    fn duplicate_deployment_is_rejected() {
-        let mut sim = ClusterSim::new(
-            ClusterSpec::single_node(1),
-            SimConfig::default(),
-            Box::new(FirstFit),
-            Box::new(NullScaler),
-            &fair_factory(),
-        );
-        let spec = inference_spec(1, ModelId::BertBase, 4);
-        sim.deploy_inference(spec.clone(), 0, Vec::new()).unwrap();
-        let err = sim.deploy_inference(spec, 0, Vec::new()).unwrap_err();
-        assert_eq!(err, DeployError::DuplicateFunction(FunctionId(1)));
-    }
-
-    #[test]
-    fn report_contains_fragmentation_and_occupancy_series() {
-        let mut sim = ClusterSim::new(
-            ClusterSpec::single_node(2),
-            SimConfig::default(),
-            Box::new(FirstFit),
-            Box::new(NullScaler),
-            &fair_factory(),
-        );
-        let spec = inference_spec(1, ModelId::BertBase, 4);
-        let arrivals = PoissonProcess::new(10.0, 1).generate(SimTime::from_secs(5));
-        sim.deploy_inference(spec, 1, arrivals).unwrap();
-        sim.run_until(SimTime::from_secs(6));
-        let report = sim.into_report();
-        assert!(!report.fragmentation.is_empty());
-        assert!(report.peak_gpus >= 1);
-        assert!(report.gpu_time >= SimDuration::from_secs(4));
-        assert!(report.total_kernel_series.iter().map(|&(_, b)| b).sum::<u64>() > 0);
-        // BERT is tiny and bursts are short: the occupied GPU runs far below
-        // 100% SM — static exclusive occupancy shows up as fragmentation.
-        assert!(report.fragmentation.mean_sm_fragmentation() > 0.3);
     }
 }

@@ -17,6 +17,7 @@
 //! [sim]                        # optional serving-plane tunables
 //! quantum_ms = 5.0
 //! resize_latency_ms = 1.0
+//! threads = 4                  # node-plane step parallelism (same results)
 //!
 //! [run]
 //! horizon_secs = 30
@@ -155,6 +156,10 @@ pub struct SimSection {
     /// Time model: `"event-driven"` (default) or `"dense-quantum"` (the
     /// legacy stepper, kept as the executable specification).
     pub time_model: Option<String>,
+    /// Threads stepping the node plane (≥ 1). Defaults to the
+    /// `DILU_THREADS` environment variable, else 1. Reports are
+    /// byte-identical at every setting; this knob trades wall clock only.
+    pub threads: Option<u32>,
 }
 
 impl SimSection {
@@ -195,6 +200,13 @@ impl SimSection {
                 "[sim] `batch_timeout_frac` must be in [0, 1], got {frac}"
             )));
         }
+        let threads = match self.threads {
+            None => d.threads,
+            Some(0) => {
+                return Err(ScenarioError::Config("[sim] `threads` must be at least 1".to_owned()));
+            }
+            Some(t) => t,
+        };
         let time_model = match self.time_model.as_deref() {
             None => d.time_model,
             Some("event-driven") => dilu_cluster::TimeModel::EventDriven,
@@ -228,6 +240,7 @@ impl SimSection {
                 true,
             )?,
             time_model,
+            threads,
         })
     }
 }
@@ -498,6 +511,7 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
                 "stage_transfer_ms",
                 "resize_latency_ms",
                 "time_model",
+                "threads",
             ],
         )?;
     }

@@ -156,6 +156,11 @@ type Components = (Box<dyn Placement>, Box<dyn ElasticityController>, Box<dyn Po
 /// Start from [`Scenario::builder`] (empty) or a
 /// [`SystemKind`](crate::SystemKind) preset, swap any component, attach
 /// functions and workloads, then [`build`](ScenarioBuilder::build).
+///
+/// The type is `#[must_use]`: every fluent method consumes and returns the
+/// builder, so a dropped return value silently discards the whole
+/// composition step.
+#[must_use = "ScenarioBuilder methods return the updated builder; dropping it discards the step"]
 pub struct ScenarioBuilder {
     cluster: ClusterSpec,
     sim: SimConfig,
@@ -202,6 +207,21 @@ impl ScenarioBuilder {
     /// Sets the serving-plane tunables.
     pub fn sim_config(mut self, config: SimConfig) -> Self {
         self.sim = config;
+        self
+    }
+
+    /// Sets the node-plane step parallelism (`[sim] threads`), keeping the
+    /// rest of the sim config. Reports are byte-identical at every
+    /// setting, so this trades wall clock only. Zero is rejected at
+    /// [`build`](Self::build), exactly as the TOML and CLI front doors
+    /// reject it.
+    pub fn threads(mut self, threads: u32) -> Self {
+        if threads == 0 {
+            self.misuse
+                .get_or_insert(ScenarioError::Config("`threads` must be at least 1".to_owned()));
+        } else {
+            self.sim.threads = threads;
+        }
         self
     }
 
@@ -511,21 +531,25 @@ impl Scenario {
     }
 
     /// The underlying simulator (e.g. to inspect composition names).
+    #[must_use]
     pub fn sim(&self) -> &ClusterSim {
         &self.sim
     }
 
     /// The traffic horizon.
+    #[must_use]
     pub fn horizon(&self) -> SimDuration {
         self.horizon
     }
 
     /// The drain tail after the horizon.
+    #[must_use]
     pub fn drain(&self) -> SimDuration {
         self.drain
     }
 
     /// The root seed used for arrival sampling fallbacks.
+    #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
     }
