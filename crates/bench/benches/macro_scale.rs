@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use dilu_cluster::ClusterReport;
-use dilu_core::{Registry, ScenarioConfig};
+use dilu_core::{NetworkSection, Registry, ScenarioConfig};
 
 /// Thread count for the parallel event-core run (`[sim] threads`).
 const PARALLEL_THREADS: u32 = 4;
@@ -68,6 +68,27 @@ fn main() {
         "parallel node plane diverged from serial on the macro-scale scenario"
     );
 
+    // Network-plane lane: same scenario with the datacenter topology priced
+    // in, so the bench tracks what flow bookkeeping costs the event core —
+    // and that the parallel node plane stays byte-identical with it on.
+    let mut networked = config.clone();
+    networked.network =
+        Some(NetworkSection { preset: Some("datacenter".to_owned()), ..Default::default() });
+    let (network_report, network_secs) = run(&networked, "event-driven", 1);
+    println!("event-driven + network:   {network_secs:.2} s wall");
+    let (network_parallel_report, network_parallel_secs) =
+        run(&networked, "event-driven", PARALLEL_THREADS);
+    println!("network ({PARALLEL_THREADS} threads):      {network_parallel_secs:.2} s wall");
+    let network_json = serde_json::to_string(&network_report).expect("report serializes");
+    let network_parallel_json =
+        serde_json::to_string(&network_parallel_report).expect("report serializes");
+    assert_eq!(
+        network_parallel_json, network_json,
+        "parallel node plane diverged from serial with the network plane on"
+    );
+    let cold_fetches: u64 =
+        network_report.inference.values().map(|f| f.cold_starts.fetches()).sum();
+
     let speedup = dense_secs / event_secs;
     let parallel_speedup = event_secs / parallel_secs;
     let requests: u64 = event_report.inference.values().map(|f| f.arrived).sum();
@@ -89,6 +110,8 @@ fn main() {
         (s("parallel_threads"), serde::Value::UInt(u64::from(PARALLEL_THREADS))),
         (s("hardware_threads"), serde::Value::UInt(u64::from(hardware_threads))),
         (s("dense_quantum_wall_secs"), serde::Value::Float(round2(dense_secs))),
+        (s("network_event_wall_secs"), serde::Value::Float(round2(network_secs))),
+        (s("network_cold_fetches"), serde::Value::UInt(cold_fetches)),
         (s("speedup"), serde::Value::Float(round2(speedup))),
         (s("parallel_speedup"), serde::Value::Float(round2(parallel_speedup))),
         (s("reports_identical"), serde::Value::Bool(true)),

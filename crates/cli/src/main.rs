@@ -152,19 +152,41 @@ fn run_scenario(
     let elapsed = started.elapsed();
 
     if !report.inference.is_empty() {
-        let mut t = Table::new([
-            "function",
-            "model",
-            "arrived",
-            "completed",
-            "SVR",
-            "p50",
-            "p95",
-            "cold starts",
-            "resizes",
-        ]);
+        // Fetch columns only say something when a [network] plane priced
+        // the cold starts; without one they would all read 0.
+        let networked = report
+            .inference
+            .values()
+            .any(|f| f.cold_starts.fetches() + f.cold_starts.cache_hits() > 0);
+        let mut t = Table::new(if networked {
+            vec![
+                "function",
+                "model",
+                "arrived",
+                "completed",
+                "SVR",
+                "p50",
+                "p95",
+                "cold starts",
+                "fetch_ms",
+                "cache hits",
+                "resizes",
+            ]
+        } else {
+            vec![
+                "function",
+                "model",
+                "arrived",
+                "completed",
+                "SVR",
+                "p50",
+                "p95",
+                "cold starts",
+                "resizes",
+            ]
+        });
         for f in report.inference.values() {
-            t.row([
+            let mut row = vec![
                 f.name.clone(),
                 f.model.to_string(),
                 f.arrived.to_string(),
@@ -173,8 +195,13 @@ fn run_scenario(
                 f.p50_display().to_string(),
                 f.p95_display().to_string(),
                 f.cold_starts.count().to_string(),
-                format!("{}↑ {}↓", f.resizes.grows(), f.resizes.shrinks()),
-            ]);
+            ];
+            if networked {
+                row.push(format!("{:.0}", f.cold_starts.mean_fetch_ms()));
+                row.push(format!("{:.0}%", f.cold_starts.cache_hit_rate() * 100.0));
+            }
+            row.push(format!("{}↑ {}↓", f.resizes.grows(), f.resizes.shrinks()));
+            t.row(row);
         }
         println!("{t}");
     }
@@ -224,6 +251,10 @@ fn report_summary(report: &dilu_cluster::ClusterReport) -> serde::Value {
                 (Value::Str("svr".into()), Value::Float(f.svr())),
                 (Value::Str("p95_us".into()), Value::UInt(f.p95_display().as_micros())),
                 (Value::Str("cold_starts".into()), Value::UInt(f.cold_starts.count())),
+                (Value::Str("cold_fetches".into()), Value::UInt(f.cold_starts.fetches())),
+                (Value::Str("cache_hits".into()), Value::UInt(f.cold_starts.cache_hits())),
+                (Value::Str("cache_hit_rate".into()), Value::Float(f.cold_starts.cache_hit_rate())),
+                (Value::Str("mean_fetch_ms".into()), Value::Float(f.cold_starts.mean_fetch_ms())),
                 (Value::Str("resizes".into()), Value::UInt(f.resizes.total())),
             ])
         })

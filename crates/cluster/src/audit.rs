@@ -74,6 +74,23 @@ impl FunctionAudit {
     }
 }
 
+/// Network-plane byte ledger at audit time (present when the cluster runs
+/// with [`SimConfig::network`](crate::SimConfig)).
+///
+/// Conservation invariant: `requested == delivered + inflight` at every
+/// instant — bytes never appear or vanish mid-flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetAudit {
+    /// Total bytes ever requested across all flows.
+    pub requested_bytes: u64,
+    /// Total bytes delivered by completed or partially-drained flows.
+    pub delivered_bytes: u64,
+    /// Bytes still in flight on active flows.
+    pub inflight_bytes: u64,
+    /// Number of active flows.
+    pub active_flows: u64,
+}
+
 /// A whole-cluster audit snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AuditSnapshot {
@@ -83,6 +100,8 @@ pub struct AuditSnapshot {
     pub gpus: Vec<GpuAudit>,
     /// Per-function accounting, in function-id order.
     pub functions: Vec<FunctionAudit>,
+    /// Network-plane byte ledger; `None` when no network is configured.
+    pub network: Option<NetAudit>,
 }
 
 impl AuditSnapshot {

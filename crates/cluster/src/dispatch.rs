@@ -240,7 +240,14 @@ impl ClusterSim {
         let profile = f.spec.model.profile();
         let stages = inst.gpus.len() as u32;
         let t_total = profile.inference_t_min(batch);
-        let t_stage = t_total / u64::from(stages) + self.config.stage_transfer.min(t_total);
+        // With a network plane the inter-stage handoff is priced by an
+        // activation-transfer flow instead of the fixed constant.
+        let transfer = if self.net.is_some() {
+            dilu_sim::SimDuration::ZERO
+        } else {
+            self.config.stage_transfer.min(t_total)
+        };
+        let t_stage = t_total / u64::from(stages) + transfer;
         // Each stage hosts 1/stages of the layers, so its kernel stream
         // saturates at roughly that share of the card.
         let sat = profile
@@ -361,7 +368,32 @@ impl ClusterSim {
         } else {
             inst.inflight[pos].stage = next_stage;
             let size = inst.inflight[pos].requests.len() as u32;
-            self.push_stage_item(uid, batch_id, next_stage, size);
+            if self.net.is_some() {
+                // The activations must cross to the next stage's GPU
+                // before its work can start. Flows begin at the current
+                // wake/quantum instant (identical in both time models),
+                // not the completion's exact `at` — completions merge in
+                // node order, so their instants are not monotone.
+                let src = inst.gpus[next_stage - 1].node as usize;
+                let dst = inst.gpus[next_stage].node as usize;
+                let func = inst.func;
+                let bytes = self
+                    .funcs
+                    .get(&func)
+                    .map_or(1, |f| f.spec.model.profile().activation_bytes(size));
+                let now = self.now;
+                let net = self.net.as_mut().expect("checked above");
+                net.plane.start_transfer(
+                    now,
+                    src,
+                    dst,
+                    bytes,
+                    crate::netplane::NetPayload::Transfer { uid, batch_id, next_stage, size },
+                );
+                self.sync_net_events();
+            } else {
+                self.push_stage_item(uid, batch_id, next_stage, size);
+            }
         }
         if self.event_active {
             // A freed stage-0 slot only matters if requests are waiting to

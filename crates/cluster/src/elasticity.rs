@@ -115,7 +115,13 @@ impl ClusterSim {
                 }
             })
             .collect();
-        AuditSnapshot { now: self.now, gpus, functions }
+        let network = self.net.as_ref().map(|net| crate::audit::NetAudit {
+            requested_bytes: net.plane.requested_bytes(),
+            delivered_bytes: net.plane.delivered_bytes(),
+            inflight_bytes: net.plane.inflight_bytes(),
+            active_flows: net.plane.active_flows() as u64,
+        });
+        AuditSnapshot { now: self.now, gpus, functions, network }
     }
 
     /// Queues a vertical resize to apply after the configured latency.
@@ -282,6 +288,7 @@ impl ClusterSim {
         }
         let now = self.now;
         let headroom = self.vertical_headroom(&cluster);
+        let fetch_bytes = self.pending_fetch_bytes();
         let mut views = Vec::new();
         let instances = &self.instances;
         for (id, f) in self.funcs.iter_mut() {
@@ -318,6 +325,7 @@ impl ClusterSim {
                 backlog,
                 capacity_rps: f.spec.capacity_rps(),
                 max_idle,
+                pending_fetch_bytes: fetch_bytes.get(id).copied().unwrap_or(0),
                 quota: QuotaView {
                     request: f.spec.quotas.request,
                     limit: f.spec.quotas.limit,

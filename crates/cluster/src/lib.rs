@@ -37,13 +37,14 @@ mod dispatch;
 mod elasticity;
 mod instance;
 mod lifecycle;
+mod netplane;
 mod nodes;
 mod report;
 mod sim;
 mod spec;
 mod traits;
 
-pub use audit::{AuditHook, AuditSnapshot, FunctionAudit, GpuAudit};
+pub use audit::{AuditHook, AuditSnapshot, FunctionAudit, GpuAudit, NetAudit};
 pub use instance::{InstanceState, InstanceUid};
 pub use lifecycle::DeployError;
 pub use report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};

@@ -437,8 +437,50 @@ impl ClusterSim {
         self.next_uid += 1;
         let class =
             if spec.kind.is_inference() { TaskClass::SloSensitive } else { TaskClass::BestEffort };
+        let node = gpus[0].node as usize;
         let state = if prewarmed {
+            // Prewarming ships the weights ahead of time, so the node
+            // cache holds the model from here on.
+            if let Some(net) = self.net.as_mut() {
+                net.caches[node].insert(spec.model, spec.model.profile().param_bytes);
+            }
             InstanceState::Running
+        } else if self.net.is_some() {
+            let net = self.net.as_mut().expect("checked above");
+            let provision = net.cfg.provision;
+            if net.caches[node].contains(&spec.model) {
+                // Weights already on the node: only the provision residue
+                // (container/runtime setup) stands between us and Running.
+                if let Some(f) = self.funcs.get_mut(&func) {
+                    f.cold_starts.record_cached(provision);
+                }
+                let ready_at = self.now + provision;
+                if self.event_active {
+                    // This wake's promotion phase has already run; the
+                    // dense stepper would promote at the next quantum.
+                    let due = self.grid_ceil(ready_at).max(self.now + self.config.quantum);
+                    self.events.push(due, SimEvent::ColdStartReady(uid));
+                }
+                InstanceState::ColdStarting { ready_at }
+            } else {
+                // Cache miss: fetch the weights from the registry as a
+                // shared-bandwidth flow. Readiness (and the cold-start
+                // record) waits for the flow; the MAX sentinel marks an
+                // instance gated on the network, not a timer.
+                net.plane.start_fetch(
+                    self.now,
+                    node,
+                    spec.model.profile().param_bytes,
+                    crate::netplane::NetPayload::Fetch {
+                        uid,
+                        func,
+                        model: spec.model,
+                        launched: self.now,
+                    },
+                );
+                self.sync_net_events();
+                InstanceState::ColdStarting { ready_at: SimTime::MAX }
+            }
         } else {
             let delay = cold_start_duration(spec.model);
             if let Some(f) = self.funcs.get_mut(&func) {

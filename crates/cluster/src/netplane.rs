@@ -1,0 +1,153 @@
+//! Network-plane adapter (control plane): cold-start weight fetches and
+//! pipeline activation transfers as shared-bandwidth flows.
+//!
+//! With [`SimConfig::network`](crate::SimConfig) set, the cluster owns a
+//! [`dilu_net::NetPlane`] plus one [`dilu_net::ModelCache`] per node. A
+//! cold start whose model is not cached on the target node becomes a
+//! registry *fetch flow* — concurrent storms contend on the shared
+//! registry link and slow each other down — and the instance stays
+//! `ColdStarting` (with a [`SimTime::MAX`] sentinel `ready_at`) until the
+//! flow delivers, when the provision residue takes over. A pipeline stage
+//! handoff between GPUs becomes an activation *transfer flow* (NVLink
+//! same-node, both ToR uplinks cross-node) and the next stage's work is
+//! queued only when the bytes land. Both time models drive the plane
+//! through the same [`process_net_phase`](ClusterSim::process_net_phase)
+//! at quantum-grid instants — the dense stepper polls it every quantum,
+//! the event core wakes on [`SimEvent::NetFlowDone`] at flow finish
+//! instants — and polling with nothing due is a strict no-op, so reports
+//! stay byte-identical across models and thread counts.
+
+use dilu_models::ModelId;
+use dilu_net::{ModelCache, NetPlane, NetworkConfig};
+use dilu_sim::{SimDuration, SimTime};
+
+use crate::sim::{ClusterSim, SimEvent};
+use crate::{FunctionId, InstanceState, InstanceUid};
+
+/// What a completed network flow means to the control plane.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NetPayload {
+    /// A cold-start weight fetch from the registry to an instance's node.
+    Fetch {
+        uid: InstanceUid,
+        func: FunctionId,
+        model: ModelId,
+        /// Launch instant — the cold start's total delay is measured from
+        /// here, and the provision residue runs concurrently with the
+        /// fetch (container setup overlaps the transfer).
+        launched: SimTime,
+    },
+    /// A pipeline activation transfer between consecutive stage GPUs.
+    Transfer { uid: InstanceUid, batch_id: u64, next_stage: usize, size: u32 },
+}
+
+/// The cluster's network-plane state: flow plane + per-node model caches.
+pub(crate) struct NetState {
+    pub(crate) plane: NetPlane<NetPayload>,
+    pub(crate) caches: Vec<ModelCache<ModelId>>,
+    pub(crate) cfg: NetworkConfig,
+}
+
+impl NetState {
+    pub(crate) fn new(nodes: u32, cfg: NetworkConfig, quantum: SimDuration) -> Self {
+        NetState {
+            plane: NetPlane::new(nodes as usize, &cfg, quantum),
+            caches: (0..nodes).map(|_| ModelCache::new(cfg.cache_bytes())).collect(),
+            cfg,
+        }
+    }
+}
+
+impl ClusterSim {
+    /// The shared network phase: completes every flow due at `now`,
+    /// turning finished fetches into promotable cold starts and finished
+    /// transfers into next-stage work items. Returns the uids whose
+    /// `ready_at` has already passed (the event core promotes them this
+    /// wake; the dense stepper's promote scan finds them by itself).
+    pub(crate) fn process_net_phase(&mut self) -> Vec<InstanceUid> {
+        let now = self.now;
+        let due = match self.net.as_mut() {
+            Some(net) => net.plane.take_due(now),
+            None => return Vec::new(),
+        };
+        if due.is_empty() {
+            return Vec::new();
+        }
+        let mut promote = Vec::new();
+        for (_, payload) in due {
+            match payload {
+                NetPayload::Fetch { uid, func, model, launched } => {
+                    let Some(inst) = self.instances.get(&uid) else {
+                        continue;
+                    };
+                    let node = inst.gpus[0].node as usize;
+                    let provision = {
+                        let net = self.net.as_mut().expect("network phase ran");
+                        net.caches[node].insert(model, model.profile().param_bytes);
+                        net.cfg.provision
+                    };
+                    if !matches!(inst.state, InstanceState::ColdStarting { .. }) {
+                        continue;
+                    }
+                    // Provisioning overlapped the fetch; whichever ends
+                    // later gates readiness.
+                    let ready_at = (launched + provision).max(now);
+                    let total = ready_at.saturating_since(launched);
+                    let fetch = now.saturating_since(launched);
+                    if let Some(f) = self.funcs.get_mut(&func) {
+                        f.cold_starts.record_fetch(total, fetch);
+                    }
+                    let inst = self.instances.get_mut(&uid).expect("checked above");
+                    inst.state = InstanceState::ColdStarting { ready_at };
+                    if ready_at <= now {
+                        promote.push(uid);
+                    } else if self.event_active {
+                        let at = self.grid_ceil(ready_at);
+                        self.events.push(at, SimEvent::ColdStartReady(uid));
+                    }
+                }
+                NetPayload::Transfer { uid, batch_id, next_stage, size } => {
+                    // The batch's stage index advanced when the transfer
+                    // started; the bytes have landed, run the stage.
+                    self.push_stage_item(uid, batch_id, next_stage, size);
+                }
+            }
+        }
+        if self.event_active {
+            self.sync_net_events();
+        }
+        promote
+    }
+
+    /// Re-arms the event core after a flow-plane membership change: every
+    /// active flow's (re-shared) finish instant gets a
+    /// [`SimEvent::NetFlowDone`] wake. Stale instants from earlier shares
+    /// fire as strict no-ops, so over-pushing is harmless.
+    pub(crate) fn sync_net_events(&mut self) {
+        if !self.event_active {
+            return;
+        }
+        let Some(net) = self.net.as_ref() else {
+            return;
+        };
+        let now = self.now;
+        let finishes: Vec<SimTime> = net.plane.finish_instants().collect();
+        for t in finishes {
+            self.events.push(t.max(now), SimEvent::NetFlowDone);
+        }
+    }
+
+    /// Per-function bytes still in flight on cold-start fetch flows — the
+    /// controller-visible queue-depth signal (zero without a network).
+    pub(crate) fn pending_fetch_bytes(&self) -> std::collections::BTreeMap<FunctionId, u64> {
+        let mut by_func = std::collections::BTreeMap::new();
+        if let Some(net) = self.net.as_ref() {
+            for (_, payload, remaining) in net.plane.pending() {
+                if let NetPayload::Fetch { func, .. } = payload {
+                    *by_func.entry(*func).or_insert(0) += remaining;
+                }
+            }
+        }
+        by_func
+    }
+}

@@ -104,6 +104,14 @@ pub struct SimConfig {
     /// Defaults to the `DILU_THREADS` environment variable when set (and
     /// ≥ 1), else `1`.
     pub threads: u32,
+    /// The network/topology plane. `None` (the default) keeps the legacy
+    /// constants: cold starts cost [`crate::cold_start_duration`] and
+    /// pipeline stages add [`SimConfig::stage_transfer`] — reports are
+    /// byte-identical to pre-network builds. `Some` makes cold starts pay
+    /// for weight bytes over contended links (with per-node LRU model
+    /// caches short-circuiting repeat fetches) and pipeline handoffs pay
+    /// for activation bytes.
+    pub network: Option<dilu_net::NetworkConfig>,
 }
 
 impl Default for SimConfig {
@@ -117,6 +125,7 @@ impl Default for SimConfig {
             resize_latency: SimDuration::from_millis(1),
             time_model: TimeModel::EventDriven,
             threads: default_threads(),
+            network: None,
         }
     }
 }
@@ -167,6 +176,11 @@ pub enum SimEvent {
     ColdStartReady(InstanceUid),
     /// A scheduled (or retried) training job reaches its submission time.
     TrainingSubmit,
+    /// At least one network flow (weight fetch or activation transfer)
+    /// reaches its finish instant. Pushed after every flow-plane
+    /// membership change for every active flow; instants stale by a later
+    /// re-share fire as strict no-ops.
+    NetFlowDone,
 }
 
 pub(crate) struct FuncState {
@@ -198,6 +212,8 @@ pub struct ClusterSim {
     pub(crate) now: SimTime,
     /// The node plane: per-node GPU runtimes, busy tracking, occupancy.
     pub(crate) nodes: NodePlane,
+    /// The network plane (flows + per-node model caches), when configured.
+    pub(crate) net: Option<crate::netplane::NetState>,
     pub(crate) funcs: BTreeMap<FunctionId, FuncState>,
     pub(crate) instances: BTreeMap<InstanceUid, Instance>,
     pub(crate) jobs: BTreeMap<FunctionId, TrainingJob>,
@@ -291,6 +307,9 @@ impl ClusterSim {
     ) -> Self {
         ClusterSim {
             nodes: NodePlane::new(&spec, config.quantum, policy_factory),
+            net: config
+                .network
+                .map(|cfg| crate::netplane::NetState::new(spec.nodes, cfg, config.quantum)),
             spec,
             config,
             share_policy_name: policy_factory.name().to_owned(),
@@ -518,8 +537,20 @@ impl ClusterSim {
             })
             .collect();
         for (uid, ready_at) in cold {
+            if ready_at == SimTime::MAX {
+                // Weight fetch in flight: the NetFlowDone wake below (not a
+                // promotion instant) re-arms this instance.
+                continue;
+            }
             let due = self.grid_ceil(ready_at).max(self.now);
             self.events.push(due, SimEvent::ColdStartReady(uid));
+        }
+        if let Some(net) = self.net.as_ref() {
+            let now = self.now;
+            let finishes: Vec<SimTime> = net.plane.finish_instants().collect();
+            for t in finishes {
+                self.events.push(t.max(now), SimEvent::NetFlowDone);
+            }
         }
         if self.nodes.has_busy() || !self.dirty.is_empty() || self.draining_count > 0 {
             self.events.push(self.now, SimEvent::GpuQuantum);
@@ -607,6 +638,10 @@ impl ClusterSim {
                 SimEvent::ResizeApply => resizes = true,
                 SimEvent::ColdStartReady(uid) => ready.push(uid),
                 SimEvent::TrainingSubmit => training = true,
+                // Flow finish instants are over-pushed after every
+                // membership change; the net phase below treats stale
+                // ones as no-ops.
+                SimEvent::NetFlowDone => {}
             }
         }
         if resizes {
@@ -614,6 +649,14 @@ impl ClusterSim {
         }
         if training {
             self.submit_due_training();
+        }
+        let net_ready = self.process_net_phase();
+        if self.net.is_some() {
+            // Merge fetch-completed promotions with event-carried ones in
+            // uid order, matching the dense stepper's BTreeMap scan.
+            ready.extend(net_ready);
+            ready.sort_unstable();
+            ready.dedup();
         }
         for uid in ready {
             self.promote_instance(uid);
@@ -650,6 +693,7 @@ impl ClusterSim {
     fn step_quantum(&mut self, pool: Option<&StepPool<'_>>) {
         self.apply_due_resizes();
         self.submit_due_training();
+        self.process_net_phase();
         self.promote_ready_instances();
         self.ingest_arrivals();
         self.dispatch_batches();

@@ -149,6 +149,10 @@ pub struct FunctionScaleView {
     pub capacity_rps: f64,
     /// Idle time of the longest-idle ready instance.
     pub max_idle: SimDuration,
+    /// Bytes still in flight on this function's cold-start weight fetches
+    /// (always 0 without a [`SimConfig::network`](crate::SimConfig) plane)
+    /// — capacity that is *coming* but gated on the registry link.
+    pub pending_fetch_bytes: u64,
     /// The vertical dimension: current quotas and per-GPU headroom.
     pub quota: QuotaView,
 }

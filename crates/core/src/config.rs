@@ -241,7 +241,81 @@ impl SimSection {
             )?,
             time_model,
             threads,
+            network: d.network,
         })
+    }
+}
+
+/// Network/topology plane section (`[network]`).
+///
+/// Present at all, the cluster prices bytes: cold starts become registry
+/// weight-fetch flows (concurrent storms contend on the shared link, node
+/// caches absorb repeats) and pipeline stage handoffs become activation
+/// transfers. Absent, the legacy constants apply and reports reproduce
+/// byte-for-byte. A `preset` fills defaults, individual keys override it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSection {
+    /// A [`dilu_net::NetworkConfig::preset`] name (`"datacenter"`,
+    /// `"edge"`, `"congested"`).
+    pub preset: Option<String>,
+    /// Shared core/registry link capacity in Gbps.
+    pub registry_gbps: Option<f64>,
+    /// Per-node top-of-rack uplink capacity in Gbps.
+    pub tor_gbps: Option<f64>,
+    /// Intra-node (NVLink-class) link capacity in Gbps.
+    pub nvlink_gbps: Option<f64>,
+    /// Per-node model cache capacity in GiB (`0` disables caching).
+    pub cache_gb: Option<f64>,
+    /// Post-fetch provision residue (container/runtime init) in ms.
+    pub provision_ms: Option<f64>,
+}
+
+impl NetworkSection {
+    /// Validates the section and maps it onto a
+    /// [`dilu_net::NetworkConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Unknown`] for an unknown preset name;
+    /// [`ScenarioError::Config`] for non-finite/non-positive capacities or
+    /// a negative cache or provision residue.
+    pub fn to_config(&self) -> Result<dilu_net::NetworkConfig, ScenarioError> {
+        let mut cfg = match &self.preset {
+            Some(name) => {
+                dilu_net::NetworkConfig::preset(name).ok_or_else(|| ScenarioError::Unknown {
+                    kind: "network preset",
+                    name: name.clone(),
+                    known: dilu_net::NetworkConfig::PRESET_NAMES
+                        .iter()
+                        .map(|&s| s.to_owned())
+                        .collect(),
+                })?
+            }
+            None => dilu_net::NetworkConfig::default(),
+        };
+        if let Some(v) = self.registry_gbps {
+            cfg.registry_gbps = v;
+        }
+        if let Some(v) = self.tor_gbps {
+            cfg.tor_gbps = v;
+        }
+        if let Some(v) = self.nvlink_gbps {
+            cfg.nvlink_gbps = v;
+        }
+        if let Some(v) = self.cache_gb {
+            cfg.cache_gb = v;
+        }
+        if let Some(ms) = self.provision_ms {
+            if !ms.is_finite() || ms < 0.0 {
+                return Err(ScenarioError::Config(format!(
+                    "[network] `provision_ms` must be a non-negative number of milliseconds, \
+                     got {ms}"
+                )));
+            }
+            cfg.provision = SimDuration::from_millis_f64(ms);
+        }
+        cfg.validate().map_err(|e| ScenarioError::Config(format!("[network] {e}")))?;
+        Ok(cfg)
     }
 }
 
@@ -300,6 +374,8 @@ pub struct ScenarioConfig {
     pub system: SystemSection,
     /// Serving-plane tunables; defaults to [`SimConfig::default`].
     pub sim: Option<SimSection>,
+    /// Network/topology plane; `None` keeps the legacy constants.
+    pub network: Option<NetworkSection>,
     /// Run parameters.
     pub run: Option<RunSection>,
     /// The deployed functions.
@@ -373,6 +449,11 @@ impl ScenarioConfig {
             .seed(seed);
         if let Some(sim) = &self.sim {
             builder = builder.sim_config(sim.to_config()?);
+        }
+        // After sim_config: that call replaces the whole SimConfig, and the
+        // network plane rides inside it.
+        if let Some(net) = &self.network {
+            builder = builder.network(net.to_config()?);
         }
 
         if let Some(p) = &self.system.placement {
@@ -495,7 +576,11 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
         }
         Ok(())
     }
-    check("the scenario root", root, &["name", "cluster", "system", "sim", "run", "functions"])?;
+    check(
+        "the scenario root",
+        root,
+        &["name", "cluster", "system", "sim", "network", "run", "functions"],
+    )?;
     if let Some(cluster) = root.get("cluster") {
         check("[cluster]", cluster, &["nodes", "gpus_per_node", "gpu_mem_gb"])?;
     }
@@ -513,6 +598,13 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
                 "time_model",
                 "threads",
             ],
+        )?;
+    }
+    if let Some(network) = root.get("network") {
+        check(
+            "[network]",
+            network,
+            &["preset", "registry_gbps", "tor_gbps", "nvlink_gbps", "cache_gb", "provision_ms"],
         )?;
     }
     if let Some(run) = root.get("run") {

@@ -73,8 +73,8 @@ pub mod table;
 pub mod experiments;
 
 pub use config::{
-    ClusterSection, ComponentSection, FunctionSection, RunSection, ScenarioConfig, SimSection,
-    SystemSection,
+    ClusterSection, ComponentSection, FunctionSection, NetworkSection, RunSection, ScenarioConfig,
+    SimSection, SystemSection,
 };
 pub use factories::{
     custom_share_policy, FairFactory, FastGsFactory, MpsFactory, NullAutoscaler, PinnedPlacement,

@@ -225,6 +225,22 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a shared-bandwidth network plane (`[network]`): cold
+    /// starts become registry weight-fetch flows (storms contend, node
+    /// caches absorb repeats) and pipeline stage handoffs become
+    /// activation transfers. Without this call the legacy constants apply
+    /// and reports reproduce byte-for-byte. Invalid capacities are
+    /// rejected at [`build`](Self::build), exactly as the TOML front door
+    /// rejects them.
+    pub fn network(mut self, cfg: dilu_net::NetworkConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            self.misuse.get_or_insert(ScenarioError::Config(format!("[network] {e}")));
+        } else {
+            self.sim.network = Some(cfg);
+        }
+        self
+    }
+
     /// Sets the placement policy.
     pub fn placement(mut self, placement: impl Placement + 'static) -> Self {
         self.placement = Some(Box::new(placement));

@@ -257,6 +257,13 @@ fn shrink_candidates(config: &ScenarioConfig) -> Vec<ScenarioConfig> {
         c.sim = None;
         out.push(c);
     }
+    if config.network.is_some() {
+        // Dropping the network plane falls back to the legacy constants —
+        // if the failure survives, the network was not the culprit.
+        let mut c = config.clone();
+        c.network = None;
+        out.push(c);
+    }
     for (i, f) in config.functions.iter().enumerate() {
         if f.initial.unwrap_or(1) > 1 {
             let mut c = config.clone();

@@ -17,8 +17,8 @@
 //! every case exercises the simulator rather than the config validator.
 
 use dilu_core::{
-    ClusterSection, ComponentSection, FunctionSection, RunSection, ScenarioConfig, SimSection,
-    SystemSection,
+    ClusterSection, ComponentSection, FunctionSection, NetworkSection, RunSection, ScenarioConfig,
+    SimSection, SystemSection,
 };
 use dilu_sim::rng::component_rng;
 use dilu_workload::ArrivalSpec;
@@ -56,6 +56,10 @@ pub struct SpaceConfig {
     pub allow_training: bool,
     /// Whether to mix in multi-GPU (pipelined LLM) inference functions.
     pub allow_pipelined: bool,
+    /// Whether to sample a `[network]` plane on a third of the cases
+    /// (preset mixes, link-capacity tiers, cache caps including 0, and
+    /// cold-start storm bursts).
+    pub allow_network: bool,
 }
 
 impl Default for SpaceConfig {
@@ -88,6 +92,7 @@ impl Default for SpaceConfig {
             horizon_secs: (4, 10),
             allow_training: true,
             allow_pipelined: true,
+            allow_network: true,
         }
     }
 }
@@ -143,6 +148,29 @@ pub fn generate_case(space: &SpaceConfig, case_seed: u64) -> ScenarioConfig {
         None
     };
 
+    // `[network]` on a third of the cases: sometimes a bare preset,
+    // sometimes explicit capacity tiers (slow registries make storms
+    // visible), cache caps including 0 (everything fetches), and varied
+    // provision residues including 0 (a cache hit is instantly ready).
+    let network = if space.allow_network && rng.gen_range(0..3) == 0 {
+        let preset = if rng.gen_range(0..3) == 0 {
+            Some((*pick(&mut rng, &dilu_net::NetworkConfig::PRESET_NAMES)).to_owned())
+        } else {
+            None
+        };
+        let explicit = preset.is_none() || rng.gen_range(0..2) == 0;
+        Some(NetworkSection {
+            preset,
+            registry_gbps: explicit.then(|| *pick(&mut rng, &[1.0, 10.0, 40.0, 100.0])),
+            tor_gbps: explicit.then(|| *pick(&mut rng, &[10.0, 25.0, 100.0])),
+            nvlink_gbps: None,
+            cache_gb: explicit.then(|| *pick(&mut rng, &[0.0, 2.0, 8.0, 32.0])),
+            provision_ms: explicit.then(|| *pick(&mut rng, &[0.0, 250.0, 2000.0])),
+        })
+    } else {
+        None
+    };
+
     let n_functions = rng.gen_range(1..=space.max_functions.max(1));
     let mut functions = Vec::with_capacity(n_functions);
     for index in 0..n_functions {
@@ -151,7 +179,13 @@ pub fn generate_case(space: &SpaceConfig, case_seed: u64) -> ScenarioConfig {
         if training {
             functions.push(training_function(&mut rng, horizon));
         } else {
-            functions.push(inference_function(&mut rng, space, horizon, total_gpus));
+            functions.push(inference_function(
+                &mut rng,
+                space,
+                horizon,
+                total_gpus,
+                network.is_some(),
+            ));
         }
     }
 
@@ -170,6 +204,7 @@ pub fn generate_case(space: &SpaceConfig, case_seed: u64) -> ScenarioConfig {
             share_policy: Some(share_policy),
         },
         sim,
+        network,
         run: Some(RunSection {
             horizon_secs: Some(horizon),
             drain_secs: Some(rng.gen_range(3..=4)),
@@ -188,6 +223,7 @@ fn inference_function<R: Rng>(
     space: &SpaceConfig,
     horizon: u64,
     total_gpus: u32,
+    networked: bool,
 ) -> FunctionSection {
     let pipelined = space.allow_pipelined && total_gpus >= 2 && rng.gen_range(0..8) == 0;
     let (model, gpus_per_instance, rate_lo, rate_hi) = if pipelined {
@@ -201,6 +237,29 @@ fn inference_function<R: Rng>(
             60.0,
         )
     };
+    // Cold-start storm bursts: with a network plane, sometimes drop every
+    // request in one replayed instant with no prewarmed instance, so the
+    // autoscaler fans out concurrent fetches that contend on the registry.
+    if networked && rng.gen_range(0..3) == 0 {
+        let burst = rng.gen_range(4..=32);
+        let at = f64::from(rng.gen_range(1..=(horizon as u32 / 2).max(1)));
+        return FunctionSection {
+            name: None,
+            model,
+            role: None,
+            batch: None,
+            slo_ms: None,
+            request_pct: None,
+            limit_pct: None,
+            mem_gb: None,
+            gpus_per_instance,
+            initial: Some(0),
+            workers: None,
+            iterations: None,
+            start_sec: None,
+            arrivals: Some(ArrivalSpec::replay(vec![at; burst])),
+        };
+    }
     let arrivals = match rng.gen_range(0..4) {
         0 => ArrivalSpec::poisson(rng.gen_range(rate_lo..rate_hi)),
         1 => ArrivalSpec::gamma(rng.gen_range(rate_lo..rate_hi), *pick(rng, &[0.5, 1.0, 4.0])),

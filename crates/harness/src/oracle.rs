@@ -204,6 +204,24 @@ fn run_audited(
 /// cold-start and resize bookkeeping).
 pub struct ConservationOracle;
 
+/// Network byte ledger: bytes never appear or vanish mid-flow, so
+/// `requested == delivered + inflight` at every tick.
+fn net_conservation_of(snapshot: &dilu_cluster::AuditSnapshot, out: &mut Vec<String>) {
+    if let Some(n) = &snapshot.network {
+        if n.requested_bytes != n.delivered_bytes + n.inflight_bytes {
+            out.push(format!(
+                "network at {}: requested {} B != delivered {} B + inflight {} B \
+                 ({} active flows)",
+                snapshot.now,
+                n.requested_bytes,
+                n.delivered_bytes,
+                n.inflight_bytes,
+                n.active_flows
+            ));
+        }
+    }
+}
+
 fn conservation_of(f: &dilu_cluster::FunctionAudit, at: &str, out: &mut Vec<String>) {
     let balance = f.completed + f.outstanding();
     if f.arrived != balance {
@@ -224,12 +242,15 @@ impl Oracle for ConservationOracle {
             for f in &snapshot.functions {
                 conservation_of(f, &format!("{}", snapshot.now), out);
             }
+            net_conservation_of(snapshot, out);
         });
         let (mut violations, final_audit, report) = match run {
             Ok(r) => r,
             Err(e) if e.starts_with("PANIC") => return Verdict::Fail(e),
             Err(e) => return Verdict::Skip(e),
         };
+        net_conservation_of(&final_audit, &mut violations);
+        let networked = config.network.is_some();
         for f in &final_audit.functions {
             conservation_of(f, "end", &mut violations);
             if f.pending_arrivals != 0 {
@@ -274,8 +295,27 @@ impl Oracle for ConservationOracle {
             if f.resizes.total() != f.resizes.grows() + f.resizes.shrinks() {
                 violations.push(format!("{id}: resize counter total drifted from grows+shrinks"));
             }
-            if (f.cold_starts.count() == 0) != f.cold_starts.total_delay().is_zero() {
-                violations.push(format!("{id}: cold-start count and total delay disagree"));
+            if f.cold_starts.count() == 0 && !f.cold_starts.total_delay().is_zero() {
+                violations.push(format!("{id}: cold-start delay recorded without a count"));
+            }
+            if networked {
+                // Every networked cold start is either a cache hit or a
+                // registry fetch; the breakdown must sum to the count.
+                if f.cold_starts.fetches() + f.cold_starts.cache_hits() != f.cold_starts.count() {
+                    violations.push(format!(
+                        "{id}: {} fetches + {} cache hits != {} cold starts",
+                        f.cold_starts.fetches(),
+                        f.cold_starts.cache_hits(),
+                        f.cold_starts.count()
+                    ));
+                }
+                if f.cold_starts.fetch_delay() > f.cold_starts.total_delay() {
+                    violations.push(format!("{id}: fetch delay exceeds total cold-start delay"));
+                }
+            } else if f.cold_starts.count() > 0 && f.cold_starts.total_delay().is_zero() {
+                // Without a network plane every cold start pays the fixed
+                // model-dependent delay, so a zero total is impossible.
+                violations.push(format!("{id}: cold starts recorded with zero total delay"));
             }
         }
         if violations.is_empty() {

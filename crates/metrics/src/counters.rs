@@ -3,14 +3,22 @@
 use dilu_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// Counts cold starts and their cumulative startup delay.
+/// Counts cold starts, their cumulative startup delay, and — when a network
+/// plane prices the weight fetch — the fetch/provision breakdown.
 ///
 /// The paper reports cold start counts (CSC) per trace; the cumulative delay
-/// feeds the saved-GPU-time comparison.
+/// feeds the saved-GPU-time comparison. With a network plane configured, a
+/// cold start is either a *fetch* (weights pulled from the registry over
+/// contended links) or a *cache hit* (weights already resident on the node,
+/// only the provision residue is paid); `fetch_delay` isolates the byte-bound
+/// part of `total_delay`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ColdStartCounter {
     count: u64,
     total_delay: SimDuration,
+    fetch_delay: SimDuration,
+    fetches: u64,
+    cache_hits: u64,
 }
 
 impl ColdStartCounter {
@@ -19,10 +27,28 @@ impl ColdStartCounter {
         Self::default()
     }
 
-    /// Records one cold start that took `delay` before serving.
+    /// Records one cold start that took `delay` before serving (no network
+    /// plane: the fetch/provision split is unknown).
     pub fn record(&mut self, delay: SimDuration) {
         self.count += 1;
         self.total_delay += delay;
+    }
+
+    /// Records one cold start served from the node's model cache: no fetch,
+    /// only the provision residue `delay`.
+    pub fn record_cached(&mut self, delay: SimDuration) {
+        self.count += 1;
+        self.total_delay += delay;
+        self.cache_hits += 1;
+    }
+
+    /// Records one cold start that fetched weights from the registry:
+    /// `total` elapsed before serving, of which `fetch` was the transfer.
+    pub fn record_fetch(&mut self, total: SimDuration, fetch: SimDuration) {
+        self.count += 1;
+        self.total_delay += total;
+        self.fetch_delay += fetch;
+        self.fetches += 1;
     }
 
     /// Number of cold starts observed.
@@ -33,6 +59,42 @@ impl ColdStartCounter {
     /// Sum of all cold start delays.
     pub fn total_delay(&self) -> SimDuration {
         self.total_delay
+    }
+
+    /// The part of `total_delay` spent transferring weights.
+    pub fn fetch_delay(&self) -> SimDuration {
+        self.fetch_delay
+    }
+
+    /// Cold starts that paid for a registry fetch.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Cold starts served from a node's model cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Fraction of cache-decided cold starts that hit (zero when the
+    /// network plane never weighed in).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let decided = self.cache_hits + self.fetches;
+        if decided == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / decided as f64
+        }
+    }
+
+    /// Mean fetch transfer time in milliseconds over fetching cold starts
+    /// (zero when none fetched).
+    pub fn mean_fetch_ms(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.fetch_delay.as_millis_f64() / self.fetches as f64
+        }
     }
 }
 
@@ -312,6 +374,25 @@ mod tests {
         c.record(SimDuration::from_secs(3));
         assert_eq!(c.count(), 2);
         assert_eq!(c.total_delay(), SimDuration::from_secs(5));
+        // Legacy records carry no fetch/cache breakdown.
+        assert_eq!(c.fetches(), 0);
+        assert_eq!(c.cache_hits(), 0);
+        assert_eq!(c.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cold_start_counter_splits_fetch_from_provision() {
+        let mut c = ColdStartCounter::new();
+        c.record_fetch(SimDuration::from_secs(5), SimDuration::from_secs(3));
+        c.record_fetch(SimDuration::from_secs(3), SimDuration::from_secs(1));
+        c.record_cached(SimDuration::from_secs(2));
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.total_delay(), SimDuration::from_secs(10));
+        assert_eq!(c.fetch_delay(), SimDuration::from_secs(4));
+        assert_eq!(c.fetches(), 2);
+        assert_eq!(c.cache_hits(), 1);
+        assert!((c.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.mean_fetch_ms() - 2000.0).abs() < 1e-9);
     }
 
     #[test]

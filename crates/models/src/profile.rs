@@ -95,6 +95,12 @@ pub struct ModelProfile {
     pub param_bytes: u64,
     /// Device memory held by a deployed inference instance.
     pub infer_mem_bytes: u64,
+    /// Activation bytes per sample crossing a pipeline stage boundary —
+    /// what an inter-GPU stage handoff must move when a network plane
+    /// prices transfers (hidden-state tensor at the cut, roughly
+    /// `hidden_dim × seq_len × dtype` for transformers, feature maps for
+    /// CNNs).
+    pub act_bytes_per_sample: u64,
     /// Fixed per-batch execution cost at saturation.
     pub infer_t_fixed: SimDuration,
     /// Marginal per-sample execution cost at saturation.
@@ -169,6 +175,13 @@ impl ModelProfile {
             self.inference_blocks(batch),
             tag,
         )
+    }
+
+    /// Activation bytes one batch of `batch` samples moves across a
+    /// pipeline stage boundary (at least one byte, so a transfer is never
+    /// free).
+    pub fn activation_bytes(&self, batch: u32) -> u64 {
+        (self.act_bytes_per_sample * u64::from(batch)).max(1)
     }
 
     /// The largest batch whose saturated execution stays within the paper's

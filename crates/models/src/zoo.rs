@@ -68,6 +68,7 @@ impl ModelId {
                 name: "ResNet152",
                 param_bytes: 245 * MB,
                 infer_mem_bytes: 2 * GB,
+                act_bytes_per_sample: 4 * MB,
                 infer_t_fixed: SimDuration::from_millis_f64(4.0),
                 infer_t_per_sample: SimDuration::from_millis_f64(2.5),
                 infer_sat_base: SmRate::from_percent(25.0),
@@ -89,6 +90,7 @@ impl ModelId {
                 name: "VGG19",
                 param_bytes: 563 * MB,
                 infer_mem_bytes: 5 * GB / 2,
+                act_bytes_per_sample: 6 * MB,
                 infer_t_fixed: SimDuration::from_millis_f64(3.0),
                 infer_t_per_sample: SimDuration::from_millis_f64(2.0),
                 infer_sat_base: SmRate::from_percent(30.0),
@@ -110,6 +112,7 @@ impl ModelId {
                 name: "BERT-base",
                 param_bytes: 440 * MB,
                 infer_mem_bytes: 2 * GB,
+                act_bytes_per_sample: MB,
                 infer_t_fixed: SimDuration::from_millis_f64(2.5),
                 infer_t_per_sample: SimDuration::from_millis_f64(1.25),
                 infer_sat_base: SmRate::from_percent(20.0),
@@ -131,6 +134,7 @@ impl ModelId {
                 name: "RoBERTa-large",
                 param_bytes: 1_420 * MB,
                 infer_mem_bytes: 4 * GB,
+                act_bytes_per_sample: 2 * MB,
                 // bs4 ≈ 26 ms: the paper's ~25 ms KLC per iteration.
                 infer_t_fixed: SimDuration::from_millis_f64(8.0),
                 infer_t_per_sample: SimDuration::from_millis_f64(4.5),
@@ -154,6 +158,7 @@ impl ModelId {
                 name: "GPT2-large",
                 param_bytes: 3_100 * MB,
                 infer_mem_bytes: 7 * GB,
+                act_bytes_per_sample: 4 * MB,
                 infer_t_fixed: SimDuration::from_millis_f64(15.0),
                 infer_t_per_sample: SimDuration::from_millis_f64(8.0),
                 infer_sat_base: SmRate::from_percent(45.0),
@@ -176,6 +181,7 @@ impl ModelId {
                 name: "LLaMA2-7B",
                 param_bytes: 12_600 * MB,
                 infer_mem_bytes: 15 * GB,
+                act_bytes_per_sample: 8 * MB,
                 // One request = prefill + 32 decoded tokens (~15 ms/token
                 // saturated); latency is reported per output token (§5.1).
                 infer_t_fixed: SimDuration::from_millis(350),
@@ -201,6 +207,7 @@ impl ModelId {
                 name: "ChatGLM3-6B",
                 param_bytes: 11_500 * MB,
                 infer_mem_bytes: 14 * GB,
+                act_bytes_per_sample: 8 * MB,
                 infer_t_fixed: SimDuration::from_millis(320),
                 infer_t_per_sample: SimDuration::from_millis(55),
                 infer_sat_base: SmRate::from_percent(50.0),

@@ -1,0 +1,426 @@
+//! The shared-bandwidth flow plane: max-min-fair rate allocation over a
+//! two-level topology, integrated with a quantum-grid clock.
+//!
+//! Flow state (remaining bytes, rate, epoch timestamp) mutates **only at
+//! membership changes** — a flow starting or finishing — never per tick.
+//! Between changes a flow's progress is implied by `rate × elapsed`, so
+//! the plane does the same exact integer arithmetic no matter how often
+//! the driver polls it: dense-quantum (every quantum) and event-driven
+//! (only at finish instants) evolve byte-identically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dilu_sim::{SimDuration, SimTime};
+
+use crate::{gbps_to_bytes, NetworkConfig};
+
+/// Identifier of an active flow, unique over a [`NetPlane`]'s lifetime
+/// and allocated in start order.
+pub type FlowId = u64;
+
+/// One active transfer: a byte count crossing a path of links.
+#[derive(Debug)]
+struct Flow<T> {
+    /// Link indices this flow crosses (1 or 2 of them).
+    links: Vec<usize>,
+    /// Bytes still to deliver as of `t0`.
+    remaining: u64,
+    /// Epoch of the current rate: the last membership-change instant.
+    t0: SimTime,
+    /// Allocated rate in bytes/second (≥ 1), valid since `t0`.
+    rate: u64,
+    payload: T,
+}
+
+/// The deterministic shared-bandwidth network plane.
+///
+/// Topology: one shared core/registry link, one ToR uplink per node, one
+/// intra-node (NVLink-class) link per node. A weight fetch crosses
+/// `{registry, tor[dst]}`; a cross-node transfer `{tor[src], tor[dst]}`;
+/// a same-node transfer `{nv[node]}`. Rates are max-min fair: capacity
+/// is water-filled link by link, freezing the most-contended link's
+/// flows at its equal share first (pure integer arithmetic, ties broken
+/// by lowest link index, flows completed in id order — deterministic by
+/// construction).
+///
+/// The payload type `T` is the caller's bookkeeping (which instance or
+/// batch the bytes belong to); it is handed back by [`take_due`] when
+/// the flow finishes.
+///
+/// [`take_due`]: NetPlane::take_due
+#[derive(Debug)]
+pub struct NetPlane<T> {
+    /// Per-link capacity in bytes/second: `[registry, tor…, nv…]`.
+    caps: Vec<u64>,
+    nodes: usize,
+    quantum_us: u64,
+    flows: BTreeMap<FlowId, Flow<T>>,
+    next_id: FlowId,
+    requested: u64,
+    delivered: u64,
+}
+
+impl<T> NetPlane<T> {
+    /// Builds the plane for `nodes` nodes with the given link tiers and
+    /// the driver's scheduling quantum (finish instants align to its
+    /// grid, where the cluster processes completions).
+    pub fn new(nodes: usize, cfg: &NetworkConfig, quantum: SimDuration) -> Self {
+        let mut caps = Vec::with_capacity(1 + 2 * nodes);
+        caps.push(gbps_to_bytes(cfg.registry_gbps));
+        caps.extend(std::iter::repeat_n(gbps_to_bytes(cfg.tor_gbps), nodes));
+        caps.extend(std::iter::repeat_n(gbps_to_bytes(cfg.nvlink_gbps), nodes));
+        NetPlane {
+            caps,
+            nodes,
+            quantum_us: quantum.as_micros().max(1),
+            flows: BTreeMap::new(),
+            next_id: 1,
+            requested: 0,
+            delivered: 0,
+        }
+    }
+
+    fn tor(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes, "node {node} out of range");
+        1 + node
+    }
+
+    fn nv(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes, "node {node} out of range");
+        1 + self.nodes + node
+    }
+
+    /// Starts a weight fetch from the registry to `dst_node`, contending
+    /// on the shared registry link and the node's ToR uplink.
+    pub fn start_fetch(&mut self, now: SimTime, dst_node: usize, bytes: u64, payload: T) -> FlowId {
+        let links = vec![0, self.tor(dst_node)];
+        self.start(now, links, bytes, payload)
+    }
+
+    /// Starts a transfer between two GPUs' nodes: over the intra-node
+    /// link when they share a node, else over both ToR uplinks.
+    pub fn start_transfer(
+        &mut self,
+        now: SimTime,
+        src_node: usize,
+        dst_node: usize,
+        bytes: u64,
+        payload: T,
+    ) -> FlowId {
+        let links = if src_node == dst_node {
+            vec![self.nv(src_node)]
+        } else {
+            vec![self.tor(src_node), self.tor(dst_node)]
+        };
+        self.start(now, links, bytes, payload)
+    }
+
+    fn start(&mut self, now: SimTime, links: Vec<usize>, bytes: u64, payload: T) -> FlowId {
+        // A zero-byte flow would finish at its own start; floor at one
+        // byte so every flow crosses the wire (and the conservation
+        // accounting) visibly.
+        let bytes = bytes.max(1);
+        self.advance_to(now);
+        self.requested += bytes;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(id, Flow { links, remaining: bytes, t0: now, rate: 1, payload });
+        self.reshare();
+        id
+    }
+
+    /// Completes every flow whose finish instant has passed, in flow-id
+    /// order, returning their payloads; survivors are advanced and
+    /// re-shared. Polling with nothing due is a strict no-op, which is
+    /// what keeps dense-quantum (polling every quantum) and event-driven
+    /// (polling at finish instants) byte-identical.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<(FlowId, T)> {
+        let due: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| self.finish_of(f) <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        if due.is_empty() {
+            return Vec::new();
+        }
+        self.advance_to(now);
+        let mut out = Vec::with_capacity(due.len());
+        for id in due {
+            let flow = self.flows.remove(&id).expect("due flow exists");
+            // The analytic finish rounds up to the grid, so a residue of
+            // `remaining` bytes (< one quantum's worth) is credited here.
+            self.delivered += flow.remaining;
+            out.push((id, flow.payload));
+        }
+        self.reshare();
+        out
+    }
+
+    /// Credits every flow's progress since its epoch and moves the epoch
+    /// to `now`. Called only at membership changes, so the conservation
+    /// ledger (`requested == delivered + inflight`) holds exactly at
+    /// every instant in between.
+    fn advance_to(&mut self, now: SimTime) {
+        for flow in self.flows.values_mut() {
+            let elapsed = now.saturating_since(flow.t0).as_micros();
+            if elapsed == 0 {
+                continue;
+            }
+            let sent = ((flow.rate as u128 * elapsed as u128) / 1_000_000) as u64;
+            let sent = sent.min(flow.remaining);
+            flow.remaining -= sent;
+            self.delivered += sent;
+            flow.t0 = now;
+        }
+    }
+
+    /// Max-min-fair water filling: repeatedly find the link whose equal
+    /// share among its not-yet-frozen flows is smallest (ties to the
+    /// lowest link index), freeze those flows at that share, subtract
+    /// their rates everywhere they pass, repeat. Pure integer division,
+    /// rates floored at 1 B/s so every flow always finishes.
+    fn reshare(&mut self) {
+        if self.flows.is_empty() {
+            return;
+        }
+        let mut cap = self.caps.clone();
+        let mut count = vec![0u64; self.caps.len()];
+        for flow in self.flows.values() {
+            for &l in &flow.links {
+                count[l] += 1;
+            }
+        }
+        let mut unfrozen: BTreeSet<FlowId> = self.flows.keys().copied().collect();
+        while !unfrozen.is_empty() {
+            let mut bottleneck: Option<(u64, usize)> = None;
+            for (l, (&c, &n)) in cap.iter().zip(count.iter()).enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let share = c / n;
+                if bottleneck.is_none_or(|(s, _)| share < s) {
+                    bottleneck = Some((share, l));
+                }
+            }
+            let (share, link) = bottleneck.expect("unfrozen flows cross some link");
+            let rate = share.max(1);
+            let to_freeze: Vec<FlowId> = unfrozen
+                .iter()
+                .copied()
+                .filter(|id| self.flows[id].links.contains(&link))
+                .collect();
+            debug_assert!(!to_freeze.is_empty(), "the bottleneck link has flows");
+            for id in to_freeze {
+                unfrozen.remove(&id);
+                let flow = self.flows.get_mut(&id).expect("unfrozen flow exists");
+                flow.rate = rate;
+                for &l in &flow.links {
+                    count[l] -= 1;
+                    cap[l] = cap[l].saturating_sub(rate);
+                }
+            }
+        }
+    }
+
+    /// The grid-aligned instant this flow (at its current rate) delivers
+    /// its last byte.
+    fn finish_of(&self, flow: &Flow<T>) -> SimTime {
+        let dur_us = (flow.remaining as u128 * 1_000_000)
+            .div_ceil(flow.rate as u128)
+            .min(u64::MAX as u128) as u64;
+        let raw = flow.t0.saturating_add(SimDuration::from_micros(dur_us));
+        let q = self.quantum_us;
+        SimTime::from_micros(raw.as_micros().div_ceil(q).saturating_mul(q))
+    }
+
+    /// Grid-aligned finish instants of all active flows — what the
+    /// event-driven driver turns into wake events after every reshare.
+    pub fn finish_instants(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.flows.values().map(|f| self.finish_of(f))
+    }
+
+    /// Active flows as `(id, payload, remaining bytes as of the last
+    /// membership change)` in id order.
+    pub fn pending(&self) -> impl Iterator<Item = (FlowId, &T, u64)> + '_ {
+        self.flows.iter().map(|(&id, f)| (id, &f.payload, f.remaining))
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes ever requested (every `start_*` adds its size here).
+    pub fn requested_bytes(&self) -> u64 {
+        self.requested
+    }
+
+    /// Total bytes delivered (credited at membership changes; the ledger
+    /// `requested == delivered + inflight` holds at every instant).
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Bytes still in flight: Σ remaining over active flows.
+    pub fn inflight_bytes(&self) -> u64 {
+        self.flows.values().map(|f| f.remaining).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: SimDuration = SimDuration::from_millis(5);
+
+    fn plane(nodes: usize, registry_gbps: f64, tor_gbps: f64) -> NetPlane<u32> {
+        let cfg = NetworkConfig {
+            registry_gbps,
+            tor_gbps,
+            nvlink_gbps: 200.0,
+            ..NetworkConfig::default()
+        };
+        NetPlane::new(nodes, &cfg, Q)
+    }
+
+    #[test]
+    fn solo_fetch_runs_at_registry_line_rate() {
+        // 10 Gbps registry, 25 Gbps ToR: the registry bottlenecks a solo
+        // fetch at 1.25 GB/s, so 2.5 GB takes exactly 2 s.
+        let mut net = plane(4, 10.0, 25.0);
+        net.start_fetch(SimTime::ZERO, 2, 2_500_000_000, 7);
+        assert!(net.take_due(SimTime::from_millis(1_995)).is_empty());
+        let done = net.take_due(SimTime::from_secs(2));
+        assert_eq!(done, vec![(1, 7)]);
+        assert_eq!(net.requested_bytes(), net.delivered_bytes());
+        assert_eq!(net.inflight_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_fetches_share_the_registry_fairly() {
+        // Four simultaneous fetches to four different nodes: each ToR
+        // has capacity to spare, the registry splits 4 ways, so each
+        // fetch takes 4× the solo time.
+        let mut net = plane(4, 10.0, 25.0);
+        for node in 0..4 {
+            net.start_fetch(SimTime::ZERO, node, 1_250_000_000, node as u32);
+        }
+        assert!(net.take_due(SimTime::from_millis(3_995)).is_empty(), "4× slowdown");
+        let done = net.take_due(SimTime::from_secs(4));
+        assert_eq!(done.len(), 4, "equal flows finish together, in id order");
+        assert_eq!(done.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(net.delivered_bytes(), 5_000_000_000);
+    }
+
+    #[test]
+    fn tor_bottleneck_caps_a_node_while_others_run_free() {
+        // Two fetches to node 0 (ToR 5 Gbps < registry 20 Gbps / 3 flows
+        // after max-min) and one to node 1: node 0's pair is capped at
+        // 2.5 Gbps each by its ToR; node 1's flow takes the registry
+        // remainder (15 Gbps) but is capped by its own 5 Gbps ToR.
+        let mut net = plane(2, 20.0, 5.0);
+        net.start_fetch(SimTime::ZERO, 0, 625_000_000, 0); // 2.5 Gbps -> 2 s
+        net.start_fetch(SimTime::ZERO, 0, 625_000_000, 1); // 2.5 Gbps -> 2 s
+        net.start_fetch(SimTime::ZERO, 1, 625_000_000, 2); // 5 Gbps -> 1 s
+        let done = net.take_due(SimTime::from_secs(1));
+        assert_eq!(done, vec![(3, 2)], "node 1 finishes at its ToR line rate");
+        let done = net.take_due(SimTime::from_secs(2));
+        assert_eq!(done.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn completion_releases_bandwidth_to_survivors() {
+        // Two equal fetches split the 10 Gbps registry; when the short
+        // one finishes, the long one doubles its rate from that instant.
+        let mut net = plane(2, 10.0, 25.0);
+        net.start_fetch(SimTime::ZERO, 0, 625_000_000, 0); // 1 s at half rate
+        net.start_fetch(SimTime::ZERO, 1, 1_250_000_000, 1);
+        let done = net.take_due(SimTime::from_secs(1));
+        assert_eq!(done, vec![(1, 0)]);
+        // Flow 2 delivered 625 MB in the shared second; the remaining
+        // 625 MB at full 1.25 GB/s takes 0.5 s more.
+        assert_eq!(net.inflight_bytes(), 625_000_000);
+        assert!(net.take_due(SimTime::from_micros(1_495_000)).is_empty());
+        let done = net.take_due(SimTime::from_micros(1_500_000));
+        assert_eq!(done, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn same_node_transfers_ride_the_nvlink() {
+        // 200 Gbps NVLink = 25 GB/s: 2.5 GB in 100 ms, untouched by a
+        // saturated registry.
+        let mut net = plane(2, 10.0, 25.0);
+        net.start_fetch(SimTime::ZERO, 0, 12_500_000_000, 9); // hog the registry
+        net.start_transfer(SimTime::ZERO, 1, 1, 2_500_000_000, 1);
+        let done = net.take_due(SimTime::from_millis(100));
+        assert_eq!(done, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn cross_node_transfers_contend_on_both_tors() {
+        // A fetch into node 1 and a node 0 → node 1 transfer share node
+        // 1's 10 Gbps ToR (registry is fat): each gets 5 Gbps.
+        let mut net = plane(2, 100.0, 10.0);
+        net.start_fetch(SimTime::ZERO, 1, 625_000_000, 0);
+        net.start_transfer(SimTime::ZERO, 0, 1, 625_000_000, 1);
+        assert!(net.take_due(SimTime::from_millis(995)).is_empty());
+        let done = net.take_due(SimTime::from_secs(1));
+        assert_eq!(done.len(), 2, "equal split of the shared ToR");
+    }
+
+    #[test]
+    fn conservation_ledger_holds_at_every_grid_instant() {
+        let mut net = plane(3, 7.5, 12.5);
+        let mut t = SimTime::ZERO;
+        net.start_fetch(t, 0, 3_000_000_000, 0);
+        net.start_fetch(t, 1, 1_000_000_000, 1);
+        let mut completed = 0;
+        while net.active_flows() > 0 {
+            t += SimDuration::from_millis(5);
+            completed += net.take_due(t).len();
+            assert_eq!(
+                net.requested_bytes(),
+                net.delivered_bytes() + net.inflight_bytes(),
+                "ledger must balance at {t}"
+            );
+            if t == SimTime::from_millis(500) {
+                net.start_transfer(t, 0, 2, 500_000_000, 2);
+            }
+        }
+        assert_eq!(completed, 3);
+        assert_eq!(net.requested_bytes(), net.delivered_bytes());
+    }
+
+    #[test]
+    fn finish_instants_are_grid_aligned() {
+        let mut net = plane(1, 10.0, 25.0);
+        net.start_fetch(SimTime::ZERO, 0, 1_234_567, 0);
+        for at in net.finish_instants() {
+            assert_eq!(at.as_micros() % 5_000, 0, "finish {at} must sit on the grid");
+        }
+    }
+
+    #[test]
+    fn zero_byte_flows_are_floored_to_one_byte() {
+        let mut net = plane(1, 10.0, 25.0);
+        net.start_fetch(SimTime::ZERO, 0, 0, 0);
+        assert_eq!(net.requested_bytes(), 1);
+        assert_eq!(net.inflight_bytes(), 1);
+        let done = net.take_due(SimTime::from_millis(5));
+        assert_eq!(done.len(), 1, "a floored flow still takes one grid step");
+    }
+
+    #[test]
+    fn polling_with_nothing_due_is_a_no_op() {
+        let mut net = plane(1, 10.0, 25.0);
+        net.start_fetch(SimTime::ZERO, 0, 1_250_000_000, 0);
+        let before_inflight = net.inflight_bytes();
+        let before_delivered = net.delivered_bytes();
+        for ms in (5..1000).step_by(5) {
+            assert!(net.take_due(SimTime::from_millis(ms)).is_empty());
+        }
+        assert_eq!(net.inflight_bytes(), before_inflight, "no membership change, no mutation");
+        assert_eq!(net.delivered_bytes(), before_delivered);
+    }
+}

@@ -314,6 +314,7 @@ mod tests {
             backlog: 0,
             capacity_rps: 50.0,
             max_idle: SimDuration::ZERO,
+            pending_fetch_bytes: 0,
             quota,
         }
     }

@@ -65,6 +65,7 @@ pub use dilu_core as core;
 pub use dilu_gpu as gpu;
 pub use dilu_metrics as metrics;
 pub use dilu_models as models;
+pub use dilu_net as net;
 pub use dilu_profiler as profiler;
 pub use dilu_rckm as rckm;
 pub use dilu_scaler as scaler;
