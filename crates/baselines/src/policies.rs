@@ -1,6 +1,6 @@
 //! GPU-sharing baseline policies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dilu_gpu::{Grant, InstanceId, InstanceView, SharePolicy, SmRate};
 use dilu_sim::{SimDuration, SimTime};
@@ -84,13 +84,13 @@ pub struct TgsPolicy {
     floor: f64,
     /// Multiplicative growth per quantum while the productive side idles.
     growth: f64,
-    rates: HashMap<InstanceId, f64>,
+    rates: BTreeMap<InstanceId, f64>,
 }
 
 impl TgsPolicy {
     /// Creates a TGS policy with the default probe parameters.
     pub fn new() -> Self {
-        TgsPolicy { floor: 0.02, growth: 1.05, rates: HashMap::new() }
+        TgsPolicy { floor: 0.02, growth: 1.05, rates: BTreeMap::new() }
     }
 }
 

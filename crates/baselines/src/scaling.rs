@@ -1,7 +1,7 @@
 //! Baseline horizontal autoscalers: eager (FaST-GS+) and keep-alive
 //! (INFless+).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dilu_cluster::{Autoscaler, FunctionId, FunctionScaleView, ScaleAction};
 use dilu_sim::{SimDuration, SimTime};
@@ -16,13 +16,13 @@ use dilu_sim::{SimDuration, SimTime};
 pub struct ReactiveScaler {
     /// Seconds below reduced capacity before scaling in.
     quiet_secs: usize,
-    quiet: HashMap<FunctionId, usize>,
+    quiet: BTreeMap<FunctionId, usize>,
 }
 
 impl ReactiveScaler {
     /// Creates an eager scaler with the default 10 s scale-in quiet period.
     pub fn new() -> Self {
-        ReactiveScaler { quiet_secs: 10, quiet: HashMap::new() }
+        ReactiveScaler { quiet_secs: 10, quiet: BTreeMap::new() }
     }
 }
 

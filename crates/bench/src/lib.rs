@@ -23,6 +23,7 @@ pub fn run_registered(name: &str) {
         )
     });
     println!("== {}: {} ==", experiment.name(), experiment.title());
+    // dilu-lint: allow(no-ambient-time) -- wall-clock measurement of the bench run itself; never feeds sim state
     let started = std::time::Instant::now();
     let output = experiment.run(&ExperimentCtx::with_default_json_dir());
     println!("{}", output.rendered);

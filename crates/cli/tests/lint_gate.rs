@@ -1,0 +1,80 @@
+//! The `dilu lint` gate, end to end: the real workspace audits clean
+//! (exit 0), a planted fixture workspace fails with the rule names on
+//! stderr, and `--json` dumps machine-readable findings either way.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn dilu() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dilu"))
+}
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/cli sits two levels below the workspace root")
+}
+
+fn planted_ws() -> PathBuf {
+    repo_root().join("crates/lint/tests/fixtures/ws")
+}
+
+#[test]
+fn lint_exits_zero_on_the_clean_workspace() {
+    let out = dilu().arg("lint").arg("--root").arg(repo_root()).output().expect("spawn dilu");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "lint must pass on the shipped tree:\n{stderr}");
+    assert!(stdout.contains("clean: no determinism findings"), "{stdout}");
+}
+
+#[test]
+fn lint_exits_nonzero_on_a_planted_workspace_and_names_the_rules() {
+    let out = dilu().arg("lint").arg("--root").arg(planted_ws()).output().expect("spawn dilu");
+    assert!(!out.status.success(), "planted violations must fail the gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-unordered-iteration"), "stderr names the rule:\n{stderr}");
+    assert!(stderr.contains("no-ambient-time"), "stderr names the rule:\n{stderr}");
+    assert!(stderr.contains("src/planted.rs"), "stderr names the file:\n{stderr}");
+}
+
+#[test]
+fn lint_rule_filter_restricts_findings() {
+    let out = dilu()
+        .args(["lint", "--rule", "no-ambient-time", "--root"])
+        .arg(planted_ws())
+        .output()
+        .expect("spawn dilu");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-ambient-time"), "{stderr}");
+    assert!(!stderr.contains("no-unordered-iteration"), "filtered out:\n{stderr}");
+}
+
+#[test]
+fn lint_rejects_an_unknown_rule_name() {
+    let out = dilu().args(["lint", "--rule", "no-such-rule"]).output().expect("spawn dilu");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-rule"), "{stderr}");
+    assert!(stderr.contains("no-unordered-iteration"), "lists known rules:\n{stderr}");
+}
+
+#[test]
+fn lint_json_dump_carries_the_findings() {
+    let json_path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-gate-findings.json");
+    let out = dilu()
+        .arg("lint")
+        .arg("--json")
+        .arg(&json_path)
+        .arg("--root")
+        .arg(planted_ws())
+        .output()
+        .expect("spawn dilu");
+    assert!(!out.status.success());
+    let json = std::fs::read_to_string(&json_path).expect("JSON dump written even on failure");
+    assert!(json.contains("\"clean\": false"), "{json}");
+    assert!(json.contains("no-unordered-iteration"), "{json}");
+    assert!(json.contains("src/planted.rs"), "{json}");
+}

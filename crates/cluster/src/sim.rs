@@ -31,7 +31,7 @@
 //! node plane merges per-node step outcomes in fixed node order, so
 //! parallelism changes wall clock, never results.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use dilu_metrics::{
     ColdStartCounter, FragmentationStats, LatencyRecorder, RateWindow, ResizeCounter, SampleClock,
@@ -223,8 +223,8 @@ pub struct ClusterSim {
     /// every controller tick.
     pub(crate) audit_hook: Option<AuditHook>,
     pub(crate) pending_resizes: Vec<PendingResize>,
-    pub(crate) tags: HashMap<u64, WorkPayload>,
-    pub(crate) slot_index: HashMap<dilu_gpu::InstanceId, (InstanceUid, usize, FunctionId)>,
+    pub(crate) tags: BTreeMap<u64, WorkPayload>,
+    pub(crate) slot_index: BTreeMap<dilu_gpu::InstanceId, (InstanceUid, usize, FunctionId)>,
     pub(crate) next_uid: u64,
     pub(crate) next_request: u64,
     pub(crate) next_batch: u64,
@@ -238,7 +238,7 @@ pub struct ClusterSim {
     /// hold duplicates; sorted and deduplicated at the dispatch phase.
     pub(crate) dirty: Vec<InstanceUid>,
     /// Outstanding batch-formation deadline per instance.
-    pub(crate) deadlines: HashMap<InstanceUid, (SimTime, EventToken)>,
+    pub(crate) deadlines: BTreeMap<InstanceUid, (SimTime, EventToken)>,
     /// The out-of-heap [`SimEvent::GpuQuantum`] chain: the next
     /// one-quantum-ahead wake, if any.
     pub(crate) next_quantum_wake: Option<SimTime>,
@@ -321,8 +321,8 @@ impl ClusterSim {
             controller,
             audit_hook: None,
             pending_resizes: Vec::new(),
-            tags: HashMap::new(),
-            slot_index: HashMap::new(),
+            tags: BTreeMap::new(),
+            slot_index: BTreeMap::new(),
             next_uid: 1,
             next_request: 1,
             next_batch: 1,
@@ -331,7 +331,7 @@ impl ClusterSim {
             sample_clock: SampleClock::new(),
             events: EventQueue::new(),
             dirty: Vec::new(),
-            deadlines: HashMap::new(),
+            deadlines: BTreeMap::new(),
             next_quantum_wake: None,
             draining_count: 0,
             event_active: false,

@@ -1,6 +1,6 @@
 //! Named policy factories and experiment-harness placement/scaling stubs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use dilu_baselines::{FastGsPolicy, MpsPolicy, QuotaSource, TgsPolicy};
@@ -125,8 +125,8 @@ where
 /// launches land on the same GPUs).
 #[derive(Debug, Clone, Default)]
 pub struct PinnedPlacement {
-    assignments: HashMap<FunctionId, VecDeque<Vec<GpuAddr>>>,
-    last: HashMap<FunctionId, Vec<GpuAddr>>,
+    assignments: BTreeMap<FunctionId, VecDeque<Vec<GpuAddr>>>,
+    last: BTreeMap<FunctionId, Vec<GpuAddr>>,
 }
 
 impl PinnedPlacement {

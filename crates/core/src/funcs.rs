@@ -5,7 +5,7 @@
 //! [`FunctionSpec`]s, exactly as Dilu's gateway would after step ❶/❷ of the
 //! paper's workflow.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 use dilu_cluster::{FunctionId, FunctionKind, FunctionSpec, Quotas};
@@ -13,14 +13,14 @@ use dilu_gpu::SmRate;
 use dilu_models::ModelId;
 use dilu_profiler::{hybrid_growth_search, profile_training, InferenceProfile, TrainingQuotas};
 
-fn inference_cache() -> &'static Mutex<HashMap<ModelId, InferenceProfile>> {
-    static CACHE: OnceLock<Mutex<HashMap<ModelId, InferenceProfile>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn inference_cache() -> &'static Mutex<BTreeMap<ModelId, InferenceProfile>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<ModelId, InferenceProfile>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-fn training_cache() -> &'static Mutex<HashMap<ModelId, TrainingQuotas>> {
-    static CACHE: OnceLock<Mutex<HashMap<ModelId, TrainingQuotas>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn training_cache() -> &'static Mutex<BTreeMap<ModelId, TrainingQuotas>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<ModelId, TrainingQuotas>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// The memoised Hybrid-Growth-Search profile of `model`.

@@ -1,0 +1,227 @@
+//! `lint.toml` — path scopes and rule toggles for the determinism audit.
+//!
+//! ```toml
+//! [scan]
+//! roots = ["crates", "src"]
+//! exclude = ["crates/lint/tests"]
+//!
+//! [rules.no-unordered-iteration]
+//! paths = ["crates/cluster/src", "crates/sim/src"]
+//!
+//! [rules.no-ambient-time]
+//! exclude = ["crates/cli/src"]
+//!
+//! [rules.float-accumulation-order]
+//! enabled = false
+//! ```
+//!
+//! Unknown sections, keys, and rule names are rejected loudly — a typo in
+//! the audit's own configuration must never silently disable a rule.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::rules;
+
+/// Per-rule configuration: an on/off toggle plus optional path scoping.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// `false` disables the rule entirely.
+    pub enabled: bool,
+    /// When non-empty, the rule only applies to files under these
+    /// workspace-relative prefixes.
+    pub paths: Vec<String>,
+    /// Files under these prefixes are exempt from the rule.
+    pub exclude: Vec<String>,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) walked for `.rs` files.
+    pub scan_roots: Vec<String>,
+    /// Workspace-relative prefixes excluded from the walk.
+    pub scan_exclude: Vec<String>,
+    /// Per-rule settings, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    /// Every rule enabled, unscoped, scanning `crates/` and `src/`.
+    fn default() -> Self {
+        Config {
+            scan_roots: vec!["crates".into(), "src".into()],
+            scan_exclude: Vec::new(),
+            rules: rules::RULES
+                .iter()
+                .map(|r| (r.name.to_string(), RuleConfig { enabled: true, ..Default::default() }))
+                .collect(),
+        }
+    }
+}
+
+impl Config {
+    /// Loads and validates the `lint.toml` at `path`.
+    pub fn load(path: &Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let value = toml::parse_value(text).map_err(|e| e.to_string())?;
+        let mut config = Config::default();
+        let root = value.as_map().ok_or("lint.toml must be a table")?;
+        for (key, section) in root {
+            match key.as_str() {
+                Some("scan") => {
+                    let entries = section.as_map().ok_or("[scan] must be a table")?;
+                    for (k, v) in entries {
+                        match k.as_str() {
+                            Some("roots") => config.scan_roots = string_list(v, "scan.roots")?,
+                            Some("exclude") => {
+                                config.scan_exclude = string_list(v, "scan.exclude")?;
+                            }
+                            other => {
+                                return Err(format!(
+                                    "unknown key `{}` in [scan] (known: roots, exclude)",
+                                    other.unwrap_or("?")
+                                ));
+                            }
+                        }
+                    }
+                }
+                Some("rules") => {
+                    let entries = section.as_map().ok_or("[rules] must be a table")?;
+                    for (name, body) in entries {
+                        let name = name.as_str().ok_or("rule names must be strings")?;
+                        let slot = config.rules.get_mut(name).ok_or_else(|| {
+                            format!(
+                                "unknown rule `{name}` in lint.toml (known: {})",
+                                rules::rule_names().join(", ")
+                            )
+                        })?;
+                        apply_rule_section(slot, name, body)?;
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown section `{}` in lint.toml (known: scan, rules)",
+                        other.unwrap_or("?")
+                    ));
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// `true` when `rel` (workspace-relative, `/`-separated) is subject to
+    /// `rule` under this configuration.
+    pub fn rule_applies(&self, rule: &str, rel: &str) -> bool {
+        let Some(rc) = self.rules.get(rule) else { return false };
+        if !rc.enabled {
+            return false;
+        }
+        if !rc.paths.is_empty() && !rc.paths.iter().any(|p| path_has_prefix(rel, p)) {
+            return false;
+        }
+        !rc.exclude.iter().any(|p| path_has_prefix(rel, p))
+    }
+}
+
+fn apply_rule_section(
+    slot: &mut RuleConfig,
+    name: &str,
+    body: &serde::Value,
+) -> Result<(), String> {
+    let entries = body.as_map().ok_or_else(|| format!("[rules.{name}] must be a table"))?;
+    for (k, v) in entries {
+        match k.as_str() {
+            Some("enabled") => {
+                slot.enabled =
+                    v.as_bool().ok_or_else(|| format!("rules.{name}.enabled must be a bool"))?;
+            }
+            Some("paths") => slot.paths = string_list(v, &format!("rules.{name}.paths"))?,
+            Some("exclude") => slot.exclude = string_list(v, &format!("rules.{name}.exclude"))?,
+            other => {
+                return Err(format!(
+                    "unknown key `{}` in [rules.{name}] (known: enabled, paths, exclude)",
+                    other.unwrap_or("?")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn string_list(v: &serde::Value, what: &str) -> Result<Vec<String>, String> {
+    let serde::Value::Seq(items) = v else {
+        return Err(format!("{what} must be an array of strings"));
+    };
+    items
+        .iter()
+        .map(|s| {
+            s.as_str().map(str::to_string).ok_or_else(|| format!("{what} must contain strings"))
+        })
+        .collect()
+}
+
+/// Component-aligned prefix test: `crates/sim/src` matches
+/// `crates/sim/src/events.rs` but not `crates/sim2/src/lib.rs`.
+pub(crate) fn path_has_prefix(rel: &str, prefix: &str) -> bool {
+    let prefix = prefix.trim_end_matches('/');
+    rel.strip_prefix(prefix).is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scopes_and_toggles() {
+        let config = Config::parse(
+            "
+            [scan]
+            roots = [\"crates\"]
+            exclude = [\"crates/lint/tests\"]
+
+            [rules.no-unordered-iteration]
+            paths = [\"crates/cluster/src\", \"crates/sim/src\"]
+
+            [rules.no-ambient-time]
+            exclude = [\"crates/cli/src\"]
+
+            [rules.float-accumulation-order]
+            enabled = false
+            ",
+        )
+        .expect("valid config");
+        assert_eq!(config.scan_roots, ["crates"]);
+        assert!(config.rule_applies("no-unordered-iteration", "crates/sim/src/events.rs"));
+        assert!(!config.rule_applies("no-unordered-iteration", "crates/cli/src/main.rs"));
+        assert!(config.rule_applies("no-ambient-time", "crates/gpu/src/engine.rs"));
+        assert!(!config.rule_applies("no-ambient-time", "crates/cli/src/main.rs"));
+        assert!(!config.rule_applies("float-accumulation-order", "crates/sim/src/events.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_and_keys_are_rejected() {
+        let err = Config::parse("[rules.no-such-rule]\nenabled = true\n").unwrap_err();
+        assert!(err.contains("unknown rule `no-such-rule`"), "{err}");
+        assert!(err.contains("no-unordered-iteration"), "error lists known rules: {err}");
+        let err = Config::parse("[scan]\nrots = [\"crates\"]\n").unwrap_err();
+        assert!(err.contains("unknown key `rots`"), "{err}");
+        let err = Config::parse("[rules.no-ambient-time]\npath = []\n").unwrap_err();
+        assert!(err.contains("unknown key `path`"), "{err}");
+        let err = Config::parse("[surprise]\nx = 1\n").unwrap_err();
+        assert!(err.contains("unknown section `surprise`"), "{err}");
+    }
+
+    #[test]
+    fn prefix_matching_is_component_aligned() {
+        assert!(path_has_prefix("crates/sim/src/events.rs", "crates/sim/src"));
+        assert!(path_has_prefix("crates/sim/src", "crates/sim/src"));
+        assert!(!path_has_prefix("crates/sim2/src/lib.rs", "crates/sim"));
+    }
+}

@@ -1,0 +1,427 @@
+//! A token-level Rust lexer for the determinism rules.
+//!
+//! The rules need *where identifiers appear*, not full syntax: this lexer
+//! strips everything that could fake a match (string literals of every
+//! flavour, char literals, lifetimes, nested block comments, numeric
+//! literals) and keeps a flat stream of identifier/punctuation tokens with
+//! line numbers. Line comments are additionally scanned for
+//! `dilu-lint: allow(...)` suppression directives, and `#[cfg(test)]` /
+//! `#[test]` items are brace-matched so test code inside `src/` trees is
+//! exempt, exactly like `tests/` and `benches/` directories.
+
+/// One surviving token: an identifier or a piece of punctuation.
+///
+/// Multi-character punctuation is collapsed only where the rules need it
+/// (`::`); everything else is single characters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Tok {
+    /// 1-based source line.
+    pub(crate) line: u32,
+    /// Identifier text or punctuation string.
+    pub(crate) s: String,
+}
+
+impl Tok {
+    pub(crate) fn is(&self, s: &str) -> bool {
+        self.s == s
+    }
+
+    /// `true` for identifier tokens (first char alphabetic or `_`).
+    pub(crate) fn is_ident(&self) -> bool {
+        self.s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+    }
+}
+
+/// A raw `dilu-lint:` line-comment directive, before validation.
+#[derive(Debug, Clone)]
+pub(crate) struct RawDirective {
+    /// 1-based line the comment sits on.
+    pub(crate) line: u32,
+    /// Comment text after the `dilu-lint:` marker, trimmed.
+    pub(crate) body: String,
+}
+
+/// The lexed view of one source file.
+pub(crate) struct Lexed {
+    pub(crate) toks: Vec<Tok>,
+    /// `dilu-lint:` directives found in line comments.
+    pub(crate) directives: Vec<RawDirective>,
+    /// Source lines (for diagnostic snippets).
+    pub(crate) lines: Vec<String>,
+    /// Per-token: inside a `#[cfg(test)]` / `#[test]` item body.
+    pub(crate) exempt: Vec<bool>,
+}
+
+/// Lexes `source` into the token/directive view the rules consume.
+pub(crate) fn lex(source: &str) -> Lexed {
+    let mut toks = Vec::new();
+    let mut directives = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment (incl. doc comments): capture for directives.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let trimmed = text.trim_start_matches(['/', '!']).trim();
+                if let Some(rest) = trimmed.strip_prefix("dilu-lint:") {
+                    directives.push(RawDirective { line, body: rest.trim().to_string() });
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Block comment, nested.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => i = skip_string(&bytes, i, &mut line),
+            'r' | 'b' if raw_or_byte_string_start(&bytes, i) => {
+                i = skip_raw_or_byte_string(&bytes, i, &mut line);
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                if i + 1 < n && bytes[i + 1] == '\\' {
+                    // Escaped char literal: skip to the closing quote.
+                    let mut j = i + 2;
+                    while j < n && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else if i + 2 < n && bytes[i + 2] == '\'' {
+                    i += 3; // plain char literal 'x'
+                } else {
+                    // Lifetime: consume the identifier, emit nothing.
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => i = skip_number(&bytes, i),
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok { line, s: bytes[i..j].iter().collect() });
+                i = j;
+            }
+            ':' if i + 1 < n && bytes[i + 1] == ':' => {
+                toks.push(Tok { line, s: "::".into() });
+                i += 2;
+            }
+            c => {
+                toks.push(Tok { line, s: c.to_string() });
+                i += 1;
+            }
+        }
+    }
+
+    let exempt = mark_test_items(&toks);
+    let lines = source.lines().map(str::to_string).collect();
+    Lexed { toks, directives, lines, exempt }
+}
+
+/// `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` — but not the identifiers
+/// `r` / `b` themselves.
+fn raw_or_byte_string_start(bytes: &[char], i: usize) -> bool {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j < bytes.len() && bytes[j] == 'r' {
+            j += 1;
+        }
+    } else if bytes[j] == 'r' {
+        j += 1;
+    }
+    while j < bytes.len() && bytes[j] == '#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == '"'
+}
+
+fn skip_raw_or_byte_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if bytes[i] == 'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < bytes.len() && bytes[i] == '"');
+    if !raw {
+        return skip_string(bytes, i, line);
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == '"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < bytes.len() && bytes[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a plain (escaped) string literal starting at the opening quote.
+fn skip_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a numeric literal (ints, floats, exponents, suffixes, `_`).
+fn skip_number(bytes: &[char], mut i: usize) -> usize {
+    let n = bytes.len();
+    while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+        i += 1;
+    }
+    // Fraction only when followed by a digit (`1.max(2)` keeps its `.max`).
+    if i + 1 < n && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+            i += 1;
+        }
+    }
+    // Exponent sign (`1e-5` — the alnum loop above ate the `e`).
+    if i + 1 < n && (bytes[i] == '+' || bytes[i] == '-') && bytes[i - 1].eq_ignore_ascii_case(&'e')
+    {
+        i += 1;
+        while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Marks token ranges covered by `#[cfg(test)]` / `#[test]` items (the
+/// attribute through its item's closing brace, or its `;` for brace-less
+/// items) so the rules skip test code embedded in `src/` files.
+fn mark_test_items(toks: &[Tok]) -> Vec<bool> {
+    let mut exempt = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is("#") {
+            i += 1;
+            continue;
+        }
+        // `#[...]` or `#![...]`.
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is("!") {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is("[") {
+            i += 1;
+            continue;
+        }
+        // Bracket-match the attribute, noting whether it mentions `test` —
+        // but `#[cfg(not(test))]` gates *non*-test code and stays live.
+        let mut depth = 0usize;
+        let mut is_test = false;
+        while j < toks.len() {
+            if toks[j].is("[") || toks[j].is("(") {
+                depth += 1;
+            } else if toks[j].is("]") || toks[j].is(")") {
+                depth -= 1;
+                if depth == 0 && toks[j].is("]") {
+                    break;
+                }
+            } else if toks[j].is("test") {
+                let negated = j >= 2 && toks[j - 1].is("(") && toks[j - 2].is("not");
+                if !negated {
+                    is_test = true;
+                }
+            }
+            j += 1;
+        }
+        let attr_end = j;
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Find the item body: first `{` after the attribute (skipping any
+        // further attributes and the item signature), brace-matched — or a
+        // `;` before any brace (e.g. `#[cfg(test)] use ...;`).
+        let mut k = attr_end + 1;
+        let mut body_end = toks.len();
+        while k < toks.len() {
+            if toks[k].is(";") {
+                body_end = k;
+                break;
+            }
+            if toks[k].is("{") {
+                let mut braces = 0usize;
+                while k < toks.len() {
+                    if toks[k].is("{") {
+                        braces += 1;
+                    } else if toks[k].is("}") {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                body_end = k;
+                break;
+            }
+            k += 1;
+        }
+        let body_end = body_end.min(toks.len().saturating_sub(1));
+        for flag in exempt.iter_mut().take(body_end + 1).skip(i) {
+            *flag = true;
+        }
+        i = body_end + 1;
+    }
+    exempt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.is_ident()).map(|t| t.s).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "HashMap::new()"; // HashMap in a comment
+            /* HashMap in a block /* nested HashMap */ comment */
+            let b = r#"HashMap"#;
+            let c = 'H';
+            let real = Vec::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "literal text must not leak: {ids:?}");
+        assert!(ids.iter().any(|s| s == "Vec"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.iter().any(|s| s == "str"));
+        // The lexer must not treat `'a>(...` as a char and swallow tokens.
+        assert!(ids.iter().any(|s| s == "f"));
+    }
+
+    #[test]
+    fn directives_are_captured_with_lines() {
+        let src = "let x = 1;\n// dilu-lint: allow(no-ambient-time) -- because\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 1);
+        assert_eq!(lexed.directives[0].line, 2);
+        assert!(lexed.directives[0].body.starts_with("allow("));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "
+            use std::collections::BTreeMap;
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                fn f() { let m: HashMap<u32, u32> = HashMap::new(); }
+            }
+            fn live() {}
+        ";
+        let lexed = lex(src);
+        for (tok, exempt) in lexed.toks.iter().zip(&lexed.exempt) {
+            if tok.is("HashMap") {
+                assert!(*exempt, "HashMap inside #[cfg(test)] must be exempt");
+            }
+            if tok.is("live") {
+                assert!(!*exempt, "code after the test module is live again");
+            }
+        }
+    }
+
+    #[test]
+    fn test_attribute_functions_are_exempt() {
+        let src = "
+            fn live() { let t = 1; }
+            #[test]
+            fn checks() { let m = std::time::Instant::now(); }
+            fn live_again() {}
+        ";
+        let lexed = lex(src);
+        for (tok, exempt) in lexed.toks.iter().zip(&lexed.exempt) {
+            if tok.is("Instant") {
+                assert!(*exempt);
+            }
+            if tok.is("live_again") {
+                assert!(!*exempt);
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_literals_keep_following_method_calls() {
+        let src = "let x = 1.max(2); let y = 1.5e-3; let z = 0x_ffu32;";
+        let ids = idents(src);
+        assert!(ids.iter().any(|s| s == "max"), "`1.max` keeps its method token: {ids:?}");
+        assert!(!ids.iter().any(|s| s == "e"), "exponents are not identifiers");
+    }
+}

@@ -1,0 +1,282 @@
+//! The determinism rule set.
+//!
+//! Every rule is a token-level heuristic: precise enough to catch the bug
+//! classes that break byte-identical replay (unordered iteration, ambient
+//! time, ambient randomness, arrival-order parallel merges, order-sensitive
+//! float folds), honest enough to be suppressible with a reasoned
+//! `// dilu-lint: allow(<rule>) -- <why>` where a human knows better.
+
+use crate::lexer::Lexed;
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// The rule id used in `lint.toml`, diagnostics, and `allow(...)`.
+    pub name: &'static str,
+    /// One-line description of what the rule bans.
+    pub summary: &'static str,
+    /// The fix the diagnostic suggests.
+    pub hint: &'static str,
+}
+
+/// `no-unordered-iteration`.
+pub const NO_UNORDERED_ITERATION: &str = "no-unordered-iteration";
+/// `no-ambient-time`.
+pub const NO_AMBIENT_TIME: &str = "no-ambient-time";
+/// `no-ambient-rng`.
+pub const NO_AMBIENT_RNG: &str = "no-ambient-rng";
+/// `no-unordered-parallel-merge`.
+pub const NO_UNORDERED_PARALLEL_MERGE: &str = "no-unordered-parallel-merge";
+/// `float-accumulation-order`.
+pub const FLOAT_ACCUMULATION_ORDER: &str = "float-accumulation-order";
+
+/// The full rule set, in diagnostic order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: NO_UNORDERED_ITERATION,
+        summary: "HashMap/HashSet on a sim/report/controller path — iteration order is \
+                  nondeterministic",
+        hint: "use BTreeMap/BTreeSet (ordered iteration) or a Vec keyed by a stable index",
+    },
+    Rule {
+        name: NO_AMBIENT_TIME,
+        summary: "ambient wall-clock read — simulations must only see SimTime",
+        hint: "thread the simulated clock through; wall-clock measurement belongs to bench/cli \
+               reporting",
+    },
+    Rule {
+        name: NO_AMBIENT_RNG,
+        summary: "ambient randomness — entropy-seeded RNGs break record/replay",
+        hint: "derive every RNG from the scenario/case seed (e.g. seed_from_u64)",
+    },
+    Rule {
+        name: NO_UNORDERED_PARALLEL_MERGE,
+        summary: "parallel results merged in arrival order — worker timing leaks into the result",
+        hint: "collect per-worker outcomes into an indexed buffer and merge in ascending index \
+               order",
+    },
+    Rule {
+        name: FLOAT_ACCUMULATION_ORDER,
+        summary: "float accumulation over an unordered iterator — the sum depends on iteration \
+                  order",
+        hint: "accumulate over an ordered container (BTreeMap/Vec) so the addition order is fixed",
+    },
+];
+
+/// All rule names, in diagnostic order.
+pub fn rule_names() -> Vec<&'static str> {
+    RULES.iter().map(|r| r.name).collect()
+}
+
+/// Looks up a rule by name.
+pub fn find_rule(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// A rule hit before suppression/snippet handling: `(rule, line, detail)`.
+pub(crate) struct RawFinding {
+    pub(crate) rule: &'static str,
+    pub(crate) line: u32,
+    pub(crate) detail: String,
+}
+
+/// Runs every rule over one lexed file. Path scoping and suppressions are
+/// applied by the caller; this only reports what the tokens say.
+pub(crate) fn check(lexed: &Lexed, apply: impl Fn(&str) -> bool) -> Vec<RawFinding> {
+    let mut findings: Vec<RawFinding> = Vec::new();
+    let toks = &lexed.toks;
+    let live = |i: usize| !lexed.exempt[i];
+    let map_idents = collect_map_idents(lexed);
+    let spawns_threads = toks.iter().enumerate().any(|(i, t)| {
+        live(i)
+            && (t.is("spawn")
+                || (t.is("scope") && i >= 2 && toks[i - 1].is("::") && toks[i - 2].is("thread")))
+    });
+
+    let mut push = |rule: &'static str, line: u32, detail: String| {
+        if findings.iter().any(|f| f.rule == rule && f.line == line) {
+            return; // one finding per rule per line
+        }
+        findings.push(RawFinding { rule, line, detail });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) {
+            continue;
+        }
+        // --- no-unordered-iteration -----------------------------------
+        if apply(NO_UNORDERED_ITERATION) && (t.is("HashMap") || t.is("HashSet")) {
+            push(NO_UNORDERED_ITERATION, t.line, format!("`{}` used here", t.s));
+        }
+        // --- no-ambient-time ------------------------------------------
+        if apply(NO_AMBIENT_TIME) {
+            if t.is("Instant")
+                && toks.get(i + 1).is_some_and(|n| n.is("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is("now"))
+            {
+                push(NO_AMBIENT_TIME, t.line, "`Instant::now()` called here".into());
+            }
+            if t.is("SystemTime") {
+                push(NO_AMBIENT_TIME, t.line, "`SystemTime` used here".into());
+            }
+        }
+        // --- no-ambient-rng -------------------------------------------
+        if apply(NO_AMBIENT_RNG) {
+            if t.is("thread_rng") || t.is("from_entropy") || t.is("from_os_rng") || t.is("OsRng") {
+                push(NO_AMBIENT_RNG, t.line, format!("`{}` used here", t.s));
+            }
+            if t.is("random") && i >= 2 && toks[i - 1].is("::") && toks[i - 2].is("rand") {
+                push(NO_AMBIENT_RNG, t.line, "`rand::random()` used here".into());
+            }
+        }
+        // --- no-unordered-parallel-merge ------------------------------
+        if apply(NO_UNORDERED_PARALLEL_MERGE) && spawns_threads {
+            if t.is("mpsc") {
+                push(
+                    NO_UNORDERED_PARALLEL_MERGE,
+                    t.line,
+                    "channel used in a thread-spawning file — receive order is completion order"
+                        .into(),
+                );
+            }
+            if (t.is("recv") || t.is("try_recv") || t.is("try_iter"))
+                && i >= 1
+                && (toks[i - 1].is(".") || toks[i - 1].is("::"))
+            {
+                push(
+                    NO_UNORDERED_PARALLEL_MERGE,
+                    t.line,
+                    format!("`{}` drains results in completion order", t.s),
+                );
+            }
+            if t.is("for") {
+                if let Some(detail) = unordered_for_merge(toks, i, &map_idents) {
+                    push(NO_UNORDERED_PARALLEL_MERGE, t.line, detail);
+                }
+            }
+        }
+        // --- float-accumulation-order ---------------------------------
+        if apply(FLOAT_ACCUMULATION_ORDER)
+            && (t.is("sum") || t.is("fold") || t.is("product"))
+            && i >= 1
+            && toks[i - 1].is(".")
+        {
+            if let Some(detail) = float_fold_over_map(toks, i, &map_idents) {
+                push(FLOAT_ACCUMULATION_ORDER, t.line, detail);
+            }
+        }
+    }
+    findings
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` somewhere in this file
+/// (`x: HashMap<..>`, `let x = HashMap::new()`, struct fields, …).
+fn collect_map_idents(lexed: &Lexed) -> Vec<String> {
+    let toks = &lexed.toks;
+    let mut idents = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is("HashMap") || t.is("HashSet")) {
+            continue;
+        }
+        // Walk back over an optional `&mut std::collections::` prefix to
+        // the binding punctuation.
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            if p.is("::") || p.is("std") || p.is("collections") || p.is("&") || p.is("mut") {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        let bind = &toks[j - 1];
+        if (bind.is(":") || bind.is("=")) && j >= 2 && toks[j - 2].is_ident() {
+            let name = toks[j - 2].s.clone();
+            if !idents.contains(&name) {
+                idents.push(name);
+            }
+        }
+    }
+    idents
+}
+
+/// Is the `for` loop starting at `toks[at]` iterating a map-derived
+/// iterator (`for x in m.values()`, `.drain()`, …)?
+fn unordered_for_merge(
+    toks: &[crate::lexer::Tok],
+    at: usize,
+    map_idents: &[String],
+) -> Option<String> {
+    const ITERISH: &[&str] = &["iter", "into_iter", "drain", "values", "keys", "values_mut"];
+    let mut j = at + 1;
+    while j < toks.len() && !toks[j].is("in") {
+        if toks[j].is("{") {
+            return None; // not a for-in after all
+        }
+        j += 1;
+    }
+    let mut k = j + 1;
+    while k < toks.len() && !toks[k].is("{") {
+        if map_idents.iter().any(|m| toks[k].is(m))
+            && toks.get(k + 1).is_some_and(|n| n.is("."))
+            && toks.get(k + 2).is_some_and(|n| ITERISH.contains(&n.s.as_str()))
+        {
+            return Some(format!(
+                "`for … in {}.{}()` iterates a hash container while threads are in play",
+                toks[k].s,
+                toks[k + 2].s
+            ));
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Is the `.sum`/`.fold`/`.product` at `toks[at]` fed by a hash-container
+/// iterator within the same statement, and (for sum/product) plausibly a
+/// float accumulation?
+fn float_fold_over_map(
+    toks: &[crate::lexer::Tok],
+    at: usize,
+    map_idents: &[String],
+) -> Option<String> {
+    const ITERISH: &[&str] = &["iter", "into_iter", "drain", "values", "keys", "values_mut"];
+    const INT_TYPES: &[&str] =
+        &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+    // Integer accumulation is order-independent: `.sum::<u64>()` is fine.
+    if (toks[at].is("sum") || toks[at].is("product"))
+        && toks.get(at + 1).is_some_and(|n| n.is("::"))
+        && toks.get(at + 2).is_some_and(|n| n.is("<"))
+        && toks.get(at + 3).is_some_and(|n| INT_TYPES.contains(&n.s.as_str()))
+    {
+        return None;
+    }
+    // Statement start: the nearest `;`, `{` or `}` before the call.
+    let mut start = at;
+    while start > 0 {
+        let t = &toks[start - 1];
+        if t.is(";") || t.is("{") || t.is("}") {
+            break;
+        }
+        start -= 1;
+    }
+    for k in start..at {
+        let from_map = map_idents.iter().any(|m| toks[k].is(m))
+            || toks[k].is("HashMap")
+            || toks[k].is("HashSet");
+        if from_map
+            && toks[k + 1..at]
+                .windows(2)
+                .any(|w| w[0].is(".") && ITERISH.contains(&w[1].s.as_str()))
+        {
+            return Some(format!(
+                "`.{}(…)` accumulates over an iterator derived from `{}`",
+                toks[at].s, toks[k].s
+            ));
+        }
+    }
+    None
+}

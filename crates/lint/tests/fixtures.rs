@@ -1,0 +1,158 @@
+//! Mutation-style self-tests for the linter: every rule is proven by a
+//! planted-violation fixture (findings must match its `//~ <rule>` markers
+//! exactly, by line) and a clean twin (zero findings), and the suppression
+//! grammar is proven by allow-directive fixtures. A final test runs the
+//! real workspace audit and enforces the acceptance bar: clean, with zero
+//! suppressions inside `crates/cluster/src` and `crates/sim/src`.
+
+use std::path::Path;
+
+use dilu_lint::{lint_source, lint_workspace, Config, ALLOW_RULE, NO_AMBIENT_TIME};
+
+/// A fixture path is interpreted as if the file lived on a guarded sim
+/// path, so every default-scoped rule applies.
+const SIM_REL: &str = "crates/cluster/src/fixture.rs";
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The `(line, rule)` pairs named by `//~ <rule>` markers in the fixture.
+fn expected_markers(src: &str) -> Vec<(u32, String)> {
+    let mut want: Vec<(u32, String)> = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        for part in line.split("//~").skip(1) {
+            want.push((i as u32 + 1, part.trim().to_string()));
+        }
+    }
+    want.sort();
+    want
+}
+
+/// Asserts the planted fixture fires exactly at its markers: same rules,
+/// same lines, nothing extra, nothing missing.
+fn assert_fires_exactly(name: &str) {
+    let src = fixture(name);
+    let (findings, _) = lint_source(&src, SIM_REL, &Config::default());
+    let mut got: Vec<(u32, String)> =
+        findings.iter().map(|f| (f.line, f.rule.to_string())).collect();
+    got.sort();
+    let want = expected_markers(&src);
+    assert!(!want.is_empty(), "planted fixture {name} carries no //~ markers");
+    assert_eq!(got, want, "fixture {name}: findings must match the //~ markers");
+}
+
+/// Asserts the clean twin produces zero findings.
+fn assert_clean(name: &str) {
+    let src = fixture(name);
+    let (findings, _) = lint_source(&src, SIM_REL, &Config::default());
+    assert!(findings.is_empty(), "clean fixture {name} must not fire: {findings:?}");
+}
+
+#[test]
+fn unordered_iteration_fires_on_planted_violation() {
+    assert_fires_exactly("unordered_iteration_violation.rs");
+}
+
+#[test]
+fn unordered_iteration_spares_the_clean_twin() {
+    assert_clean("unordered_iteration_clean.rs");
+}
+
+#[test]
+fn ambient_time_fires_on_planted_violation() {
+    assert_fires_exactly("ambient_time_violation.rs");
+}
+
+#[test]
+fn ambient_time_spares_the_clean_twin() {
+    assert_clean("ambient_time_clean.rs");
+}
+
+#[test]
+fn ambient_rng_fires_on_planted_violation() {
+    assert_fires_exactly("ambient_rng_violation.rs");
+}
+
+#[test]
+fn ambient_rng_spares_the_clean_twin() {
+    assert_clean("ambient_rng_clean.rs");
+}
+
+#[test]
+fn parallel_merge_fires_on_planted_violation() {
+    assert_fires_exactly("parallel_merge_violation.rs");
+}
+
+#[test]
+fn parallel_merge_spares_the_indexed_clean_twin() {
+    assert_clean("parallel_merge_clean.rs");
+}
+
+#[test]
+fn float_order_fires_on_planted_violation() {
+    assert_fires_exactly("float_order_violation.rs");
+}
+
+#[test]
+fn float_order_spares_ordered_and_integer_sums() {
+    // The clean twin also carries one reasoned allow (a HashMap kept to
+    // exercise the integer-sum exemption), which must land in `suppressed`.
+    let src = fixture("float_order_clean.rs");
+    let (findings, suppressed) = lint_source(&src, SIM_REL, &Config::default());
+    assert!(findings.is_empty(), "clean fixture must not fire: {findings:?}");
+    assert_eq!(suppressed.len(), 1, "the reasoned allow is recorded as suppressed");
+}
+
+#[test]
+fn allow_with_reason_suppresses_the_violation() {
+    let src = fixture("allow_with_reason.rs");
+    let (findings, suppressed) = lint_source(&src, SIM_REL, &Config::default());
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, NO_AMBIENT_TIME);
+}
+
+#[test]
+fn allow_without_reason_is_itself_an_error() {
+    let src = fixture("allow_missing_reason.rs");
+    let (findings, suppressed) = lint_source(&src, SIM_REL, &Config::default());
+    assert!(suppressed.is_empty(), "a reasonless allow suppresses nothing");
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&ALLOW_RULE), "{findings:?}");
+    assert!(rules.contains(&NO_AMBIENT_TIME), "the violation still fires: {findings:?}");
+}
+
+#[test]
+fn allow_naming_an_unknown_rule_is_an_error() {
+    let src = fixture("allow_unknown_rule.rs");
+    let (findings, suppressed) = lint_source(&src, SIM_REL, &Config::default());
+    assert!(suppressed.is_empty());
+    let allow_err = findings.iter().find(|f| f.rule == ALLOW_RULE).expect("directive error");
+    assert!(allow_err.message.contains("no-such-rule"));
+    assert!(findings.iter().any(|f| f.rule == NO_AMBIENT_TIME), "violation still fires");
+}
+
+/// The acceptance bar, enforced as a test: the real workspace audit is
+/// clean under the real `lint.toml`, and the hot sim paths carry no
+/// suppressions at all.
+#[test]
+fn workspace_audit_is_clean_and_sim_core_is_suppression_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let config = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let report = lint_workspace(root, &config, None).expect("workspace walk");
+    assert!(report.files_checked > 50, "the walk found the source tree");
+    assert!(report.clean(), "workspace determinism audit failed:\n{}", report.render_human());
+    let guarded: Vec<_> = report
+        .suppressed
+        .iter()
+        .filter(|f| {
+            f.file.starts_with("crates/cluster/src") || f.file.starts_with("crates/sim/src")
+        })
+        .collect();
+    assert!(guarded.is_empty(), "no suppressions allowed in the sim core: {guarded:?}");
+}

@@ -1,0 +1,8 @@
+//! A suppression without a reason: the directive itself is a finding and
+//! the underlying violation is still reported.
+
+pub fn bench_clock() -> std::time::Duration {
+    // dilu-lint: allow(no-ambient-time)
+    let started = std::time::Instant::now();
+    started.elapsed()
+}

@@ -1,0 +1,8 @@
+//! A suppression naming a rule that does not exist: hard error, and the
+//! directive suppresses nothing.
+
+pub fn bench_clock() -> std::time::Duration {
+    // dilu-lint: allow(no-such-rule) -- confidently wrong
+    let started = std::time::Instant::now();
+    started.elapsed()
+}

@@ -1,0 +1,8 @@
+//! A correctly reasoned suppression: the violation is recorded as
+//! suppressed, not reported.
+
+pub fn bench_clock() -> std::time::Duration {
+    // dilu-lint: allow(no-ambient-time) -- wall-clock measurement of the harness itself
+    let started = std::time::Instant::now();
+    started.elapsed()
+}

@@ -1,0 +1,8 @@
+//! Clean twin: every RNG derives from an explicit case seed.
+
+pub fn roll(seed: u64) -> u64 {
+    // thread_rng() would be a violation; seed_from_u64 is the sanctioned path.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    state ^= state >> 27;
+    state
+}

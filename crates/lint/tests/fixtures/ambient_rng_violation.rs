@@ -1,0 +1,7 @@
+//! Planted violation: entropy-seeded randomness on a sim path.
+
+pub fn roll() -> u64 {
+    let mut _rng = rand::thread_rng(); //~ no-ambient-rng
+    let _other = rand::rngs::StdRng::from_entropy(); //~ no-ambient-rng
+    rand::random() //~ no-ambient-rng
+}

@@ -1,0 +1,7 @@
+//! Planted violation: ambient wall-clock reads inside sim-path code.
+
+pub fn stamp() -> f64 {
+    let started = std::time::Instant::now(); //~ no-ambient-time
+    let _epoch = std::time::SystemTime::now(); //~ no-ambient-time
+    started.elapsed().as_secs_f64()
+}

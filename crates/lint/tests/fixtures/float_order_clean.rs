@@ -1,0 +1,14 @@
+//! Clean twin: ordered container, plus the integer-sum exemption — integer
+//! addition is associative, so `.sum::<u64>()` over any iterator is fine.
+
+use std::collections::BTreeMap;
+
+pub fn mean(rates: &BTreeMap<u32, f64>) -> f64 {
+    let total = rates.values().sum::<f64>();
+    total / rates.len() as f64
+}
+
+// dilu-lint: allow(no-unordered-iteration) -- fixture exercises the integer-sum exemption on a hash map
+pub fn total_hits(counts: &std::collections::HashMap<u32, u64>) -> u64 {
+    counts.values().sum::<u64>()
+}

@@ -1,0 +1,13 @@
+//! Planted violation: float accumulation over hash-container iterators.
+//! The container declarations themselves also trip `no-unordered-iteration`.
+
+use std::collections::HashMap; //~ no-unordered-iteration
+
+pub fn mean(rates: &HashMap<u32, f64>) -> f64 { //~ no-unordered-iteration
+    let total = rates.values().sum::<f64>(); //~ float-accumulation-order
+    total / rates.len() as f64
+}
+
+pub fn folded(rates: &HashMap<u32, f64>) -> f64 { //~ no-unordered-iteration
+    rates.iter().fold(0.0, |acc, (_, v)| acc + v) //~ float-accumulation-order
+}

@@ -1,0 +1,16 @@
+//! Clean twin: the same fan-out merged deterministically — each worker owns
+//! a fixed slot in an indexed buffer and the merge walks ascending indices.
+
+pub fn fan_out(items: Vec<u64>) -> u64 {
+    let mut slots: Vec<u64> = vec![0; items.len()];
+    std::thread::scope(|s| {
+        for (slot, x) in slots.iter_mut().zip(items) {
+            s.spawn(move || *slot = x * 2);
+        }
+    });
+    let mut total = 0;
+    for v in slots {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,19 @@
+//! Planted violation: a thread fan-out merged in arrival order via a channel.
+
+use std::sync::mpsc; //~ no-unordered-parallel-merge
+
+pub fn fan_out(items: Vec<u64>) -> u64 {
+    let (tx, rx) = mpsc::channel(); //~ no-unordered-parallel-merge
+    std::thread::scope(|s| {
+        for x in items {
+            let tx = tx.clone();
+            s.spawn(move || tx.send(x).unwrap());
+        }
+    });
+    drop(tx);
+    let mut total = 0;
+    while let Ok(v) = rx.recv() { //~ no-unordered-parallel-merge
+        total += v;
+    }
+    total
+}

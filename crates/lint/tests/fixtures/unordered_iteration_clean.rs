@@ -1,0 +1,27 @@
+//! Clean twin: ordered containers only, plus the exemptions the lexer must
+//! honour — a HashMap inside a string, a comment, and a `#[cfg(test)]` module.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn count(xs: &[u32]) -> usize {
+    // A HashMap mentioned in a comment must not fire.
+    let banner = "HashMap is banned here"; // and not in a string either
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    seen.len() + m.len() + banner.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hash_containers() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Planted violation: unordered hash containers on a sim path. Each
+//! trailing marker comment names the rule expected to fire on that line.
+
+use std::collections::HashMap; //~ no-unordered-iteration
+
+pub fn count(xs: &[u32]) -> usize {
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new(); //~ no-unordered-iteration
+    for &x in xs {
+        seen.insert(x);
+    }
+    let m: HashMap<u32, u32> = HashMap::new(); //~ no-unordered-iteration
+    seen.len() + m.len()
+}

@@ -1,0 +1,10 @@
+//! Planted violations for the CLI gate test: `dilu lint --root <this ws>`
+//! must exit non-zero and name the rules on stderr.
+
+use std::collections::HashMap;
+
+pub fn stamp() -> f64 {
+    let started = std::time::Instant::now();
+    let m: HashMap<u32, u32> = HashMap::new();
+    started.elapsed().as_secs_f64() + m.len() as f64
+}

@@ -1,7 +1,7 @@
 //! A stable-ordered future event list.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::SimTime;
 
@@ -52,9 +52,9 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
     /// Tokens of cancellable entries still sitting in the heap.
-    cancellable: HashSet<u64>,
+    cancellable: BTreeSet<u64>,
     /// Tokens cancelled but not yet physically removed (lazy deletion).
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -98,8 +98,8 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
-            cancellable: HashSet::new(),
-            cancelled: HashSet::new(),
+            cancellable: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
         }
     }
 
@@ -119,7 +119,7 @@ impl<T> EventQueue<T> {
     /// [`cancel`](Self::cancel) it before then.
     ///
     /// Cancellable events keep the same same-instant FIFO ordering as plain
-    /// pushes — the token costs one hash-set entry, nothing more.
+    /// pushes — the token costs one ordered-set entry, nothing more.
     pub fn push_cancellable(&mut self, at: SimTime, event: T) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
