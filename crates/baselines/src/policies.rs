@@ -44,20 +44,30 @@ impl MpsPolicy {
 impl SharePolicy for MpsPolicy {
     fn allocate(
         &mut self,
+        now: SimTime,
+        quantum: SimDuration,
+        views: &[InstanceView],
+    ) -> Vec<Grant> {
+        let mut out = Vec::new();
+        self.allocate_into(now, quantum, views, &mut out);
+        out
+    }
+
+    fn allocate_into(
+        &mut self,
         _now: SimTime,
         _quantum: SimDuration,
         views: &[InstanceView],
-    ) -> Vec<Grant> {
-        views
-            .iter()
-            .map(|v| Grant {
-                id: v.id,
-                smr: match self.source {
-                    QuotaSource::Request => v.request,
-                    QuotaSource::Limit => v.limit,
-                },
-            })
-            .collect()
+        out: &mut Vec<Grant>,
+    ) {
+        out.clear();
+        out.extend(views.iter().map(|v| Grant {
+            id: v.id,
+            smr: match self.source {
+                QuotaSource::Request => v.request,
+                QuotaSource::Limit => v.limit,
+            },
+        }));
     }
 
     fn name(&self) -> &str {
@@ -103,10 +113,22 @@ impl Default for TgsPolicy {
 impl SharePolicy for TgsPolicy {
     fn allocate(
         &mut self,
+        now: SimTime,
+        quantum: SimDuration,
+        views: &[InstanceView],
+    ) -> Vec<Grant> {
+        let mut out = Vec::new();
+        self.allocate_into(now, quantum, views, &mut out);
+        out
+    }
+
+    fn allocate_into(
+        &mut self,
         _now: SimTime,
         _quantum: SimDuration,
         views: &[InstanceView],
-    ) -> Vec<Grant> {
+        out: &mut Vec<Grant>,
+    ) {
         self.rates.retain(|id, _| views.iter().any(|v| v.id == *id));
         // TGS knows one productive job per GPU; everything else is
         // opportunistic. With an SLO-sensitive resident that job is the
@@ -120,22 +142,20 @@ impl SharePolicy for TgsPolicy {
         let productive = |v: &InstanceView| productive_id == Some(v.id);
         // "Recently active" = launched kernels within the last few quanta.
         let productive_active = views.iter().any(|v| productive(v) && v.idle_quanta < 4);
-        views
-            .iter()
-            .map(|v| {
-                if productive(v) {
-                    Grant { id: v.id, smr: SmRate::FULL }
+        out.clear();
+        out.extend(views.iter().map(|v| {
+            if productive(v) {
+                Grant { id: v.id, smr: SmRate::FULL }
+            } else {
+                let rate = self.rates.entry(v.id).or_insert(self.floor);
+                if productive_active {
+                    *rate = self.floor;
                 } else {
-                    let rate = self.rates.entry(v.id).or_insert(self.floor);
-                    if productive_active {
-                        *rate = self.floor;
-                    } else {
-                        *rate = (*rate * self.growth).min(1.0);
-                    }
-                    Grant { id: v.id, smr: SmRate::from_fraction(*rate) }
+                    *rate = (*rate * self.growth).min(1.0);
                 }
-            })
-            .collect()
+                Grant { id: v.id, smr: SmRate::from_fraction(*rate) }
+            }
+        }));
     }
 
     fn name(&self) -> &str {
@@ -172,28 +192,38 @@ impl Default for FastGsPolicy {
 impl SharePolicy for FastGsPolicy {
     fn allocate(
         &mut self,
+        now: SimTime,
+        quantum: SimDuration,
+        views: &[InstanceView],
+    ) -> Vec<Grant> {
+        let mut out = Vec::new();
+        self.allocate_into(now, quantum, views, &mut out);
+        out
+    }
+
+    fn allocate_into(
+        &mut self,
         _now: SimTime,
         _quantum: SimDuration,
         views: &[InstanceView],
-    ) -> Vec<Grant> {
+        out: &mut Vec<Grant>,
+    ) {
         let idle_pool: f64 =
             views.iter().filter(|v| v.idle_quanta >= 4).map(|v| v.limit.as_fraction()).sum();
-        let active: Vec<&InstanceView> = views.iter().filter(|v| v.idle_quanta < 4).collect();
-        let share = if active.is_empty() { 0.0 } else { idle_pool / active.len() as f64 };
-        views
-            .iter()
-            .map(|v| {
-                let base = if v.idle_quanta < 4 {
-                    v.limit.as_fraction() + share
-                } else {
-                    v.limit.as_fraction()
-                };
-                // Event-statistics overhead bites models that need many SMs;
-                // small kernels slip through the prioritized queue unharmed.
-                let tax = if v.demand.as_fraction() >= 0.35 { self.overhead } else { 0.01 };
-                Grant { id: v.id, smr: SmRate::from_fraction((base * (1.0 - tax)).max(0.0)) }
-            })
-            .collect()
+        let active = views.iter().filter(|v| v.idle_quanta < 4).count();
+        let share = if active == 0 { 0.0 } else { idle_pool / active as f64 };
+        out.clear();
+        out.extend(views.iter().map(|v| {
+            let base = if v.idle_quanta < 4 {
+                v.limit.as_fraction() + share
+            } else {
+                v.limit.as_fraction()
+            };
+            // Event-statistics overhead bites models that need many SMs;
+            // small kernels slip through the prioritized queue unharmed.
+            let tax = if v.demand.as_fraction() >= 0.35 { self.overhead } else { 0.01 };
+            Grant { id: v.id, smr: SmRate::from_fraction((base * (1.0 - tax)).max(0.0)) }
+        }));
     }
 
     fn name(&self) -> &str {

@@ -46,13 +46,16 @@ fn usage() -> String {
      \n\
      USAGE:\n\
      \x20 dilu run <scenario.toml|.json> [--json <out.json>] [--time-model <event-driven|dense-quantum>]\n\
-     \x20          [--threads <n>]\n\
+     \x20          [--threads <n>] [--profile]\n\
      \x20     Build the scenario described by the config file and simulate it.\n\
      \x20     --time-model overrides the scenario's [sim] time_model (the\n\
      \x20     wake-on-work event engine by default; dense-quantum is the\n\
      \x20     legacy per-quantum stepper kept for comparison). --threads\n\
      \x20     overrides [sim] threads (node-plane step parallelism; the\n\
-     \x20     report is byte-identical at any setting).\n\
+     \x20     report is byte-identical at any setting). --profile turns on\n\
+     \x20     the per-phase wall-clock profiler ([sim] profile): a table of\n\
+     \x20     where the simulation wall clock went, also embedded under\n\
+     \x20     \"profile\" in the --json output.\n\
      \x20 dilu experiment <name>... | all [--threads <n>]\n\
      \x20     Regenerate registered paper experiments (JSON under target/experiments/).\n\
      \x20     --threads sets the default node-plane step parallelism (the\n\
@@ -88,6 +91,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut json_out: Option<PathBuf> = None;
     let mut time_model: Option<String> = None;
     let mut threads: Option<u32> = None;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -102,6 +106,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--threads" => {
                 threads = Some(parse_threads(it.next())?);
             }
+            "--profile" => profile = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `dilu run`"));
             }
@@ -114,7 +119,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let path =
         scenario_path.ok_or_else(|| format!("`dilu run` needs a scenario file\n\n{}", usage()))?;
-    run_scenario(&path, json_out.as_deref(), time_model.as_deref(), threads)
+    run_scenario(&path, json_out.as_deref(), time_model.as_deref(), threads, profile)
 }
 
 /// Parses a `--threads` operand: a positive integer.
@@ -131,6 +136,7 @@ fn run_scenario(
     json_out: Option<&Path>,
     time_model: Option<&str>,
     threads: Option<u32>,
+    profile: bool,
 ) -> Result<(), String> {
     let mut config = ScenarioConfig::load(path).map_err(|e| e.to_string())?;
     if let Some(model) = time_model {
@@ -140,6 +146,9 @@ fn run_scenario(
     }
     if let Some(threads) = threads {
         config.sim.get_or_insert_with(Default::default).threads = Some(threads);
+    }
+    if profile {
+        config.sim.get_or_insert_with(Default::default).profile = Some(true);
     }
     let name = config.name.clone().unwrap_or_else(|| {
         path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
@@ -160,7 +169,7 @@ fn run_scenario(
     println!("horizon: {horizon} (+drain)\n");
 
     let started = std::time::Instant::now();
-    let report = scenario.run().map_err(|e| e.to_string())?;
+    let (report, phase_profile) = scenario.run_profiled().map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
 
     if !report.inference.is_empty() {
@@ -239,9 +248,21 @@ fn run_scenario(
         report.mean_svr() * 100.0,
     );
     println!("[simulated in {:.1}s]", elapsed.as_secs_f64());
+    if let Some(profile) = &phase_profile {
+        println!("\n== phase profile ==");
+        print!("{}", profile.render());
+    }
 
     if let Some(out) = json_out {
-        let summary = report_summary(&report);
+        let mut summary = report_summary(&report);
+        if let Some(profile) = &phase_profile {
+            if let serde::Value::Map(entries) = &mut summary {
+                entries.push((
+                    serde::Value::Str("profile".into()),
+                    serde::Serialize::to_value(profile),
+                ));
+            }
+        }
         dilu_core::table::write_json_at(out, &summary);
         println!("[json: {}]", out.display());
     }

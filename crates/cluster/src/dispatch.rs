@@ -27,11 +27,52 @@ pub(crate) enum WorkPayload {
     TrainComm { func: FunctionId, worker: usize },
 }
 
+/// Slab of in-flight work payloads keyed by engine tag.
+///
+/// Tags are opaque correlation ids (never ordered, never reported), so a
+/// freed slot's index can be handed out again: a tag is released exactly
+/// when its completion is handled, after which no engine item carries it.
+/// Items dropped by eviction leak their slot, exactly as the former
+/// `BTreeMap` leaked its entry. Slot reuse keeps steady-state dispatch
+/// free of map-node allocations.
+#[derive(Debug, Default)]
+pub(crate) struct TagSlab {
+    slots: Vec<Option<WorkPayload>>,
+    free: Vec<u32>,
+}
+
+impl TagSlab {
+    /// Stores `payload` and returns the tag to stamp on the work item.
+    pub(crate) fn insert(&mut self, payload: WorkPayload) -> u64 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(payload);
+                u64::from(i)
+            }
+            None => {
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Releases `tag` and returns its payload, or `None` if the tag is
+    /// unknown (already completed or never issued).
+    pub(crate) fn remove(&mut self, tag: u64) -> Option<WorkPayload> {
+        let payload = self.slots.get_mut(usize::try_from(tag).ok()?)?.take();
+        if payload.is_some() {
+            self.free.push(tag as u32);
+        }
+        payload
+    }
+}
+
 impl ClusterSim {
     pub(crate) fn ingest_arrivals(&mut self) {
         let now = self.now;
         let cutoff = now + self.config.quantum;
-        let mut routed: Vec<(FunctionId, Request)> = Vec::new();
+        let mut routed = std::mem::take(&mut self.routed_buf);
+        routed.clear();
         for (id, f) in self.funcs.iter_mut() {
             while f.arrivals.front().is_some_and(|&t| t < cutoff) {
                 let arrived = f.arrivals.pop_front().expect("checked front");
@@ -43,9 +84,11 @@ impl ClusterSim {
                 routed.push((*id, req));
             }
         }
-        for (func, req) in routed {
+        for &(func, req) in &routed {
             self.route_request(func, req);
         }
+        routed.clear();
+        self.routed_buf = routed;
     }
 
     pub(crate) fn route_request(&mut self, func: FunctionId, req: Request) {
@@ -140,13 +183,13 @@ impl ClusterSim {
     /// batch state changed this wake (`dirty`) plus those whose deadline
     /// fired, in uid order — the same visit order and one-batch-per-
     /// quantum budget as the dense scan over all instances.
-    pub(crate) fn dispatch_candidates(&mut self, expired: Vec<InstanceUid>) {
+    pub(crate) fn dispatch_candidates(&mut self, expired: &[InstanceUid]) {
         if self.dirty.is_empty() && expired.is_empty() {
             return;
         }
         let now = self.now;
         let mut candidates = std::mem::take(&mut self.dirty);
-        candidates.extend(expired);
+        candidates.extend_from_slice(expired);
         candidates.sort_unstable();
         candidates.dedup();
         let mut dispatches = std::mem::take(&mut self.dispatch_buf);
@@ -185,9 +228,10 @@ impl ClusterSim {
                 self.schedule_deadline(uid, oldest + timeout);
                 continue;
             }
+            let mut requests = self.request_pool.pop().unwrap_or_default();
             let inst = self.instances.get_mut(&uid).expect("checked above");
             let take = inst.pending.len().min(batch as usize);
-            let requests: Vec<Request> = inst.pending.drain(..take).collect();
+            requests.extend(inst.pending.drain(..take));
             let batch_id = self.next_batch;
             self.next_batch += 1;
             inst.inflight.push(InflightBatch { batch_id, requests, stage: 0 });
@@ -255,9 +299,7 @@ impl ClusterSim {
             .scale(1.0 / f64::from(stages))
             .max(dilu_gpu::SmRate::from_percent(5.0));
         let blocks = profile.inference_blocks(batch) / u64::from(stages);
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        self.tags.insert(tag, WorkPayload::InferStage { uid, batch_id });
+        let tag = self.tags.insert(WorkPayload::InferStage { uid, batch_id });
         let gpu = inst.gpus[stage];
         let slot = inst.slot_id(stage);
         let item = dilu_gpu::WorkItem::compute(t_stage, sat, blocks.max(1), tag);
@@ -275,14 +317,12 @@ impl ClusterSim {
             return;
         };
         let training = f.spec.model.profile().training;
-        let tag = self.next_tag;
-        self.next_tag += 1;
         let payload = if compute {
             WorkPayload::TrainCompute { func, worker }
         } else {
             WorkPayload::TrainComm { func, worker }
         };
-        self.tags.insert(tag, payload);
+        let tag = self.tags.insert(payload);
         let item = if compute { training.compute_item(tag) } else { training.idle_item(tag) };
         if let Some(inst) = self.instances.get(&uid) {
             let gpu = inst.gpus[0];
@@ -324,7 +364,7 @@ impl ClusterSim {
     }
 
     pub(crate) fn handle_completion(&mut self, c: dilu_gpu::Completion) {
-        let Some(payload) = self.tags.remove(&c.tag) else {
+        let Some(payload) = self.tags.remove(c.tag) else {
             return;
         };
         match payload {
@@ -364,6 +404,11 @@ impl ClusterSim {
                         f.sec_violations += 1;
                     }
                 }
+            }
+            let mut freed = batch.requests;
+            freed.clear();
+            if self.request_pool.len() < 64 {
+                self.request_pool.push(freed);
             }
         } else {
             inst.inflight[pos].stage = next_stage;

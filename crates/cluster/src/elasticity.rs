@@ -207,21 +207,34 @@ impl ClusterSim {
     }
 
     pub(crate) fn cluster_view(&self) -> ClusterView {
-        let mut views: BTreeMap<GpuAddr, GpuView> = self
-            .spec
-            .gpu_addrs()
-            .map(|addr| {
-                (
+        let mut view = ClusterView { gpus: Vec::new() };
+        self.fill_cluster_view(&mut view);
+        view
+    }
+
+    /// Rebuilds the placement/controller view in place. The GPU grid is
+    /// dense (`node * gpus_per_node + gpu`), so each tick reuses the same
+    /// `GpuView` slots — and crucially their `residents` vectors — instead
+    /// of reconstructing a fresh map of the whole cluster.
+    pub(crate) fn fill_cluster_view(&self, view: &mut ClusterView) {
+        let per = self.spec.gpus_per_node;
+        view.gpus.truncate(self.spec.total_gpus() as usize);
+        for (i, addr) in self.spec.gpu_addrs().enumerate() {
+            match view.gpus.get_mut(i) {
+                Some(v) => {
+                    v.addr = addr;
+                    v.mem_capacity = self.spec.gpu_mem_bytes;
+                    v.mem_reserved = 0;
+                    v.residents.clear();
+                }
+                None => view.gpus.push(GpuView {
                     addr,
-                    GpuView {
-                        addr,
-                        mem_capacity: self.spec.gpu_mem_bytes,
-                        mem_reserved: 0,
-                        residents: Vec::new(),
-                    },
-                )
-            })
-            .collect();
+                    mem_capacity: self.spec.gpu_mem_bytes,
+                    mem_reserved: 0,
+                    residents: Vec::new(),
+                }),
+            }
+        }
         for inst in self.instances.values() {
             let Some(f) = self.funcs.get(&inst.func) else {
                 continue;
@@ -233,19 +246,23 @@ impl ClusterSim {
             };
             let per_gpu_mem = f.spec.quotas.mem_bytes;
             for gpu in &inst.gpus {
-                if let Some(v) = views.get_mut(gpu) {
-                    v.mem_reserved += per_gpu_mem;
-                    v.residents.push(ResidentInfo {
-                        func: inst.func,
-                        class,
-                        request: f.spec.quotas.request,
-                        limit: f.spec.quotas.limit,
-                        mem_bytes: per_gpu_mem,
-                    });
-                }
+                let idx = (gpu.node * per + gpu.gpu) as usize;
+                // The address check rejects off-grid addresses that would
+                // otherwise alias a valid dense index, matching the old
+                // map's behaviour of skipping unknown GPUs.
+                let Some(v) = view.gpus.get_mut(idx).filter(|v| v.addr == *gpu) else {
+                    continue;
+                };
+                v.mem_reserved += per_gpu_mem;
+                v.residents.push(ResidentInfo {
+                    func: inst.func,
+                    class,
+                    request: f.spec.quotas.request,
+                    limit: f.spec.quotas.limit,
+                    mem_bytes: per_gpu_mem,
+                });
             }
         }
-        ClusterView { gpus: views.into_values().collect() }
     }
 
     /// Per-GPU guaranteed-SM slack, and per function the tightest slack
@@ -279,7 +296,9 @@ impl ClusterSim {
     }
 
     pub(crate) fn run_controller(&mut self) {
-        let cluster = self.cluster_view();
+        let mut cluster =
+            std::mem::replace(&mut self.view_scratch, ClusterView { gpus: Vec::new() });
+        self.fill_cluster_view(&mut cluster);
         if self.audit_hook.is_some() {
             let snapshot = self.audit_with(&cluster);
             if let Some(hook) = self.audit_hook.as_mut() {
@@ -335,6 +354,9 @@ impl ClusterSim {
             });
         }
         let actions = self.controller.on_tick(now, &views, &cluster);
+        // Hand the view back before acting: launch_instance re-fills it
+        // for placement, so the buffers keep circulating.
+        self.view_scratch = cluster;
         for action in actions {
             match action {
                 ScaleAction::ScaleOut { func, count } => {

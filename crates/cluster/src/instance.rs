@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use dilu_sim::SimTime;
+use dilu_sim::{EventToken, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::{FunctionId, GpuAddr};
@@ -74,6 +74,10 @@ pub(crate) struct Instance {
     pub inflight: Vec<InflightBatch>,
     /// Last instant this instance had any work.
     pub last_active: SimTime,
+    /// Outstanding batch-formation deadline (event core only): the grid
+    /// instant it fires at and the cancellable queue token. Kept inline so
+    /// the per-wake deadline churn needs no side-table inserts.
+    pub deadline: Option<(SimTime, EventToken)>,
 }
 
 impl Instance {
@@ -106,6 +110,7 @@ mod tests {
             pending: VecDeque::new(),
             inflight: Vec::new(),
             last_active: SimTime::ZERO,
+            deadline: None,
         };
         let b = Instance { uid: InstanceUid(2), ..a.clone() };
         let mut ids: Vec<u64> = (0..4).flat_map(|s| [a.slot_id(s).0, b.slot_id(s).0]).collect();
@@ -131,6 +136,7 @@ mod tests {
             pending: VecDeque::new(),
             inflight: Vec::new(),
             last_active: SimTime::ZERO,
+            deadline: None,
         };
         inst.pending.push_back(Request { id: 1, arrived: SimTime::ZERO });
         inst.inflight.push(InflightBatch {

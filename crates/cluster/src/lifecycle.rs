@@ -10,13 +10,14 @@
 //! [`NodePlane`](crate::nodes) wrappers so occupancy accounting stays
 //! exact.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use dilu_gpu::{SlotConfig, TaskClass};
 use dilu_sim::SimTime;
 
 use crate::instance::Instance;
 use crate::sim::{new_func_state, SimEvent};
+use crate::traits::ClusterView;
 use crate::{
     cold_start_duration, ClusterSim, FunctionId, FunctionKind, FunctionSpec, InstanceState,
     InstanceUid,
@@ -77,7 +78,10 @@ pub(crate) enum JobPhase {
 pub(crate) struct TrainingJob {
     pub(crate) workers: Vec<InstanceUid>,
     pub(crate) phase: JobPhase,
-    pub(crate) remaining: BTreeSet<usize>,
+    /// Per-worker "has not finished the current phase" mask; reused across
+    /// phases (a fresh set per half-iteration was measurable allocator
+    /// churn at cluster scale).
+    pub(crate) remaining: Vec<bool>,
     pub(crate) iterations_done: u64,
     pub(crate) target: u64,
     pub(crate) started: Option<SimTime>,
@@ -149,7 +153,7 @@ impl ClusterSim {
             TrainingJob {
                 workers: uids,
                 phase: JobPhase::WaitingForWorkers,
-                remaining: BTreeSet::new(),
+                remaining: Vec::new(),
                 iterations_done: 0,
                 target: iterations,
                 started: None,
@@ -254,7 +258,7 @@ impl ClusterSim {
     /// The dense promotion phase: every cold-started instance whose
     /// `ready_at` has passed becomes ready and picks up the gateway
     /// backlog.
-    pub(crate) fn promote_ready_instances(&mut self) {
+    pub(crate) fn promote_ready_instances(&mut self) -> u64 {
         let now = self.now;
         let mut became_ready = Vec::new();
         for inst in self.instances.values_mut() {
@@ -266,6 +270,7 @@ impl ClusterSim {
                 }
             }
         }
+        let promoted = became_ready.len() as u64;
         // Drain gateway backlog into newly ready instances.
         for (uid, func) in became_ready {
             if let Some(f) = self.funcs.get_mut(&func) {
@@ -277,6 +282,7 @@ impl ClusterSim {
             }
             self.maybe_start_job(func);
         }
+        promoted
     }
 
     /// Promotes one cold-started instance (the event-core counterpart of
@@ -320,11 +326,14 @@ impl ClusterSim {
         }
         job.phase = JobPhase::Compute;
         job.started = Some(self.now);
-        job.remaining = (0..job.workers.len()).collect();
-        let workers = job.workers.clone();
+        let n = job.workers.len();
+        job.remaining.clear();
+        job.remaining.resize(n, true);
+        let workers = std::mem::take(&mut job.workers);
         for (w, uid) in workers.iter().enumerate() {
             self.push_train_item(func, *uid, w, true);
         }
+        self.jobs.get_mut(&func).expect("job persists").workers = workers;
     }
 
     pub(crate) fn advance_training(
@@ -337,18 +346,23 @@ impl ClusterSim {
         let Some(job) = self.jobs.get_mut(&func) else {
             return;
         };
-        job.remaining.remove(&worker);
-        if !job.remaining.is_empty() {
+        if let Some(r) = job.remaining.get_mut(worker) {
+            *r = false;
+        }
+        if job.remaining.iter().any(|&r| r) {
             return;
         }
         match (job.phase, was_compute) {
             (JobPhase::Compute, true) => {
                 job.phase = JobPhase::Comm;
-                job.remaining = (0..job.workers.len()).collect();
-                let workers = job.workers.clone();
+                let n = job.workers.len();
+                job.remaining.clear();
+                job.remaining.resize(n, true);
+                let workers = std::mem::take(&mut job.workers);
                 for (w, uid) in workers.iter().enumerate() {
                     self.push_train_item(func, *uid, w, false);
                 }
+                self.jobs.get_mut(&func).expect("job persists").workers = workers;
             }
             (JobPhase::Comm, false) => {
                 job.iterations_done += 1;
@@ -363,17 +377,21 @@ impl ClusterSim {
                     // The exact block-finish instant of the last worker, not
                     // the enclosing quantum's start.
                     job.finished = Some(at);
-                    let workers = job.workers.clone();
-                    for uid in workers {
+                    let workers = std::mem::take(&mut job.workers);
+                    for &uid in &workers {
                         self.terminate_instance(uid);
                     }
+                    self.jobs.get_mut(&func).expect("job persists").workers = workers;
                 } else {
                     job.phase = JobPhase::Compute;
-                    job.remaining = (0..job.workers.len()).collect();
-                    let workers = job.workers.clone();
+                    let n = job.workers.len();
+                    job.remaining.clear();
+                    job.remaining.resize(n, true);
+                    let workers = std::mem::take(&mut job.workers);
                     for (w, uid) in workers.iter().enumerate() {
                         self.push_train_item(func, *uid, w, true);
                     }
+                    self.jobs.get_mut(&func).expect("job persists").workers = workers;
                 }
             }
             _ => {}
@@ -407,7 +425,11 @@ impl ClusterSim {
             self.draining_count = self.draining_count.saturating_sub(1);
         }
         self.dirty.retain(|&d| d != uid);
-        self.cancel_deadline(uid);
+        // The deadline record left the map with the instance; cancel its
+        // event token so the queue does not fire a stale wake.
+        if let Some((_, token)) = inst.deadline {
+            self.events.cancel(token);
+        }
         if let Some(f) = self.funcs.get_mut(&inst.func) {
             f.instance_ids.retain(|&i| i != uid);
         }
@@ -429,9 +451,12 @@ impl ClusterSim {
         func: FunctionId,
         prewarmed: bool,
     ) -> Result<InstanceUid, ()> {
-        let view = self.cluster_view();
         let spec = self.funcs.get(&func).ok_or(())?.spec.clone();
-        let gpus = self.placement.place(&spec, &view).ok_or(())?;
+        let mut view = std::mem::replace(&mut self.view_scratch, ClusterView { gpus: Vec::new() });
+        self.fill_cluster_view(&mut view);
+        let placed = self.placement.place(&spec, &view);
+        self.view_scratch = view;
+        let gpus = placed.ok_or(())?;
         debug_assert_eq!(gpus.len() as u32, spec.gpus_per_instance);
         let uid = InstanceUid(self.next_uid);
         self.next_uid += 1;
@@ -503,6 +528,7 @@ impl ClusterSim {
             pending: VecDeque::new(),
             inflight: Vec::new(),
             last_active: self.now,
+            deadline: None,
         };
         for (stage, gpu) in gpus.iter().enumerate() {
             let slot = inst.slot_id(stage);

@@ -63,16 +63,18 @@ impl ClusterSim {
     /// turning finished fetches into promotable cold starts and finished
     /// transfers into next-stage work items. Returns the uids whose
     /// `ready_at` has already passed (the event core promotes them this
-    /// wake; the dense stepper's promote scan finds them by itself).
-    pub(crate) fn process_net_phase(&mut self) -> Vec<InstanceUid> {
+    /// wake; the dense stepper's promote scan finds them by itself), plus
+    /// the number of flows completed (the profiler's event count).
+    pub(crate) fn process_net_phase(&mut self) -> (Vec<InstanceUid>, u64) {
         let now = self.now;
         let due = match self.net.as_mut() {
             Some(net) => net.plane.take_due(now),
-            None => return Vec::new(),
+            None => return (Vec::new(), 0),
         };
         if due.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
+        let flows_done = due.len() as u64;
         let mut promote = Vec::new();
         for (_, payload) in due {
             match payload {
@@ -116,7 +118,7 @@ impl ClusterSim {
         if self.event_active {
             self.sync_net_events();
         }
-        promote
+        (promote, flows_done)
     }
 
     /// Re-arms the event core after a flow-plane membership change: every

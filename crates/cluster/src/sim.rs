@@ -34,19 +34,20 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use dilu_metrics::{
-    ColdStartCounter, FragmentationStats, LatencyRecorder, RateWindow, ResizeCounter, SampleClock,
+    ColdStartCounter, FragmentationStats, LatencyRecorder, PhaseProfile, PhaseProfiler, RateWindow,
+    ResizeCounter, SampleClock, SimPhase,
 };
 
-use dilu_sim::{EventQueue, EventToken, SimDuration, SimTime};
+use dilu_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::audit::AuditHook;
-use crate::dispatch::WorkPayload;
+use crate::dispatch::TagSlab;
 use crate::elasticity::PendingResize;
 use crate::instance::{Instance, Request};
 use crate::lifecycle::TrainingJob;
 use crate::nodes::{JobKind, NodePlane, PoolShared, StepPool};
 use crate::report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
-use crate::traits::{Autoscaler, ElasticityController, Placement, PolicyFactory};
+use crate::traits::{Autoscaler, ClusterView, ElasticityController, Placement, PolicyFactory};
 use crate::{ClusterSpec, FunctionId, FunctionKind, FunctionSpec, InstanceState, InstanceUid};
 
 /// How simulated time advances in [`ClusterSim::run_until`]: a
@@ -112,6 +113,13 @@ pub struct SimConfig {
     /// caches short-circuiting repeat fetches) and pipeline handoffs pay
     /// for activation bytes.
     pub network: Option<dilu_net::NetworkConfig>,
+    /// Enables the per-phase wall-clock profiler
+    /// ([`dilu_metrics::PhaseProfiler`]): every simulation wake attributes
+    /// its time to the canonical phases, readable afterwards via
+    /// [`ClusterSim::phase_profile`]. Off by default — profiling reads the
+    /// wall clock around every phase, which costs a few percent at macro
+    /// scale. Purely observational: reports are byte-identical either way.
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
@@ -126,6 +134,7 @@ impl Default for SimConfig {
             time_model: TimeModel::EventDriven,
             threads: default_threads(),
             network: None,
+            profile: false,
         }
     }
 }
@@ -210,6 +219,9 @@ pub struct ClusterSim {
     pub(crate) config: SimConfig,
     pub(crate) share_policy_name: String,
     pub(crate) now: SimTime,
+    /// Per-phase wall/event counters ([`SimConfig::profile`]); a disabled
+    /// profiler costs one branch per phase.
+    pub(crate) profiler: PhaseProfiler,
     /// The node plane: per-node GPU runtimes, busy tracking, occupancy.
     pub(crate) nodes: NodePlane,
     /// The network plane (flows + per-node model caches), when configured.
@@ -223,12 +235,11 @@ pub struct ClusterSim {
     /// every controller tick.
     pub(crate) audit_hook: Option<AuditHook>,
     pub(crate) pending_resizes: Vec<PendingResize>,
-    pub(crate) tags: BTreeMap<u64, WorkPayload>,
+    pub(crate) tags: TagSlab,
     pub(crate) slot_index: BTreeMap<dilu_gpu::InstanceId, (InstanceUid, usize, FunctionId)>,
     pub(crate) next_uid: u64,
     pub(crate) next_request: u64,
     pub(crate) next_batch: u64,
-    pub(crate) next_tag: u64,
     pub(crate) next_sample_at: SimTime,
     pub(crate) sample_clock: SampleClock,
     // --- event-core working state (rebuilt at each `run_until` entry) ---
@@ -237,8 +248,6 @@ pub struct ClusterSim {
     /// freed pipeline slots, promotions) — the dispatch candidates. May
     /// hold duplicates; sorted and deduplicated at the dispatch phase.
     pub(crate) dirty: Vec<InstanceUid>,
-    /// Outstanding batch-formation deadline per instance.
-    pub(crate) deadlines: BTreeMap<InstanceUid, (SimTime, EventToken)>,
     /// The out-of-heap [`SimEvent::GpuQuantum`] chain: the next
     /// one-quantum-ahead wake, if any.
     pub(crate) next_quantum_wake: Option<SimTime>,
@@ -255,6 +264,18 @@ pub struct ClusterSim {
     pub(crate) completion_buf: Vec<dilu_gpu::Completion>,
     pub(crate) issued_buf: Vec<(dilu_gpu::InstanceId, u64)>,
     pub(crate) dispatch_buf: Vec<(InstanceUid, u64, usize)>,
+    /// Recycled `InflightBatch::requests` vectors (bounded pool): popped at
+    /// dispatch, returned when the batch's last stage completes.
+    pub(crate) request_pool: Vec<Vec<Request>>,
+    /// Scratch for `ingest_arrivals`' route list.
+    pub(crate) routed_buf: Vec<(FunctionId, Request)>,
+    /// Per-wake scratch: instances promoted / whose deadline fired at this
+    /// wake. Drained and handed back at the end of every wake.
+    pub(crate) wake_ready_buf: Vec<InstanceUid>,
+    pub(crate) wake_expired_buf: Vec<InstanceUid>,
+    /// Reused controller/placement view: refilled in place each tick so
+    /// the per-GPU `residents` vectors amortise to zero allocations.
+    pub(crate) view_scratch: ClusterView,
     pub(crate) fragmentation: FragmentationStats,
     pub(crate) occupied_series: Vec<(u64, u32)>,
     pub(crate) total_blocks_sec: u64,
@@ -314,6 +335,11 @@ impl ClusterSim {
             config,
             share_policy_name: policy_factory.name().to_owned(),
             now: SimTime::ZERO,
+            profiler: if config.profile {
+                PhaseProfiler::enabled()
+            } else {
+                PhaseProfiler::disabled()
+            },
             funcs: BTreeMap::new(),
             instances: BTreeMap::new(),
             jobs: BTreeMap::new(),
@@ -321,17 +347,18 @@ impl ClusterSim {
             controller,
             audit_hook: None,
             pending_resizes: Vec::new(),
-            tags: BTreeMap::new(),
+            tags: TagSlab::default(),
             slot_index: BTreeMap::new(),
             next_uid: 1,
             next_request: 1,
             next_batch: 1,
-            next_tag: 1,
             next_sample_at: SimTime::ZERO + config.tick,
             sample_clock: SampleClock::new(),
-            events: EventQueue::new(),
+            // Near-wheel buckets aligned to the scheduling quantum: every
+            // event fires on the quantum grid, so each bucket holds exactly
+            // one grid instant's events.
+            events: EventQueue::with_granularity(config.quantum),
             dirty: Vec::new(),
-            deadlines: BTreeMap::new(),
             next_quantum_wake: None,
             draining_count: 0,
             event_active: false,
@@ -339,6 +366,11 @@ impl ClusterSim {
             completion_buf: Vec::new(),
             issued_buf: Vec::new(),
             dispatch_buf: Vec::new(),
+            request_pool: Vec::new(),
+            routed_buf: Vec::new(),
+            wake_ready_buf: Vec::new(),
+            wake_expired_buf: Vec::new(),
+            view_scratch: ClusterView { gpus: Vec::new() },
             fragmentation: FragmentationStats::new(),
             occupied_series: Vec::new(),
             total_blocks_sec: 0,
@@ -385,6 +417,13 @@ impl ClusterSim {
     /// Report name of the per-GPU share-policy factory.
     pub fn share_policy_name(&self) -> &str {
         &self.share_policy_name
+    }
+
+    /// The accumulated per-phase profile, when [`SimConfig::profile`] is
+    /// on; `None` otherwise. May be read mid-run (counters are cumulative)
+    /// or after the horizon.
+    pub fn phase_profile(&self) -> Option<PhaseProfile> {
+        self.profiler.is_enabled().then(|| self.profiler.finish())
     }
 
     /// Number of ready (serving) instances of a function.
@@ -497,7 +536,9 @@ impl ClusterSim {
         // The queue is rebuilt from state on the next entry; outstanding
         // deadline tokens die with it.
         self.events.clear();
-        self.deadlines.clear();
+        for inst in self.instances.values_mut() {
+            inst.deadline = None;
+        }
         self.next_quantum_wake = None;
     }
 
@@ -506,7 +547,9 @@ impl ClusterSim {
     /// between `run_until` calls need no event bookkeeping of their own.
     fn seed_event_queue(&mut self) {
         self.events.clear();
-        self.deadlines.clear();
+        for inst in self.instances.values_mut() {
+            inst.deadline = None;
+        }
         self.next_quantum_wake = None;
         self.events.reserve(self.instances.len() + self.funcs.len() + 4);
         self.nodes.rebuild_busy();
@@ -592,20 +635,23 @@ impl ClusterSim {
     /// instant at which its oldest pending request times out.
     pub(crate) fn schedule_deadline(&mut self, uid: InstanceUid, raw_due: SimTime) {
         let due = self.grid_ceil(raw_due);
-        if let Some(&(at, _)) = self.deadlines.get(&uid) {
+        let Some(inst) = self.instances.get_mut(&uid) else {
+            return;
+        };
+        if let Some((at, _)) = inst.deadline {
             if at == due {
                 return;
             }
         }
-        if let Some((_, token)) = self.deadlines.remove(&uid) {
+        if let Some((_, token)) = inst.deadline.take() {
             self.events.cancel(token);
         }
         let token = self.events.push_cancellable(due, SimEvent::BatchDeadline(uid));
-        self.deadlines.insert(uid, (due, token));
+        self.instances.get_mut(&uid).expect("present above").deadline = Some((due, token));
     }
 
     pub(crate) fn cancel_deadline(&mut self, uid: InstanceUid) {
-        if let Some((_, token)) = self.deadlines.remove(&uid) {
+        if let Some((_, token)) = self.instances.get_mut(&uid).and_then(|i| i.deadline.take()) {
             self.events.cancel(token);
         }
     }
@@ -624,14 +670,18 @@ impl ClusterSim {
         let mut training = false;
         let mut arrivals = false;
         let mut controller = false;
-        let mut ready: Vec<InstanceUid> = Vec::new();
-        let mut expired: Vec<InstanceUid> = Vec::new();
+        let mut ready = std::mem::take(&mut self.wake_ready_buf);
+        let mut expired = std::mem::take(&mut self.wake_expired_buf);
         while let Some((_, event)) = self.events.pop_due(t) {
             match event {
                 SimEvent::GpuQuantum => {}
                 SimEvent::ArrivalBatch => arrivals = true,
                 SimEvent::BatchDeadline(uid) => {
-                    self.deadlines.remove(&uid);
+                    // The fired token was this instance's current deadline
+                    // (reschedules cancel the old event), so just clear it.
+                    if let Some(inst) = self.instances.get_mut(&uid) {
+                        inst.deadline = None;
+                    }
                     expired.push(uid);
                 }
                 SimEvent::ControllerTick => controller = true,
@@ -644,13 +694,25 @@ impl ClusterSim {
                 SimEvent::NetFlowDone => {}
             }
         }
+        self.profiler.count_wake();
         if resizes {
+            let pt = self.profiler.start();
+            let before = self.pending_resizes.len();
             self.apply_due_resizes();
+            let applied = (before - self.pending_resizes.len()) as u64;
+            self.profiler.record(SimPhase::Resize, pt, applied);
         }
         if training {
+            let pt = self.profiler.start();
+            let before = self.pending_training.len();
             self.submit_due_training();
+            let submitted = before.saturating_sub(self.pending_training.len()) as u64;
+            self.profiler.record(SimPhase::Train, pt, submitted);
         }
-        let net_ready = self.process_net_phase();
+        let pt = self.profiler.start();
+        let (net_ready, flows_done) = self.process_net_phase();
+        self.profiler.record(SimPhase::Net, pt, flows_done);
+        let pt = self.profiler.start();
         if self.net.is_some() {
             // Merge fetch-completed promotions with event-carried ones in
             // uid order, matching the dense stepper's BTreeMap scan.
@@ -658,30 +720,50 @@ impl ClusterSim {
             ready.sort_unstable();
             ready.dedup();
         }
-        for uid in ready {
+        let promoted = ready.len() as u64;
+        for &uid in &ready {
             self.promote_instance(uid);
         }
+        self.profiler.record(SimPhase::Promote, pt, promoted);
         if arrivals {
+            let pt = self.profiler.start();
+            let before = self.next_request;
             self.ingest_arrivals();
             self.schedule_arrival_event();
+            self.profiler.record(SimPhase::Arrive, pt, self.next_request - before);
         }
-        self.dispatch_candidates(expired);
+        let pt = self.profiler.start();
+        let before = self.next_batch;
+        self.dispatch_candidates(&expired);
+        self.profiler.record(SimPhase::Dispatch, pt, self.next_batch - before);
         if self.nodes.has_busy() {
-            self.step_gpu_phase(JobKind::BusyOnly, pool);
+            let pt = self.profiler.start();
+            let completions = self.step_gpu_phase(JobKind::BusyOnly, pool);
+            self.profiler.record(SimPhase::Step, pt, completions);
         }
         self.gpu_phase_done = true;
         if self.draining_count > 0 {
+            let pt = self.profiler.start();
+            let before = self.draining_count;
             self.reap_drained();
+            let reaped = u64::from(before.saturating_sub(self.draining_count));
+            self.profiler.record(SimPhase::Reap, pt, reaped);
         }
         if controller {
+            let pt = self.profiler.start();
             self.sample_metrics();
             self.run_controller();
             self.next_sample_at += self.config.tick;
             self.schedule_controller_tick(self.now + self.config.quantum);
+            self.profiler.record(SimPhase::Tick, pt, 1);
         }
         if self.nodes.has_busy() || !self.dirty.is_empty() || self.draining_count > 0 {
             self.ensure_quantum_wake(t + self.config.quantum);
         }
+        ready.clear();
+        expired.clear();
+        self.wake_ready_buf = ready;
+        self.wake_expired_buf = expired;
     }
 
     // ------------------------------------------------------------------
@@ -691,18 +773,45 @@ impl ClusterSim {
     /// One dense quantum: the canonical phase order the event core
     /// reproduces wake by wake.
     fn step_quantum(&mut self, pool: Option<&StepPool<'_>>) {
+        self.profiler.count_wake();
+        let pt = self.profiler.start();
+        let before = self.pending_resizes.len();
         self.apply_due_resizes();
+        let applied = (before - self.pending_resizes.len()) as u64;
+        self.profiler.record(SimPhase::Resize, pt, applied);
+        let pt = self.profiler.start();
+        let before = self.pending_training.len();
         self.submit_due_training();
-        self.process_net_phase();
-        self.promote_ready_instances();
+        let submitted = before.saturating_sub(self.pending_training.len()) as u64;
+        self.profiler.record(SimPhase::Train, pt, submitted);
+        let pt = self.profiler.start();
+        let (_, flows_done) = self.process_net_phase();
+        self.profiler.record(SimPhase::Net, pt, flows_done);
+        let pt = self.profiler.start();
+        let promoted = self.promote_ready_instances();
+        self.profiler.record(SimPhase::Promote, pt, promoted);
+        let pt = self.profiler.start();
+        let before = self.next_request;
         self.ingest_arrivals();
+        self.profiler.record(SimPhase::Arrive, pt, self.next_request - before);
+        let pt = self.profiler.start();
+        let before = self.next_batch;
         self.dispatch_batches();
-        self.step_gpu_phase(JobKind::AllSlots, pool);
+        self.profiler.record(SimPhase::Dispatch, pt, self.next_batch - before);
+        let pt = self.profiler.start();
+        let completions = self.step_gpu_phase(JobKind::AllSlots, pool);
+        self.profiler.record(SimPhase::Step, pt, completions);
+        let pt = self.profiler.start();
+        let before = self.draining_count;
         self.reap_drained();
+        let reaped = u64::from(before.saturating_sub(self.draining_count));
+        self.profiler.record(SimPhase::Reap, pt, reaped);
         if self.now + self.config.quantum >= self.next_sample_at {
+            let pt = self.profiler.start();
             self.sample_metrics();
             self.run_controller();
             self.next_sample_at += self.config.tick;
+            self.profiler.record(SimPhase::Tick, pt, 1);
         }
         self.now += self.config.quantum;
     }
@@ -711,7 +820,8 @@ impl ClusterSim {
     /// the pool) and merges completions/blocks in fixed node order; the
     /// control plane then attributes blocks and handles completions — all
     /// on the simulation thread, in the merged (deterministic) order.
-    fn step_gpu_phase(&mut self, kind: JobKind, pool: Option<&StepPool<'_>>) {
+    /// Returns the number of batch completions handled.
+    fn step_gpu_phase(&mut self, kind: JobKind, pool: Option<&StepPool<'_>>) -> u64 {
         let mut completions = std::mem::take(&mut self.completion_buf);
         let mut issued = std::mem::take(&mut self.issued_buf);
         completions.clear();
@@ -719,11 +829,13 @@ impl ClusterSim {
         self.nodes.step(kind, self.now, self.config.quantum, pool, &mut completions, &mut issued);
         self.attribute_blocks(&issued);
         self.gpu_phase_done = true;
+        let handled = completions.len() as u64;
         for c in completions.drain(..) {
             self.handle_completion(c);
         }
         self.completion_buf = completions;
         self.issued_buf = issued;
+        handled
     }
 
     /// Consumes the simulator and produces the final report.

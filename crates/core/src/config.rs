@@ -160,6 +160,9 @@ pub struct SimSection {
     /// `DILU_THREADS` environment variable, else 1. Reports are
     /// byte-identical at every setting; this knob trades wall clock only.
     pub threads: Option<u32>,
+    /// Enables the per-phase wall-clock profiler (`dilu run --profile`).
+    /// Observational only: reports are byte-identical either way.
+    pub profile: Option<bool>,
 }
 
 impl SimSection {
@@ -242,6 +245,7 @@ impl SimSection {
             time_model,
             threads,
             network: d.network,
+            profile: self.profile.unwrap_or(d.profile),
         })
     }
 }
@@ -597,6 +601,7 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
                 "resize_latency_ms",
                 "time_model",
                 "threads",
+                "profile",
             ],
         )?;
     }

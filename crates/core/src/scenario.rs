@@ -571,9 +571,21 @@ impl Scenario {
     }
 
     /// Runs to the horizon plus the drain tail and reports.
-    pub fn run(mut self) -> Result<ClusterReport, ScenarioError> {
+    pub fn run(self) -> Result<ClusterReport, ScenarioError> {
+        self.run_profiled().map(|(report, _)| report)
+    }
+
+    /// Runs like [`run`](Self::run) and also returns the per-phase
+    /// profile when the scenario was composed with
+    /// [`SimConfig::profile`](dilu_cluster::SimConfig) on (the `[sim]
+    /// profile` knob / `dilu run --profile`); `None` otherwise. The
+    /// report is byte-identical either way — profiling is observational.
+    pub fn run_profiled(
+        mut self,
+    ) -> Result<(ClusterReport, Option<dilu_metrics::PhaseProfile>), ScenarioError> {
         self.sim.run_until(SimTime::ZERO + self.horizon + self.drain);
-        Ok(self.sim.into_report())
+        let profile = self.sim.phase_profile();
+        Ok((self.sim.into_report(), profile))
     }
 
     /// Hands back the simulator for custom stepping instead of

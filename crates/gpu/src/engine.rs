@@ -121,6 +121,8 @@ pub struct GpuEngine {
     view_buf: Vec<InstanceView>,
     /// Reused per-step scratch for resolved effective rates.
     eff_buf: Vec<(InstanceId, f64)>,
+    /// Reused per-step scratch for policy grants.
+    grant_buf: Vec<Grant>,
 }
 
 impl GpuEngine {
@@ -145,6 +147,7 @@ impl GpuEngine {
             blocks_total: 0,
             view_buf: Vec::new(),
             eff_buf: Vec::new(),
+            grant_buf: Vec::new(),
         }
     }
 
@@ -321,15 +324,19 @@ impl GpuEngine {
     /// discarded either way.
     pub fn idle_fastforward(&mut self, from: SimTime, cycles: u64, policy: &mut dyn SharePolicy) {
         let mut now = from;
+        let mut views = std::mem::take(&mut self.view_buf);
+        let mut grants = std::mem::take(&mut self.grant_buf);
         for _ in 0..cycles {
-            let views = self.views();
-            let _ = policy.allocate(now, self.quantum, &views);
+            self.views_into(&mut views);
+            policy.allocate_into(now, self.quantum, &views, &mut grants);
             for slot in self.slots.values_mut() {
                 slot.blocks_last_quantum = 0;
                 slot.idle_quanta = slot.idle_quanta.saturating_add(1);
             }
             now += self.quantum;
         }
+        self.view_buf = views;
+        self.grant_buf = grants;
     }
 
     /// Builds policy views of all resident instances (ascending id order).
@@ -393,11 +400,13 @@ impl GpuEngine {
         outcome.blocks_issued.clear();
         outcome.total_used = SmRate::ZERO;
         let mut views = std::mem::take(&mut self.view_buf);
+        let mut grants = std::mem::take(&mut self.grant_buf);
         self.views_into(&mut views);
-        let grants = policy.allocate(now, self.quantum, &views);
+        policy.allocate_into(now, self.quantum, &views, &mut grants);
         let mut effective = std::mem::take(&mut self.eff_buf);
         self.resolve_grants(&grants, &mut effective);
         self.view_buf = views;
+        self.grant_buf = grants;
 
         let quantum = self.quantum;
         for (&id, slot) in self.slots.iter_mut() {

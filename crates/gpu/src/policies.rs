@@ -20,11 +20,24 @@ pub struct FairSharePolicy;
 impl SharePolicy for FairSharePolicy {
     fn allocate(
         &mut self,
+        now: SimTime,
+        quantum: SimDuration,
+        views: &[InstanceView],
+    ) -> Vec<Grant> {
+        let mut out = Vec::new();
+        self.allocate_into(now, quantum, views, &mut out);
+        out
+    }
+
+    fn allocate_into(
+        &mut self,
         _now: SimTime,
         _quantum: SimDuration,
         views: &[InstanceView],
-    ) -> Vec<Grant> {
-        views.iter().map(|v| Grant { id: v.id, smr: SmRate::FULL }).collect()
+        out: &mut Vec<Grant>,
+    ) {
+        out.clear();
+        out.extend(views.iter().map(|v| Grant { id: v.id, smr: SmRate::FULL }));
     }
 
     fn name(&self) -> &str {
@@ -83,14 +96,26 @@ impl StaticPartitionPolicy {
 impl SharePolicy for StaticPartitionPolicy {
     fn allocate(
         &mut self,
+        now: SimTime,
+        quantum: SimDuration,
+        views: &[InstanceView],
+    ) -> Vec<Grant> {
+        let mut out = Vec::new();
+        self.allocate_into(now, quantum, views, &mut out);
+        out
+    }
+
+    fn allocate_into(
+        &mut self,
         _now: SimTime,
         _quantum: SimDuration,
         views: &[InstanceView],
-    ) -> Vec<Grant> {
-        views
-            .iter()
-            .map(|v| Grant { id: v.id, smr: self.quota(v.id).unwrap_or(SmRate::ZERO) })
-            .collect()
+        out: &mut Vec<Grant>,
+    ) {
+        out.clear();
+        out.extend(
+            views.iter().map(|v| Grant { id: v.id, smr: self.quota(v.id).unwrap_or(SmRate::ZERO) }),
+        );
     }
 
     fn name(&self) -> &str {

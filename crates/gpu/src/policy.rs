@@ -94,6 +94,25 @@ pub trait SharePolicy: Send {
         views: &[InstanceView],
     ) -> Vec<Grant>;
 
+    /// [`allocate`](Self::allocate) into a caller-owned buffer (cleared
+    /// first) — the allocation-free form the engine uses on its step path,
+    /// which runs once per GPU per token cycle and dominates simulator
+    /// wall clock at cluster scale.
+    ///
+    /// The default delegates to `allocate` (one `Vec` per call), so
+    /// third-party policies keep working unchanged; every shipped policy
+    /// overrides it to write grants in place.
+    fn allocate_into(
+        &mut self,
+        now: SimTime,
+        quantum: SimDuration,
+        views: &[InstanceView],
+        out: &mut Vec<Grant>,
+    ) {
+        out.clear();
+        out.extend(self.allocate(now, quantum, views));
+    }
+
     /// Notifies the policy that an instance's `<request, limit>` quotas were
     /// resized by the elasticity control plane (vertical scaling).
     ///

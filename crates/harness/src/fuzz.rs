@@ -325,6 +325,25 @@ mod tests {
         assert_eq!(cluster.nodes, Some(1));
     }
 
+    /// A debug-mode conservation-oracle sweep: a third of generated cases
+    /// sample a `[network]` plane, so these runs drive the incremental
+    /// re-share under arrival/departure churn with the in-plane debug
+    /// oracle armed — any incremental-vs-full divergence panics inside
+    /// the run, and any byte-ledger leak fails the conservation oracle.
+    #[test]
+    fn conservation_oracle_exercises_the_reshare_oracle() {
+        let harness = Harness::new();
+        let options = FuzzOptions {
+            cases: 9,
+            seed: 23,
+            oracles: vec!["conservation".into()],
+            ..FuzzOptions::default()
+        };
+        let report = harness.run(&options).expect("conservation sweep runs");
+        assert!(report.clean(), "conservation violations: {:?}", report.failures);
+        assert!(report.passed > 0, "at least one case must be feasible");
+    }
+
     #[test]
     fn oracle_filter_limits_the_suite() {
         let harness = Harness::new();

@@ -141,6 +141,7 @@ pub fn generate_case(space: &SpaceConfig, case_seed: u64) -> ScenarioConfig {
             resize_latency_ms: Some(*pick(&mut rng, &[0.0, 1.0, 20.0])),
             time_model: Some(pick(&mut rng, &space.time_models).clone()),
             threads: Some(threads),
+            profile: None,
         })
     } else if threads != 1 {
         Some(SimSection { threads: Some(threads), ..SimSection::default() })

@@ -25,7 +25,9 @@
 mod counters;
 mod fragmentation;
 mod latency;
+mod profiler;
 
 pub use counters::{ColdStartCounter, GpuTimeMeter, RateWindow, ResizeCounter, SampleClock};
 pub use fragmentation::{FragmentationSnapshot, FragmentationStats, GpuUsageSample};
 pub use latency::LatencyRecorder;
+pub use profiler::{PhaseProfile, PhaseProfiler, PhaseStat, PhaseTimer, SimPhase, PHASE_COUNT};

@@ -7,6 +7,23 @@
 //! the plane does the same exact integer arithmetic no matter how often
 //! the driver polls it: dense-quantum (every quantum) and event-driven
 //! (only at finish instants) evolve byte-identically.
+//!
+//! # Incremental re-share
+//!
+//! Max-min water-filling decomposes over the connected components of the
+//! "flows sharing a link" graph: freezing a bottleneck link only touches
+//! the capacities and counts of its own component, so components fill
+//! independently and a membership change can only move rates inside the
+//! changed flow's component. [`NetPlane`] exploits that: each membership
+//! change re-water-fills just the component reachable from the
+//! joining/leaving flow's links (O(component) — a k-flow cold-start storm
+//! costs O(k·degree) per change instead of O(topology) with the previous
+//! full re-share). The full re-share survives as
+//! [`full_water_fill_rates`](NetPlane::full_water_fill_rates), the debug
+//! oracle: every incremental result is checked against it under
+//! `debug_assertions` (so every debug test run, including the harness
+//! conservation-oracle fuzz, differences the two), and the property tests
+//! below drive random arrival/departure sequences through both.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -21,8 +38,10 @@ pub type FlowId = u64;
 /// One active transfer: a byte count crossing a path of links.
 #[derive(Debug)]
 struct Flow<T> {
-    /// Link indices this flow crosses (1 or 2 of them).
-    links: Vec<usize>,
+    /// Link indices this flow crosses — at most two on this topology, so
+    /// a fixed pair avoids a heap allocation per flow.
+    links: [usize; 2],
+    nlinks: u8,
     /// Bytes still to deliver as of `t0`.
     remaining: u64,
     /// Epoch of the current rate: the last membership-change instant.
@@ -30,6 +49,12 @@ struct Flow<T> {
     /// Allocated rate in bytes/second (≥ 1), valid since `t0`.
     rate: u64,
     payload: T,
+}
+
+impl<T> Flow<T> {
+    fn links(&self) -> &[usize] {
+        &self.links[..self.nlinks as usize]
+    }
 }
 
 /// The deterministic shared-bandwidth network plane.
@@ -41,7 +66,8 @@ struct Flow<T> {
 /// is water-filled link by link, freezing the most-contended link's
 /// flows at its equal share first (pure integer arithmetic, ties broken
 /// by lowest link index, flows completed in id order — deterministic by
-/// construction).
+/// construction). Re-shares are incremental per connected component (see
+/// the module docs); results are bit-identical to the full re-share.
 ///
 /// The payload type `T` is the caller's bookkeeping (which instance or
 /// batch the bytes belong to); it is handed back by [`take_due`] when
@@ -55,9 +81,29 @@ pub struct NetPlane<T> {
     nodes: usize,
     quantum_us: u64,
     flows: BTreeMap<FlowId, Flow<T>>,
+    /// Per-link ids of the flows crossing it, ascending (ids are
+    /// allocated in start order, so joins push to the back in O(1)).
+    link_flows: Vec<Vec<FlowId>>,
     next_id: FlowId,
     requested: u64,
     delivered: u64,
+    // --- re-share scratch, reused across membership changes ---
+    /// Residual capacity per touched link during a water-fill.
+    cap_scratch: Vec<u64>,
+    /// Unfrozen-flow count per touched link during a water-fill.
+    count_scratch: Vec<u64>,
+    /// Links already visited by the current component walk.
+    link_seen: Vec<bool>,
+    /// DFS stack / touched-link list for the current component walk.
+    link_stack: Vec<usize>,
+    touched_links: Vec<usize>,
+    /// Seed links of a batch departure, deduplicated.
+    seed_scratch: Vec<usize>,
+    /// Flows of the walked component, sorted ascending, plus a parallel
+    /// frozen mask for the water-fill (flat scratch — re-shares allocate
+    /// nothing once these are warm).
+    affected_scratch: Vec<FlowId>,
+    frozen_scratch: Vec<bool>,
 }
 
 impl<T> NetPlane<T> {
@@ -69,14 +115,24 @@ impl<T> NetPlane<T> {
         caps.push(gbps_to_bytes(cfg.registry_gbps));
         caps.extend(std::iter::repeat_n(gbps_to_bytes(cfg.tor_gbps), nodes));
         caps.extend(std::iter::repeat_n(gbps_to_bytes(cfg.nvlink_gbps), nodes));
+        let links = caps.len();
         NetPlane {
             caps,
             nodes,
             quantum_us: quantum.as_micros().max(1),
             flows: BTreeMap::new(),
+            link_flows: vec![Vec::new(); links],
             next_id: 1,
             requested: 0,
             delivered: 0,
+            cap_scratch: vec![0; links],
+            count_scratch: vec![0; links],
+            link_seen: vec![false; links],
+            link_stack: Vec::new(),
+            touched_links: Vec::new(),
+            seed_scratch: Vec::new(),
+            affected_scratch: Vec::new(),
+            frozen_scratch: Vec::new(),
         }
     }
 
@@ -93,8 +149,8 @@ impl<T> NetPlane<T> {
     /// Starts a weight fetch from the registry to `dst_node`, contending
     /// on the shared registry link and the node's ToR uplink.
     pub fn start_fetch(&mut self, now: SimTime, dst_node: usize, bytes: u64, payload: T) -> FlowId {
-        let links = vec![0, self.tor(dst_node)];
-        self.start(now, links, bytes, payload)
+        let links = [0, self.tor(dst_node)];
+        self.start(now, links, 2, bytes, payload)
     }
 
     /// Starts a transfer between two GPUs' nodes: over the intra-node
@@ -107,15 +163,22 @@ impl<T> NetPlane<T> {
         bytes: u64,
         payload: T,
     ) -> FlowId {
-        let links = if src_node == dst_node {
-            vec![self.nv(src_node)]
+        let (links, nlinks) = if src_node == dst_node {
+            ([self.nv(src_node), 0], 1)
         } else {
-            vec![self.tor(src_node), self.tor(dst_node)]
+            ([self.tor(src_node), self.tor(dst_node)], 2)
         };
-        self.start(now, links, bytes, payload)
+        self.start(now, links, nlinks, bytes, payload)
     }
 
-    fn start(&mut self, now: SimTime, links: Vec<usize>, bytes: u64, payload: T) -> FlowId {
+    fn start(
+        &mut self,
+        now: SimTime,
+        links: [usize; 2],
+        nlinks: u8,
+        bytes: u64,
+        payload: T,
+    ) -> FlowId {
         // A zero-byte flow would finish at its own start; floor at one
         // byte so every flow crosses the wire (and the conservation
         // accounting) visibly.
@@ -124,8 +187,12 @@ impl<T> NetPlane<T> {
         self.requested += bytes;
         let id = self.next_id;
         self.next_id += 1;
-        self.flows.insert(id, Flow { links, remaining: bytes, t0: now, rate: 1, payload });
-        self.reshare();
+        for &l in &links[..nlinks as usize] {
+            // Ids are allocated ascending, so this keeps the list sorted.
+            self.link_flows[l].push(id);
+        }
+        self.flows.insert(id, Flow { links, nlinks, remaining: bytes, t0: now, rate: 1, payload });
+        self.reshare_from_many(&links[..nlinks as usize]);
         id
     }
 
@@ -145,15 +212,35 @@ impl<T> NetPlane<T> {
             return Vec::new();
         }
         self.advance_to(now);
+        // Collect the departing flows' links as re-share seeds, then drop
+        // the departures from the per-link lists in one pass per link.
+        let mut seeds = std::mem::take(&mut self.seed_scratch);
+        debug_assert!(seeds.is_empty());
         let mut out = Vec::with_capacity(due.len());
-        for id in due {
+        for &id in &due {
             let flow = self.flows.remove(&id).expect("due flow exists");
             // The analytic finish rounds up to the grid, so a residue of
             // `remaining` bytes (< one quantum's worth) is credited here.
             self.delivered += flow.remaining;
+            for &l in flow.links() {
+                if !self.link_seen[l] {
+                    self.link_seen[l] = true;
+                    seeds.push(l);
+                }
+            }
             out.push((id, flow.payload));
         }
-        self.reshare();
+        // `due` is ascending (BTreeMap iteration order), so each per-link
+        // list is pruned with one binary-searched retain pass.
+        for &l in &seeds {
+            self.link_seen[l] = false;
+            self.link_flows[l].retain(|id| due.binary_search(id).is_err());
+        }
+        // Re-fill every component the departures touched. Components are
+        // disjoint, but a single walk from all seeds handles any overlap.
+        self.reshare_from_many(&seeds);
+        seeds.clear();
+        self.seed_scratch = seeds;
         out
     }
 
@@ -175,19 +262,120 @@ impl<T> NetPlane<T> {
         }
     }
 
-    /// Max-min-fair water filling: repeatedly find the link whose equal
-    /// share among its not-yet-frozen flows is smallest (ties to the
-    /// lowest link index), freeze those flows at that share, subtract
-    /// their rates everywhere they pass, repeat. Pure integer division,
-    /// rates floored at 1 B/s so every flow always finishes.
-    fn reshare(&mut self) {
+    /// Re-water-fills the connected component(s) reachable from `seeds`:
+    /// walk the "flows sharing a link" graph, then run the same
+    /// freeze-the-bottleneck loop as the full re-share restricted to the
+    /// collected flows. Flows outside the walk share no link (directly or
+    /// transitively) with the seeds, so the full algorithm could never
+    /// have moved their rates — which is exactly what the debug oracle
+    /// re-proves after every change.
+    fn reshare_from_many(&mut self, seeds: &[usize]) {
         if self.flows.is_empty() {
             return;
+        }
+        // --- component walk ---
+        let mut stack = std::mem::take(&mut self.link_stack);
+        let mut touched = std::mem::take(&mut self.touched_links);
+        let mut affected = std::mem::take(&mut self.affected_scratch);
+        debug_assert!(stack.is_empty() && touched.is_empty() && affected.is_empty());
+        for &l in seeds {
+            if !self.link_seen[l] {
+                self.link_seen[l] = true;
+                stack.push(l);
+                touched.push(l);
+            }
+        }
+        while let Some(l) = stack.pop() {
+            for &id in &self.link_flows[l] {
+                // A two-link flow lands here once per link; dedup below.
+                affected.push(id);
+                for &l2 in self.flows[&id].links() {
+                    if !self.link_seen[l2] {
+                        self.link_seen[l2] = true;
+                        stack.push(l2);
+                        touched.push(l2);
+                    }
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        // --- water-fill the affected component(s) ---
+        // Touched links are scanned ascending so the bottleneck tie-break
+        // (lowest link index) matches the full re-share exactly.
+        touched.sort_unstable();
+        for &l in &touched {
+            self.cap_scratch[l] = self.caps[l];
+            self.count_scratch[l] = 0;
+        }
+        for &id in &affected {
+            for &l in self.flows[&id].links() {
+                self.count_scratch[l] += 1;
+            }
+        }
+        let mut frozen = std::mem::take(&mut self.frozen_scratch);
+        frozen.resize(affected.len(), false);
+        let mut unfrozen = affected.len();
+        while unfrozen > 0 {
+            let mut bottleneck: Option<(u64, usize)> = None;
+            for &l in &touched {
+                let n = self.count_scratch[l];
+                if n == 0 {
+                    continue;
+                }
+                let share = self.cap_scratch[l] / n;
+                if bottleneck.is_none_or(|(s, _)| share < s) {
+                    bottleneck = Some((share, l));
+                }
+            }
+            let (share, link) = bottleneck.expect("unfrozen flows cross some touched link");
+            let rate = share.max(1);
+            // The per-link list is ascending, so the freeze order (and
+            // with it the cap subtraction sequence) is deterministic.
+            let link_list = std::mem::take(&mut self.link_flows[link]);
+            for &id in &link_list {
+                let pos = affected.binary_search(&id).expect("flow on touched link is affected");
+                if frozen[pos] {
+                    continue;
+                }
+                frozen[pos] = true;
+                unfrozen -= 1;
+                let flow = self.flows.get_mut(&id).expect("affected flow exists");
+                flow.rate = rate;
+                for &l in flow.links() {
+                    self.count_scratch[l] -= 1;
+                    self.cap_scratch[l] = self.cap_scratch[l].saturating_sub(rate);
+                }
+            }
+            self.link_flows[link] = link_list;
+        }
+        for &l in &touched {
+            self.link_seen[l] = false;
+        }
+        touched.clear();
+        affected.clear();
+        frozen.clear();
+        self.touched_links = touched;
+        self.link_stack = stack;
+        self.affected_scratch = affected;
+        self.frozen_scratch = frozen;
+        #[cfg(debug_assertions)]
+        self.assert_matches_full_reshare();
+    }
+
+    /// The retained full re-share, as a non-mutating oracle: water-fills
+    /// every link and every flow from scratch, exactly as the plane did
+    /// before re-shares became incremental.
+    #[cfg_attr(not(any(test, debug_assertions)), allow(dead_code))]
+    fn full_water_fill_rates(&self) -> BTreeMap<FlowId, u64> {
+        let mut rates = BTreeMap::new();
+        if self.flows.is_empty() {
+            return rates;
         }
         let mut cap = self.caps.clone();
         let mut count = vec![0u64; self.caps.len()];
         for flow in self.flows.values() {
-            for &l in &flow.links {
+            for &l in flow.links() {
                 count[l] += 1;
             }
         }
@@ -208,18 +396,31 @@ impl<T> NetPlane<T> {
             let to_freeze: Vec<FlowId> = unfrozen
                 .iter()
                 .copied()
-                .filter(|id| self.flows[id].links.contains(&link))
+                .filter(|id| self.flows[id].links().contains(&link))
                 .collect();
             debug_assert!(!to_freeze.is_empty(), "the bottleneck link has flows");
             for id in to_freeze {
                 unfrozen.remove(&id);
-                let flow = self.flows.get_mut(&id).expect("unfrozen flow exists");
-                flow.rate = rate;
-                for &l in &flow.links {
+                rates.insert(id, rate);
+                for &l in self.flows[&id].links() {
                     count[l] -= 1;
                     cap[l] = cap[l].saturating_sub(rate);
                 }
             }
+        }
+        rates
+    }
+
+    /// Debug oracle: the incremental rates must be bit-identical to a
+    /// from-scratch full water-fill.
+    #[cfg(debug_assertions)]
+    fn assert_matches_full_reshare(&self) {
+        let full = self.full_water_fill_rates();
+        for (&id, flow) in &self.flows {
+            debug_assert_eq!(
+                flow.rate, full[&id],
+                "incremental re-share diverged from the full oracle on flow {id}"
+            );
         }
     }
 
@@ -422,5 +623,99 @@ mod tests {
         }
         assert_eq!(net.inflight_bytes(), before_inflight, "no membership change, no mutation");
         assert_eq!(net.delivered_bytes(), before_delivered);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental ≡ full re-share
+    // ------------------------------------------------------------------
+
+    /// Splitmix64: tiny deterministic generator for the property tests
+    /// (seeded, no ambient randomness).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Every flow's incremental rate equals the full water-fill oracle's.
+    fn assert_rates_match_oracle(net: &NetPlane<u32>, ctx: &str) {
+        let full = net.full_water_fill_rates();
+        for (id, _, _) in net.pending() {
+            let rate = net.flows[&id].rate;
+            assert_eq!(rate, full[&id], "{ctx}: flow {id} diverged from the full re-share");
+        }
+    }
+
+    #[test]
+    fn incremental_reshare_matches_full_on_random_sequences() {
+        for seed in 0..6u64 {
+            let mut rng = seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xC0FF_EE11;
+            let mut net = plane(8, 12.5, 10.0);
+            let mut t = SimTime::ZERO;
+            for step in 0..400 {
+                t += SimDuration::from_millis(5 * (splitmix(&mut rng) % 20));
+                match splitmix(&mut rng) % 4 {
+                    // Arrivals: fetches and transfers to random nodes,
+                    // storm-sized byte counts.
+                    0 | 1 => {
+                        let node = (splitmix(&mut rng) % 8) as usize;
+                        let bytes = 1_000_000 + splitmix(&mut rng) % 2_000_000_000;
+                        net.start_fetch(t, node, bytes, step);
+                    }
+                    2 => {
+                        let src = (splitmix(&mut rng) % 8) as usize;
+                        let dst = (splitmix(&mut rng) % 8) as usize;
+                        let bytes = 1_000_000 + splitmix(&mut rng) % 500_000_000;
+                        net.start_transfer(t, src, dst, bytes, step);
+                    }
+                    // Departures: jump far enough ahead that something
+                    // (often a batch) finishes.
+                    _ => {
+                        t += SimDuration::from_secs(splitmix(&mut rng) % 4);
+                        net.take_due(t);
+                    }
+                }
+                assert_rates_match_oracle(&net, "after random op");
+                assert_eq!(
+                    net.requested_bytes(),
+                    net.delivered_bytes() + net.inflight_bytes(),
+                    "ledger must balance (seed {seed}, step {step})"
+                );
+            }
+            // Drain: every flow completes, the ledger closes.
+            let mut guard = 0;
+            while net.active_flows() > 0 {
+                t += SimDuration::from_secs(600);
+                net.take_due(t);
+                assert_rates_match_oracle(&net, "during drain");
+                guard += 1;
+                assert!(guard < 10_000, "flows must drain (seed {seed})");
+            }
+            assert_eq!(net.requested_bytes(), net.delivered_bytes());
+        }
+    }
+
+    #[test]
+    fn storm_departures_only_touch_their_component() {
+        // A registry storm on nodes 0..4 and an independent NVLink
+        // transfer on node 7: the transfer's rate must survive every
+        // storm membership change untouched (disjoint component).
+        let mut net = plane(8, 10.0, 25.0);
+        for node in 0..4 {
+            net.start_fetch(SimTime::ZERO, node, 1_250_000_000 * (node as u64 + 1), node as u32);
+        }
+        let nv = net.start_transfer(SimTime::ZERO, 7, 7, 50_000_000_000, 99);
+        let nv_rate = net.flows[&nv].rate;
+        let mut t = SimTime::ZERO;
+        while net.flows.contains_key(&nv) && net.active_flows() > 1 {
+            t += SimDuration::from_secs(1);
+            net.take_due(t);
+            if let Some(flow) = net.flows.get(&nv) {
+                assert_eq!(flow.rate, nv_rate, "disjoint component re-rated at {t}");
+            }
+            assert_rates_match_oracle(&net, "storm departure");
+        }
     }
 }

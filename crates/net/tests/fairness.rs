@@ -112,4 +112,42 @@ proptest! {
         prop_assert_eq!(started, n);
         prop_assert_eq!(net.requested_bytes(), net.delivered_bytes());
     }
+
+    /// Random arrival/departure churn: every membership change runs the
+    /// *incremental* component-local re-share, and in debug builds (where
+    /// this suite runs) the plane differences each result against the
+    /// retained full water-fill and panics on any divergence — so this
+    /// test is the seeded incremental ≡ full property, fuzz-style. The
+    /// ledger assertions below additionally pin byte conservation across
+    /// the whole sequence.
+    #[test]
+    fn random_churn_matches_full_reshare(
+        dst in proptest::collection::vec(0usize..64, 4..40),
+        megabytes in proptest::collection::vec(1u64..3_000, 4..40),
+        gaps in proptest::collection::vec(0u64..200, 4..40),
+    ) {
+        let n = dst.len().min(megabytes.len()).min(gaps.len());
+        let mut net = plane(64, 10.0, 25.0);
+        let mut t = SimTime::ZERO;
+        let mut started = 0usize;
+        let mut finished = 0usize;
+        for ((&node, &mb), &gap_quanta) in dst.iter().zip(&megabytes).zip(&gaps).take(n) {
+            t += Q * gap_quanta;
+            // Departures due by now leave first (each a re-share)...
+            finished += net.take_due(t).len();
+            // ...then a new flow joins and re-shares its component.
+            net.start_fetch(t, node % 64, mb * 1_000_000, started);
+            started += 1;
+            prop_assert_eq!(
+                net.requested_bytes(),
+                net.delivered_bytes() + net.inflight_bytes()
+            );
+        }
+        while net.active_flows() > 0 {
+            t += Q;
+            finished += net.take_due(t).len();
+        }
+        prop_assert_eq!(finished, started);
+        prop_assert_eq!(net.requested_bytes(), net.delivered_bytes());
+    }
 }

@@ -161,10 +161,22 @@ impl RckmPolicy {
 impl SharePolicy for RckmPolicy {
     fn allocate(
         &mut self,
+        now: SimTime,
+        quantum: SimDuration,
+        views: &[InstanceView],
+    ) -> Vec<Grant> {
+        let mut out = Vec::new();
+        self.allocate_into(now, quantum, views, &mut out);
+        out
+    }
+
+    fn allocate_into(
+        &mut self,
         _now: SimTime,
         _quantum: SimDuration,
         views: &[InstanceView],
-    ) -> Vec<Grant> {
+        grants: &mut Vec<Grant>,
+    ) {
         let cfg = self.config;
         // Drop state for departed instances.
         self.ctl.retain(|(id, _)| views.iter().any(|v| v.id == *id));
@@ -194,7 +206,8 @@ impl SharePolicy for RckmPolicy {
         let slo_active: bool =
             views.iter().zip(&sums).any(|(v, &sum)| v.class.is_slo_sensitive() && sum > 0);
 
-        let mut grants = Vec::with_capacity(views.len());
+        grants.clear();
+        grants.reserve(views.len());
         for (i, v) in views.iter().enumerate() {
             let others_idle = sums.iter().enumerate().all(|(j, &sum)| j == i || sum == 0);
             let alone = views.len() == 1;
@@ -244,7 +257,6 @@ impl SharePolicy for RckmPolicy {
             grants.push(Grant { id: v.id, smr: SmRate::from_fraction(issue.max(0.0)) });
         }
         self.sum_buf = sums;
-        grants
     }
 
     fn notify_resize(&mut self, id: InstanceId, request: SmRate, limit: SmRate) {

@@ -1,27 +1,72 @@
-//! A stable-ordered future event list.
+//! A stable-ordered future event list, implemented as a hierarchical
+//! timer wheel.
+//!
+//! The structure is two-level. A **near wheel** of [`SLOTS`]
+//! granularity-aligned buckets covers the window `[base, base + SLOTS)`
+//! of time ticks (`tick = at / granularity`); events inside the window
+//! append to their tick's bucket in O(1). Everything past the window
+//! waits in a **far heap** and cascades into the wheel when the base
+//! advances — each event cascades at most once, so push + pop stays O(1)
+//! amortized for the near-future events that dominate event-driven
+//! simulation (deadlines, quantum wakes, flow finishes), with the far
+//! heap's O(log n) reserved for the rare long-range schedule.
+//!
+//! Payloads live in a generation-stamped slab: an [`EventToken`] packs
+//! `(slot, generation)`, so cancellation is a single slab probe — O(1),
+//! no side set — and frees the payload **eagerly**. Bucket and far-heap
+//! entries left behind by a cancel are skipped when reached (their
+//! generation no longer matches) and compacted away when they pile up,
+//! so physical occupancy stays proportional to the live event count (see
+//! [`EventQueue::physical_occupancy`]).
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
-use crate::SimTime;
+use crate::{SimDuration, SimTime};
+
+/// Buckets in the near wheel. Exactly 64 so the occupancy set is one
+/// machine word (`u64` bitmap, find-first-occupied = one rotate + ctz).
+const SLOTS: usize = 64;
+
+/// Default bucket granularity in microseconds: the 5 ms scheduling
+/// quantum every shipped scenario runs on. A queue built for a different
+/// grid should use [`EventQueue::with_granularity`].
+const DEFAULT_GRANULARITY_US: u64 = 5_000;
 
 /// Handle to a cancellable event in an [`EventQueue`].
 ///
 /// Obtained from [`EventQueue::push_cancellable`]; spend it on
-/// [`EventQueue::cancel`] to withdraw the event before it fires. Tokens are
-/// unique per queue and never reused.
+/// [`EventQueue::cancel`] to withdraw the event before it fires. Tokens
+/// pack a slab slot and its generation stamp: the stamp changes when the
+/// event fires or is cancelled, so a spent token can never cancel a later
+/// event that happens to reuse the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
+
+impl EventToken {
+    fn new(idx: u32, gen: u32) -> Self {
+        EventToken(u64::from(gen) << 32 | u64::from(idx))
+    }
+
+    fn idx(self) -> usize {
+        (self.0 & u64::from(u32::MAX)) as usize
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// A min-ordered queue of `(SimTime, T)` events.
 ///
 /// Events scheduled for the same instant pop in insertion order, which keeps
-/// simulations deterministic regardless of heap internals. Events pushed via
-/// [`push_cancellable`](Self::push_cancellable) can be withdrawn again with
-/// their [`EventToken`] — cancellation is O(1) (lazy deletion: the entry is
-/// skipped when it reaches the head), which is what deadline-heavy
-/// simulations need (most batch-formation deadlines are cancelled by an
-/// earlier full-batch dispatch and never fire).
+/// simulations deterministic regardless of the queue's internals. Events
+/// pushed via [`push_cancellable`](Self::push_cancellable) can be withdrawn
+/// again with their [`EventToken`] — cancellation is O(1) (one
+/// generation-stamped slab probe) and reclaims the payload slot eagerly,
+/// which is what deadline-heavy simulations need (most batch-formation
+/// deadlines are cancelled by an earlier full-batch dispatch and never
+/// fire).
 ///
 /// # Examples
 ///
@@ -49,36 +94,94 @@ pub struct EventToken(u64);
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    /// Bucket width in microseconds (`tick = at_us / granularity`).
+    granularity: u64,
+    /// Tick owned by `buckets[cursor]`; the wheel covers
+    /// `[base_tick, base_tick + SLOTS)`.
+    base_tick: u64,
+    cursor: usize,
+    buckets: Vec<Bucket>,
+    /// Bit `b` set ⇔ `buckets[b]` holds unconsumed entries (live or
+    /// cancelled residue).
+    occupied: u64,
+    /// Events with `tick ≥ base_tick + SLOTS`, min-ordered by `(at, seq)`.
+    /// Invariant (restored after every base advance by cascading): the far
+    /// head is never inside the wheel window.
+    far: BinaryHeap<FarEntry>,
+    /// Cancelled entries still physically in `far` (compaction trigger).
+    far_dead: usize,
+    /// Cancelled entries still physically in `buckets` (compaction
+    /// trigger).
+    near_dead: usize,
+    slab: Vec<Slot<T>>,
+    free: Vec<u32>,
     next_seq: u64,
-    /// Tokens of cancellable entries still sitting in the heap.
-    cancellable: BTreeSet<u64>,
-    /// Tokens cancelled but not yet physically removed (lazy deletion).
-    cancelled: BTreeSet<u64>,
+    /// Live (non-cancelled) events.
+    len: usize,
+}
+
+/// One wheel bucket: entries of a single tick (plus past-time pushes
+/// clamped into the cursor bucket), consumed front-to-back through `head`.
+#[derive(Debug, Clone)]
+struct Bucket {
+    items: Vec<BucketItem>,
+    /// Consumed prefix of `items`.
+    head: usize,
+    /// `items[head..]` is ascending by `(at, seq)`. Maintained on append
+    /// (the common case appends in order); a violating append clears it
+    /// and the bucket is sorted once when the cursor reaches it.
+    sorted: bool,
+}
+
+impl Default for Bucket {
+    fn default() -> Self {
+        Bucket { items: Vec::new(), head: 0, sorted: true }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BucketItem {
+    at: SimTime,
+    seq: u64,
+    idx: u32,
+    gen: u32,
+}
+
+/// Slab slot: `payload` is `Some` while the event is pending; firing or
+/// cancelling takes the payload and bumps the generation, killing every
+/// outstanding reference (bucket entries, far entries, tokens) at once.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    gen: u32,
+    /// Whether the slot's physical entry sits in the wheel (`true`) or the
+    /// far heap (`false`) — tells `cancel` which dead counter to bump.
+    near: bool,
+    payload: Option<T>,
 }
 
 #[derive(Debug, Clone)]
-struct Entry<T> {
+struct FarEntry {
     at: SimTime,
     seq: u64,
-    event: T,
+    idx: u32,
+    gen: u32,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl PartialEq for FarEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<T> Eq for Entry<T> {}
+impl Eq for FarEntry {}
 
-impl<T> PartialOrd for Entry<T> {
+impl PartialOrd for FarEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<T> Ord for Entry<T> {
+impl Ord for FarEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: reverse to pop the earliest (time, seq).
         (other.at, other.seq).cmp(&(self.at, self.seq))
@@ -86,7 +189,7 @@ impl<T> Ord for Entry<T> {
 }
 
 impl<T> EventQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default 5 ms bucket granularity.
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
@@ -95,89 +198,280 @@ impl<T> EventQueue<T> {
     /// reallocating — a hint for event-driven simulations that know their
     /// steady-state pending-event count up front.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_granularity_and_capacity(
+            SimDuration::from_micros(DEFAULT_GRANULARITY_US),
+            capacity,
+        )
+    }
+
+    /// Creates an empty queue whose near-wheel buckets are `granularity`
+    /// wide — pass the simulation's scheduling quantum so every
+    /// grid-aligned event lands in its own bucket. The wheel covers
+    /// `64 × granularity` of near future; events beyond that wait in the
+    /// far heap and cascade in (once each) as time advances.
+    pub fn with_granularity(granularity: SimDuration) -> Self {
+        Self::with_granularity_and_capacity(granularity, 0)
+    }
+
+    fn with_granularity_and_capacity(granularity: SimDuration, capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            granularity: granularity.as_micros().max(1),
+            base_tick: 0,
+            cursor: 0,
+            buckets: (0..SLOTS).map(|_| Bucket::default()).collect(),
+            occupied: 0,
+            far: BinaryHeap::new(),
+            far_dead: 0,
+            near_dead: 0,
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
             next_seq: 0,
-            cancellable: BTreeSet::new(),
-            cancelled: BTreeSet::new(),
+            len: 0,
         }
     }
 
     /// Reserves room for at least `additional` more events.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.slab.reserve(additional.saturating_sub(self.free.len()));
+    }
+
+    fn tick_of(&self, at: SimTime) -> u64 {
+        at.as_micros() / self.granularity
+    }
+
+    fn alloc_slot(&mut self, near: bool, event: T) -> (u32, u32) {
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slab[idx as usize];
+            debug_assert!(slot.payload.is_none(), "free list holds only vacant slots");
+            slot.near = near;
+            slot.payload = Some(event);
+            (idx, slot.gen)
+        } else {
+            let idx = u32::try_from(self.slab.len()).expect("fewer than 2^32 pending events");
+            self.slab.push(Slot { gen: 0, near, payload: Some(event) });
+            (idx, 0)
+        }
+    }
+
+    fn bucket_append(bucket: &mut Bucket, item: BucketItem) {
+        if bucket.head == bucket.items.len() {
+            // Fully consumed: restart the bucket in place.
+            bucket.items.clear();
+            bucket.head = 0;
+            bucket.sorted = true;
+        } else if let Some(last) = bucket.items.last() {
+            if (item.at, item.seq) < (last.at, last.seq) {
+                bucket.sorted = false;
+            }
+        }
+        bucket.items.push(item);
+    }
+
+    fn insert(&mut self, at: SimTime, seq: u64, idx: u32, gen: u32) {
+        let tick = self.tick_of(at);
+        if tick >= self.base_tick + SLOTS as u64 {
+            self.slab[idx as usize].near = false;
+            self.far.push(FarEntry { at, seq, idx, gen });
+        } else {
+            // Past-time pushes (tick < base) clamp into the cursor bucket;
+            // the entry keeps its true `at`, and the bucket sort restores
+            // (at, seq) order before anything pops.
+            let b =
+                if tick <= self.base_tick { self.cursor } else { (tick % SLOTS as u64) as usize };
+            Self::bucket_append(&mut self.buckets[b], BucketItem { at, seq, idx, gen });
+            self.occupied |= 1u64 << b;
+        }
     }
 
     /// Schedules `event` to fire at `at`.
     pub fn push(&mut self, at: SimTime, event: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let (idx, gen) = self.alloc_slot(true, event);
+        self.len += 1;
+        self.insert(at, seq, idx, gen);
     }
 
     /// Schedules `event` to fire at `at` and returns a token that can
     /// [`cancel`](Self::cancel) it before then.
     ///
     /// Cancellable events keep the same same-instant FIFO ordering as plain
-    /// pushes — the token costs one ordered-set entry, nothing more.
+    /// pushes — every push is slab-backed, so the token is free.
     pub fn push_cancellable(&mut self, at: SimTime, event: T) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        self.cancellable.insert(seq);
-        EventToken(seq)
+        let (idx, gen) = self.alloc_slot(true, event);
+        self.len += 1;
+        self.insert(at, seq, idx, gen);
+        EventToken::new(idx, gen)
     }
 
     /// Cancels a pending event. Returns `true` if the event was still
     /// pending (it will never fire), `false` if it already fired or was
     /// already cancelled.
+    ///
+    /// O(1): one slab probe. The payload slot is reclaimed eagerly; the
+    /// physical wheel/heap entry is skipped when reached (its generation
+    /// stamp no longer matches) or removed by compaction before then.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if self.cancellable.remove(&token.0) {
-            self.cancelled.insert(token.0);
-            true
-        } else {
-            false
+        match self.slab.get_mut(token.idx()) {
+            Some(slot) if slot.gen == token.gen() && slot.payload.is_some() => {
+                slot.payload = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                if slot.near {
+                    self.near_dead += 1;
+                } else {
+                    self.far_dead += 1;
+                }
+                self.free.push(token.idx() as u32);
+                self.len -= 1;
+                self.maybe_compact();
+                true
+            }
+            _ => false,
         }
     }
 
-    /// Drops cancelled entries sitting at the head of the heap.
-    fn purge_cancelled_head(&mut self) {
-        while let Some(head) = self.heap.peek() {
-            if self.cancelled.contains(&head.seq) {
-                let seq = self.heap.pop().expect("peeked").seq;
-                self.cancelled.remove(&seq);
-            } else {
+    /// Moves every far event that entered the wheel window into its
+    /// bucket. Called after each base advance, restoring the invariant
+    /// that the far head is outside the window. Cancelled far residue is
+    /// dropped here for free.
+    fn cascade(&mut self) {
+        let limit = self.base_tick + SLOTS as u64;
+        while let Some(top) = self.far.peek() {
+            let tick = self.tick_of(top.at);
+            if tick >= limit {
                 break;
+            }
+            let e = self.far.pop().expect("peeked");
+            let slot = &mut self.slab[e.idx as usize];
+            if slot.gen != e.gen || slot.payload.is_none() {
+                self.far_dead -= 1;
+                continue;
+            }
+            slot.near = true;
+            debug_assert!(tick >= self.base_tick, "cascade never moves behind the base");
+            let b = (tick % SLOTS as u64) as usize;
+            Self::bucket_append(
+                &mut self.buckets[b],
+                BucketItem { at: e.at, seq: e.seq, idx: e.idx, gen: e.gen },
+            );
+            self.occupied |= 1u64 << b;
+        }
+    }
+
+    /// Positions the cursor on the bucket holding the earliest live event,
+    /// with that bucket sorted and its front entry live. Returns `false`
+    /// when no live event exists. Advances the base (cascading the far
+    /// heap) and reclaims cancelled residue as a side effect.
+    fn settle(&mut self) -> bool {
+        loop {
+            let off = self.occupied.rotate_right(self.cursor as u32).trailing_zeros() as usize;
+            if off < SLOTS {
+                let b_idx = (self.cursor + off) % SLOTS;
+                if off > 0 {
+                    self.base_tick += off as u64;
+                    self.cursor = b_idx;
+                    self.cascade();
+                }
+                let bucket = &mut self.buckets[b_idx];
+                if !bucket.sorted {
+                    bucket.items[bucket.head..].sort_unstable_by_key(|i| (i.at, i.seq));
+                    bucket.sorted = true;
+                }
+                // Skip cancelled residue at the front.
+                loop {
+                    let Some(item) = self.buckets[b_idx].items.get(self.buckets[b_idx].head) else {
+                        let bucket = &mut self.buckets[b_idx];
+                        bucket.items.clear();
+                        bucket.head = 0;
+                        bucket.sorted = true;
+                        self.occupied &= !(1u64 << b_idx);
+                        break;
+                    };
+                    let slot = &self.slab[item.idx as usize];
+                    if slot.gen == item.gen && slot.payload.is_some() {
+                        return true;
+                    }
+                    self.buckets[b_idx].head += 1;
+                    self.near_dead -= 1;
+                }
+            } else {
+                // Near wheel physically empty: purge dead far heads, then
+                // rebase the window onto the earliest far event.
+                loop {
+                    let Some(top) = self.far.peek() else { return false };
+                    let slot = &self.slab[top.idx as usize];
+                    if slot.gen == top.gen && slot.payload.is_some() {
+                        break;
+                    }
+                    self.far.pop();
+                    self.far_dead -= 1;
+                }
+                let tick = self.tick_of(self.far.peek().expect("checked").at);
+                debug_assert!(tick >= self.base_tick, "time never rewinds past the base");
+                self.base_tick = tick;
+                self.cursor = (tick % SLOTS as u64) as usize;
+                self.cascade();
             }
         }
     }
 
+    /// Frees a live front entry the cursor is parked on (after `settle`).
+    fn take_front(&mut self) -> (SimTime, T) {
+        let bucket = &mut self.buckets[self.cursor];
+        let item = bucket.items[bucket.head];
+        bucket.head += 1;
+        if bucket.head == bucket.items.len() {
+            bucket.items.clear();
+            bucket.head = 0;
+            bucket.sorted = true;
+            self.occupied &= !(1u64 << self.cursor);
+        }
+        let slot = &mut self.slab[item.idx as usize];
+        let payload = slot.payload.take().expect("settle leaves a live front");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(item.idx);
+        self.len -= 1;
+        (item.at, payload)
+    }
+
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.purge_cancelled_head();
-        self.heap.pop().map(|e| {
-            self.cancellable.remove(&e.seq);
-            (e.at, e.event)
-        })
+        if !self.settle() {
+            return None;
+        }
+        Some(self.take_front())
     }
 
     /// The earliest pending event without removing it, if any.
     pub fn peek(&mut self) -> Option<(SimTime, &T)> {
-        self.purge_cancelled_head();
-        self.heap.peek().map(|e| (e.at, &e.event))
+        if !self.settle() {
+            return None;
+        }
+        let bucket = &self.buckets[self.cursor];
+        let item = bucket.items[bucket.head];
+        Some((item.at, self.slab[item.idx as usize].payload.as_ref().expect("live front")))
     }
 
     /// The instant of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.purge_cancelled_head();
-        self.heap.peek().map(|e| e.at)
+        if !self.settle() {
+            return None;
+        }
+        let bucket = &self.buckets[self.cursor];
+        Some(bucket.items[bucket.head].at)
     }
 
     /// Removes and returns the earliest event only if it fires at or before
     /// `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
-        if self.peek_time().is_some_and(|t| t <= now) {
-            self.pop()
+        if !self.settle() {
+            return None;
+        }
+        let bucket = &self.buckets[self.cursor];
+        if bucket.items[bucket.head].at <= now {
+            Some(self.take_front())
         } else {
             None
         }
@@ -185,20 +479,90 @@ impl<T> EventQueue<T> {
 
     /// The number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.len
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
+    }
+
+    /// Physical entries currently held across the wheel and the far heap:
+    /// every live event plus any cancelled residue not yet reclaimed.
+    /// Bounded by a small multiple of [`len`](Self::len) — cancellation
+    /// frees payload slots eagerly and compaction sweeps the residue — so
+    /// a push/cancel churn loop cannot grow the queue without bound (see
+    /// the `churn` tests).
+    pub fn physical_occupancy(&self) -> usize {
+        self.far.len() + self.buckets.iter().map(|b| b.items.len() - b.head).sum::<usize>()
+    }
+
+    /// Sweeps cancelled residue once it outnumbers the live events:
+    /// amortized O(1) per cancel, and keeps
+    /// [`physical_occupancy`](Self::physical_occupancy) bounded even under
+    /// pure push/cancel churn that never pops.
+    fn maybe_compact(&mut self) {
+        if self.far_dead > SLOTS && self.far_dead * 2 > self.far.len() {
+            let entries = std::mem::take(&mut self.far).into_vec();
+            self.far = entries
+                .into_iter()
+                .filter(|e| {
+                    let slot = &self.slab[e.idx as usize];
+                    slot.gen == e.gen && slot.payload.is_some()
+                })
+                .collect();
+            self.far_dead = 0;
+        }
+        if self.near_dead > SLOTS && self.near_dead * 2 > self.near_physical() {
+            for b in 0..SLOTS {
+                if self.occupied & (1u64 << b) == 0 {
+                    continue;
+                }
+                let head = self.buckets[b].head;
+                // Compact in place: drop the consumed prefix and every
+                // dead entry; retention preserves order, so the sorted
+                // flag is untouched.
+                let mut bucket = std::mem::take(&mut self.buckets[b]);
+                bucket.items.drain(..head);
+                bucket.head = 0;
+                bucket.items.retain(|i| {
+                    let slot = &self.slab[i.idx as usize];
+                    slot.gen == i.gen && slot.payload.is_some()
+                });
+                if bucket.items.is_empty() {
+                    bucket.sorted = true;
+                    self.occupied &= !(1u64 << b);
+                }
+                self.buckets[b] = bucket;
+            }
+            self.near_dead = 0;
+        }
+    }
+
+    fn near_physical(&self) -> usize {
+        self.buckets.iter().map(|b| b.items.len() - b.head).sum()
     }
 
     /// Drops every pending event (tokens from before the clear no longer
     /// cancel anything).
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.cancellable.clear();
-        self.cancelled.clear();
+        for (idx, slot) in self.slab.iter_mut().enumerate() {
+            if slot.payload.is_some() {
+                slot.payload = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(idx as u32);
+            }
+        }
+        for bucket in &mut self.buckets {
+            bucket.items.clear();
+            bucket.head = 0;
+            bucket.sorted = true;
+        }
+        self.occupied = 0;
+        self.far.clear();
+        self.far_dead = 0;
+        self.near_dead = 0;
+        self.len = 0;
     }
 }
 
@@ -411,5 +775,243 @@ mod tests {
             q.push(SimTime::from_millis(i), i as u32);
         }
         assert_eq!(q.len(), 10);
+    }
+
+    // ------------------------------------------------------------------
+    // Timer-wheel specifics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn far_events_cascade_in_time_order() {
+        // Span many wheel windows (default granularity 5 ms × 64 slots =
+        // 320 ms per window) so every pop exercises cascade/rebase.
+        let mut q = EventQueue::new();
+        let times: Vec<u64> = vec![7_000, 1, 320, 5_000, 640, 100_000, 2, 319, 321, 50_000];
+        for (i, &ms) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(ms), i);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let popped: Vec<u64> =
+            std::iter::from_fn(|| q.pop().map(|(at, _)| at.as_micros() / 1000)).collect();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn same_instant_fifo_holds_across_the_far_heap() {
+        // Events at one far instant, pushed around near events: after
+        // cascading they must still pop in push order.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_secs(10);
+        q.push(far, 0);
+        q.push(SimTime::from_millis(1), 100);
+        q.push(far, 1);
+        q.push(far, 2);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 100)));
+        assert_eq!(q.pop(), Some((far, 0)));
+        assert_eq!(q.pop(), Some((far, 1)));
+        assert_eq!(q.pop(), Some((far, 2)));
+    }
+
+    #[test]
+    fn past_time_pushes_pop_before_later_pending_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), "late");
+        // Advance the wheel base to ~2 s by peeking.
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        // Now schedule something earlier than the base: it must pop first.
+        q.push(SimTime::from_millis(10), "early");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "early")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+    }
+
+    #[test]
+    fn custom_granularity_keeps_order_on_finer_grids() {
+        let mut q = EventQueue::with_granularity(SimDuration::from_micros(2_500));
+        for i in (0..50).rev() {
+            q.push(SimTime::from_micros(i * 2_500), i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancel_reclaims_the_payload_slot_eagerly() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct DropFlag(Rc<Cell<u32>>);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+
+        let drops = Rc::new(Cell::new(0));
+        let mut q = EventQueue::new();
+        let token = q.push_cancellable(SimTime::from_secs(100), DropFlag(Rc::clone(&drops)));
+        assert_eq!(drops.get(), 0);
+        assert!(q.cancel(token));
+        assert_eq!(drops.get(), 1, "cancel must drop the payload immediately, not at pop");
+    }
+
+    #[test]
+    fn push_cancel_churn_keeps_physical_occupancy_bounded() {
+        let mut q = EventQueue::new();
+        // Anchor events so the queue is never empty, near and far.
+        q.push(SimTime::from_millis(1), 0);
+        q.push(SimTime::from_secs(3_600), 1);
+        let mut worst = 0;
+        for i in 0..100_000u64 {
+            // Alternate near-window and far-heap targets.
+            let at = if i % 2 == 0 {
+                SimTime::from_millis(5 + i % 300)
+            } else {
+                SimTime::from_secs(60 + i % 600)
+            };
+            let token = q.push_cancellable(at, 2);
+            assert!(q.cancel(token));
+            worst = worst.max(q.physical_occupancy());
+        }
+        assert_eq!(q.len(), 2);
+        assert!(
+            worst <= 4096,
+            "cancelled residue must be compacted away, peaked at {worst} physical entries"
+        );
+        assert!(q.physical_occupancy() <= 4096);
+    }
+
+    /// Reference model: the straightforward sorted list the wheel must be
+    /// observationally identical to.
+    struct RefQueue<T> {
+        entries: Vec<(SimTime, u64, Option<T>)>,
+        next_seq: u64,
+    }
+
+    impl<T> RefQueue<T> {
+        fn new() -> Self {
+            RefQueue { entries: Vec::new(), next_seq: 0 }
+        }
+
+        fn push(&mut self, at: SimTime, event: T) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.entries.push((at, seq, Some(event)));
+            seq
+        }
+
+        fn cancel(&mut self, seq: u64) -> bool {
+            match self.entries.iter_mut().find(|(_, s, e)| *s == seq && e.is_some()) {
+                Some((_, _, e)) => {
+                    *e = None;
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn min_index(&self) -> Option<usize> {
+            self.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, _, e))| e.is_some())
+                .min_by_key(|(_, (at, seq, _))| (*at, *seq))
+                .map(|(i, _)| i)
+        }
+
+        fn pop(&mut self) -> Option<(SimTime, T)> {
+            let i = self.min_index()?;
+            let (at, _, event) = self.entries.remove(i);
+            Some((at, event.expect("filtered")))
+        }
+
+        fn peek_time(&self) -> Option<SimTime> {
+            self.min_index().map(|i| self.entries[i].0)
+        }
+
+        fn len(&self) -> usize {
+            self.entries.iter().filter(|(_, _, e)| e.is_some()).count()
+        }
+    }
+
+    /// Splitmix64: a tiny deterministic generator for the property test
+    /// (seeded, no ambient randomness).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn wheel_matches_reference_heap_on_random_interleavings() {
+        for seed in 0..8u64 {
+            let mut rng = seed.wrapping_mul(0x0123_4567_89AB_CDEF) ^ 0xDEAD_BEEF;
+            let mut wheel: EventQueue<u64> = EventQueue::with_granularity(
+                SimDuration::from_micros([1, 250, 5_000, 1_000_000][(seed % 4) as usize]),
+            );
+            let mut reference: RefQueue<u64> = RefQueue::new();
+            // Token pairs for cancellable pushes still outstanding.
+            let mut tokens: Vec<(EventToken, u64)> = Vec::new();
+            let mut payload = 0u64;
+            // `now` only advances, mimicking a simulation clock, but
+            // pushes may land before it (the past-push clamp path).
+            let mut now = SimTime::ZERO;
+            for _ in 0..4_000 {
+                match splitmix(&mut rng) % 10 {
+                    // Push: mixed near/far/past instants.
+                    0..=3 => {
+                        let at = now + SimDuration::from_micros(splitmix(&mut rng) % 2_000_000);
+                        wheel.push(at, payload);
+                        reference.push(at, payload);
+                        payload += 1;
+                    }
+                    4..=5 => {
+                        let at = now + SimDuration::from_micros(splitmix(&mut rng) % 2_000_000);
+                        let t = wheel.push_cancellable(at, payload);
+                        let seq = reference.push(at, payload);
+                        tokens.push((t, seq));
+                        payload += 1;
+                    }
+                    6 => {
+                        if !tokens.is_empty() {
+                            let i = (splitmix(&mut rng) as usize) % tokens.len();
+                            let (t, seq) = tokens.swap_remove(i);
+                            assert_eq!(wheel.cancel(t), reference.cancel(seq));
+                        }
+                    }
+                    7..=8 => {
+                        let got = wheel.pop();
+                        let want = reference.pop();
+                        assert_eq!(got, want, "pop diverged (seed {seed})");
+                        if let Some((at, _)) = got {
+                            now = now.max(at);
+                        }
+                    }
+                    _ => {
+                        assert_eq!(wheel.peek_time(), reference.peek_time());
+                        let due = now + SimDuration::from_micros(splitmix(&mut rng) % 400_000);
+                        let want = if reference.peek_time().is_some_and(|t| t <= due) {
+                            reference.pop()
+                        } else {
+                            None
+                        };
+                        assert_eq!(wheel.pop_due(due), want, "pop_due diverged (seed {seed})");
+                    }
+                }
+                assert_eq!(wheel.len(), reference.len(), "len diverged (seed {seed})");
+            }
+            // Drain: the full remaining order must match.
+            loop {
+                let got = wheel.pop();
+                let want = reference.pop();
+                assert_eq!(got, want, "drain diverged (seed {seed})");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }
