@@ -22,6 +22,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
@@ -56,6 +58,20 @@ fn usage() -> String {
      \x20     the per-phase wall-clock profiler ([sim] profile): a table of\n\
      \x20     where the simulation wall clock went, also embedded under\n\
      \x20     \"profile\" in the --json output.\n\
+     \x20 dilu record <scenario.toml|.json> [--log <out.dlog>] [--json <report.json>]\n\
+     \x20     Simulate like `dilu run` while recording the typed event\n\
+     \x20     stream, every arrival instant, and per-tick audit digests to\n\
+     \x20     a versioned binary log (default: the scenario path with a\n\
+     \x20     .dlog extension). --json dumps the full ClusterReport JSON.\n\
+     \x20 dilu replay <log.dlog> [--until <secs>] [--json <report.json>]\n\
+     \x20     Re-run a recorded log without re-sampling anything and verify\n\
+     \x20     it: the replayed report must be byte-identical, and the first\n\
+     \x20     diverging event or audit digest is localized otherwise (exit\n\
+     \x20     non-zero). --until stops at an instant and dumps the full\n\
+     \x20     cluster state audit instead of verifying.\n\
+     \x20 dilu replay --diff <a.dlog> <b.dlog>\n\
+     \x20     Structurally compare two logs and print the first divergent\n\
+     \x20     event (instant, seq, payload) plus the audit delta around it.\n\
      \x20 dilu experiment <name>... | all [--threads <n>]\n\
      \x20     Regenerate registered paper experiments (JSON under target/experiments/).\n\
      \x20     --threads sets the default node-plane step parallelism (the\n\
@@ -64,9 +80,12 @@ fn usage() -> String {
      \x20     Generate N scenarios across the whole composition space (seeded,\n\
      \x20     reproducible) and check every one against the invariant oracles:\n\
      \x20     differential (event-driven == dense-quantum), determinism,\n\
-     \x20     conservation, capacity. Failing scenarios are dumped as TOML\n\
-     \x20     (default target/fuzz/) with a copy-pasteable repro line;\n\
-     \x20     --minimize shrinks them first. Exits non-zero on any violation.\n\
+     \x20     conservation, capacity, record-replay (sampled on a third of\n\
+     \x20     cases; always on under --oracle record-replay). Failing\n\
+     \x20     scenarios are dumped as TOML (default target/fuzz/) with a\n\
+     \x20     copy-pasteable repro line — record-replay failures also dump\n\
+     \x20     the event log as .dlog for `dilu replay`; --minimize shrinks\n\
+     \x20     them first. Exits non-zero on any violation.\n\
      \x20 dilu lint [--json <out.json>] [--rule <name>] [--root <dir>]\n\
      \x20     Audit the workspace sources for nondeterminism (unordered map\n\
      \x20     iteration, ambient time/RNG, arrival-order parallel merges,\n\
@@ -318,6 +337,152 @@ fn report_summary(report: &dilu_cluster::ClusterReport) -> serde::Value {
 }
 
 // ---------------------------------------------------------------------------
+// dilu record / dilu replay
+// ---------------------------------------------------------------------------
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let mut scenario_path: Option<PathBuf> = None;
+    let mut log_out: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log" => {
+                let path = it.next().ok_or("--log needs a path")?;
+                log_out = Some(PathBuf::from(path));
+            }
+            "--json" => {
+                let path = it.next().ok_or("--json needs a path")?;
+                json_out = Some(PathBuf::from(path));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `dilu record`"));
+            }
+            path => {
+                if scenario_path.replace(PathBuf::from(path)).is_some() {
+                    return Err("`dilu record` takes exactly one scenario file".into());
+                }
+            }
+        }
+    }
+    let path = scenario_path
+        .ok_or_else(|| format!("`dilu record` needs a scenario file\n\n{}", usage()))?;
+    let config = ScenarioConfig::load(&path).map_err(|e| e.to_string())?;
+    let name = config.name.clone().unwrap_or_else(|| {
+        path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
+    });
+    let registry = Registry::with_defaults();
+    let log = dilu_replay::record(&config, &registry).map_err(|e| e.to_string())?;
+    let log_path = log_out.unwrap_or_else(|| path.with_extension("dlog"));
+    let bytes = log.to_bytes();
+    std::fs::write(&log_path, &bytes)
+        .map_err(|e| format!("cannot write {}: {e}", log_path.display()))?;
+    let arrivals: usize = log.arrivals.iter().map(|(_, t)| t.len()).sum();
+    println!("== dilu record: {name} ==");
+    println!(
+        "{} events | {} audit digests | {} arrival instants across {} functions",
+        log.events.len(),
+        log.audits.len(),
+        arrivals,
+        log.arrivals.len(),
+    );
+    println!("[log: {} ({} bytes)]", log_path.display(), bytes.len());
+    if let Some(out) = json_out {
+        std::fs::write(&out, log.report_json.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!("[json: {}]", out.display());
+    }
+    Ok(())
+}
+
+fn load_log(path: &Path) -> Result<dilu_replay::EventLog, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    dilu_replay::EventLog::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let mut log_path: Option<PathBuf> = None;
+    let mut diff_paths: Option<(PathBuf, PathBuf)> = None;
+    let mut until: Option<f64> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--diff" => {
+                let a = it.next().ok_or("--diff needs two log paths")?;
+                let b = it.next().ok_or("--diff needs two log paths")?;
+                diff_paths = Some((PathBuf::from(a), PathBuf::from(b)));
+            }
+            "--until" => {
+                let t = it.next().ok_or("--until needs a time in seconds")?;
+                until = Some(
+                    t.parse::<f64>()
+                        .ok()
+                        .filter(|t| t.is_finite() && *t >= 0.0)
+                        .ok_or_else(|| format!("--until needs seconds >= 0, got `{t}`"))?,
+                );
+            }
+            "--json" => {
+                let path = it.next().ok_or("--json needs a path")?;
+                json_out = Some(PathBuf::from(path));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `dilu replay`"));
+            }
+            path => {
+                if log_path.replace(PathBuf::from(path)).is_some() {
+                    return Err("`dilu replay` takes exactly one log file".into());
+                }
+            }
+        }
+    }
+    if let Some((a_path, b_path)) = diff_paths {
+        if log_path.is_some() || until.is_some() || json_out.is_some() {
+            return Err(
+                "`dilu replay --diff` takes exactly two log paths and no other flags".into()
+            );
+        }
+        let a = load_log(&a_path)?;
+        let b = load_log(&b_path)?;
+        println!("== dilu replay --diff: {} vs {} ==", a_path.display(), b_path.display());
+        print!("{}", dilu_replay::diff(&a, &b).render());
+        return Ok(());
+    }
+    let path = log_path.ok_or_else(|| format!("`dilu replay` needs a log file\n\n{}", usage()))?;
+    let log = load_log(&path)?;
+    let registry = Registry::with_defaults();
+    if let Some(secs) = until {
+        let at = dilu_sim::SimTime::from_micros((secs * 1e6).round() as u64);
+        let snapshot = dilu_replay::replay_until(&log, &registry, at).map_err(|e| e.to_string())?;
+        println!("== dilu replay: {} until {secs}s ==", path.display());
+        println!("{snapshot:#?}");
+        return Ok(());
+    }
+    let verdict = dilu_replay::replay(&log, &registry).map_err(|e| e.to_string())?;
+    println!("== dilu replay: {} ==", path.display());
+    println!("replayed {} of {} recorded events", verdict.replayed_events, verdict.logged_events);
+    if let Some(out) = &json_out {
+        std::fs::write(out, verdict.report_json.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!("[json: {}]", out.display());
+    }
+    if verdict.is_exact() {
+        println!("replay verified: event stream, audit digests, and report byte-identical");
+        return Ok(());
+    }
+    if let Some(d) = &verdict.event_divergence {
+        eprintln!("{d}");
+    }
+    if let Some(d) = &verdict.audit_divergence {
+        eprintln!("{d}");
+    }
+    if !verdict.report_matches {
+        eprintln!("replayed ClusterReport JSON differs from the recorded report");
+    }
+    Err("replay diverged from the recording".into())
+}
+
+// ---------------------------------------------------------------------------
 // dilu fuzz
 // ---------------------------------------------------------------------------
 
@@ -383,6 +548,13 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         }
         if let Some(dump) = &failure.dump {
             println!("scenario: {}  (try `dilu run {}`)", dump.display(), dump.display());
+        }
+        if let Some(artifact) = &failure.artifact {
+            println!(
+                "event log: {}  (try `dilu replay {}`)",
+                artifact.display(),
+                artifact.display()
+            );
         }
         println!(
             "repro: dilu fuzz --cases 1 --seed {} --oracle {} --minimize",

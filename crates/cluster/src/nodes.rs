@@ -30,13 +30,14 @@ use dilu_sim::{SimDuration, SimTime};
 
 use crate::{ClusterSpec, GpuAddr, PolicyFactory};
 
-/// Cap on replayed idle token cycles when a GPU is stepped after a gap
-/// (see [`GpuEngine::idle_fastforward`]). Policy state is a fixed point
-/// once every kernel-rate window has filled with zeros and every
-/// multiplicative grant ramp has hit its ceiling; 96 cycles (~0.5 s of the
-/// default quantum) covers RCKM's default 10-cycle window plus the longest
-/// ramp with a wide margin.
-const IDLE_REPLAY_CAP: u64 = 96;
+// The idle-replay cap is the share policy's own convergence bound
+// (`SharePolicy::idle_history_cycles`): policy state is a fixed point once
+// every kernel-rate window has filled with zeros and every multiplicative
+// grant ramp has hit its ceiling, so replaying more trailing idle cycles
+// than that cannot change any subsequent grant. Each `GpuSlot` asks its
+// policy rather than assuming a constant — a policy with a longer memory
+// (wider window, shallower ramp) raises its own cap instead of silently
+// breaking the event-driven ≡ dense equivalence.
 
 /// One GPU of the node plane: the engine, its share policy, and the
 /// event-core bookkeeping that keeps skipped quanta invisible.
@@ -54,9 +55,11 @@ pub(crate) struct GpuSlot {
 
 impl GpuSlot {
     /// Advances this GPU by the quantum starting at `now`, first replaying
-    /// any skipped idle cycles into its share policy (capped, see
-    /// [`IDLE_REPLAY_CAP`]) so derived policy state evolves as under dense
-    /// stepping.
+    /// any skipped idle cycles into its share policy (capped by the
+    /// policy's own [`idle_history_cycles`] bound) so derived policy state
+    /// evolves as under dense stepping.
+    ///
+    /// [`idle_history_cycles`]: dilu_gpu::SharePolicy::idle_history_cycles
     pub(crate) fn advance(&mut self, now: SimTime, quantum: SimDuration, out: &mut StepOutcome) {
         let gap_cycles = match self.last_step {
             Some(last) => {
@@ -70,7 +73,7 @@ impl GpuSlot {
             None => now.as_micros() / quantum.as_micros(),
         };
         if gap_cycles > 0 {
-            let replay = gap_cycles.min(IDLE_REPLAY_CAP);
+            let replay = gap_cycles.min(self.policy.idle_history_cycles().max(1));
             let from = now - quantum * replay;
             self.engine.idle_fastforward(from, replay, self.policy.as_mut());
         }
@@ -104,7 +107,7 @@ impl GpuSlot {
             return;
         }
         let gap_cycles = (through - expected).as_micros() / quantum.as_micros() + 1;
-        let replay = gap_cycles.min(IDLE_REPLAY_CAP);
+        let replay = gap_cycles.min(self.policy.idle_history_cycles().max(1));
         let from = through - quantum * (replay - 1);
         self.engine.idle_fastforward(from, replay, self.policy.as_mut());
         self.last_step = Some(through);

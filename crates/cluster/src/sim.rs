@@ -192,6 +192,96 @@ pub enum SimEvent {
     NetFlowDone,
 }
 
+/// Kind code recorded for the out-of-heap quantum-chain wake — the
+/// recurring [`SimEvent::GpuQuantum`] successor carried outside the heap
+/// (see [`SimEvent::GpuQuantum`]). Distinct from every
+/// [`SimEvent::code`] so a record/replay diff can tell the chain from a
+/// heap-scheduled quantum event.
+pub const QUANTUM_CHAIN_CODE: u8 = 8;
+
+impl SimEvent {
+    /// The event's stable kind code (enum order, `0..=7`) — the byte
+    /// record/replay logs carry.
+    pub fn code(self) -> u8 {
+        match self {
+            SimEvent::GpuQuantum => 0,
+            SimEvent::ArrivalBatch => 1,
+            SimEvent::BatchDeadline(_) => 2,
+            SimEvent::ControllerTick => 3,
+            SimEvent::ResizeApply => 4,
+            SimEvent::ColdStartReady(_) => 5,
+            SimEvent::TrainingSubmit => 6,
+            SimEvent::NetFlowDone => 7,
+        }
+    }
+
+    /// Human-readable name of a kind code (including
+    /// [`QUANTUM_CHAIN_CODE`]) for diff output; `"unknown"` otherwise.
+    pub fn code_name(code: u8) -> &'static str {
+        match code {
+            0 => "GpuQuantum",
+            1 => "ArrivalBatch",
+            2 => "BatchDeadline",
+            3 => "ControllerTick",
+            4 => "ResizeApply",
+            5 => "ColdStartReady",
+            6 => "TrainingSubmit",
+            7 => "NetFlowDone",
+            QUANTUM_CHAIN_CODE => "QuantumChain",
+            _ => "unknown",
+        }
+    }
+
+    /// The instance-uid payload, `0` for payload-free kinds.
+    pub fn payload_uid(self) -> u64 {
+        match self {
+            SimEvent::BatchDeadline(uid) | SimEvent::ColdStartReady(uid) => uid.0,
+            _ => 0,
+        }
+    }
+
+    /// Rebuilds an event from its logged parts. `None` for codes that
+    /// are not heap events (the quantum-chain code, future versions).
+    pub fn from_parts(code: u8, uid: u64) -> Option<SimEvent> {
+        match code {
+            0 => Some(SimEvent::GpuQuantum),
+            1 => Some(SimEvent::ArrivalBatch),
+            2 => Some(SimEvent::BatchDeadline(InstanceUid(uid))),
+            3 => Some(SimEvent::ControllerTick),
+            4 => Some(SimEvent::ResizeApply),
+            5 => Some(SimEvent::ColdStartReady(InstanceUid(uid))),
+            6 => Some(SimEvent::TrainingSubmit),
+            7 => Some(SimEvent::NetFlowDone),
+            _ => None,
+        }
+    }
+}
+
+/// One observed event-core pop, as handed to an [`EventHook`].
+///
+/// A flat, allocation-free view of the typed [`SimEvent`]: the wake
+/// instant, the queue's insertion sequence number (the same-instant FIFO
+/// tie-breaker), the kind code, and the uid payload. The out-of-heap
+/// quantum chain reports `seq == 0` with [`QUANTUM_CHAIN_CODE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// The instant the event fired at.
+    pub at: SimTime,
+    /// Queue insertion sequence (`0` for the quantum chain).
+    pub seq: u64,
+    /// Kind code ([`SimEvent::code`] or [`QUANTUM_CHAIN_CODE`]).
+    pub kind: u8,
+    /// Instance uid payload (`0` for payload-free kinds).
+    pub uid: u64,
+}
+
+/// Observer of every event-core pop, in execution order — the record
+/// side of `dilu-replay`. Runs on the simulation thread inside
+/// `process_wake`, before the event's phase flags are applied, so the
+/// stream order is exactly the execution order on every `[sim] threads`
+/// setting.
+pub type EventHook = Box<dyn FnMut(EventRecord)>;
+
 pub(crate) struct FuncState {
     pub(crate) spec: FunctionSpec,
     /// Uids of this function's live instances, ascending (maintained at
@@ -234,6 +324,8 @@ pub struct ClusterSim {
     /// Observer invoked with an [`AuditSnapshot`](crate::AuditSnapshot) at
     /// every controller tick.
     pub(crate) audit_hook: Option<AuditHook>,
+    /// Observer invoked with every event-core pop (see [`EventHook`]).
+    pub(crate) event_hook: Option<EventHook>,
     pub(crate) pending_resizes: Vec<PendingResize>,
     pub(crate) tags: TagSlab,
     pub(crate) slot_index: BTreeMap<dilu_gpu::InstanceId, (InstanceUid, usize, FunctionId)>,
@@ -346,6 +438,7 @@ impl ClusterSim {
             placement,
             controller,
             audit_hook: None,
+            event_hook: None,
             pending_resizes: Vec::new(),
             tags: TagSlab::default(),
             slot_index: BTreeMap::new(),
@@ -424,6 +517,30 @@ impl ClusterSim {
     /// or after the horizon.
     pub fn phase_profile(&self) -> Option<PhaseProfile> {
         self.profiler.is_enabled().then(|| self.profiler.finish())
+    }
+
+    /// Registers an observer invoked with every event-core pop, in
+    /// execution order (see [`EventHook`]). Replaces any previous hook.
+    ///
+    /// The stream is only produced by the event-driven time model; a
+    /// dense-quantum run never pops events and records an empty stream.
+    pub fn set_event_hook(&mut self, hook: EventHook) {
+        self.event_hook = Some(hook);
+    }
+
+    /// The pending arrival instants of every inference function, in
+    /// function-id order.
+    ///
+    /// A run *consumes* these queues, so the record side of `dilu-replay`
+    /// snapshots them before running; replay feeds the exact instants
+    /// back through the scenario builder instead of re-sampling the
+    /// arrival process.
+    pub fn arrival_schedule(&self) -> Vec<(FunctionId, Vec<SimTime>)> {
+        self.funcs
+            .iter()
+            .filter(|(_, f)| f.spec.kind.is_inference())
+            .map(|(&id, f)| (id, f.arrivals.iter().copied().collect()))
+            .collect()
     }
 
     /// Number of ready (serving) instances of a function.
@@ -665,6 +782,9 @@ impl ClusterSim {
         self.gpu_phase_done = false;
         if self.next_quantum_wake == Some(t) {
             self.next_quantum_wake = None;
+            if let Some(hook) = self.event_hook.as_mut() {
+                hook(EventRecord { at: t, seq: 0, kind: QUANTUM_CHAIN_CODE, uid: 0 });
+            }
         }
         let mut resizes = false;
         let mut training = false;
@@ -672,7 +792,10 @@ impl ClusterSim {
         let mut controller = false;
         let mut ready = std::mem::take(&mut self.wake_ready_buf);
         let mut expired = std::mem::take(&mut self.wake_expired_buf);
-        while let Some((_, event)) = self.events.pop_due(t) {
+        while let Some((at, seq, event)) = self.events.pop_due_with_seq(t) {
+            if let Some(hook) = self.event_hook.as_mut() {
+                hook(EventRecord { at, seq, kind: event.code(), uid: event.payload_uid() });
+            }
             match event {
                 SimEvent::GpuQuantum => {}
                 SimEvent::ArrivalBatch => arrivals = true,

@@ -754,6 +754,56 @@ arrivals = { process = "poisson", rate = 5.0 }
     }
 
     #[test]
+    fn idle_gaps_longer_than_the_replay_cap_match_dense_stepping() {
+        // Two arrivals separated by ~2.9 s of complete idleness — about
+        // 580 skipped 5 ms token cycles, far past the dilu preset's
+        // RCKM idle-history bound (`SharePolicy::idle_history_cycles`,
+        // 96 cycles at the defaults). The event core replays only that
+        // bounded tail of the gap into the policy; the bound is the
+        // policy's own convergence fixed point, so the dense reference
+        // (which steps every one of the ~580 idle cycles) must still
+        // agree byte-for-byte.
+        let text = |model: &str| {
+            format!(
+                r#"
+[cluster]
+nodes = 1
+gpus_per_node = 1
+
+[system]
+preset = "dilu"
+
+[sim]
+time_model = "{model}"
+
+[run]
+horizon_secs = 6
+seed = 11
+
+[[functions]]
+model = "bert-base"
+arrivals = {{ process = "replay", times = [0.1, 3.0] }}
+"#
+            )
+        };
+        let run = |model: &str| {
+            let config = ScenarioConfig::from_toml_str(&text(model)).unwrap();
+            let registry = Registry::with_defaults();
+            config.into_builder(&registry).unwrap().build().unwrap().run().unwrap()
+        };
+        let event = run("event-driven");
+        let dense = run("dense-quantum");
+        assert_eq!(
+            serde_json::to_string(&event).unwrap(),
+            serde_json::to_string(&dense).unwrap(),
+            "bounded idle replay must equal dense idle stepping across a >cap gap"
+        );
+        let f = event.inference.values().next().unwrap();
+        assert_eq!(f.arrived, 2);
+        assert_eq!(f.completed, 2, "both sides of the idle gap serve their request");
+    }
+
+    #[test]
     fn json_round_trip_preserves_the_config() {
         let config = ScenarioConfig::from_toml_str(DEMO).unwrap();
         let json = serde_json::to_string_pretty(&config).unwrap();

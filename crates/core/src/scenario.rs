@@ -397,6 +397,37 @@ impl ScenarioBuilder {
         })
     }
 
+    /// Attaches explicit arrival instants to the (inference) function with
+    /// id `func`, wherever it sits in the composition — replacing whatever
+    /// arrival source the function had.
+    ///
+    /// This is `dilu-replay`'s no-resampling path: replay overrides every
+    /// recorded arrival schedule with the exact logged micro-instants, so
+    /// no arrival process is ever sampled again. Unlike the TOML
+    /// `arrivals.times` field (seconds as `f64`), instants pass through
+    /// unconverted. An unknown id or a training function records a misuse
+    /// error surfaced at [`build`](Self::build).
+    pub fn arrival_times_for(
+        mut self,
+        func: dilu_cluster::FunctionId,
+        mut times: Vec<SimTime>,
+    ) -> Self {
+        times.sort_unstable();
+        match self.functions.iter_mut().find(|e| e.spec.id == func) {
+            Some(entry) => match &mut entry.workload {
+                Workload::Inference { arrivals, .. } => *arrivals = ArrivalSource::Times(times),
+                Workload::Training { .. } => {
+                    self.misuse.get_or_insert(ScenarioError::ArrivalsForTraining(func));
+                }
+            },
+            None => {
+                self.misuse
+                    .get_or_insert(ScenarioError::WrongRole { func, method: "arrival_times_for" });
+            }
+        }
+        self
+    }
+
     /// Pre-warmed instances for the last-added (inference) function.
     /// Default 1.
     pub fn initial_instances(self, initial: u32) -> Self {

@@ -61,6 +61,6 @@ mod work;
 pub use curves::rate_factor;
 pub use engine::{Completion, GpuEngine, SlotConfig, StepOutcome};
 pub use error::GpuError;
-pub use policy::{Grant, InstanceView, SharePolicy};
+pub use policy::{Grant, InstanceView, SharePolicy, IDLE_HISTORY_CYCLES};
 pub use types::{InstanceId, SmRate, TaskClass, GB, MB};
 pub use work::{WorkItem, WorkKind};

@@ -4,6 +4,15 @@ use dilu_sim::{SimDuration, SimTime};
 
 use crate::{InstanceId, SmRate, TaskClass};
 
+/// Default idle-history bound, in token cycles (~0.5 s of the default
+/// 5 ms quantum): how many fully-workless cycles a shipped policy needs
+/// before its derived per-instance state provably reaches a fixed point
+/// (kernel-rate windows filled with zeros, multiplicative grant ramps at
+/// their ceilings). The event-driven driver replays exactly
+/// [`SharePolicy::idle_history_cycles`] idle cycles — this value unless
+/// the policy overrides — before stepping a GPU after a longer gap.
+pub const IDLE_HISTORY_CYCLES: u64 = 96;
+
 /// A read-only view of one resident instance, handed to policies each
 /// quantum.
 ///
@@ -62,16 +71,20 @@ pub struct Grant {
 /// # Event-driven drivers and derived state
 ///
 /// An event-driven driver skips token cycles in which no resident has
-/// work and later replays a *bounded* number of idle cycles (capped; see
+/// work and later replays a *bounded* number of idle cycles (capped at
+/// this policy's own [`idle_history_cycles`](Self::idle_history_cycles)
+/// bound; see
 /// [`GpuEngine::idle_fastforward`](crate::GpuEngine::idle_fastforward))
 /// before the next real step. Policies whose derived per-instance state
 /// converges to a fixed point within that many workless cycles — windows
 /// filling with zeros, multiplicative ramps reaching their ceilings, as
 /// RCKM's do — behave identically under dense and event-driven stepping.
-/// A custom policy whose behaviour depends on idle spans *longer* than
-/// the cap (e.g. "release quota after 10 s idle" counted in cycles)
-/// should track time via `now` in [`allocate`](Self::allocate), or be run
-/// under the dense time model.
+/// A custom policy whose state converges more slowly must override
+/// [`idle_history_cycles`](Self::idle_history_cycles) with its true
+/// bound; one whose behaviour depends on *unboundedly* long idle spans
+/// (e.g. "release quota after 10 s idle" counted in cycles) should track
+/// time via `now` in [`allocate`](Self::allocate), or be run under the
+/// dense time model.
 ///
 /// # `Send`
 ///
@@ -127,6 +140,25 @@ pub trait SharePolicy: Send {
 
     /// A short human-readable policy name for reports.
     fn name(&self) -> &str;
+
+    /// The number of fully-workless token cycles after which this
+    /// policy's derived state is at a fixed point — replaying more idle
+    /// cycles than this provably cannot change any subsequent grant.
+    ///
+    /// The event-driven driver uses this as its idle-replay cap: after a
+    /// gap longer than the cap it replays exactly this many trailing
+    /// idle cycles instead of the whole gap, and the bound is what makes
+    /// that shortcut byte-identical to dense stepping. A policy whose
+    /// state converges more slowly (longer rate windows, shallower
+    /// ramps, explicit idle counters) must override this with its true
+    /// bound — or track long idleness via `now` in
+    /// [`allocate`](Self::allocate) as the module docs describe.
+    ///
+    /// The default, [`IDLE_HISTORY_CYCLES`], covers every shipped
+    /// policy's windows and ramps with a wide margin.
+    fn idle_history_cycles(&self) -> u64 {
+        IDLE_HISTORY_CYCLES
+    }
 }
 
 #[cfg(test)]

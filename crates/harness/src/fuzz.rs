@@ -45,6 +45,9 @@ pub struct Failure {
     pub minimized: Option<ScenarioConfig>,
     /// Where the (minimized, if available) scenario TOML was written.
     pub dump: Option<PathBuf>,
+    /// Where the oracle's binary reproducer (e.g. the record/replay
+    /// oracle's event log) was written, when the oracle produced one.
+    pub artifact: Option<PathBuf>,
 }
 
 /// Aggregate result of a fuzzing run.
@@ -131,11 +134,17 @@ impl Harness {
             .iter()
             .filter(|o| options.oracles.is_empty() || options.oracles.iter().any(|n| n == o.name()))
             .collect();
+        // An explicit `--oracle <name>` request always runs; only the
+        // full default sweep lets expensive oracles sample their cases.
+        let explicit = !options.oracles.is_empty();
         let mut report = FuzzReport { cases: options.cases, ..FuzzReport::default() };
         for index in 0..options.cases {
             let case_seed = options.seed.wrapping_add(index as u64);
             let config = generate_case(&self.space, case_seed);
             for oracle in &selected {
+                if !explicit && !oracle.samples(case_seed) {
+                    continue;
+                }
                 match oracle.check(&config, &self.registry) {
                     Verdict::Pass => report.passed += 1,
                     Verdict::Skip(_) => report.skipped += 1,
@@ -157,6 +166,10 @@ impl Harness {
                                 minimized.as_ref().unwrap_or(&config),
                             )
                         });
+                        let artifact = options.dump_dir.as_deref().and_then(|dir| {
+                            let (ext, bytes) = oracle.artifact()?;
+                            dump_artifact(dir, case_seed, oracle.name(), &ext, &bytes)
+                        });
                         report.failures.push(Failure {
                             case_seed,
                             oracle: oracle.name().to_owned(),
@@ -164,6 +177,7 @@ impl Harness {
                             config: config.clone(),
                             minimized,
                             dump,
+                            artifact,
                         });
                     }
                 }
@@ -296,6 +310,21 @@ fn dump_config(
     Some(path)
 }
 
+/// Writes an oracle's binary reproducer (e.g. the record/replay event
+/// log) next to the TOML dump, as `fuzz-<seed>-<oracle>.<ext>`.
+fn dump_artifact(
+    dir: &Path,
+    case_seed: u64,
+    oracle: &str,
+    ext: &str,
+    bytes: &[u8],
+) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("fuzz-{case_seed}-{oracle}.{ext}"));
+    std::fs::write(&path, bytes).ok()?;
+    Some(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +371,62 @@ mod tests {
         let report = harness.run(&options).expect("conservation sweep runs");
         assert!(report.clean(), "conservation violations: {:?}", report.failures);
         assert!(report.passed > 0, "at least one case must be feasible");
+    }
+
+    /// An always-failing oracle that samples a third of cases and ships
+    /// a binary artifact, mirroring the record/replay oracle's shape.
+    struct SampledWithArtifact;
+
+    impl Oracle for SampledWithArtifact {
+        fn name(&self) -> &'static str {
+            "sampled-artifact"
+        }
+
+        fn check(&self, _config: &ScenarioConfig, _registry: &Registry) -> Verdict {
+            Verdict::Fail("synthetic".into())
+        }
+
+        fn samples(&self, case_seed: u64) -> bool {
+            case_seed.is_multiple_of(3)
+        }
+
+        fn artifact(&self) -> Option<(String, Vec<u8>)> {
+            Some(("dlog".to_owned(), b"synthetic log bytes".to_vec()))
+        }
+    }
+
+    #[test]
+    fn sampled_oracles_run_on_their_share_of_cases_only() {
+        let harness = Harness::new().with_oracles(vec![Box::new(SampledWithArtifact)]);
+        let options = FuzzOptions { cases: 6, seed: 0, ..FuzzOptions::default() };
+        let report = harness.run(&options).expect("sweep runs");
+        assert_eq!(report.failures.len(), 2, "seeds 0 and 3 of 0..6 are sampled");
+        // An explicit --oracle request bypasses sampling.
+        let explicit = FuzzOptions { oracles: vec!["sampled-artifact".into()], ..options.clone() };
+        let harness = Harness::new().with_oracles(vec![Box::new(SampledWithArtifact)]);
+        let report = harness.run(&explicit).expect("sweep runs");
+        assert_eq!(report.failures.len(), 6, "explicitly requested oracles check every case");
+    }
+
+    #[test]
+    fn failing_oracles_dump_toml_and_binary_reproducers() {
+        let dir = std::env::temp_dir().join("dilu-harness-artifact-dump-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let harness = Harness::new().with_oracles(vec![Box::new(SampledWithArtifact)]);
+        let options = FuzzOptions {
+            cases: 1,
+            seed: 3,
+            dump_dir: Some(dir.clone()),
+            ..FuzzOptions::default()
+        };
+        let report = harness.run(&options).expect("sweep runs");
+        let failure = &report.failures[0];
+        let dump = failure.dump.as_ref().expect("TOML reproducer dumped");
+        assert!(dump.exists(), "{}", dump.display());
+        let artifact = failure.artifact.as_ref().expect("binary reproducer dumped");
+        assert_eq!(artifact.file_name().unwrap().to_str().unwrap(), "fuzz-3-sampled-artifact.dlog");
+        assert_eq!(std::fs::read(artifact).unwrap(), b"synthetic log bytes");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,6 +38,24 @@ pub trait Oracle {
 
     /// Runs the scenario however the invariant requires and judges it.
     fn check(&self, config: &ScenarioConfig, registry: &Registry) -> Verdict;
+
+    /// Whether this oracle runs on the case with this seed. Expensive
+    /// oracles may deterministically sample a subset of cases; the
+    /// default is every case. Filtering with `--oracle <name>` bypasses
+    /// sampling (an explicitly requested oracle always runs).
+    fn samples(&self, case_seed: u64) -> bool {
+        let _ = case_seed;
+        true
+    }
+
+    /// A binary reproducer from the most recent failing [`check`]
+    /// (`(extension, bytes)`), dumped next to the TOML reproducer by the
+    /// fuzz driver. The default oracle has none.
+    ///
+    /// [`check`]: Oracle::check
+    fn artifact(&self) -> Option<(String, Vec<u8>)> {
+        None
+    }
 }
 
 /// Every oracle this crate ships, in documentation order.
@@ -47,6 +65,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(DeterminismOracle),
         Box::new(ConservationOracle),
         Box::new(CapacityOracle),
+        Box::new(RecordReplayOracle::new()),
     ]
 }
 
@@ -391,6 +410,97 @@ impl Oracle for CapacityOracle {
             Verdict::Pass
         } else {
             Verdict::Fail(violations.join("\n"))
+        }
+    }
+}
+
+/// Record-then-replay oracle: recording a run to the binary event log
+/// and replaying it from the log alone must reproduce the event stream,
+/// every audit digest, and the final report byte-for-byte. The log also
+/// round-trips through its wire encoding on the way, so the codec is
+/// under test too. Recording and replaying costs two extra full runs per
+/// case, so this oracle samples a third of fuzz cases; when it fires,
+/// the failing log is kept for the driver to dump next to the TOML
+/// reproducer ([`Oracle::artifact`]).
+pub struct RecordReplayOracle {
+    last_log: RefCell<Option<Vec<u8>>>,
+}
+
+impl RecordReplayOracle {
+    /// A fresh oracle with no stashed failure artifact.
+    pub fn new() -> Self {
+        RecordReplayOracle { last_log: RefCell::new(None) }
+    }
+}
+
+impl Default for RecordReplayOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Oracle for RecordReplayOracle {
+    fn name(&self) -> &'static str {
+        "record-replay"
+    }
+
+    fn samples(&self, case_seed: u64) -> bool {
+        case_seed.is_multiple_of(3)
+    }
+
+    fn artifact(&self) -> Option<(String, Vec<u8>)> {
+        self.last_log.borrow().as_ref().map(|bytes| ("dlog".to_owned(), bytes.clone()))
+    }
+
+    fn check(&self, config: &ScenarioConfig, registry: &Registry) -> Verdict {
+        use dilu_replay::{replay, EventLog, ReplayError};
+        self.last_log.borrow_mut().take();
+        let recorded =
+            std::panic::catch_unwind(AssertUnwindSafe(|| dilu_replay::record(config, registry)))
+                .unwrap_or_else(|p| {
+                    Err(ReplayError::Scenario(format!("PANIC while recording: {}", panic_text(&p))))
+                });
+        let log = match recorded {
+            Ok(log) => log,
+            // A scenario the serving plane rejects with a typed error has
+            // nothing to record — the same Skip every other oracle gives.
+            Err(ReplayError::Scenario(msg)) if !msg.starts_with("PANIC") => {
+                return Verdict::Skip(msg)
+            }
+            Err(e) => return Verdict::Fail(format!("recording failed: {e}")),
+        };
+        let bytes = log.to_bytes();
+        let parsed = match EventLog::from_bytes(&bytes) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                *self.last_log.borrow_mut() = Some(bytes);
+                return Verdict::Fail(format!("recorded log does not parse back: {e}"));
+            }
+        };
+        let verdict = std::panic::catch_unwind(AssertUnwindSafe(|| replay(&parsed, registry)))
+            .unwrap_or_else(|p| {
+                Err(ReplayError::Scenario(format!("PANIC while replaying: {}", panic_text(&p))))
+            });
+        match verdict {
+            Ok(outcome) if outcome.is_exact() => Verdict::Pass,
+            Ok(outcome) => {
+                *self.last_log.borrow_mut() = Some(bytes);
+                let mut lines = Vec::new();
+                if let Some(d) = outcome.event_divergence {
+                    lines.push(d);
+                }
+                if let Some(d) = outcome.audit_divergence {
+                    lines.push(d);
+                }
+                if !outcome.report_matches {
+                    lines.push(first_divergence(&outcome.report_json, &parsed.report_json));
+                }
+                Verdict::Fail(format!("replay diverged from the recording:\n{}", lines.join("\n")))
+            }
+            Err(e) => {
+                *self.last_log.borrow_mut() = Some(bytes);
+                Verdict::Fail(format!("replay failed: {e}"))
+            }
         }
     }
 }

@@ -698,6 +698,75 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_join_and_leave_matches_the_full_reshare() {
+        // A simultaneous join+leave is the hardest membership change: a
+        // flow finishes at instant t while another starts at exactly t.
+        // The driver makes two calls in some order, each an incremental
+        // re-share, and both orders must land bit-identically on the
+        // full water-fill. This is the release-build regression for the
+        // debug-only in-plane oracle: it differences the incremental
+        // rates against `full_water_fill_rates()` explicitly, so
+        // `cargo test --release` exercises it with debug_assertions off.
+        for seed in 0..8u64 {
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED;
+            let mut net = plane(6, 12.5, 10.0);
+            let mut t = SimTime::ZERO;
+            let mut tag = 0u32;
+            for round in 0..150 {
+                // Keep a few flows alive so a finish instant exists.
+                while net.active_flows() < 3 {
+                    let node = (splitmix(&mut rng) % 6) as usize;
+                    let bytes = 5_000_000 + splitmix(&mut rng) % 400_000_000;
+                    if splitmix(&mut rng).is_multiple_of(2) {
+                        net.start_fetch(t, node, bytes, tag);
+                    } else {
+                        let src = (splitmix(&mut rng) % 6) as usize;
+                        net.start_transfer(t, src, node, bytes, tag);
+                    }
+                    tag += 1;
+                    assert_rates_match_oracle(&net, "refill");
+                }
+                // Jump exactly onto the earliest finish instant.
+                t = net.finish_instants().min().expect("active flows have finishes");
+                let node = (splitmix(&mut rng) % 6) as usize;
+                let bytes = 1_000_000 + splitmix(&mut rng) % 200_000_000;
+                if splitmix(&mut rng).is_multiple_of(2) {
+                    // Leave, then join at the same instant.
+                    let done = net.take_due(t);
+                    assert!(!done.is_empty(), "seed {seed} round {round}: missed the finish");
+                    assert_rates_match_oracle(&net, "after same-instant leave");
+                    net.start_fetch(t, node, bytes, tag);
+                } else {
+                    // Join, then leave at the same instant. The join's
+                    // re-share may slow the due flow past its old finish
+                    // (rescuing it is legitimate); the rates must match
+                    // the oracle either way.
+                    net.start_fetch(t, node, bytes, tag);
+                    assert_rates_match_oracle(&net, "after same-instant join");
+                    net.take_due(t);
+                }
+                tag += 1;
+                assert_rates_match_oracle(&net, "after same-instant churn");
+                assert_eq!(
+                    net.requested_bytes(),
+                    net.delivered_bytes() + net.inflight_bytes(),
+                    "ledger must balance (seed {seed}, round {round})"
+                );
+            }
+            // Drain: every flow completes, the ledger closes.
+            let mut guard = 0;
+            while net.active_flows() > 0 {
+                t += SimDuration::from_secs(600);
+                net.take_due(t);
+                assert_rates_match_oracle(&net, "during drain");
+                guard += 1;
+                assert!(guard < 10_000, "flows must drain (seed {seed})");
+            }
+            assert_eq!(net.requested_bytes(), net.delivered_bytes());
+        }
+    }
+
+    #[test]
     fn storm_departures_only_touch_their_component() {
         // A registry storm on nodes 0..4 and an independent NVLink
         // transfer on node 7: the transfer's rate must survive every

@@ -274,6 +274,28 @@ impl SharePolicy for RckmPolicy {
     fn name(&self) -> &str {
         "dilu-rckm"
     }
+
+    fn idle_history_cycles(&self) -> u64 {
+        // Derived state and how fast it converges under workless cycles:
+        // the kernel-rate window fills with zeros in `rate_window` cycles
+        // (plus `queue_pressure` as a margin for the queue-derived burst
+        // signal draining), and the multiplicative grant ramp reaches any
+        // ceiling within log_η of the limit/request ratio — bounded here
+        // by 10⁴ (4·ln10), far beyond any profiled quota spread. η ≤ 1
+        // never grows, so it converges with the window. The result floors
+        // at the trait default, which already covers the paper defaults
+        // (10 + 3 + 36 = 49 < 96); a custom config with a longer window
+        // raises the cap instead of silently breaking the event-driven ≡
+        // dense equivalence.
+        let cfg = &self.config;
+        let ramp = if cfg.eta_increase > 1.0 {
+            (4.0 * std::f64::consts::LN_10 / cfg.eta_increase.ln()).ceil() as u64
+        } else {
+            0
+        };
+        (cfg.rate_window as u64 + cfg.queue_pressure as u64 + ramp)
+            .max(dilu_gpu::IDLE_HISTORY_CYCLES)
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +462,22 @@ mod tests {
         let g = tick(&mut p, &shrunk);
         // Ramp restarts from the clamped state: 0.2 × η = 0.26, not 1.0.
         assert!(grant_of(&g, 1) < 0.3, "post-shrink grant {}", grant_of(&g, 1));
+    }
+
+    #[test]
+    fn idle_history_bound_tracks_the_config() {
+        // Paper defaults converge well inside the trait floor of 96.
+        let p = RckmPolicy::new(RckmConfig::default());
+        assert_eq!(p.idle_history_cycles(), dilu_gpu::IDLE_HISTORY_CYCLES);
+        // A much longer kernel-rate window raises the cap past the floor
+        // instead of silently under-replaying idle cycles.
+        let wide = RckmPolicy::new(RckmConfig { rate_window: 200, ..RckmConfig::default() });
+        assert!(wide.idle_history_cycles() > dilu_gpu::IDLE_HISTORY_CYCLES);
+        assert!(wide.idle_history_cycles() >= 200);
+        // η ≤ 1 never ramps, so only the window term counts — still
+        // floored at the trait default.
+        let flat = RckmPolicy::new(RckmConfig { eta_increase: 1.0, ..RckmConfig::default() });
+        assert_eq!(flat.idle_history_cycles(), dilu_gpu::IDLE_HISTORY_CYCLES);
     }
 
     #[test]

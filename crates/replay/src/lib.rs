@@ -1,0 +1,76 @@
+//! Deterministic record/replay and time-travel debugging for the Dilu
+//! reproduction.
+//!
+//! [`record`] runs any scenario with the event-core and audit hooks
+//! armed and assembles a compact, versioned binary [`EventLog`]: the
+//! scenario config (hashed into the header so stale logs fail loudly),
+//! every inference function's pre-run arrival schedule (so replay never
+//! re-samples an arrival process), the typed event stream in execution
+//! order, per-controller-tick audit digests, and the final
+//! `ClusterReport` JSON.
+//!
+//! [`replay`] rebuilds the scenario from the log alone and re-runs it
+//! with verifying hooks: byte-identical report JSON is the acceptance
+//! oracle, and the first diverging event or audit digest is localized in
+//! the verdict. [`replay_until`] stops a replay at an instant and hands
+//! back the full [`AuditSnapshot`](dilu_cluster::AuditSnapshot) — time
+//! travel through the existing audit machinery. [`diff`] structurally
+//! compares two logs and pins the first divergent event with the audit
+//! delta around it.
+//!
+//! The CLI front door is `dilu record` / `dilu replay` (see
+//! `dilu-cli`); the fuzzer's record-then-replay oracle lives in
+//! `dilu-harness`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod log;
+mod record;
+mod replay;
+
+pub use crate::log::{fnv1a, EventLog, LogError, LoggedEvent, FORMAT_VERSION, MAGIC};
+pub use crate::record::{audit_digest, record};
+pub use crate::replay::{
+    build_replay_scenario, diff, replay, replay_until, DiffReport, ReplayReport,
+};
+
+/// A record/replay failure, separating log-format problems from
+/// scenario composition and serialization ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The log bytes are structurally invalid (see [`LogError`]).
+    Log(LogError),
+    /// The recorded scenario no longer composes (unknown components,
+    /// invalid config) — or never did.
+    Scenario(String),
+    /// Config or report JSON (de)serialization failed.
+    Serialize(String),
+    /// The recorded config JSON no longer round-trips byte-identically
+    /// through this binary's config schema: the log predates a schema
+    /// change and must be re-recorded.
+    SchemaDrift,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Log(e) => write!(f, "{e}"),
+            ReplayError::Scenario(msg) => write!(f, "scenario error: {msg}"),
+            ReplayError::Serialize(msg) => write!(f, "serialization error: {msg}"),
+            ReplayError::SchemaDrift => write!(
+                f,
+                "recorded config no longer round-trips through this binary's schema \
+                 (stale log; re-record it)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<LogError> for ReplayError {
+    fn from(e: LogError) -> Self {
+        ReplayError::Log(e)
+    }
+}

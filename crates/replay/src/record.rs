@@ -1,0 +1,73 @@
+//! The record side: run a scenario with the event and audit hooks armed
+//! and assemble a replayable [`EventLog`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dilu_cluster::EventRecord;
+use dilu_core::{Registry, ScenarioConfig};
+use dilu_sim::SimTime;
+
+use crate::log::{fnv1a, EventLog, LoggedEvent};
+use crate::ReplayError;
+
+/// Digest of an audit snapshot: FNV-1a over its debug rendering. The
+/// rendering covers every audited field deterministically (derived
+/// `Debug` over plain data), so any accounting divergence between two
+/// runs flips the digest at the first differing controller tick.
+pub fn audit_digest(snapshot: &dilu_cluster::AuditSnapshot) -> u64 {
+    fnv1a(format!("{snapshot:?}").as_bytes())
+}
+
+/// Records one full run of `config`: the pre-run arrival schedules, the
+/// typed event stream, per-tick audit digests, and the final report
+/// JSON — everything [`replay`](crate::replay) needs to reproduce and
+/// verify the run.
+///
+/// # Errors
+///
+/// Configuration/composition errors surface as
+/// [`ReplayError::Scenario`]; serialization failures as
+/// [`ReplayError::Serialize`].
+pub fn record(config: &ScenarioConfig, registry: &Registry) -> Result<EventLog, ReplayError> {
+    let config_json =
+        serde_json::to_string(config).map_err(|e| ReplayError::Serialize(e.to_string()))?;
+    let scenario = config
+        .clone()
+        .into_builder(registry)
+        .and_then(|b| b.build())
+        .map_err(|e| ReplayError::Scenario(e.to_string()))?;
+    let horizon = scenario.horizon();
+    let drain = scenario.drain();
+    let mut sim = scenario.into_sim();
+    let arrivals: Vec<(u32, Vec<SimTime>)> =
+        sim.arrival_schedule().into_iter().map(|(id, times)| (id.0, times)).collect();
+
+    let events: Rc<RefCell<Vec<LoggedEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    let events_tap = Rc::clone(&events);
+    sim.set_event_hook(Box::new(move |r: EventRecord| {
+        events_tap.borrow_mut().push(LoggedEvent {
+            at: r.at,
+            seq: r.seq,
+            kind: r.kind,
+            uid: r.uid,
+        });
+    }));
+    let audits: Rc<RefCell<Vec<(SimTime, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+    let audits_tap = Rc::clone(&audits);
+    sim.set_audit_hook(Box::new(move |snapshot| {
+        audits_tap.borrow_mut().push((snapshot.now, audit_digest(snapshot)));
+    }));
+
+    sim.run_until(SimTime::ZERO + horizon + drain);
+    let report = sim.into_report();
+    let report_json =
+        serde_json::to_string(&report).map_err(|e| ReplayError::Serialize(e.to_string()))?;
+
+    let mut log = EventLog::new(config_json);
+    log.arrivals = arrivals;
+    log.events = std::mem::take(&mut *events.borrow_mut());
+    log.audits = std::mem::take(&mut *audits.borrow_mut());
+    log.report_json = report_json;
+    Ok(log)
+}

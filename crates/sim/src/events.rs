@@ -418,7 +418,7 @@ impl<T> EventQueue<T> {
     }
 
     /// Frees a live front entry the cursor is parked on (after `settle`).
-    fn take_front(&mut self) -> (SimTime, T) {
+    fn take_front(&mut self) -> (SimTime, u64, T) {
         let bucket = &mut self.buckets[self.cursor];
         let item = bucket.items[bucket.head];
         bucket.head += 1;
@@ -433,11 +433,19 @@ impl<T> EventQueue<T> {
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(item.idx);
         self.len -= 1;
-        (item.at, payload)
+        (item.at, item.seq, payload)
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_with_seq().map(|(at, _, event)| (at, event))
+    }
+
+    /// [`pop`](Self::pop) that also reports the event's insertion sequence
+    /// number — the queue-global, monotonically increasing push counter
+    /// that breaks same-instant ties. Record/replay logs carry it so two
+    /// runs can be diffed event-for-event, not just instant-for-instant.
+    pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, T)> {
         if !self.settle() {
             return None;
         }
@@ -466,6 +474,12 @@ impl<T> EventQueue<T> {
     /// Removes and returns the earliest event only if it fires at or before
     /// `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        self.pop_due_with_seq(now).map(|(at, _, event)| (at, event))
+    }
+
+    /// [`pop_due`](Self::pop_due) that also reports the event's insertion
+    /// sequence number (see [`pop_with_seq`](Self::pop_with_seq)).
+    pub fn pop_due_with_seq(&mut self, now: SimTime) -> Option<(SimTime, u64, T)> {
         if !self.settle() {
             return None;
         }
@@ -1004,6 +1018,141 @@ mod tests {
                 assert_eq!(wheel.len(), reference.len(), "len diverged (seed {seed})");
             }
             // Drain: the full remaining order must match.
+            loop {
+                let got = wheel.pop();
+                let want = reference.pop();
+                assert_eq!(got, want, "drain diverged (seed {seed})");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Horizon-boundary hardening: pushes aimed exactly at
+    // `base_tick + SLOTS` (the near/far frontier) and cancels landing
+    // mid-cascade.
+    // ------------------------------------------------------------------
+
+    /// An instant landing on the given absolute tick of `q`'s grid.
+    fn at_tick<T>(q: &EventQueue<T>, tick: u64) -> SimTime {
+        SimTime::from_micros(tick * q.granularity)
+    }
+
+    #[test]
+    fn pop_with_seq_reports_the_push_counter() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(2), 'b');
+        q.push(SimTime::from_millis(1), 'a');
+        let t = q.push_cancellable(SimTime::from_millis(3), 'c');
+        assert!(q.cancel(t));
+        assert_eq!(q.pop_with_seq(), Some((SimTime::from_millis(1), 1, 'a')));
+        assert_eq!(
+            q.pop_due_with_seq(SimTime::from_millis(2)),
+            Some((SimTime::from_millis(2), 0, 'b'))
+        );
+        assert_eq!(q.pop_with_seq(), None);
+    }
+
+    #[test]
+    fn pushes_exactly_at_the_wheel_horizon_pop_in_order() {
+        let mut q = EventQueue::new();
+        // Anchor so the base advances off zero deterministically.
+        q.push(at_tick(&q, 1), 0u64);
+        assert_eq!(q.peek_time(), Some(at_tick(&q, 1)));
+        let horizon = q.base_tick + SLOTS as u64;
+        // One event on each side of the frontier: the last in-window
+        // tick, exactly at the horizon (routed far), and one past it.
+        q.push(at_tick(&q, horizon - 1), 1);
+        q.push(at_tick(&q, horizon), 2);
+        q.push(at_tick(&q, horizon + 1), 3);
+        // Same-instant FIFO across the frontier: a second push at the
+        // horizon instant must pop after the first.
+        q.push(at_tick(&q, horizon), 4);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [0, 1, 2, 4, 3]);
+    }
+
+    #[test]
+    fn cancel_at_the_horizon_survives_the_cascade() {
+        let mut q = EventQueue::new();
+        q.push(at_tick(&q, 1), 0u64);
+        assert_eq!(q.peek_time(), Some(at_tick(&q, 1)));
+        let horizon = q.base_tick + SLOTS as u64;
+        // Far entries parked exactly at the frontier: one cancelled while
+        // still in the far heap, one cancelled only after it cascades.
+        let pre = q.push_cancellable(at_tick(&q, horizon), 1);
+        let post = q.push_cancellable(at_tick(&q, horizon), 2);
+        q.push(at_tick(&q, horizon), 3);
+        assert!(q.cancel(pre));
+        assert_eq!(q.pop(), Some((at_tick(&q, 1), 0)));
+        // Settling here advances the base and cascades the frontier in.
+        assert_eq!(q.peek_time(), Some(at_tick(&q, horizon)));
+        assert!(q.cancel(post), "a cascaded entry's token must still cancel it");
+        assert_eq!(q.pop(), Some((at_tick(&q, horizon), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Differential churn aimed at the live `base_tick + SLOTS` frontier:
+    /// every push lands within ±2 ticks of the near/far comparison, pops
+    /// land exactly on the horizon instant, and cancels hit entries on
+    /// both sides mid-flight. Any off-by-one in the insert routing, the
+    /// cascade limit, or the rebase shows up as an order or len
+    /// divergence from the reference heap.
+    #[test]
+    fn boundary_straddling_churn_matches_the_reference_heap() {
+        for seed in 0..8u64 {
+            let mut rng = seed.wrapping_mul(0x9E37_79B9) ^ 0x5EED;
+            let mut wheel: EventQueue<u64> = EventQueue::with_granularity(
+                SimDuration::from_micros([1, 250, 5_000][(seed % 3) as usize]),
+            );
+            let mut reference: RefQueue<u64> = RefQueue::new();
+            let mut tokens: Vec<(EventToken, u64)> = Vec::new();
+            let mut payload = 0u64;
+            for _ in 0..6_000 {
+                match splitmix(&mut rng) % 10 {
+                    0..=4 => {
+                        let horizon = wheel.base_tick + SLOTS as u64;
+                        let tick = (horizon + splitmix(&mut rng) % 5).saturating_sub(2);
+                        let at = at_tick(&wheel, tick);
+                        let t = wheel.push_cancellable(at, payload);
+                        let seq = reference.push(at, payload);
+                        tokens.push((t, seq));
+                        payload += 1;
+                    }
+                    5 => {
+                        // Same-instant duplicates exactly at the horizon.
+                        let at = at_tick(&wheel, wheel.base_tick + SLOTS as u64);
+                        wheel.push(at, payload);
+                        reference.push(at, payload);
+                        payload += 1;
+                    }
+                    6..=7 => {
+                        if !tokens.is_empty() {
+                            let i = (splitmix(&mut rng) as usize) % tokens.len();
+                            let (t, seq) = tokens.swap_remove(i);
+                            assert_eq!(wheel.cancel(t), reference.cancel(seq));
+                        }
+                    }
+                    8 => {
+                        assert_eq!(wheel.pop(), reference.pop(), "pop diverged (seed {seed})");
+                    }
+                    _ => {
+                        // pop_due exactly at the horizon instant forces
+                        // settle → base advance → cascade with frontier
+                        // entries in flight.
+                        let due = at_tick(&wheel, wheel.base_tick + SLOTS as u64);
+                        let want = if reference.peek_time().is_some_and(|t| t <= due) {
+                            reference.pop()
+                        } else {
+                            None
+                        };
+                        assert_eq!(wheel.pop_due(due), want, "pop_due diverged (seed {seed})");
+                    }
+                }
+                assert_eq!(wheel.len(), reference.len(), "len diverged (seed {seed})");
+            }
             loop {
                 let got = wheel.pop();
                 let want = reference.pop();
