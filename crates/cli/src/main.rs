@@ -48,16 +48,22 @@ fn usage() -> String {
      \n\
      USAGE:\n\
      \x20 dilu run <scenario.toml|.json> [--json <out.json>] [--time-model <event-driven|dense-quantum>]\n\
-     \x20          [--threads <n>] [--profile]\n\
+     \x20          [--threads <n>] [--arrival-window <n>] [--profile] [--progress]\n\
      \x20     Build the scenario described by the config file and simulate it.\n\
      \x20     --time-model overrides the scenario's [sim] time_model (the\n\
      \x20     wake-on-work event engine by default; dense-quantum is the\n\
      \x20     legacy per-quantum stepper kept for comparison). --threads\n\
      \x20     overrides [sim] threads (node-plane step parallelism; the\n\
-     \x20     report is byte-identical at any setting). --profile turns on\n\
-     \x20     the per-phase wall-clock profiler ([sim] profile): a table of\n\
+     \x20     report is byte-identical at any setting). --arrival-window\n\
+     \x20     overrides [sim] arrival_window, the bounded per-function\n\
+     \x20     pending-arrival buffer streamed from each arrival process\n\
+     \x20     (0 materializes every schedule up front; the report is\n\
+     \x20     byte-identical at any window). --profile turns on the\n\
+     \x20     per-phase wall-clock profiler ([sim] profile): a table of\n\
      \x20     where the simulation wall clock went, also embedded under\n\
-     \x20     \"profile\" in the --json output.\n\
+     \x20     \"profile\" in the --json output. --progress paints a\n\
+     \x20     simulated-time progress line with a wall-clock ETA to stderr\n\
+     \x20     (off by default; never written to stdout or --json files).\n\
      \x20 dilu record <scenario.toml|.json> [--log <out.dlog>] [--json <report.json>]\n\
      \x20     Simulate like `dilu run` while recording the typed event\n\
      \x20     stream, every arrival instant, and per-tick audit digests to\n\
@@ -110,7 +116,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut json_out: Option<PathBuf> = None;
     let mut time_model: Option<String> = None;
     let mut threads: Option<u32> = None;
+    let mut arrival_window: Option<u32> = None;
     let mut profile = false;
+    let mut progress = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -125,7 +133,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--threads" => {
                 threads = Some(parse_threads(it.next())?);
             }
+            "--arrival-window" => {
+                let n = it.next().ok_or("--arrival-window needs a number")?;
+                arrival_window = Some(
+                    n.parse::<u32>()
+                        .map_err(|_| format!("--arrival-window needs a number, got `{n}`"))?,
+                );
+            }
             "--profile" => profile = true,
+            "--progress" => progress = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `dilu run`"));
             }
@@ -138,7 +154,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let path =
         scenario_path.ok_or_else(|| format!("`dilu run` needs a scenario file\n\n{}", usage()))?;
-    run_scenario(&path, json_out.as_deref(), time_model.as_deref(), threads, profile)
+    let options = RunOptions { time_model, threads, arrival_window, profile, progress };
+    run_scenario(&path, json_out.as_deref(), &options)
+}
+
+/// Flag overrides for `dilu run`.
+#[derive(Default)]
+struct RunOptions {
+    time_model: Option<String>,
+    threads: Option<u32>,
+    arrival_window: Option<u32>,
+    profile: bool,
+    progress: bool,
 }
 
 /// Parses a `--threads` operand: a positive integer.
@@ -150,23 +177,20 @@ fn parse_threads(value: Option<&String>) -> Result<u32, String> {
     }
 }
 
-fn run_scenario(
-    path: &Path,
-    json_out: Option<&Path>,
-    time_model: Option<&str>,
-    threads: Option<u32>,
-    profile: bool,
-) -> Result<(), String> {
+fn run_scenario(path: &Path, json_out: Option<&Path>, options: &RunOptions) -> Result<(), String> {
     let mut config = ScenarioConfig::load(path).map_err(|e| e.to_string())?;
-    if let Some(model) = time_model {
+    if let Some(model) = &options.time_model {
         // Validated with the rest of the [sim] section when the builder maps
         // the config (unknown values fail there, loudly).
-        config.sim.get_or_insert_with(Default::default).time_model = Some(model.to_owned());
+        config.sim.get_or_insert_with(Default::default).time_model = Some(model.clone());
     }
-    if let Some(threads) = threads {
+    if let Some(threads) = options.threads {
         config.sim.get_or_insert_with(Default::default).threads = Some(threads);
     }
-    if profile {
+    if let Some(window) = options.arrival_window {
+        config.sim.get_or_insert_with(Default::default).arrival_window = Some(window);
+    }
+    if options.profile {
         config.sim.get_or_insert_with(Default::default).profile = Some(true);
     }
     let name = config.name.clone().unwrap_or_else(|| {
@@ -188,7 +212,11 @@ fn run_scenario(
     println!("horizon: {horizon} (+drain)\n");
 
     let started = std::time::Instant::now();
-    let (report, phase_profile) = scenario.run_profiled().map_err(|e| e.to_string())?;
+    let (report, phase_profile) = if options.progress {
+        run_with_progress(scenario, horizon)
+    } else {
+        scenario.run_profiled().map_err(|e| e.to_string())?
+    };
     let elapsed = started.elapsed();
 
     if !report.inference.is_empty() {
@@ -286,6 +314,41 @@ fn run_scenario(
         println!("[json: {}]", out.display());
     }
     Ok(())
+}
+
+/// Runs the scenario in ~200 simulated-time slices, painting a
+/// simulated-time progress line (percent done, simulated seconds, wall
+/// ETA) to **stderr** after each slice. Slicing `run_until` lands on the
+/// exact same event stream as one call to the full horizon, so the
+/// report stays byte-identical to a plain run — and stderr keeps the
+/// ticker out of piped stdout and `--json` files.
+fn run_with_progress(
+    scenario: dilu_core::Scenario,
+    horizon: dilu_sim::SimDuration,
+) -> (dilu_cluster::ClusterReport, Option<dilu_metrics::PhaseProfile>) {
+    use dilu_sim::SimTime;
+    let end = SimTime::ZERO + horizon + scenario.drain();
+    let total_us = end.as_micros();
+    let mut sim = scenario.into_sim();
+    let started = std::time::Instant::now();
+    const SLICES: u64 = 200;
+    for slice in 1..=SLICES {
+        let t = SimTime::from_micros(total_us / SLICES * slice);
+        sim.run_until(if slice == SLICES { end } else { t });
+        let done = slice as f64 / SLICES as f64;
+        let elapsed = started.elapsed().as_secs_f64();
+        let eta = elapsed * (1.0 - done) / done;
+        eprint!(
+            "\r[progress] {:5.1}% | t={:.0}s/{:.0}s | eta {:.0}s   ",
+            done * 100.0,
+            (total_us / SLICES * slice) as f64 / 1e6,
+            total_us as f64 / 1e6,
+            eta,
+        );
+    }
+    eprintln!();
+    let profile = sim.phase_profile();
+    (sim.into_report(), profile)
 }
 
 /// A JSON-friendly digest of a [`dilu_cluster::ClusterReport`].

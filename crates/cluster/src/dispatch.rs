@@ -71,19 +71,64 @@ impl ClusterSim {
     pub(crate) fn ingest_arrivals(&mut self) {
         let now = self.now;
         let cutoff = now + self.config.quantum;
-        let mut routed = std::mem::take(&mut self.routed_buf);
-        routed.clear();
-        for (id, f) in self.funcs.iter_mut() {
-            while f.arrivals.front().is_some_and(|&t| t < cutoff) {
-                let arrived = f.arrivals.pop_front().expect("checked front");
-                let req = Request { id: self.next_request, arrived };
-                self.next_request += 1;
-                f.arrived += 1;
-                f.sec_arrivals += 1;
-                f.window.observe(arrived);
-                routed.push((*id, req));
+        // Functions with an arrival due this quantum, from the lazy
+        // min-index — never a scan of all functions. A popped entry whose
+        // function's live head moved past the cutoff is stale: re-arm it
+        // at the live head and move on.
+        let mut due = std::mem::take(&mut self.due_funcs_buf);
+        due.clear();
+        while let Some(&std::cmp::Reverse((t, id))) = self.arrival_index.peek() {
+            if t >= cutoff {
+                break;
+            }
+            self.arrival_index.pop();
+            match self.funcs.get(&id).and_then(|f| f.arrivals.front().copied()) {
+                Some(head) if head < cutoff => due.push(id),
+                Some(head) => self.arrival_index.push(std::cmp::Reverse((head, id))),
+                None => {}
             }
         }
+        // Ascending-id order (duplicates possible when several stale
+        // entries shadow one function), matching the full-map iteration
+        // the dense stepper historically used — request ids and routing
+        // order stay byte-identical.
+        due.sort_unstable();
+        due.dedup();
+        let mut routed = std::mem::take(&mut self.routed_buf);
+        routed.clear();
+        for &id in &due {
+            loop {
+                let f = self.funcs.get_mut(&id).expect("due function exists");
+                while f.arrivals.front().is_some_and(|&t| t < cutoff) {
+                    let arrived = f.arrivals.pop_front().expect("checked front");
+                    let req = Request { id: self.next_request, arrived };
+                    self.next_request += 1;
+                    f.arrived += 1;
+                    f.sec_arrivals += 1;
+                    f.window.observe(arrived);
+                    routed.push((id, req));
+                }
+                // Window drained mid-quantum: pull the next chunk and keep
+                // popping — a bounded window must never delay an arrival.
+                if f.arrivals.is_empty() && f.stream.is_some() {
+                    self.refill_arrivals(id);
+                    let refilled_due = self
+                        .funcs
+                        .get(&id)
+                        .is_some_and(|f| f.arrivals.front().is_some_and(|&t| t < cutoff));
+                    if refilled_due {
+                        continue;
+                    }
+                }
+                break;
+            }
+            // Re-arm the index at the next head beyond this quantum.
+            if let Some(&head) = self.funcs.get(&id).and_then(|f| f.arrivals.front()) {
+                self.arrival_index.push(std::cmp::Reverse((head, id)));
+            }
+        }
+        due.clear();
+        self.due_funcs_buf = due;
         for &(func, req) in &routed {
             self.route_request(func, req);
         }

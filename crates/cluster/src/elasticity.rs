@@ -319,7 +319,13 @@ impl ClusterSim {
             let mut starting = 0u32;
             let mut backlog = f.backlog.len();
             let mut max_idle = SimDuration::ZERO;
-            for inst in instances.values().filter(|i| i.func == *id) {
+            // Only this function's instances (the per-func index) — a
+            // cluster-wide scan here is O(functions × instances) per tick,
+            // which dominates everything at production fleet scale.
+            for uid in &f.instance_ids {
+                let Some(inst) = instances.get(uid) else {
+                    continue;
+                };
                 match inst.state {
                     InstanceState::Running => {
                         ready += 1;
@@ -366,11 +372,16 @@ impl ClusterSim {
                 }
                 ScaleAction::ScaleIn { func, count } => {
                     for _ in 0..count {
-                        // Drain the most idle ready instance.
+                        // Drain the most idle ready instance (scanning only
+                        // this function's instances via the per-func index).
                         let victim = self
-                            .instances
-                            .values()
-                            .filter(|i| i.func == func && i.state.is_ready())
+                            .funcs
+                            .get(&func)
+                            .map(|f| f.instance_ids.as_slice())
+                            .unwrap_or(&[])
+                            .iter()
+                            .filter_map(|uid| self.instances.get(uid))
+                            .filter(|i| i.state.is_ready())
                             .min_by_key(|i| {
                                 (
                                     std::cmp::Reverse(
@@ -442,30 +453,28 @@ impl ClusterSim {
         self.instance_gpu_seconds += instance_gpus as f64 * self.config.tick.as_secs_f64();
         self.total_kernel_series.push((sec, self.total_blocks_sec));
         self.total_blocks_sec = 0;
+        // Per-function series cost O(functions × seconds) report memory;
+        // production-scale scenarios turn them off (the per-second counters
+        // still reset so aggregates stay exact either way).
+        let record_series = self.config.function_series;
+        let instances = &self.instances;
         for f in self.funcs.values_mut() {
-            f.kernel_series.push((sec, f.sec_blocks));
+            if record_series {
+                f.kernel_series.push((sec, f.sec_blocks));
+            }
             f.sec_blocks = 0;
-        }
-        // Inference timelines need instance counts; gather after borrows end.
-        let ready_counts: BTreeMap<FunctionId, u32> = self
-            .funcs
-            .keys()
-            .map(|&id| {
-                (
-                    id,
-                    self.instances.values().filter(|i| i.func == id && i.state.is_ready()).count()
-                        as u32,
-                )
-            })
-            .collect();
-        for (id, f) in self.funcs.iter_mut() {
-            if f.spec.kind.is_inference() {
+            if f.spec.kind.is_inference() && record_series {
+                let ready = f
+                    .instance_ids
+                    .iter()
+                    .filter(|uid| instances.get(uid).is_some_and(|i| i.state.is_ready()))
+                    .count() as u32;
                 f.timeline.push(TimelinePoint {
                     sec,
                     arrivals: f.sec_arrivals,
                     completions: f.sec_completions,
                     violations: f.sec_violations,
-                    ready_instances: ready_counts.get(id).copied().unwrap_or(0),
+                    ready_instances: ready,
                 });
             }
             f.sec_arrivals = 0;

@@ -49,7 +49,8 @@ pub use instance::{InstanceState, InstanceUid};
 pub use lifecycle::DeployError;
 pub use report::{ClusterReport, FunctionReport, TimelinePoint, TrainingReport};
 pub use sim::{
-    ClusterSim, EventHook, EventRecord, SimConfig, SimEvent, TimeModel, QUANTUM_CHAIN_CODE,
+    ArrivalHook, ClusterSim, EventHook, EventRecord, SimConfig, SimEvent, TimeModel,
+    QUANTUM_CHAIN_CODE,
 };
 pub use spec::{
     cold_start_duration, ClusterSpec, FunctionId, FunctionKind, FunctionSpec, GpuAddr, Quotas,

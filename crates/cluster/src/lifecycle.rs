@@ -16,7 +16,7 @@ use dilu_gpu::{SlotConfig, TaskClass};
 use dilu_sim::SimTime;
 
 use crate::instance::Instance;
-use crate::sim::{new_func_state, SimEvent};
+use crate::sim::{new_func_state, ArrivalStream, SimEvent};
 use crate::traits::ClusterView;
 use crate::{
     cold_start_duration, ClusterSim, FunctionId, FunctionKind, FunctionSpec, InstanceState,
@@ -110,7 +110,52 @@ impl ClusterSim {
         debug_assert!(spec.kind.is_inference(), "use deploy_training for training functions");
         self.validate_spec(&spec)?;
         let id = spec.id;
-        self.funcs.insert(id, new_func_state(spec, arrivals));
+        let state = new_func_state(spec, arrivals);
+        if let Some(&head) = state.arrivals.front() {
+            self.arrival_index.push(std::cmp::Reverse((head, id)));
+        }
+        self.funcs.insert(id, state);
+        for _ in 0..initial {
+            self.launch_instance(id, true).map_err(|_| DeployError::PlacementFailed(id))?;
+        }
+        Ok(())
+    }
+
+    /// Deploys an inference function whose arrivals are *streamed*: the
+    /// process is pulled in bounded chunks (at most
+    /// [`SimConfig::arrival_window`](crate::SimConfig::arrival_window)
+    /// pending instants are ever held in memory) up to the `end` horizon,
+    /// instead of being materialized up front. Identical simulation
+    /// results to pre-generating `process.generate(end)` and deploying it
+    /// with [`deploy_inference`](Self::deploy_inference) — arrival
+    /// processes draw the same instants at every chunking — at O(window)
+    /// instead of O(total requests) memory per function.
+    ///
+    /// The first chunk is pulled lazily at the next
+    /// [`run_until`](Self::run_until) entry, so hooks registered before
+    /// the run observe the complete stream.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::DuplicateFunction`] if the id is taken;
+    /// [`DeployError::PlacementFailed`] if any initial instance cannot be
+    /// placed.
+    pub fn deploy_inference_streaming(
+        &mut self,
+        spec: FunctionSpec,
+        initial: u32,
+        process: Box<dyn dilu_workload::ArrivalProcess>,
+        end: SimTime,
+    ) -> Result<(), DeployError> {
+        if self.funcs.contains_key(&spec.id) {
+            return Err(DeployError::DuplicateFunction(spec.id));
+        }
+        debug_assert!(spec.kind.is_inference(), "use deploy_training for training functions");
+        self.validate_spec(&spec)?;
+        let id = spec.id;
+        let mut state = new_func_state(spec, Vec::new());
+        state.stream = Some(ArrivalStream { process, end });
+        self.funcs.insert(id, state);
         for _ in 0..initial {
             self.launch_instance(id, true).map_err(|_| DeployError::PlacementFailed(id))?;
         }

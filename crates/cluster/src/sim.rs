@@ -31,7 +31,8 @@
 //! node plane merges per-node step outcomes in fixed node order, so
 //! parallelism changes wall clock, never results.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use dilu_metrics::{
     ColdStartCounter, FragmentationStats, LatencyRecorder, PhaseProfile, PhaseProfiler, RateWindow,
@@ -120,6 +121,23 @@ pub struct SimConfig {
     /// wall clock around every phase, which costs a few percent at macro
     /// scale. Purely observational: reports are byte-identical either way.
     pub profile: bool,
+    /// Cap on the pending-arrival window a streaming deployment
+    /// ([`ClusterSim::deploy_inference_streaming`]) keeps in memory per
+    /// function. The window refills in chunks of at most this many
+    /// instants as ingest drains it; `0` means unbounded (the whole
+    /// stream is pulled on the first refill, reproducing pre-streaming
+    /// memory behaviour). Because arrival processes draw identical
+    /// instants at every chunking (see
+    /// [`dilu_workload::ArrivalProcess::refill`]), reports are
+    /// byte-identical at every setting — the window trades peak memory
+    /// only, never results.
+    pub arrival_window: u32,
+    /// Records per-function time series (per-second [`TimelinePoint`]s and
+    /// kernel-block counts) in the report. On by default; production-scale
+    /// scenarios (many thousands of functions over long horizons) turn it
+    /// off, since those series cost O(functions × seconds) memory.
+    /// Cluster-level series are always recorded.
+    pub function_series: bool,
 }
 
 impl Default for SimConfig {
@@ -135,6 +153,8 @@ impl Default for SimConfig {
             threads: default_threads(),
             network: None,
             profile: false,
+            arrival_window: 256,
+            function_series: true,
         }
     }
 }
@@ -282,12 +302,39 @@ pub struct EventRecord {
 /// setting.
 pub type EventHook = Box<dyn FnMut(EventRecord)>;
 
+/// Observer of every pending-arrival window refill, in execution order:
+/// called with the function and the chunk of instants just pulled from its
+/// arrival stream, before they are ingested. Streaming deployments pass
+/// every arrival instant through exactly one refill chunk, so this is the
+/// record side of `dilu-replay`'s arrival capture — it sees the complete
+/// schedule without the simulator ever materialising it.
+pub type ArrivalHook = Box<dyn FnMut(FunctionId, &[SimTime])>;
+
+/// The not-yet-pulled tail of a streaming deployment's arrival schedule.
+///
+/// Dropped (the whole struct) once a refill comes back short — the process
+/// is exhausted before the horizon, and freeing it is what keeps a
+/// finished function's memory at just its (empty) window.
+pub(crate) struct ArrivalStream {
+    pub(crate) process: Box<dyn dilu_workload::ArrivalProcess>,
+    /// Generation horizon: no instant at or after this is ever pulled.
+    pub(crate) end: SimTime,
+}
+
 pub(crate) struct FuncState {
     pub(crate) spec: FunctionSpec,
     /// Uids of this function's live instances, ascending (maintained at
     /// launch/terminate so routing never scans the whole cluster).
     pub(crate) instance_ids: Vec<InstanceUid>,
+    /// The bounded pending-arrival window: the next instants due for
+    /// ingest. A materialized deployment holds its whole schedule here; a
+    /// streaming one holds at most [`SimConfig::arrival_window`] instants,
+    /// refilled from `stream` as ingest drains it. Invariant (after any
+    /// refill attempt): empty ⇔ `stream` is `None`.
     pub(crate) arrivals: VecDeque<SimTime>,
+    /// The rest of the arrival schedule, still inside the process
+    /// (`None` for materialized deployments and exhausted streams).
+    pub(crate) stream: Option<ArrivalStream>,
     pub(crate) backlog: VecDeque<Request>,
     pub(crate) latency: LatencyRecorder,
     pub(crate) arrived: u64,
@@ -326,6 +373,17 @@ pub struct ClusterSim {
     pub(crate) audit_hook: Option<AuditHook>,
     /// Observer invoked with every event-core pop (see [`EventHook`]).
     pub(crate) event_hook: Option<EventHook>,
+    /// Observer invoked with every arrival-window refill chunk (see
+    /// [`ArrivalHook`]).
+    pub(crate) arrival_hook: Option<ArrivalHook>,
+    /// Lazy min-index over pending-arrival window heads: holds at least
+    /// one entry at or before the live head of every function with a
+    /// non-empty window. Heads only advance (pops consume the front,
+    /// refills append at the tail), so a popped entry that disagrees with
+    /// the live head is merely stale — it is dropped or re-armed at the
+    /// live head, never missed. Makes the per-wake "earliest pending
+    /// arrival" query O(log F) instead of a full function scan.
+    pub(crate) arrival_index: BinaryHeap<Reverse<(SimTime, FunctionId)>>,
     pub(crate) pending_resizes: Vec<PendingResize>,
     pub(crate) tags: TagSlab,
     pub(crate) slot_index: BTreeMap<dilu_gpu::InstanceId, (InstanceUid, usize, FunctionId)>,
@@ -361,6 +419,10 @@ pub struct ClusterSim {
     pub(crate) request_pool: Vec<Vec<Request>>,
     /// Scratch for `ingest_arrivals`' route list.
     pub(crate) routed_buf: Vec<(FunctionId, Request)>,
+    /// Scratch for `ingest_arrivals`' due-function list.
+    pub(crate) due_funcs_buf: Vec<FunctionId>,
+    /// Scratch chunk buffer for arrival-window refills.
+    pub(crate) refill_buf: Vec<SimTime>,
     /// Per-wake scratch: instances promoted / whose deadline fired at this
     /// wake. Drained and handed back at the end of every wake.
     pub(crate) wake_ready_buf: Vec<InstanceUid>,
@@ -439,6 +501,8 @@ impl ClusterSim {
             controller,
             audit_hook: None,
             event_hook: None,
+            arrival_hook: None,
+            arrival_index: BinaryHeap::new(),
             pending_resizes: Vec::new(),
             tags: TagSlab::default(),
             slot_index: BTreeMap::new(),
@@ -461,6 +525,8 @@ impl ClusterSim {
             dispatch_buf: Vec::new(),
             request_pool: Vec::new(),
             routed_buf: Vec::new(),
+            due_funcs_buf: Vec::new(),
+            refill_buf: Vec::new(),
             wake_ready_buf: Vec::new(),
             wake_expired_buf: Vec::new(),
             view_scratch: ClusterView { gpus: Vec::new() },
@@ -528,13 +594,29 @@ impl ClusterSim {
         self.event_hook = Some(hook);
     }
 
-    /// The pending arrival instants of every inference function, in
-    /// function-id order.
+    /// Registers an observer invoked with every arrival-window refill
+    /// chunk, in execution order (see [`ArrivalHook`]). Replaces any
+    /// previous hook.
     ///
-    /// A run *consumes* these queues, so the record side of `dilu-replay`
-    /// snapshots them before running; replay feeds the exact instants
-    /// back through the scenario builder instead of re-sampling the
-    /// arrival process.
+    /// Streaming deployments pass every arrival instant through exactly
+    /// one chunk, so accumulating the chunks reconstructs the complete
+    /// schedule. Materialized deployments
+    /// ([`deploy_inference`](Self::deploy_inference)) never refill and are
+    /// invisible here — snapshot them via
+    /// [`arrival_schedule`](Self::arrival_schedule) instead.
+    pub fn set_arrival_hook(&mut self, hook: ArrivalHook) {
+        self.arrival_hook = Some(hook);
+    }
+
+    /// The *currently pending* arrival instants of every inference
+    /// function, in function-id order.
+    ///
+    /// For materialized deployments this is the full not-yet-ingested
+    /// schedule; for streaming deployments it is only the bounded window
+    /// pulled so far (see [`SimConfig::arrival_window`]) — the complete
+    /// stream is observable through
+    /// [`set_arrival_hook`](Self::set_arrival_hook). A run *consumes*
+    /// these queues.
     pub fn arrival_schedule(&self) -> Vec<(FunctionId, Vec<SimTime>)> {
         self.funcs
             .iter()
@@ -566,6 +648,11 @@ impl ClusterSim {
     /// With `threads > 1` a scoped worker pool lives for the duration of
     /// the call; results are byte-identical to the serial run.
     pub fn run_until(&mut self, t_end: SimTime) {
+        // First entry after a streaming deployment: pull the initial
+        // window chunks. Deferred from deploy time to here so hooks
+        // registered between deploy and run (the record side of
+        // `dilu-replay`) observe the very first chunk.
+        self.prime_arrival_windows();
         // Workers are only worth spawning when the plane can ever hand
         // them a share (see `nodes::MIN_NODES_PER_SHARE`): a small cluster
         // always steps inline, so give it no idle threads to park.
@@ -729,13 +816,90 @@ impl ClusterSim {
     }
 
     /// (Re)schedules the single outstanding [`SimEvent::ArrivalBatch`] for
-    /// the grid instant covering the earliest pending arrival.
+    /// the grid instant covering the earliest pending arrival. O(log F)
+    /// through the lazy arrival index — never a full function scan.
     fn schedule_arrival_event(&mut self) {
-        let next = self.funcs.values().filter_map(|f| f.arrivals.front().copied()).min();
-        if let Some(t) = next {
+        if let Some(t) = self.next_pending_arrival() {
             let at = self.grid_floor(t).max(self.now);
             self.events.push(at, SimEvent::ArrivalBatch);
         }
+    }
+
+    /// The earliest pending arrival instant across all functions, answered
+    /// from the lazy arrival index (stale entries — heads that advanced
+    /// since they were pushed — are re-armed at their live head as they
+    /// surface; exhausted functions' entries are dropped).
+    pub fn next_pending_arrival(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, id))) = self.arrival_index.peek() {
+            match self.funcs.get(&id).and_then(|f| f.arrivals.front().copied()) {
+                Some(head) if head == t => return Some(t),
+                Some(head) => {
+                    debug_assert!(head > t, "arrival-window heads only advance");
+                    self.arrival_index.pop();
+                    self.arrival_index.push(Reverse((head, id)));
+                }
+                None => {
+                    self.arrival_index.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Pulls the initial window chunk for every streaming function whose
+    /// window is empty. Idempotent: a non-empty window or an exhausted
+    /// (dropped) stream makes it a no-op, so repeated `run_until` calls
+    /// prime at most once per function.
+    fn prime_arrival_windows(&mut self) {
+        let empty: Vec<FunctionId> = self
+            .funcs
+            .iter()
+            .filter(|(_, f)| f.stream.is_some() && f.arrivals.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in empty {
+            self.refill_arrivals(id);
+        }
+    }
+
+    /// Refills `id`'s pending-arrival window with the next chunk of its
+    /// stream (at most [`SimConfig::arrival_window`] instants; everything
+    /// up to the horizon when the window is 0), fires the arrival hook
+    /// with the chunk, and indexes the new head. Drops the stream when it
+    /// comes back short — exhausted before the horizon — so the invariant
+    /// "window empty ⇔ stream `None`" holds after every call.
+    pub(crate) fn refill_arrivals(&mut self, id: FunctionId) {
+        let max = match self.config.arrival_window {
+            0 => usize::MAX,
+            w => w as usize,
+        };
+        let mut chunk = std::mem::take(&mut self.refill_buf);
+        chunk.clear();
+        let Some(f) = self.funcs.get_mut(&id) else {
+            self.refill_buf = chunk;
+            return;
+        };
+        let Some(stream) = f.stream.as_mut() else {
+            self.refill_buf = chunk;
+            return;
+        };
+        let got = stream.process.refill(stream.end, max, &mut chunk);
+        debug_assert_eq!(got, chunk.len(), "refill count disagrees with chunk length");
+        if got < max {
+            f.stream = None;
+        }
+        if got > 0 {
+            let was_empty = f.arrivals.is_empty();
+            f.arrivals.extend(chunk.iter().copied());
+            if was_empty {
+                let head = *chunk.first().expect("non-empty chunk");
+                self.arrival_index.push(Reverse((head, id)));
+            }
+            if let Some(hook) = self.arrival_hook.as_mut() {
+                hook(id, &chunk);
+            }
+        }
+        self.refill_buf = chunk;
     }
 
     /// Schedules a one-quantum-ahead wake. This is the out-of-heap fast
@@ -1024,6 +1188,7 @@ pub(crate) fn new_func_state(spec: FunctionSpec, arrivals: Vec<SimTime>) -> Func
         spec,
         instance_ids: Vec::new(),
         arrivals: arrivals.into(),
+        stream: None,
         backlog: VecDeque::new(),
         latency: LatencyRecorder::new(),
         arrived: 0,

@@ -163,6 +163,15 @@ pub struct SimSection {
     /// Enables the per-phase wall-clock profiler (`dilu run --profile`).
     /// Observational only: reports are byte-identical either way.
     pub profile: Option<bool>,
+    /// Cap on the per-function pending-arrival window a streaming run
+    /// keeps in memory (default 256 instants; `0` = unbounded, i.e. the
+    /// whole schedule is materialized up front). Reports are
+    /// byte-identical at every setting; this knob trades peak memory only.
+    pub arrival_window: Option<u32>,
+    /// Records per-function time series (timelines, kernel series) in the
+    /// report (default `true`). Production-scale scenarios turn this off:
+    /// the series cost O(functions × seconds) memory.
+    pub function_series: Option<bool>,
 }
 
 impl SimSection {
@@ -246,6 +255,8 @@ impl SimSection {
             threads,
             network: d.network,
             profile: self.profile.unwrap_or(d.profile),
+            arrival_window: self.arrival_window.unwrap_or(d.arrival_window),
+            function_series: self.function_series.unwrap_or(d.function_series),
         })
     }
 }
@@ -334,6 +345,35 @@ pub struct RunSection {
     pub seed: Option<u64>,
 }
 
+/// Deterministic fleet synthesizer section (`[fleet]`): expands to
+/// `functions` additional inference functions (appended after the explicit
+/// `[[functions]]` entries) whose per-function rates follow a Zipf-like
+/// popularity curve summing to `total_rps`, each driven by a `synth`
+/// arrival process (diurnal sinusoid + lazily drawn burst windows) with a
+/// deterministic per-index phase spread across the diurnal period. This is
+/// what makes production-scale scenarios (tens of thousands of functions)
+/// declarable in a few lines with bounded config size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSection {
+    /// Number of functions to synthesize (≥ 1).
+    pub functions: u32,
+    /// Fleet-wide mean request rate in RPS, split across functions by the
+    /// popularity curve.
+    pub total_rps: f64,
+    /// Model every fleet function serves, resolved via
+    /// [`ModelId::from_name`].
+    pub model: String,
+    /// Pre-warmed instances per function (default 0 — the fleet scales
+    /// from zero).
+    pub initial: Option<u32>,
+    /// Diurnal amplitude in `[0, 1)` (default 0.5).
+    pub amp: Option<f64>,
+    /// Diurnal period in seconds (default 86 400 — one day).
+    pub period_secs: Option<f64>,
+    /// Burst intensity multiplier ≥ 1 (default 4).
+    pub burst_scale: Option<f64>,
+}
+
 /// One function (`[[functions]]`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FunctionSection {
@@ -384,6 +424,8 @@ pub struct ScenarioConfig {
     pub run: Option<RunSection>,
     /// The deployed functions.
     pub functions: Vec<FunctionSection>,
+    /// Synthesized fleet appended after the explicit functions.
+    pub fleet: Option<FleetSection>,
 }
 
 impl ScenarioConfig {
@@ -560,8 +602,63 @@ impl ScenarioConfig {
                 }
             }
         }
+        if let Some(fleet) = &self.fleet {
+            builder = expand_fleet(builder, fleet, self.functions.len() as u32)?;
+        }
         Ok(builder)
     }
+}
+
+/// Expands `[fleet]` onto the builder: `functions` synthetic inference
+/// functions with ids following the explicit ones, per-function rates on a
+/// Zipf-like curve (weight ∝ 1/(i+1)^0.9) normalized to `total_rps`, and
+/// `synth` arrivals whose diurnal phases spread evenly over the period so
+/// the fleet's load is not phase-locked. Fully deterministic: everything
+/// derives from the index and the scenario seed.
+fn expand_fleet(
+    mut builder: ScenarioBuilder,
+    fleet: &FleetSection,
+    explicit: u32,
+) -> Result<ScenarioBuilder, ScenarioError> {
+    if fleet.functions == 0 {
+        return Err(ScenarioError::Config("[fleet] `functions` must be at least 1".into()));
+    }
+    if !(fleet.total_rps.is_finite() && fleet.total_rps > 0.0) {
+        return Err(ScenarioError::Config(format!(
+            "[fleet] `total_rps` must be a positive number, got {}",
+            fleet.total_rps
+        )));
+    }
+    let model = ModelId::from_name(&fleet.model).ok_or_else(|| ScenarioError::Unknown {
+        kind: "model",
+        name: fleet.model.clone(),
+        known: ModelId::ALL.iter().map(|m| m.name().to_owned()).collect(),
+    })?;
+    let n = fleet.functions;
+    let amp = fleet.amp.unwrap_or(0.5);
+    let period = fleet.period_secs.unwrap_or(86_400.0);
+    if !(period.is_finite() && period > 0.0) {
+        return Err(ScenarioError::Config(format!(
+            "[fleet] `period_secs` must be a positive number, got {period}"
+        )));
+    }
+    let weight = |i: u32| 1.0 / f64::from(i + 1).powf(0.9);
+    let total_weight: f64 = (0..n).map(weight).sum();
+    for i in 0..n {
+        let id = explicit + i + 1;
+        let mut spec = funcs::inference_function(id, model);
+        spec.name = format!("fleet-{i:05}");
+        let rate = fleet.total_rps * weight(i) / total_weight;
+        let mut arrivals = ArrivalSpec::synth(rate, amp);
+        arrivals.period = Some(period);
+        arrivals.phase = Some(period * f64::from(i) / f64::from(n));
+        arrivals.scale = fleet.burst_scale;
+        builder = builder
+            .function(spec)
+            .initial_instances(fleet.initial.unwrap_or(0))
+            .arrivals_spec(arrivals);
+    }
+    Ok(builder)
 }
 
 /// Key schema of every fixed-shape section; `[system.placement]` etc. are
@@ -583,8 +680,15 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
     check(
         "the scenario root",
         root,
-        &["name", "cluster", "system", "sim", "network", "run", "functions"],
+        &["name", "cluster", "system", "sim", "network", "run", "functions", "fleet"],
     )?;
+    if let Some(fleet) = root.get("fleet") {
+        check(
+            "[fleet]",
+            fleet,
+            &["functions", "total_rps", "model", "initial", "amp", "period_secs", "burst_scale"],
+        )?;
+    }
     if let Some(cluster) = root.get("cluster") {
         check("[cluster]", cluster, &["nodes", "gpus_per_node", "gpu_mem_gb"])?;
     }
@@ -602,6 +706,8 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
                 "time_model",
                 "threads",
                 "profile",
+                "arrival_window",
+                "function_series",
             ],
         )?;
     }
@@ -648,7 +754,10 @@ fn reject_unknown_keys(root: &Value) -> Result<(), ScenarioError> {
                 check(
                     "arrivals",
                     arrivals,
-                    &["process", "rate", "cv", "shape", "scale", "times", "seed"],
+                    &[
+                        "process", "rate", "cv", "shape", "scale", "times", "seed", "path",
+                        "format", "function", "amp", "period", "phase",
+                    ],
                 )?;
             }
         }

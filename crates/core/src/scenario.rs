@@ -127,11 +127,11 @@ impl From<DeployError> for ScenarioError {
 
 /// Where an inference function's requests come from.
 enum ArrivalSource {
-    /// A generator sampled over the scenario horizon at build time.
+    /// A generator streamed in bounded chunks up to the scenario horizon.
     Process(Box<dyn ArrivalProcess>),
     /// A declarative spec, built at `build()` time with the scenario seed
     /// as the default.
-    Spec(ArrivalSpec),
+    Spec(Box<ArrivalSpec>),
     /// Explicit instants.
     Times(Vec<SimTime>),
     /// Nothing attached yet — an error at `build()`.
@@ -375,7 +375,7 @@ impl ScenarioBuilder {
     pub fn arrivals_spec(self, spec: ArrivalSpec) -> Self {
         self.with_last("arrivals_spec", |entry| match &mut entry.workload {
             Workload::Inference { arrivals, .. } => {
-                *arrivals = ArrivalSource::Spec(spec);
+                *arrivals = ArrivalSource::Spec(Box::new(spec));
                 Ok(())
             }
             Workload::Training { .. } => Err(ScenarioError::ArrivalsForTraining(entry.spec.id)),
@@ -485,8 +485,14 @@ impl ScenarioBuilder {
         ))
     }
 
-    /// Builds the full scenario: validates the composition, samples every
-    /// arrival process over the horizon, and deploys every function.
+    /// Builds the full scenario: validates the composition and deploys
+    /// every function, attaching each arrival source as a *stream* — the
+    /// serving plane pulls instants in bounded chunks up to the horizon
+    /// (see [`SimConfig::arrival_window`](dilu_cluster::SimConfig)), so a
+    /// scenario's memory scales with functions × window, not with total
+    /// request count. Results are byte-identical to materializing every
+    /// schedule up front (arrival processes draw the same instants at
+    /// every chunking).
     ///
     /// # Errors
     ///
@@ -511,18 +517,25 @@ impl ScenarioBuilder {
         for entry in self.functions {
             match entry.workload {
                 Workload::Inference { initial, arrivals } => {
-                    let times = match arrivals {
-                        ArrivalSource::Process(mut p) => p.generate(end),
-                        ArrivalSource::Spec(spec) => spec
-                            .build(self.seed ^ u64::from(entry.spec.id.0), self.horizon)
-                            .map_err(|e| ScenarioError::Config(e.to_string()))?
-                            .generate(end),
-                        ArrivalSource::Times(times) => times,
+                    // Explicit instants historically passed through
+                    // unclamped (ones beyond the horizon can still ingest
+                    // during the drain tail), so their stream end is MAX;
+                    // generators sample up to the horizon as always.
+                    let (process, stream_end): (Box<dyn ArrivalProcess>, SimTime) = match arrivals {
+                        ArrivalSource::Process(p) => (p, end),
+                        ArrivalSource::Spec(spec) => (
+                            spec.build(self.seed ^ u64::from(entry.spec.id.0), self.horizon)
+                                .map_err(|e| ScenarioError::Config(e.to_string()))?,
+                            end,
+                        ),
+                        ArrivalSource::Times(times) => {
+                            (Box::new(dilu_workload::ReplayProcess::new(times)), SimTime::MAX)
+                        }
                         ArrivalSource::Unset => {
                             return Err(ScenarioError::MissingArrivals(entry.spec.id));
                         }
                     };
-                    sim.deploy_inference(entry.spec, initial, times)?;
+                    sim.deploy_inference_streaming(entry.spec, initial, process, stream_end)?;
                 }
                 Workload::Training { start } => {
                     if start == SimTime::ZERO {

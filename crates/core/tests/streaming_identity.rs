@@ -1,0 +1,64 @@
+//! Streaming ≡ materialized, end-to-end: every example scenario must
+//! produce a byte-identical `ClusterReport` JSON whether arrivals stream
+//! through the bounded window (the default) or are materialized up front
+//! (`[sim] arrival_window = 0`).
+//!
+//! This is the user-visible face of the chunk-invariance contract: the
+//! config file, not the deployment path, defines the simulation. A tiny
+//! window (1) rides along to hammer chunk boundaries on real scenarios.
+//!
+//! The heavyweight tiers are covered elsewhere at the same assertion:
+//! `macro-scale.toml` by its release-mode bench/CI smoke, and
+//! `production-day.toml` by the scaled-down CI smoke — both compare the
+//! default window against `--arrival-window 0` byte-for-byte.
+
+use std::path::PathBuf;
+
+use dilu_core::{Registry, ScenarioConfig};
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios")
+}
+
+/// Runs `config` with the given `[sim] arrival_window` override and
+/// returns the report serialized to JSON.
+fn report_json(mut config: ScenarioConfig, window: Option<u32>) -> String {
+    if let Some(window) = window {
+        config.sim.get_or_insert_with(Default::default).arrival_window = Some(window);
+    }
+    let registry = Registry::with_defaults();
+    let report = config
+        .into_builder(&registry)
+        .and_then(|b| b.build())
+        .and_then(|s| s.run())
+        .expect("example scenario must build and run");
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+#[test]
+fn every_example_scenario_is_window_invariant() {
+    // The macro tiers are asserted identical in release mode by CI (see
+    // module docs); in a debug test binary they would dominate the suite.
+    let skip = ["macro-scale.toml", "production-day.toml"];
+    let mut checked = Vec::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("examples/scenarios exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if skip.contains(&name.as_str()) {
+            continue;
+        }
+        let config = ScenarioConfig::load(&path).expect("example scenario parses");
+        let streamed = report_json(config.clone(), None);
+        let materialized = report_json(config.clone(), Some(0));
+        assert_eq!(streamed, materialized, "{name}: streaming != materialized");
+        let tiny = report_json(config, Some(1));
+        assert_eq!(streamed, tiny, "{name}: arrival_window = 1 diverged");
+        checked.push(name);
+    }
+    assert!(checked.len() >= 4, "expected the example set, found only {checked:?}");
+}

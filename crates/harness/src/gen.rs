@@ -7,9 +7,10 @@
 //! placement (with occasional Ω/Γ overrides), elasticity controller
 //! (2D co-scaler and every horizontal autoscaler), share policy, `[sim]`
 //! knobs (quantum, tick, resize latency, time model, node-plane step
-//! threads), horizon, and one to three functions mixing inference
-//! (Poisson / Gamma / trace / replay arrivals, varied batch and initial
-//! instances) and training workloads.
+//! threads, streaming arrival-window caps), horizon, and one to three
+//! functions mixing inference (Poisson / Gamma / trace / replay / synth /
+//! trace-file arrivals, varied batch and initial instances) and training
+//! workloads.
 //!
 //! The generator constructs *valid* configs by construction — composition
 //! constraints (tick ≥ quantum, `gpus_per_instance` ≤ fleet, arrival
@@ -142,6 +143,12 @@ pub fn generate_case(space: &SpaceConfig, case_seed: u64) -> ScenarioConfig {
             time_model: Some(pick(&mut rng, &space.time_models).clone()),
             threads: Some(threads),
             profile: None,
+            // Tiny windows force chunk boundaries inside almost every
+            // quantum; 0 is the materialize-everything comparison path.
+            // Reports must be byte-identical at every setting, and the
+            // oracles check exactly that.
+            arrival_window: Some(*pick(&mut rng, &[0, 1, 3, 64])),
+            function_series: None,
         })
     } else if threads != 1 {
         Some(SimSection { threads: Some(threads), ..SimSection::default() })
@@ -212,6 +219,7 @@ pub fn generate_case(space: &SpaceConfig, case_seed: u64) -> ScenarioConfig {
             seed: Some(rng.gen::<u64>()),
         }),
         functions,
+        fleet: None,
     }
 }
 
@@ -261,7 +269,7 @@ fn inference_function<R: Rng>(
             arrivals: Some(ArrivalSpec::replay(vec![at; burst])),
         };
     }
-    let arrivals = match rng.gen_range(0..4) {
+    let arrivals = match rng.gen_range(0..6) {
         0 => ArrivalSpec::poisson(rng.gen_range(rate_lo..rate_hi)),
         1 => ArrivalSpec::gamma(rng.gen_range(rate_lo..rate_hi), *pick(rng, &[0.5, 1.0, 4.0])),
         2 => {
@@ -275,6 +283,43 @@ fn inference_function<R: Rng>(
                 rng.gen_range(rate_lo..(rate_hi / 2.0).max(rate_lo + 1.0)),
                 *pick(rng, &[2.0, 4.0]),
             )
+        }
+        3 => {
+            // Production-day synthesizer, compressed so the diurnal cycle
+            // and a burst window both land inside a seconds-scale horizon.
+            let mut spec =
+                ArrivalSpec::synth(rng.gen_range(rate_lo..rate_hi), *pick(rng, &[0.0, 0.3, 0.8]));
+            spec.period = Some(*pick(rng, &[2.0, 5.0, 30.0]));
+            spec.phase = Some(*pick(rng, &[0.0, 1.5]));
+            spec.scale = Some(*pick(rng, &[1.0, 4.0]));
+            spec
+        }
+        4 => {
+            // On-disk trace readers over the checked-in sample fixtures.
+            let (path, format): (&str, &str) = *pick(
+                rng,
+                &[
+                    (
+                        concat!(
+                            env!("CARGO_MANIFEST_DIR"),
+                            "/../../examples/traces/alibaba-sample.csv"
+                        ),
+                        "alibaba",
+                    ),
+                    (
+                        concat!(
+                            env!("CARGO_MANIFEST_DIR"),
+                            "/../../examples/traces/azure-sample.csv"
+                        ),
+                        "azure",
+                    ),
+                ],
+            );
+            let mut spec = ArrivalSpec::file(path, format);
+            if rng.gen_range(0..2) == 0 {
+                spec.function = Some((*pick(rng, &["fn-a", "fn-b", "fn-c"])).to_owned());
+            }
+            spec
         }
         _ => {
             // Deliberately unsorted, possibly duplicated replay instants:
@@ -388,7 +433,7 @@ mod tests {
         assert_eq!(placements.len(), space.placements.len(), "{placements:?}");
         assert_eq!(controllers.len(), space.controllers.len(), "{controllers:?}");
         assert_eq!(policies.len(), space.share_policies.len(), "{policies:?}");
-        assert_eq!(processes.len(), 4, "{processes:?}");
+        assert_eq!(processes.len(), 6, "{processes:?}");
         assert_eq!(
             threads,
             space.threads.iter().copied().collect::<std::collections::BTreeSet<_>>(),

@@ -87,7 +87,7 @@ fn capacity_oracle_catches_a_cap_ignoring_placement() {
     let harness = Harness::with_space(space_with("greedy-pack", "null"), registry);
     let dump_dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("mutation-dumps");
     let options = FuzzOptions {
-        cases: 32,
+        cases: 128,
         seed: 7,
         oracles: vec!["capacity".into()],
         minimize: true,

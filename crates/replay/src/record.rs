@@ -11,6 +11,9 @@ use dilu_sim::SimTime;
 use crate::log::{fnv1a, EventLog, LoggedEvent};
 use crate::ReplayError;
 
+/// Captured arrival-refill chunks: `(function id, chunk)` in pull order.
+type ArrivalChunks = Vec<(u32, Vec<SimTime>)>;
+
 /// Digest of an audit snapshot: FNV-1a over its debug rendering. The
 /// rendering covers every audited field deterministically (derived
 /// `Debug` over plain data), so any accounting divergence between two
@@ -19,8 +22,10 @@ pub fn audit_digest(snapshot: &dilu_cluster::AuditSnapshot) -> u64 {
     fnv1a(format!("{snapshot:?}").as_bytes())
 }
 
-/// Records one full run of `config`: the pre-run arrival schedules, the
-/// typed event stream, per-tick audit digests, and the final report
+/// Records one full run of `config`: the arrival schedule (captured as
+/// the stream of bounded refill chunks the run actually pulled, so even a
+/// production-scale scenario records without materializing its schedule),
+/// the typed event stream, per-tick audit digests, and the final report
 /// JSON — everything [`replay`](crate::replay) needs to reproduce and
 /// verify the run.
 ///
@@ -40,8 +45,14 @@ pub fn record(config: &ScenarioConfig, registry: &Registry) -> Result<EventLog, 
     let horizon = scenario.horizon();
     let drain = scenario.drain();
     let mut sim = scenario.into_sim();
-    let arrivals: Vec<(u32, Vec<SimTime>)> =
-        sim.arrival_schedule().into_iter().map(|(id, times)| (id.0, times)).collect();
+    // One log record per refill chunk, in pull order. Replay concatenates
+    // them per function, so chunk boundaries need not be preserved — they
+    // re-derive from the round-tripped `[sim] arrival_window`.
+    let arrivals: Rc<RefCell<ArrivalChunks>> = Rc::new(RefCell::new(Vec::new()));
+    let arrivals_tap = Rc::clone(&arrivals);
+    sim.set_arrival_hook(Box::new(move |id, chunk| {
+        arrivals_tap.borrow_mut().push((id.0, chunk.to_vec()));
+    }));
 
     let events: Rc<RefCell<Vec<LoggedEvent>>> = Rc::new(RefCell::new(Vec::new()));
     let events_tap = Rc::clone(&events);
@@ -65,7 +76,7 @@ pub fn record(config: &ScenarioConfig, registry: &Registry) -> Result<EventLog, 
         serde_json::to_string(&report).map_err(|e| ReplayError::Serialize(e.to_string()))?;
 
     let mut log = EventLog::new(config_json);
-    log.arrivals = arrivals;
+    log.arrivals = std::mem::take(&mut *arrivals.borrow_mut());
     log.events = std::mem::take(&mut *events.borrow_mut());
     log.audits = std::mem::take(&mut *audits.borrow_mut());
     log.report_json = report_json;

@@ -41,8 +41,19 @@ pub fn build_replay_scenario(log: &EventLog, registry: &Registry) -> Result<Scen
     }
     let mut builder =
         config.into_builder(registry).map_err(|e| ReplayError::Scenario(e.to_string()))?;
+    // The log holds one record per refill chunk; `arrival_times_for`
+    // replaces a function's whole source, so concatenate each function's
+    // chunks (already time-ordered) before attaching. The replayed run
+    // re-streams them through the same round-tripped `[sim]
+    // arrival_window`, so refill instants — and thus audit digests — match
+    // the recording exactly.
+    let mut merged: std::collections::BTreeMap<u32, Vec<dilu_sim::SimTime>> =
+        std::collections::BTreeMap::new();
     for (func, times) in &log.arrivals {
-        builder = builder.arrival_times_for(FunctionId(*func), times.clone());
+        merged.entry(*func).or_default().extend(times.iter().copied());
+    }
+    for (func, times) in merged {
+        builder = builder.arrival_times_for(FunctionId(func), times);
     }
     builder.build().map_err(|e| ReplayError::Scenario(e.to_string()))
 }

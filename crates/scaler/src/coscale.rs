@@ -108,11 +108,18 @@ impl CoScaler {
     }
 
     /// The vertical move meeting `wanted_per_instance` RPS, if any:
-    /// `(new_request, estimated_capacity_after)`.
-    fn grow_quota(&self, f: &FunctionScaleView, wanted_per_instance: f64) -> (SmRate, f64) {
+    /// `(new_request, estimated_capacity_after)`. `headroom` is the
+    /// effective vertical room — the view's snapshot already clamped by
+    /// this tick's running per-GPU budget.
+    fn grow_quota(
+        &self,
+        f: &FunctionScaleView,
+        headroom: SmRate,
+        wanted_per_instance: f64,
+    ) -> (SmRate, f64) {
         let q = &f.quota;
         let slope = Self::capacity_slope(f);
-        let ceiling = (q.request + q.headroom).min(self.config.max_request);
+        let ceiling = (q.request + headroom).min(self.config.max_request);
         if slope <= 1e-9 || ceiling <= q.request {
             return (q.request, f.capacity_rps);
         }
@@ -145,7 +152,7 @@ impl CoScaler {
         }
     }
 
-    fn decide(&mut self, f: &FunctionScaleView) -> Vec<ScaleAction> {
+    fn decide(&mut self, f: &FunctionScaleView, headroom: SmRate) -> Vec<ScaleAction> {
         if !f.kind.is_inference() {
             return Vec::new();
         }
@@ -183,7 +190,8 @@ impl CoScaler {
                 return Vec::new();
             }
             let mut actions = Vec::new();
-            let (grown, capacity_after) = self.grow_quota(f, wanted_v / f64::from(deployed));
+            let (grown, capacity_after) =
+                self.grow_quota(f, headroom, wanted_v / f64::from(deployed));
             if grown.as_fraction() > f.quota.request.as_fraction() + 1e-9 {
                 actions.push(ScaleAction::ResizeQuota {
                     func: f.func,
@@ -261,21 +269,25 @@ impl ElasticityController for CoScaler {
             }
         }
         let mut actions = Vec::new();
+        let mut hosting: Vec<(GpuAddr, f64)> = Vec::new();
         for f in functions {
-            let hosting: Vec<(GpuAddr, f64)> = slices
-                .iter()
-                .filter(|((func, _), _)| *func == f.func)
-                .map(|((_, gpu), &n)| (*gpu, n))
-                .collect();
+            // This function's hosting GPUs via a key-range probe — a full
+            // scan of `slices` here is O(functions × residents) per tick,
+            // which dominated the whole simulation at 10k-function fleet
+            // scale.
+            let span = (f.func, GpuAddr { node: 0, gpu: 0 })
+                ..=(f.func, GpuAddr { node: u32::MAX, gpu: u32::MAX });
+            hosting.clear();
+            hosting.extend(slices.range(span).map(|((_, gpu), &n)| (*gpu, n)));
             let budget = hosting
                 .iter()
                 .map(|(gpu, n)| slack.get(gpu).copied().unwrap_or(0.0) / n.max(1.0))
                 .fold(f64::INFINITY, f64::min);
-            let mut fv = f.clone();
+            let mut headroom = f.quota.headroom;
             if budget.is_finite() {
-                fv.quota.headroom = fv.quota.headroom.min(SmRate::from_fraction(budget.max(0.0)));
+                headroom = headroom.min(SmRate::from_fraction(budget.max(0.0)));
             }
-            let decided = self.decide(&fv);
+            let decided = self.decide(f, headroom);
             for action in &decided {
                 if let ScaleAction::ResizeQuota { request, .. } = action {
                     let delta = (request.as_fraction() - f.quota.request.as_fraction()).max(0.0);

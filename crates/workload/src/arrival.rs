@@ -5,11 +5,37 @@ use dilu_sim::SimTime;
 
 /// Generates request arrival instants up to a horizon.
 ///
-/// Implementations are stateful so repeated calls continue the same stream;
-/// most callers generate once for the full experiment horizon.
+/// Implementations are stateful: every pull continues the same stream, so
+/// arrivals can be consumed either in one shot ([`generate`]) or
+/// incrementally in bounded chunks ([`refill`]) with identical results.
+///
+/// [`generate`]: ArrivalProcess::generate
+/// [`refill`]: ArrivalProcess::refill
 pub trait ArrivalProcess {
-    /// All arrivals in `[0, horizon)`, sorted ascending.
-    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime>;
+    /// Appends up to `max` arrival instants strictly before `horizon` onto
+    /// `out`, continuing the stream from the previous pull, and returns the
+    /// number appended.
+    ///
+    /// Returning fewer than `max` instants means the stream has nothing
+    /// further before `horizon`: the caller may treat the process as
+    /// exhausted up to that horizon. The emitted instants are sorted
+    /// ascending and **must not depend on how pulls are chunked** — any
+    /// sequence of `refill` calls with non-decreasing horizons yields the
+    /// same concatenated stream as a single full-horizon pull. Stochastic
+    /// implementations keep a drawn-but-over-horizon instant pending
+    /// instead of discarding it, so the RNG consumption order is
+    /// chunk-invariant too.
+    fn refill(&mut self, horizon: SimTime, max: usize, out: &mut Vec<SimTime>) -> usize;
+
+    /// All remaining arrivals in `[0, horizon)`, sorted ascending.
+    ///
+    /// Equivalent to an unbounded [`refill`](ArrivalProcess::refill); most
+    /// one-shot callers generate once for the full experiment horizon.
+    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        self.refill(horizon, usize::MAX, &mut out);
+        out
+    }
 
     /// The long-run mean request rate in requests per second.
     fn mean_rate(&self) -> f64;
@@ -22,6 +48,11 @@ pub trait ArrivalProcess {
 pub struct PoissonProcess {
     rate_rps: f64,
     rng: SimRng,
+    /// Last drawn instant (seconds); the stream cursor.
+    cursor_s: f64,
+    /// `true` when `cursor_s` was drawn but not yet emitted (it landed at
+    /// or past the horizon of the previous pull).
+    pending: bool,
 }
 
 impl PoissonProcess {
@@ -32,23 +63,32 @@ impl PoissonProcess {
     /// Panics if `rate_rps` is not strictly positive and finite.
     pub fn new(rate_rps: f64, seed: u64) -> Self {
         assert!(rate_rps.is_finite() && rate_rps > 0.0, "rate must be positive");
-        PoissonProcess { rate_rps, rng: component_rng(seed, "poisson-arrivals") }
+        PoissonProcess {
+            rate_rps,
+            rng: component_rng(seed, "poisson-arrivals"),
+            cursor_s: 0.0,
+            pending: false,
+        }
     }
 }
 
 impl ArrivalProcess for PoissonProcess {
-    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
-        let mut out = Vec::new();
-        let mut t = 0.0;
+    fn refill(&mut self, horizon: SimTime, max: usize, out: &mut Vec<SimTime>) -> usize {
         let horizon_s = horizon.as_secs_f64();
-        loop {
-            t += sample_exponential(&mut self.rng, self.rate_rps);
-            if t >= horizon_s {
+        let mut pushed = 0usize;
+        while pushed < max {
+            if !self.pending {
+                self.cursor_s += sample_exponential(&mut self.rng, self.rate_rps);
+                self.pending = true;
+            }
+            if self.cursor_s >= horizon_s {
                 break;
             }
-            out.push(SimTime::from_secs_f64(t));
+            out.push(SimTime::from_secs_f64(self.cursor_s));
+            self.pending = false;
+            pushed += 1;
         }
-        out
+        pushed
     }
 
     fn mean_rate(&self) -> f64 {
@@ -66,6 +106,8 @@ pub struct GammaProcess {
     rate_rps: f64,
     cv: f64,
     rng: SimRng,
+    cursor_s: f64,
+    pending: bool,
 }
 
 impl GammaProcess {
@@ -78,7 +120,13 @@ impl GammaProcess {
     pub fn new(rate_rps: f64, cv: f64, seed: u64) -> Self {
         assert!(rate_rps.is_finite() && rate_rps > 0.0, "rate must be positive");
         assert!(cv.is_finite() && cv > 0.0, "cv must be positive");
-        GammaProcess { rate_rps, cv, rng: component_rng(seed, "gamma-arrivals") }
+        GammaProcess {
+            rate_rps,
+            cv,
+            rng: component_rng(seed, "gamma-arrivals"),
+            cursor_s: 0.0,
+            pending: false,
+        }
     }
 
     /// The configured coefficient of variation.
@@ -88,22 +136,26 @@ impl GammaProcess {
 }
 
 impl ArrivalProcess for GammaProcess {
-    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
+    fn refill(&mut self, horizon: SimTime, max: usize, out: &mut Vec<SimTime>) -> usize {
         // Inter-arrival Gamma(shape=1/cv², scale=cv²/rate) has mean 1/rate
         // and coefficient of variation cv.
         let shape = 1.0 / (self.cv * self.cv);
         let scale = self.cv * self.cv / self.rate_rps;
-        let mut out = Vec::new();
-        let mut t = 0.0;
         let horizon_s = horizon.as_secs_f64();
-        loop {
-            t += sample_gamma(&mut self.rng, shape, scale);
-            if t >= horizon_s {
+        let mut pushed = 0usize;
+        while pushed < max {
+            if !self.pending {
+                self.cursor_s += sample_gamma(&mut self.rng, shape, scale);
+                self.pending = true;
+            }
+            if self.cursor_s >= horizon_s {
                 break;
             }
-            out.push(SimTime::from_secs_f64(t));
+            out.push(SimTime::from_secs_f64(self.cursor_s));
+            self.pending = false;
+            pushed += 1;
         }
-        out
+        pushed
     }
 
     fn mean_rate(&self) -> f64 {
@@ -117,9 +169,8 @@ impl ArrivalProcess for GammaProcess {
 /// this process arbitrary user data): **unsorted input is sorted on
 /// construction** — never rejected — and **duplicate instants are
 /// preserved**, modelling two requests landing at the same moment. Like
-/// every [`ArrivalProcess`], repeated [`generate`](ArrivalProcess::generate)
-/// calls continue the stream: instants already emitted for an earlier
-/// horizon are not emitted again.
+/// every [`ArrivalProcess`], repeated pulls continue the stream: instants
+/// already emitted for an earlier horizon are not emitted again.
 #[derive(Debug, Clone)]
 pub struct ReplayProcess {
     arrivals: Vec<SimTime>,
@@ -138,12 +189,16 @@ impl ReplayProcess {
 }
 
 impl ArrivalProcess for ReplayProcess {
-    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
+    fn refill(&mut self, horizon: SimTime, max: usize, out: &mut Vec<SimTime>) -> usize {
         let start = self.cursor;
-        while self.cursor < self.arrivals.len() && self.arrivals[self.cursor] < horizon {
+        while self.cursor < self.arrivals.len()
+            && self.cursor - start < max
+            && self.arrivals[self.cursor] < horizon
+        {
+            out.push(self.arrivals[self.cursor]);
             self.cursor += 1;
         }
-        self.arrivals[start..self.cursor].to_vec()
+        self.cursor - start
     }
 
     fn mean_rate(&self) -> f64 {
@@ -165,6 +220,19 @@ mod tests {
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         var.sqrt() / mean
+    }
+
+    /// Pulls the whole stream before `end` through bounded refills of
+    /// `window` instants, the way the cluster's streaming arrival plane
+    /// does.
+    fn drain_chunked(p: &mut dyn ArrivalProcess, end: SimTime, window: usize) -> Vec<SimTime> {
+        let mut all = Vec::new();
+        loop {
+            let got = p.refill(end, window, &mut all);
+            if got < window {
+                return all;
+            }
+        }
     }
 
     #[test]
@@ -278,5 +346,55 @@ mod tests {
         assert_eq!(ReplayProcess::new([]).mean_rate(), 0.0);
         let t = SimTime::from_secs(2);
         assert_eq!(ReplayProcess::new([t, t, t]).mean_rate(), 0.0, "zero span has no rate");
+    }
+
+    /// The chunk-invariance contract behind the streaming arrival plane:
+    /// pulling through bounded windows yields the exact stream of a single
+    /// full-horizon pull, for every process family.
+    #[test]
+    fn bounded_refills_match_one_shot_generation() {
+        let end = SimTime::from_secs(120);
+        for window in [1usize, 7, 64] {
+            let one_shot = PoissonProcess::new(35.0, 9).generate(end);
+            let mut p = PoissonProcess::new(35.0, 9);
+            assert_eq!(drain_chunked(&mut p, end, window), one_shot, "poisson window {window}");
+
+            let one_shot = GammaProcess::new(25.0, 3.0, 9).generate(end);
+            let mut g = GammaProcess::new(25.0, 3.0, 9);
+            assert_eq!(drain_chunked(&mut g, end, window), one_shot, "gamma window {window}");
+
+            let times: Vec<SimTime> = (0..50).map(|i| SimTime::from_millis(i * 731)).collect();
+            let one_shot = ReplayProcess::new(times.clone()).generate(end);
+            let mut r = ReplayProcess::new(times);
+            assert_eq!(drain_chunked(&mut r, end, window), one_shot, "replay window {window}");
+        }
+    }
+
+    /// Growing-horizon pulls are also chunk-invariant: an instant drawn
+    /// past one horizon is held pending and emitted by the next pull
+    /// instead of being redrawn.
+    #[test]
+    fn growing_horizons_do_not_redraw_pending_instants() {
+        let full = PoissonProcess::new(12.0, 4).generate(SimTime::from_secs(90));
+        let mut p = PoissonProcess::new(12.0, 4);
+        let mut got = Vec::new();
+        for s in [10u64, 30, 31, 60, 90] {
+            p.refill(SimTime::from_secs(s), usize::MAX, &mut got);
+        }
+        assert_eq!(got, full);
+    }
+
+    #[test]
+    fn refill_respects_the_cap() {
+        let mut p = PoissonProcess::new(100.0, 2);
+        let mut out = Vec::new();
+        assert_eq!(p.refill(SimTime::from_secs(60), 3, &mut out), 3);
+        assert_eq!(out.len(), 3);
+        let mut rest = Vec::new();
+        p.refill(SimTime::from_secs(60), usize::MAX, &mut rest);
+        let mut whole = PoissonProcess::new(100.0, 2).generate(SimTime::from_secs(60));
+        let tail = whole.split_off(3);
+        assert_eq!(out, whole);
+        assert_eq!(rest, tail);
     }
 }

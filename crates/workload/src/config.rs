@@ -8,6 +8,8 @@
 //! arrivals = { process = "gamma", rate = 40.0, cv = 4.0, seed = 3 }
 //! arrivals = { process = "trace", shape = "bursty", rate = 10.0, scale = 5.0 }
 //! arrivals = { process = "replay", times = [0.5, 1.0, 2.5] }
+//! arrivals = { process = "synth", rate = 5.0, amp = 0.4, period = 86400.0 }
+//! arrivals = { process = "file", path = "trace.csv", format = "alibaba" }
 //! ```
 //!
 //! [`ArrivalSpec::build`] turns the spec into a boxed [`ArrivalProcess`].
@@ -15,31 +17,47 @@
 use dilu_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::reader::open_trace;
 use crate::{
-    ArrivalProcess, GammaProcess, PoissonProcess, RateTrace, ReplayProcess, TraceKind, TraceProcess,
+    ArrivalProcess, GammaProcess, PoissonProcess, RateTrace, ReplayProcess, SynthProcess,
+    TraceFormat, TraceKind, TraceProcess,
 };
 
 /// The process names [`ArrivalSpec`] understands.
-pub const PROCESS_NAMES: [&str; 4] = ["poisson", "gamma", "trace", "replay"];
+pub const PROCESS_NAMES: [&str; 6] = ["poisson", "gamma", "trace", "replay", "synth", "file"];
 
 /// A declarative description of an arrival process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArrivalSpec {
-    /// Process family: `poisson`, `gamma`, `trace`, or `replay`.
+    /// Process family: `poisson`, `gamma`, `trace`, `replay`, `synth`, or
+    /// `file`.
     pub process: String,
-    /// Mean request rate in RPS (`poisson`, `gamma`) or the trace's base
-    /// rate (`trace`).
+    /// Mean request rate in RPS (`poisson`, `gamma`) or the base rate of
+    /// a synthesized intensity (`trace`, `synth`).
     pub rate: Option<f64>,
     /// Coefficient of variation of inter-arrival gaps (`gamma`).
     pub cv: Option<f64>,
     /// Trace shape: `bursty`, `periodic`, or `sporadic` (`trace`).
     pub shape: Option<String>,
-    /// Burst amplitude multiplier over the base rate (`trace`).
+    /// Burst amplitude multiplier over the base rate (`trace`, `synth`).
     pub scale: Option<f64>,
     /// Explicit arrival instants in seconds (`replay`).
     pub times: Option<Vec<f64>>,
     /// RNG seed; falls back to the scenario seed when absent.
     pub seed: Option<u64>,
+    /// Trace file to read (`file`).
+    pub path: Option<String>,
+    /// Trace file format: `alibaba` or `azure` (`file`).
+    pub format: Option<String>,
+    /// Function whose rows to read from the trace file (`file`); all
+    /// Alibaba rows / the first Azure row when absent.
+    pub function: Option<String>,
+    /// Diurnal amplitude in `[0, 1)` (`synth`; default 0.5).
+    pub amp: Option<f64>,
+    /// Diurnal period in seconds (`synth`; default 86 400 — one day).
+    pub period: Option<f64>,
+    /// Diurnal phase offset in seconds (`synth`; default 0).
+    pub phase: Option<f64>,
 }
 
 /// An invalid [`ArrivalSpec`].
@@ -65,6 +83,12 @@ impl ArrivalSpec {
             scale: None,
             times: None,
             seed: None,
+            path: None,
+            format: None,
+            function: None,
+            amp: None,
+            period: None,
+            phase: None,
         }
     }
 
@@ -85,15 +109,25 @@ impl ArrivalSpec {
 
     /// A replay spec over explicit arrival instants in seconds.
     pub fn replay(times: Vec<f64>) -> Self {
+        ArrivalSpec { rate: None, times: Some(times), ..ArrivalSpec::poisson(1.0) }
+            .with_process("replay")
+    }
+
+    /// A synthesized production-day spec: diurnal sinusoid of amplitude
+    /// `amp` over `base_rate` RPS with lazily-drawn burst windows.
+    pub fn synth(base_rate: f64, amp: f64) -> Self {
+        ArrivalSpec { amp: Some(amp), ..ArrivalSpec::poisson(base_rate) }.with_process("synth")
+    }
+
+    /// A trace-file spec reading `path` in `format` (`alibaba`/`azure`).
+    pub fn file(path: &str, format: &str) -> Self {
         ArrivalSpec {
-            process: "replay".into(),
             rate: None,
-            cv: None,
-            shape: None,
-            scale: None,
-            times: Some(times),
-            seed: None,
+            path: Some(path.to_owned()),
+            format: Some(format.to_owned()),
+            ..ArrivalSpec::poisson(1.0)
         }
+        .with_process("file")
     }
 
     /// Overrides the seed.
@@ -160,6 +194,43 @@ impl ArrivalSpec {
                     return Err(ArrivalSpecError("replay times must be non-negative".into()));
                 }
                 Ok(Box::new(ReplayProcess::new(times.iter().map(|&t| SimTime::from_secs_f64(t)))))
+            }
+            "synth" => {
+                let amp = self.amp.unwrap_or(0.5);
+                if !(amp.is_finite() && (0.0..1.0).contains(&amp)) {
+                    return Err(ArrivalSpecError(format!("amp must be in [0, 1), got {amp}")));
+                }
+                let period = self.period.unwrap_or(86_400.0);
+                if !(period.is_finite() && period > 0.0) {
+                    return Err(ArrivalSpecError(format!("period must be positive, got {period}")));
+                }
+                let phase = self.phase.unwrap_or(0.0);
+                if !phase.is_finite() {
+                    return Err(ArrivalSpecError(format!("phase must be finite, got {phase}")));
+                }
+                let scale = self.scale.unwrap_or(4.0);
+                if !(scale.is_finite() && scale >= 1.0) {
+                    return Err(ArrivalSpecError(format!("scale must be >= 1, got {scale}")));
+                }
+                Ok(Box::new(SynthProcess::new(self.rate()?, amp, period, phase, scale, seed)))
+            }
+            "file" => {
+                let path = self
+                    .path
+                    .as_deref()
+                    .ok_or_else(|| ArrivalSpecError("`file` needs a `path`".into()))?;
+                let format = self
+                    .format
+                    .as_deref()
+                    .ok_or_else(|| ArrivalSpecError("`file` needs a `format`".into()))?;
+                let format = TraceFormat::parse(format).ok_or_else(|| {
+                    ArrivalSpecError(format!(
+                        "unknown trace format `{format}` (known: {})",
+                        TraceFormat::NAMES.join(", ")
+                    ))
+                })?;
+                open_trace(std::path::Path::new(path), format, self.function.as_deref())
+                    .map_err(|e| ArrivalSpecError(format!("trace file: {e}")))
             }
             other => Err(ArrivalSpecError(format!(
                 "unknown process `{other}` (known: {})",
@@ -228,6 +299,38 @@ mod tests {
         // Negative or non-finite instants stay typed errors.
         assert!(ArrivalSpec::replay(vec![-1.0]).build(0, horizon).is_err());
         assert!(ArrivalSpec::replay(vec![f64::NAN]).build(0, horizon).is_err());
+    }
+
+    #[test]
+    fn builds_synth_and_file_processes() {
+        let horizon = SimDuration::from_secs(600);
+        let mut s = ArrivalSpec::synth(10.0, 0.3).build(7, horizon).unwrap();
+        assert!(!s.generate(SimTime::ZERO + horizon).is_empty());
+
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/traces/alibaba-sample.csv");
+        let mut f = ArrivalSpec::file(path, "alibaba").build(7, horizon).unwrap();
+        assert!(!f.generate(SimTime::ZERO + horizon).is_empty());
+
+        let azure = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/traces/azure-sample.csv");
+        let mut spec = ArrivalSpec::file(azure, "azure");
+        spec.function = Some("fn-a".into());
+        assert!(!spec.build(7, horizon).unwrap().generate(SimTime::ZERO + horizon).is_empty());
+    }
+
+    #[test]
+    fn synth_and_file_misuse_is_reported_not_panicked() {
+        let horizon = SimDuration::from_secs(10);
+        let mut bad_amp = ArrivalSpec::synth(5.0, 1.5);
+        assert!(bad_amp.build(0, horizon).err().unwrap().to_string().contains("amp"));
+        bad_amp.amp = Some(0.5);
+        bad_amp.period = Some(0.0);
+        assert!(bad_amp.build(0, horizon).err().unwrap().to_string().contains("period"));
+
+        let err = ArrivalSpec::file("does-not-exist.csv", "csv").build(0, horizon).err().unwrap();
+        assert!(err.to_string().contains("alibaba, azure"), "{err}");
+        let err =
+            ArrivalSpec::file("does-not-exist.csv", "alibaba").build(0, horizon).err().unwrap();
+        assert!(err.to_string().contains("does-not-exist.csv"), "{err}");
     }
 
     #[test]

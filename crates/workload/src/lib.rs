@@ -26,8 +26,15 @@
 
 mod arrival;
 mod config;
+mod reader;
+mod synth;
 mod traces;
 
 pub use arrival::{ArrivalProcess, GammaProcess, PoissonProcess, ReplayProcess};
 pub use config::{ArrivalSpec, ArrivalSpecError, PROCESS_NAMES};
+pub use reader::{
+    open_trace, AlibabaTraceProcess, AzureTraceProcess, ReaderError, TraceFormat,
+    DEFAULT_REORDER_WINDOW,
+};
+pub use synth::SynthProcess;
 pub use traces::{RateTrace, TraceKind, TraceProcess};

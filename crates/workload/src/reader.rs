@@ -1,0 +1,597 @@
+//! Streaming production-trace readers: Alibaba- and Azure-Functions-shaped
+//! CSV files parsed incrementally from disk.
+//!
+//! Both readers validate the **whole** file eagerly when opened — every
+//! malformed row is reported with its file and line number, so config
+//! typos fail at scenario build rather than mid-run — but stream arrivals
+//! incrementally afterwards, keeping memory bounded regardless of how
+//! many requests the trace encodes:
+//!
+//! - **Alibaba shape** (`time_s,function` rows, one per request): memory
+//!   is bounded by the reorder window, never by the request count. Rows
+//!   may be locally shuffled by at most [`DEFAULT_REORDER_WINDOW`] rows
+//!   (the reader sorts inside a sliding min-heap of that size); a row
+//!   displaced further is an error naming its line.
+//! - **Azure shape** (`function,c0,c1,…` rows of per-minute invocation
+//!   counts): memory is bounded by the number of minutes, never by the
+//!   invocation count. Each minute's `c` invocations are expanded on the
+//!   fly, evenly spread at the midpoints `(i + ½)·60/c` of the minute.
+//!
+//! Lines that are empty, start with `#`, or are the documented header
+//! (`time_s,function` / `function,…`) are skipped in both formats.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+use dilu_sim::SimTime;
+
+use crate::ArrivalProcess;
+
+/// How many rows an Alibaba-shaped trace may be locally out of order by
+/// before the reader rejects it.
+pub const DEFAULT_REORDER_WINDOW: usize = 64;
+
+/// The trace-file formats the readers understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// `time_s,function` rows, one per request, filtered by function.
+    Alibaba,
+    /// `function,c0,c1,…` rows of per-minute invocation counts.
+    Azure,
+}
+
+impl TraceFormat {
+    /// Every accepted format name, for error messages.
+    pub const NAMES: [&'static str; 2] = ["alibaba", "azure"];
+
+    /// Parses a format name from config.
+    pub fn parse(name: &str) -> Option<TraceFormat> {
+        match name {
+            "alibaba" => Some(TraceFormat::Alibaba),
+            "azure" => Some(TraceFormat::Azure),
+            _ => None,
+        }
+    }
+}
+
+/// Why a trace file was rejected. Every row-level variant names the file
+/// and 1-based line so the offending text is one `sed -n` away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReaderError {
+    /// The file could not be opened or read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error text.
+        error: String,
+    },
+    /// A row failed to parse.
+    Malformed {
+        /// The file holding the row.
+        path: String,
+        /// 1-based line number of the row.
+        line: u64,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A timestamp was displaced more than the reorder window allows.
+    OutOfOrder {
+        /// The file holding the row.
+        path: String,
+        /// 1-based line number of the too-late row.
+        line: u64,
+        /// The window that was exceeded.
+        window: usize,
+    },
+    /// The requested function has no rows in the file.
+    FunctionNotFound {
+        /// The file searched.
+        path: String,
+        /// The function that was missing.
+        function: String,
+    },
+    /// An Azure-shaped file lists the same function twice.
+    DuplicateFunction {
+        /// The file holding the duplicate.
+        path: String,
+        /// 1-based line number of the second occurrence.
+        line: u64,
+        /// The duplicated function name.
+        function: String,
+    },
+    /// The file holds no data rows at all.
+    Empty {
+        /// The empty file.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for ReaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReaderError::Io { path, error } => write!(f, "{path}: {error}"),
+            ReaderError::Malformed { path, line, message } => {
+                write!(f, "{path}:{line}: {message}")
+            }
+            ReaderError::OutOfOrder { path, line, window } => write!(
+                f,
+                "{path}:{line}: timestamp out of order by more than the reorder window \
+                 ({window} rows)"
+            ),
+            ReaderError::FunctionNotFound { path, function } => {
+                write!(f, "{path}: no rows for function {function:?}")
+            }
+            ReaderError::DuplicateFunction { path, line, function } => {
+                write!(f, "{path}:{line}: duplicate row for function {function:?}")
+            }
+            ReaderError::Empty { path } => write!(f, "{path}: no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for ReaderError {}
+
+/// Opens `path` in the given `format`, validating the whole file, and
+/// returns a streaming [`ArrivalProcess`] over the matching rows.
+///
+/// `function` filters Alibaba rows / selects the Azure row; `None` takes
+/// every Alibaba row or the first Azure row.
+///
+/// # Errors
+///
+/// Any [`ReaderError`]: I/O failures, malformed rows (named by file and
+/// line), order violations, or a missing/duplicated function.
+pub fn open_trace(
+    path: &Path,
+    format: TraceFormat,
+    function: Option<&str>,
+) -> Result<Box<dyn ArrivalProcess>, ReaderError> {
+    match format {
+        TraceFormat::Alibaba => {
+            Ok(Box::new(AlibabaTraceProcess::open(path, function, DEFAULT_REORDER_WINDOW)?))
+        }
+        TraceFormat::Azure => Ok(Box::new(AzureTraceProcess::open(path, function)?)),
+    }
+}
+
+fn open_lines(path: &Path) -> Result<BufReader<File>, ReaderError> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| ReaderError::Io { path: path.display().to_string(), error: e.to_string() })
+}
+
+/// `true` for lines both formats skip: blanks, `#` comments, and the
+/// documented header rows.
+fn is_skippable(line: &str, header_first_field: &str) -> bool {
+    let trimmed = line.trim();
+    trimmed.is_empty()
+        || trimmed.starts_with('#')
+        || trimmed.split(',').next() == Some(header_first_field)
+}
+
+/// A streaming reader over an Alibaba-shaped trace: one `time_s,function`
+/// row per request. Holds at most `reorder_window` parsed rows in memory.
+#[derive(Debug)]
+pub struct AlibabaTraceProcess {
+    path: PathBuf,
+    function: Option<String>,
+    reorder_window: usize,
+    /// The live streaming pass; `None` once the file is drained.
+    reader: Option<BufReader<File>>,
+    line_no: u64,
+    /// Sliding reorder window (min-heap of `(instant, line)`).
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// An instant popped past the previous horizon, not yet emitted.
+    carry: Option<SimTime>,
+    mean: f64,
+}
+
+impl AlibabaTraceProcess {
+    /// Opens and fully validates `path`, then positions a streaming pass
+    /// at the start. `function` of `None` accepts every row.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReaderError`] produced by validation.
+    pub fn open(
+        path: &Path,
+        function: Option<&str>,
+        reorder_window: usize,
+    ) -> Result<Self, ReaderError> {
+        assert!(reorder_window >= 1, "reorder window must be at least 1");
+        let mut validator = AlibabaTraceProcess {
+            path: path.to_path_buf(),
+            function: function.map(str::to_owned),
+            reorder_window,
+            reader: Some(open_lines(path)?),
+            line_no: 0,
+            heap: BinaryHeap::new(),
+            carry: None,
+            mean: 0.0,
+        };
+        // Validation pass: every row parses, and the reorder-window merge
+        // yields a sorted stream. Constant memory; errors name file:line.
+        let mut count: u64 = 0;
+        let mut first = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        let mut emitted_up_to: Option<(SimTime, u64)> = None;
+        while let Some(next) = validator.fill_and_pop(true)? {
+            if let Some((prev, _)) = emitted_up_to {
+                if next.0 < prev {
+                    return Err(ReaderError::OutOfOrder {
+                        path: path.display().to_string(),
+                        line: next.1,
+                        window: reorder_window,
+                    });
+                }
+            } else {
+                first = next.0;
+            }
+            last = next.0;
+            emitted_up_to = Some(next);
+            count += 1;
+        }
+        if count == 0 {
+            return Err(match function {
+                Some(f) => ReaderError::FunctionNotFound {
+                    path: path.display().to_string(),
+                    function: f.to_owned(),
+                },
+                None => ReaderError::Empty { path: path.display().to_string() },
+            });
+        }
+        let span = (last - first).as_secs_f64();
+        validator.mean = if span > 0.0 { count as f64 / span } else { 0.0 };
+        // Rewind for the streaming pass.
+        validator.reader = Some(open_lines(path)?);
+        validator.line_no = 0;
+        validator.heap.clear();
+        validator.carry = None;
+        Ok(validator)
+    }
+
+    /// Reads rows until one matches the filter, returning its parsed
+    /// `(instant, line)`; `None` at end of file. With `strict`, parse
+    /// failures error (validation pass); without, they are unreachable
+    /// (the file already validated) and skipped defensively.
+    fn read_matching_row(&mut self, strict: bool) -> Result<Option<(SimTime, u64)>, ReaderError> {
+        let reader = match self.reader.as_mut() {
+            Some(reader) => reader,
+            None => return Ok(None),
+        };
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let read = reader.read_line(&mut line).map_err(|e| ReaderError::Io {
+                path: self.path.display().to_string(),
+                error: e.to_string(),
+            })?;
+            if read == 0 {
+                self.reader = None;
+                return Ok(None);
+            }
+            self.line_no += 1;
+            if is_skippable(&line, "time_s") {
+                continue;
+            }
+            match parse_alibaba_row(line.trim()) {
+                Ok((instant, func)) => {
+                    if self.function.as_deref().is_none_or(|want| want == func) {
+                        return Ok(Some((instant, self.line_no)));
+                    }
+                }
+                Err(message) if strict => {
+                    return Err(ReaderError::Malformed {
+                        path: self.path.display().to_string(),
+                        line: self.line_no,
+                        message,
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Tops the reorder heap up to the window size and pops its minimum.
+    fn fill_and_pop(&mut self, strict: bool) -> Result<Option<(SimTime, u64)>, ReaderError> {
+        while self.reader.is_some() && self.heap.len() < self.reorder_window {
+            match self.read_matching_row(strict)? {
+                Some(entry) => self.heap.push(Reverse(entry)),
+                None => break,
+            }
+        }
+        Ok(self.heap.pop().map(|Reverse(entry)| entry))
+    }
+}
+
+/// Parses one `time_s,function` row, pre-trimmed.
+fn parse_alibaba_row(row: &str) -> Result<(SimTime, &str), String> {
+    let mut fields = row.split(',');
+    let (time, func) = match (fields.next(), fields.next(), fields.next()) {
+        (Some(time), Some(func), None) => (time.trim(), func.trim()),
+        _ => return Err(format!("expected exactly 2 fields `time_s,function`, got {row:?}")),
+    };
+    let secs: f64 =
+        time.parse().map_err(|_| format!("timestamp {time:?} is not a number of seconds"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("timestamp {secs} must be finite and non-negative"));
+    }
+    if func.is_empty() {
+        return Err("empty function name".to_owned());
+    }
+    Ok((SimTime::from_secs_f64(secs), func))
+}
+
+impl ArrivalProcess for AlibabaTraceProcess {
+    fn refill(&mut self, horizon: SimTime, max: usize, out: &mut Vec<SimTime>) -> usize {
+        let mut pushed = 0usize;
+        while pushed < max {
+            let next = match self.carry.take() {
+                Some(instant) => instant,
+                // The file validated at open; a row that fails to parse
+                // now (file mutated underneath us) is skipped.
+                None => match self.fill_and_pop(false).unwrap_or(None) {
+                    Some((instant, _)) => instant,
+                    None => break,
+                },
+            };
+            if next >= horizon {
+                self.carry = Some(next);
+                break;
+            }
+            out.push(next);
+            pushed += 1;
+        }
+        pushed
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// A reader over an Azure-Functions-shaped trace: one
+/// `function,c0,c1,…` row of per-minute invocation counts, expanded
+/// lazily minute by minute.
+#[derive(Debug)]
+pub struct AzureTraceProcess {
+    counts: Vec<u32>,
+    /// Expansion cursor: current minute and index within its count.
+    minute: usize,
+    index: u32,
+    mean: f64,
+}
+
+impl AzureTraceProcess {
+    /// Opens and fully validates `path`, selecting the row for
+    /// `function` (or the first data row when `None`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReaderError`] produced by validation.
+    pub fn open(path: &Path, function: Option<&str>) -> Result<Self, ReaderError> {
+        let display = path.display().to_string();
+        let mut reader = open_lines(path)?;
+        let mut line = String::new();
+        let mut line_no: u64 = 0;
+        let mut chosen: Option<(String, Vec<u32>)> = None;
+        loop {
+            line.clear();
+            let read = reader
+                .read_line(&mut line)
+                .map_err(|e| ReaderError::Io { path: display.clone(), error: e.to_string() })?;
+            if read == 0 {
+                break;
+            }
+            line_no += 1;
+            if is_skippable(&line, "function") {
+                continue;
+            }
+            let (name, counts) = parse_azure_row(line.trim()).map_err(|message| {
+                ReaderError::Malformed { path: display.clone(), line: line_no, message }
+            })?;
+            let wanted = function.is_none_or(|want| want == name);
+            match (&chosen, wanted) {
+                (Some((have, _)), true) if function.is_some() || have == &name => {
+                    return Err(ReaderError::DuplicateFunction {
+                        path: display,
+                        line: line_no,
+                        function: name,
+                    });
+                }
+                (None, true) => chosen = Some((name, counts)),
+                _ => {}
+            }
+        }
+        let counts = match chosen {
+            Some((_, counts)) => counts,
+            None => {
+                return Err(match function {
+                    Some(f) => {
+                        ReaderError::FunctionNotFound { path: display, function: f.to_owned() }
+                    }
+                    None => ReaderError::Empty { path: display },
+                });
+            }
+        };
+        let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        let span_s = counts.len() as f64 * 60.0;
+        let mean = if span_s > 0.0 { total as f64 / span_s } else { 0.0 };
+        Ok(AzureTraceProcess { counts, minute: 0, index: 0, mean })
+    }
+}
+
+/// Parses one `function,c0,c1,…` row, pre-trimmed.
+fn parse_azure_row(row: &str) -> Result<(String, Vec<u32>), String> {
+    let mut fields = row.split(',');
+    let name = fields.next().unwrap_or("").trim();
+    if name.is_empty() {
+        return Err("empty function name".to_owned());
+    }
+    let mut counts = Vec::new();
+    for field in fields {
+        let count: u32 = field
+            .trim()
+            .parse()
+            .map_err(|_| format!("per-minute count {:?} is not a whole number", field.trim()))?;
+        counts.push(count);
+    }
+    if counts.is_empty() {
+        return Err(format!("function {name:?} has no per-minute counts"));
+    }
+    Ok((name.to_owned(), counts))
+}
+
+impl ArrivalProcess for AzureTraceProcess {
+    fn refill(&mut self, horizon: SimTime, max: usize, out: &mut Vec<SimTime>) -> usize {
+        let mut pushed = 0usize;
+        while pushed < max {
+            while self.minute < self.counts.len() && self.index >= self.counts[self.minute] {
+                self.minute += 1;
+                self.index = 0;
+            }
+            if self.minute >= self.counts.len() {
+                break;
+            }
+            let count = f64::from(self.counts[self.minute]);
+            let offset = (f64::from(self.index) + 0.5) * 60.0 / count;
+            let instant = SimTime::from_secs_f64(self.minute as f64 * 60.0 + offset);
+            if instant >= horizon {
+                break;
+            }
+            out.push(instant);
+            self.index += 1;
+            pushed += 1;
+        }
+        pushed
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    /// Writes a deterministic per-test fixture under the workspace target
+    /// directory and returns its path.
+    fn fixture(name: &str, contents: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/trace-fixtures");
+        std::fs::create_dir_all(&dir).expect("fixture dir");
+        let path = dir.join(name);
+        let mut file = File::create(&path).expect("fixture file");
+        file.write_all(contents.as_bytes()).expect("fixture contents");
+        path
+    }
+
+    fn secs(arrivals: &[SimTime]) -> Vec<f64> {
+        arrivals.iter().map(|t| t.as_secs_f64()).collect()
+    }
+
+    #[test]
+    fn alibaba_reads_and_filters_rows() {
+        let path = fixture(
+            "alibaba-basic.csv",
+            "time_s,function\n0.5,alpha\n1.0,beta\n2.5,alpha\n# comment\n4.0,alpha\n",
+        );
+        let mut p = AlibabaTraceProcess::open(&path, Some("alpha"), 4).unwrap();
+        assert_eq!(secs(&p.generate(SimTime::from_secs(10))), vec![0.5, 2.5, 4.0]);
+
+        let mut all = AlibabaTraceProcess::open(&path, None, 4).unwrap();
+        assert_eq!(all.generate(SimTime::from_secs(10)).len(), 4);
+    }
+
+    #[test]
+    fn alibaba_malformed_row_names_file_and_line() {
+        let path = fixture("alibaba-bad.csv", "0.5,alpha\n1.0,beta\nnot-a-time,alpha\n");
+        let err = AlibabaTraceProcess::open(&path, None, 4).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("alibaba-bad.csv:3"), "error must name file:line, got {text}");
+        assert!(text.contains("not-a-time"), "error must quote the bad field, got {text}");
+    }
+
+    #[test]
+    fn alibaba_sorts_disorder_within_the_window() {
+        let path = fixture("alibaba-shuffled.csv", "2.0,f\n1.0,f\n3.0,f\n2.5,f\n5.0,f\n");
+        let mut p = AlibabaTraceProcess::open(&path, None, 4).unwrap();
+        assert_eq!(secs(&p.generate(SimTime::from_secs(10))), vec![1.0, 2.0, 2.5, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn alibaba_rejects_disorder_beyond_the_window() {
+        // With a window of 2 the 0.5 row arrives three rows after rows
+        // that already had to be emitted.
+        let path = fixture("alibaba-late.csv", "2.0,f\n3.0,f\n4.0,f\n5.0,f\n0.5,f\n");
+        let err = AlibabaTraceProcess::open(&path, None, 2).unwrap_err();
+        match &err {
+            ReaderError::OutOfOrder { line, window, .. } => {
+                assert_eq!((*line, *window), (5, 2), "got {err}");
+            }
+            other => panic!("expected OutOfOrder, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alibaba_missing_function_is_reported() {
+        let path = fixture("alibaba-missing.csv", "1.0,alpha\n");
+        let err = AlibabaTraceProcess::open(&path, Some("nope"), 4).unwrap_err();
+        assert!(matches!(err, ReaderError::FunctionNotFound { .. }), "got {err}");
+    }
+
+    #[test]
+    fn alibaba_refill_streams_in_bounded_chunks() {
+        let rows: String = (0..200).map(|i| format!("{}.25,f\n", i)).collect();
+        let path = fixture("alibaba-chunks.csv", &rows);
+        let end = SimTime::from_secs(500);
+        let one_shot = AlibabaTraceProcess::open(&path, None, 8).unwrap().generate(end);
+        assert_eq!(one_shot.len(), 200);
+        let mut p = AlibabaTraceProcess::open(&path, None, 8).unwrap();
+        let mut got = Vec::new();
+        while p.refill(end, 7, &mut got) == 7 {}
+        assert_eq!(got, one_shot);
+    }
+
+    #[test]
+    fn azure_expands_minute_counts_at_midpoints() {
+        let path = fixture("azure-basic.csv", "function,m0,m1,m2\nalpha,2,0,1\nbeta,1,1,1\n");
+        let mut p = AzureTraceProcess::open(&path, Some("alpha")).unwrap();
+        assert_eq!(secs(&p.generate(SimTime::from_secs(600))), vec![15.0, 45.0, 150.0]);
+        assert!((p.mean_rate() - 3.0 / 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn azure_defaults_to_the_first_row_and_respects_horizons() {
+        let path = fixture("azure-first.csv", "alpha,1,1\nbeta,9,9\n");
+        let mut p = AzureTraceProcess::open(&path, None).unwrap();
+        assert_eq!(secs(&p.generate(SimTime::from_secs(1))), Vec::<f64>::new());
+        assert_eq!(secs(&p.generate(SimTime::from_secs(60))), vec![30.0]);
+        assert_eq!(secs(&p.generate(SimTime::from_secs(600))), vec![90.0]);
+    }
+
+    #[test]
+    fn azure_rejects_duplicates_and_bad_counts() {
+        let dup = fixture("azure-dup.csv", "alpha,1,2\nalpha,3,4\n");
+        let err = AzureTraceProcess::open(&dup, Some("alpha")).unwrap_err();
+        assert!(matches!(err, ReaderError::DuplicateFunction { line: 2, .. }), "got {err}");
+
+        let bad = fixture("azure-bad.csv", "alpha,1,two,3\n");
+        let err = AzureTraceProcess::open(&bad, None).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("azure-bad.csv:1"), "error must name file:line, got {text}");
+    }
+
+    #[test]
+    fn open_trace_dispatches_on_format() {
+        let path = fixture("dispatch.csv", "1.0,f\n2.0,f\n");
+        let mut p = open_trace(&path, TraceFormat::Alibaba, None).unwrap();
+        assert_eq!(p.generate(SimTime::from_secs(10)).len(), 2);
+        assert_eq!(TraceFormat::parse("azure"), Some(TraceFormat::Azure));
+        assert_eq!(TraceFormat::parse("csv"), None);
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic production-trace synthesizer.
+//!
+//! Fleet-scale scenarios (10k+ functions over a 24 h day) cannot afford
+//! the per-second [`RateTrace`](crate::RateTrace) vectors the Table-3
+//! shapes use — 10k functions × 86 400 s of `f64` is multiple gigabytes
+//! before a single request is simulated. [`SynthProcess`] instead keeps
+//! the intensity **analytic**: a diurnal sinusoid over a base rate,
+//! multiplied by burst windows that are drawn lazily from a dedicated RNG
+//! as simulated time advances. Memory is O(1) per function regardless of
+//! horizon or request count, and the stream is chunk-invariant so the
+//! cluster's bounded arrival windows can pull from it incrementally.
+
+use dilu_sim::rng::{component_rng, sample_exponential, SimRng};
+use dilu_sim::SimTime;
+use rand::Rng;
+
+use crate::ArrivalProcess;
+
+/// Minimum idle gap between burst windows, seconds.
+const BURST_GAP_MIN_S: f64 = 120.0;
+/// Mean of the exponential part of the inter-burst gap, seconds.
+const BURST_GAP_MEAN_S: f64 = 480.0;
+/// Burst window length bounds, seconds.
+const BURST_LEN_MIN_S: f64 = 30.0;
+const BURST_LEN_MAX_S: f64 = 90.0;
+
+/// The long-run fraction of time spent inside a burst window:
+/// mean length / (mean gap + mean length).
+const BURST_DUTY: f64 = ((BURST_LEN_MIN_S + BURST_LEN_MAX_S) / 2.0)
+    / (BURST_GAP_MIN_S + BURST_GAP_MEAN_S + (BURST_LEN_MIN_S + BURST_LEN_MAX_S) / 2.0);
+
+/// A synthesized production-day arrival process: diurnal sinusoid plus
+/// lazily-drawn multiplicative burst windows, sampled by thinning.
+///
+/// The instantaneous rate is
+/// `base_rps × (1 + amp·sin(2π(t − phase)/period)) × m(t)` where `m(t)`
+/// is `burst_scale` inside a burst window and `1` outside. Burst windows
+/// recur every `120 s + Exp(480 s)` and last 30–90 s, drawn from a
+/// dedicated RNG stream so the thinning draws stay aligned across any
+/// pull chunking.
+#[derive(Debug, Clone)]
+pub struct SynthProcess {
+    base_rps: f64,
+    amp: f64,
+    period_s: f64,
+    phase_s: f64,
+    burst_scale: f64,
+    rng: SimRng,
+    burst_rng: SimRng,
+    /// Last drawn candidate instant (seconds); the stream cursor.
+    cursor_s: f64,
+    /// `true` when the candidate at `cursor_s` awaits its deferred
+    /// accept/reject decision (it landed past the previous horizon).
+    pending: bool,
+    /// The most recently generated burst window `[start, end)`.
+    burst: (f64, f64),
+}
+
+impl SynthProcess {
+    /// Creates a synthesized process.
+    ///
+    /// `amp` is the diurnal amplitude in `[0, 1)`, `period_s`/`phase_s`
+    /// shape the sinusoid (a production day uses `period_s = 86 400`),
+    /// and `burst_scale ≥ 1` is the rate multiplier inside burst windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_rps` is not strictly positive and finite, `amp` is
+    /// outside `[0, 1)`, `period_s` is not strictly positive, `phase_s`
+    /// is not finite, or `burst_scale < 1`.
+    pub fn new(
+        base_rps: f64,
+        amp: f64,
+        period_s: f64,
+        phase_s: f64,
+        burst_scale: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(base_rps.is_finite() && base_rps > 0.0, "base rate must be positive");
+        assert!(amp.is_finite() && (0.0..1.0).contains(&amp), "amplitude must be in [0, 1)");
+        assert!(period_s.is_finite() && period_s > 0.0, "period must be positive");
+        assert!(phase_s.is_finite(), "phase must be finite");
+        assert!(burst_scale.is_finite() && burst_scale >= 1.0, "burst scale must be >= 1");
+        SynthProcess {
+            base_rps,
+            amp,
+            period_s,
+            phase_s,
+            burst_scale,
+            rng: component_rng(seed, "synth-arrivals"),
+            burst_rng: component_rng(seed, "synth-bursts"),
+            cursor_s: 0.0,
+            pending: false,
+            burst: (0.0, 0.0),
+        }
+    }
+
+    /// The analytic peak rate the thinning sampler rejects against.
+    fn peak(&self) -> f64 {
+        self.base_rps * (1.0 + self.amp) * self.burst_scale
+    }
+
+    /// Advances the lazily-generated burst schedule so that the current
+    /// window ends after `t`. Callers pass monotone `t`, so the number of
+    /// burst-RNG draws depends only on how far time has advanced — never
+    /// on pull chunking.
+    fn advance_bursts(&mut self, t: f64) {
+        while t >= self.burst.1 {
+            let gap =
+                BURST_GAP_MIN_S + sample_exponential(&mut self.burst_rng, 1.0 / BURST_GAP_MEAN_S);
+            let len: f64 = self.burst_rng.gen_range(BURST_LEN_MIN_S..=BURST_LEN_MAX_S);
+            let start = self.burst.1 + gap;
+            self.burst = (start, start + len);
+        }
+    }
+
+    /// The instantaneous rate at `t` seconds.
+    fn rate_at(&mut self, t: f64) -> f64 {
+        self.advance_bursts(t);
+        let angle = std::f64::consts::TAU * (t - self.phase_s) / self.period_s;
+        let diurnal = 1.0 + self.amp * angle.sin();
+        let mult = if t >= self.burst.0 && t < self.burst.1 { self.burst_scale } else { 1.0 };
+        self.base_rps * diurnal * mult
+    }
+}
+
+impl ArrivalProcess for SynthProcess {
+    fn refill(&mut self, horizon: SimTime, max: usize, out: &mut Vec<SimTime>) -> usize {
+        let horizon_s = horizon.as_secs_f64();
+        let peak = self.peak();
+        let mut pushed = 0usize;
+        while pushed < max {
+            if !self.pending {
+                self.cursor_s += sample_exponential(&mut self.rng, peak);
+                self.pending = true;
+            }
+            if self.cursor_s >= horizon_s {
+                break;
+            }
+            let t = self.cursor_s;
+            self.pending = false;
+            let rate = self.rate_at(t);
+            let accept: f64 = self.rng.gen_range(0.0..1.0);
+            if accept < rate / peak {
+                out.push(SimTime::from_secs_f64(t));
+                pushed += 1;
+            }
+        }
+        pushed
+    }
+
+    fn mean_rate(&self) -> f64 {
+        // The sinusoid averages out; bursts add their duty-cycle share.
+        self.base_rps * (1.0 + BURST_DUTY * (self.burst_scale - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_is_deterministic_in_the_seed() {
+        let a =
+            SynthProcess::new(5.0, 0.4, 3600.0, 0.0, 4.0, 11).generate(SimTime::from_secs(1800));
+        let b =
+            SynthProcess::new(5.0, 0.4, 3600.0, 0.0, 4.0, 11).generate(SimTime::from_secs(1800));
+        let c =
+            SynthProcess::new(5.0, 0.4, 3600.0, 0.0, 4.0, 12).generate(SimTime::from_secs(1800));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds must diverge");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted ascending");
+    }
+
+    #[test]
+    fn synth_tracks_its_mean_rate() {
+        let mut p = SynthProcess::new(8.0, 0.3, 1200.0, 0.0, 3.0, 7);
+        let want = p.mean_rate();
+        let arrivals = p.generate(SimTime::from_secs(3600));
+        let rate = arrivals.len() as f64 / 3600.0;
+        assert!((rate - want).abs() / want < 0.15, "rate {rate}, want ≈ {want}");
+    }
+
+    #[test]
+    fn synth_diurnal_modulates_the_rate() {
+        // Full-amplitude sinusoid over one period: the busiest quarter
+        // must clearly out-arrive the quietest quarter.
+        let period = 2000.0;
+        let mut p = SynthProcess::new(20.0, 0.9, period, 0.0, 1.0, 3);
+        let arrivals = p.generate(SimTime::from_secs(2000));
+        let quarter = |lo: f64, hi: f64| {
+            arrivals
+                .iter()
+                .filter(|t| (t.as_secs_f64() % period) >= lo && (t.as_secs_f64() % period) < hi)
+                .count()
+        };
+        let rising = quarter(0.0, 500.0);
+        let falling = quarter(1000.0, 1500.0);
+        assert!(
+            rising as f64 > 2.0 * falling as f64,
+            "peak quarter {rising} vs trough quarter {falling}"
+        );
+    }
+
+    #[test]
+    fn synth_bursts_raise_local_rates() {
+        // With bursts enabled some window must exceed what the diurnal
+        // envelope alone can produce.
+        let mut p = SynthProcess::new(10.0, 0.2, 86_400.0, 0.0, 6.0, 5);
+        let arrivals = p.generate(SimTime::from_secs(3600));
+        let mut best = 0usize;
+        for window_start in 0..3570 {
+            let lo = SimTime::from_secs(window_start);
+            let hi = SimTime::from_secs(window_start + 30);
+            let count = arrivals.iter().filter(|&&t| t >= lo && t < hi).count();
+            best = best.max(count);
+        }
+        // 30 s at the diurnal ceiling is 10 × 1.2 × 30 = 360 arrivals;
+        // a 6× burst window has to beat that comfortably.
+        assert!(best > 500, "densest 30 s window only held {best} arrivals");
+    }
+
+    #[test]
+    fn synth_refill_is_chunk_invariant() {
+        let end = SimTime::from_secs(2400);
+        let one_shot = SynthProcess::new(6.0, 0.5, 1800.0, 300.0, 4.0, 23).generate(end);
+        for window in [1usize, 9, 64] {
+            let mut p = SynthProcess::new(6.0, 0.5, 1800.0, 300.0, 4.0, 23);
+            let mut got = Vec::new();
+            while p.refill(end, window, &mut got) == window {}
+            assert_eq!(got, one_shot, "window {window}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn synth_rejects_out_of_range_amplitude() {
+        SynthProcess::new(5.0, 1.5, 86_400.0, 0.0, 4.0, 1);
+    }
+}

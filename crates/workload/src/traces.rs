@@ -6,7 +6,7 @@
 //! diurnal-style periodic oscillation, and long idle gaps with rare short
 //! active windows.
 
-use dilu_sim::rng::{component_rng, sample_exponential};
+use dilu_sim::rng::{component_rng, sample_exponential, SimRng};
 use dilu_sim::{SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -158,13 +158,24 @@ impl RateTrace {
 #[derive(Debug, Clone)]
 pub struct TraceProcess {
     trace: RateTrace,
-    seed: u64,
+    rng: SimRng,
+    /// Last drawn candidate instant (seconds); the stream cursor.
+    cursor_s: f64,
+    /// `true` when the candidate at `cursor_s` was drawn but its
+    /// accept/reject decision is deferred (it landed at or past the
+    /// horizon of the previous pull), keeping RNG order chunk-invariant.
+    pending: bool,
 }
 
 impl TraceProcess {
     /// Creates a sampler over `trace`.
     pub fn new(trace: RateTrace, seed: u64) -> Self {
-        TraceProcess { trace, seed }
+        TraceProcess {
+            trace,
+            rng: component_rng(seed, "trace-arrivals"),
+            cursor_s: 0.0,
+            pending: false,
+        }
     }
 
     /// The underlying rate trace (for plotting alongside results).
@@ -174,28 +185,31 @@ impl TraceProcess {
 }
 
 impl ArrivalProcess for TraceProcess {
-    fn generate(&mut self, horizon: SimTime) -> Vec<SimTime> {
-        let mut rng = component_rng(self.seed, "trace-arrivals");
-        let mut out = Vec::new();
+    fn refill(&mut self, horizon: SimTime, max: usize, out: &mut Vec<SimTime>) -> usize {
         let horizon_s = horizon.as_secs_f64().min(self.trace.duration().as_secs_f64());
         let peak = self.trace.peak();
         if peak <= 0.0 {
-            return out;
+            return 0;
         }
         // Thinning against the peak rate.
-        let mut t = 0.0;
-        loop {
-            t += sample_exponential(&mut rng, peak);
-            if t >= horizon_s {
+        let mut pushed = 0usize;
+        while pushed < max {
+            if !self.pending {
+                self.cursor_s += sample_exponential(&mut self.rng, peak);
+                self.pending = true;
+            }
+            if self.cursor_s >= horizon_s {
                 break;
             }
-            let instant = SimTime::from_secs_f64(t);
-            let accept: f64 = rng.gen_range(0.0..1.0);
+            let instant = SimTime::from_secs_f64(self.cursor_s);
+            self.pending = false;
+            let accept: f64 = self.rng.gen_range(0.0..1.0);
             if accept < self.trace.rate_at(instant) / peak {
                 out.push(instant);
+                pushed += 1;
             }
         }
-        out
+        pushed
     }
 
     fn mean_rate(&self) -> f64 {
@@ -249,6 +263,22 @@ mod tests {
         let a = TraceProcess::new(trace.clone(), 9).generate(SimTime::from_secs(120));
         let b = TraceProcess::new(trace, 9).generate(SimTime::from_secs(120));
         assert_eq!(a, b);
+    }
+
+    /// Bounded-window pulls deliver the exact stream of a one-shot pull
+    /// even though rejected candidates burn RNG draws between accepts.
+    #[test]
+    fn trace_process_refill_is_chunk_invariant() {
+        let trace =
+            RateTrace::synthesize(TraceKind::Bursty, 12.0, 4.0, SimDuration::from_secs(300), 17);
+        let end = SimTime::from_secs(300);
+        let one_shot = TraceProcess::new(trace.clone(), 17).generate(end);
+        for window in [1usize, 5, 33] {
+            let mut p = TraceProcess::new(trace.clone(), 17);
+            let mut got = Vec::new();
+            while p.refill(end, window, &mut got) == window {}
+            assert_eq!(got, one_shot, "window {window}");
+        }
     }
 
     #[test]

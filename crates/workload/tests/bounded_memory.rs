@@ -1,0 +1,126 @@
+//! Bounded-memory contract of the streaming trace readers, measured with
+//! a counting global allocator: pulling a large on-disk trace through
+//! `refill` in bounded chunks must hold live heap growth at O(window),
+//! not O(rows). Materializing the same trace measurably does not.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use dilu_sim::SimTime;
+use dilu_workload::{open_trace, TraceFormat};
+
+struct MeteringAlloc;
+
+/// Live heap bytes (allocated − freed) and the running peak, updated on
+/// every allocator call. Relaxed is fine: the test is single-threaded.
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc(bytes: usize) {
+    let live = LIVE.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK.fetch_max(live.max(0) as u64, Ordering::Relaxed);
+}
+
+// SAFETY: delegates verbatim to `System`; bookkeeping is two relaxed
+// atomic ops that never allocate.
+unsafe impl GlobalAlloc for MeteringAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        note_alloc(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static METER: MeteringAlloc = MeteringAlloc;
+
+/// Resets the peak tracker to the current live level and returns a probe
+/// for the peak *growth* observed afterwards.
+fn arm_peak_probe() -> impl Fn() -> u64 {
+    let base = LIVE.load(Ordering::Relaxed).max(0) as u64;
+    PEAK.store(base, Ordering::Relaxed);
+    move || PEAK.load(Ordering::Relaxed).saturating_sub(base)
+}
+
+/// Writes an Alibaba-shaped trace with `rows` requests at 20 rps,
+/// locally shuffled inside the reader's reorder window.
+fn write_big_trace(rows: u64) -> PathBuf {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("big-{rows}.csv"));
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+    writeln!(out, "time_s,function").unwrap();
+    for i in 0..rows {
+        // Swap each adjacent pair so the stream needs the reorder window
+        // (stays far inside DEFAULT_REORDER_WINDOW).
+        let j = if i % 2 == 0 { i + 1 } else { i - 1 };
+        writeln!(out, "{:.3},fn-hot", j as f64 * 0.05).unwrap();
+    }
+    out.flush().unwrap();
+    path
+}
+
+const ROWS: u64 = 200_000;
+
+#[test]
+fn chunked_refill_holds_live_heap_at_window_scale() {
+    let path = write_big_trace(ROWS);
+    let horizon = SimTime::from_secs(11_000);
+
+    // Baseline: materialize the whole schedule. 200k instants are ≥1.6 MB
+    // of `SimTime` alone, so the peak is necessarily O(rows).
+    let mut materialize = open_trace(&path, TraceFormat::Alibaba, None).unwrap();
+    let probe = arm_peak_probe();
+    let all = materialize.generate(horizon);
+    assert_eq!(all.len() as u64, ROWS);
+    let materialized_peak = probe();
+    drop(all);
+    drop(materialize);
+    assert!(
+        materialized_peak >= ROWS * std::mem::size_of::<SimTime>() as u64,
+        "materializing must cost O(rows) ({materialized_peak} bytes)"
+    );
+
+    // Streaming: the same trace pulled 256 instants at a time. Live heap
+    // growth during the pull loop must stay at O(window + reorder window
+    // + line buffer) — hundreds of kilobytes below the materialized peak.
+    let mut streaming = open_trace(&path, TraceFormat::Alibaba, None).unwrap();
+    let probe = arm_peak_probe();
+    let mut chunk = Vec::new();
+    let mut total: u64 = 0;
+    let mut last = SimTime::ZERO;
+    loop {
+        chunk.clear();
+        let got = streaming.refill(horizon, 256, &mut chunk);
+        for &t in &chunk {
+            assert!(t >= last, "stream must stay sorted across chunk boundaries");
+            last = t;
+        }
+        total += chunk.len() as u64;
+        if got < 256 {
+            break;
+        }
+    }
+    let streaming_peak = probe();
+    assert_eq!(total, ROWS, "chunked pull must see every row exactly once");
+    assert!(
+        streaming_peak < 256 * 1024,
+        "streaming peak grew to {streaming_peak} bytes — window-bounded pull is leaking \
+         (materialized peak was {materialized_peak})"
+    );
+    assert!(
+        streaming_peak * 4 < materialized_peak,
+        "streaming ({streaming_peak} bytes) should be far below materializing \
+         ({materialized_peak} bytes)"
+    );
+}

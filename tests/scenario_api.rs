@@ -346,6 +346,12 @@ fn example_scenario_files_run_end_to_end() {
         if path.extension().and_then(|e| e.to_str()) != Some("toml") {
             continue;
         }
+        // The production-day macro tier is a full simulated day (~10M+
+        // requests) — far beyond a debug-build unit test. It has its own
+        // release-mode CI smoke and bench lane.
+        if path.file_name().and_then(|n| n.to_str()) == Some("production-day.toml") {
+            continue;
+        }
         let config =
             ScenarioConfig::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let report = config
